@@ -1,0 +1,87 @@
+//! Hot path: one emulated PRAM step (hash → request routing → service →
+//! reply routing) on each emulator family, plus the deterministic
+//! replication baseline — the end-to-end cost a downstream user pays per
+//! `emulate_step` call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lnpram_core::{EmulatorConfig, LeveledPramEmulator, MeshPramEmulator, ReplicatedPramEmulator};
+use lnpram_pram::model::{AccessMode, MemOp};
+use lnpram_topology::leveled::RadixButterfly;
+
+/// One round of permutation traffic: processor `i` reads cell `perm[i]`.
+fn read_ops(n: usize) -> Vec<MemOp> {
+    (0..n).map(|i| MemOp::Read(((i * 7 + 3) % n) as u64)).collect()
+}
+
+fn bench_leveled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulate_step_butterfly");
+    group.sample_size(20);
+    for k in [5usize, 7, 9] {
+        let n = 1usize << k;
+        group.bench_with_input(BenchmarkId::new("erew_read_step", k), &k, |b, _| {
+            let mut emu = LeveledPramEmulator::new(
+                RadixButterfly::new(2, k),
+                AccessMode::Erew,
+                n as u64,
+                EmulatorConfig::default(),
+            );
+            let ops = read_ops(n);
+            let mut label = 0u64;
+            b.iter(|| {
+                label += 1;
+                emu.emulate_step(&ops, label)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulate_step_mesh");
+    group.sample_size(20);
+    for n in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("erew_read_step", n), &n, |b, _| {
+            let mut emu = MeshPramEmulator::new(
+                n,
+                AccessMode::Erew,
+                (n * n) as u64,
+                EmulatorConfig::default(),
+            );
+            let ops = read_ops(n * n);
+            let mut label = 0u64;
+            b.iter(|| {
+                label += 1;
+                emu.emulate_step(&ops, label)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_replicated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulate_step_replicated");
+    group.sample_size(20);
+    for copies in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("erew_read_step_R", copies), &copies, |b, _| {
+            let k = 7usize;
+            let n = 1usize << k;
+            let mut emu = ReplicatedPramEmulator::new(
+                RadixButterfly::new(2, k),
+                AccessMode::Erew,
+                n as u64,
+                copies,
+                EmulatorConfig::default(),
+            );
+            let ops = read_ops(n);
+            let mut label = 0u64;
+            b.iter(|| {
+                label += 1;
+                emu.emulate_step(&ops, label)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_leveled, bench_mesh, bench_replicated);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Hot path: evaluating h(x) = ((Σ aᵢxⁱ) mod P) mod N.
+//!
+//! Every emulated PRAM step evaluates the hash once per request; the
+//! degree is S = cL, so Horner cost is the per-request constant.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lnpram_hash::HashFamily;
+use lnpram_math::rng::SeedSeq;
+
+fn bench_hash_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_eval");
+    for degree in [2usize, 8, 20, 40, 80] {
+        let fam = HashFamily::new(1 << 24, 1 << 12, degree);
+        let h = fam.sample(&mut SeedSeq::new(1).rng());
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, _| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(0x9E3779B9);
+                black_box(h.eval(black_box(x % (1 << 24))))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_eval);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Hot path: link-queue push/pop under both disciplines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lnpram_simnet::queue::LinkQueue;
+use lnpram_simnet::{Discipline, Packet};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_push_pop");
+    for (name, disc) in [
+        ("fifo", Discipline::Fifo),
+        ("furthest_first", Discipline::FurthestFirst),
+    ] {
+        for occupancy in [4usize, 16, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(name, occupancy),
+                &occupancy,
+                |b, &occ| {
+                    let mut q = LinkQueue::new();
+                    for i in 0..occ {
+                        q.push(Packet::new(i as u32, 0, 1).with_priority((i * 37 % 23) as u32));
+                    }
+                    b.iter(|| {
+                        let p = q.pop(disc).unwrap();
+                        q.push(black_box(p));
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end routing micro-benches across topologies (small instances,
+//! for tracking regressions in the routers themselves).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lnpram_routing::{
+    route_mesh_permutation, route_shuffle_permutation, route_star_permutation, MeshAlgorithm,
+};
+use lnpram_routing::mesh::default_slice_rows;
+use lnpram_simnet::SimConfig;
+use lnpram_topology::DWayShuffle;
+
+fn bench_routers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routers");
+    group.sample_size(20);
+    group.bench_function("star5_permutation", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            route_star_permutation(5, seed, SimConfig::default())
+        });
+    });
+    group.bench_function("shuffle4_permutation", |b| {
+        let sh = DWayShuffle::n_way(4);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            route_shuffle_permutation(sh, seed, SimConfig::default())
+        });
+    });
+    group.bench_function("mesh16_three_stage", |b| {
+        let alg = MeshAlgorithm::ThreeStage {
+            slice_rows: default_slice_rows(16),
+        };
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            route_mesh_permutation(16, alg, seed, SimConfig::default())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routers);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 2: the 3-star and 4-star graphs.
+//!
+//! Emits Graphviz DOT for both graphs with the paper's letter labels
+//! (`ABC`, `ABCD`, …) and audits node count, degree, diameter and
+//! symmetry against §2.3.4.
+
+use lnpram_topology::graph::audit;
+use lnpram_topology::render::star_dot;
+use lnpram_topology::StarGraph;
+
+fn main() {
+    println!("# Figure 2 — star graphs\n");
+    for n in [3usize, 4] {
+        let star = StarGraph::new(n);
+        let rep = audit(&star);
+        println!("## {n}-star: {} nodes, degree {}, diameter {:?}, symmetric: {}",
+            rep.nodes, rep.max_degree, rep.diameter, rep.symmetric);
+        assert_eq!(rep.nodes, (1..=n).product::<usize>());
+        assert_eq!(rep.max_degree, n - 1);
+        assert_eq!(rep.diameter, Some(3 * (n - 1) / 2));
+        println!("{}", star_dot(&star));
+    }
+}

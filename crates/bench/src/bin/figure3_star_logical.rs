@@ -1,0 +1,21 @@
+//! Figure 3: the logical (leveled) network of the 3-star.
+//!
+//! The star routing of §2.3.4 unrolls into `2(n−1)` levels of `n!`-node
+//! columns with degree n (self + the n−1 SWAP links) — the leveled form
+//! that Theorem 2.4's `ℓ = O(d)` analysis applies to.
+
+use lnpram_math::perm::Perm;
+use lnpram_topology::render::{leveled_explicit_ascii, perm_letters, star_logical_network};
+
+fn main() {
+    println!("# Figure 3 — logical network of the 3-star\n");
+    let levels = star_logical_network(3);
+    println!(
+        "{} levels, {} nodes per column, degree {} (self + 2 swaps)\n",
+        levels.len(),
+        levels[0].len(),
+        levels[0][0].len()
+    );
+    let label = |v: usize| perm_letters(&Perm::unrank(3, v));
+    println!("{}", leveled_explicit_ascii(&levels, label));
+}

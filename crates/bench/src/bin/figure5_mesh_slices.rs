@@ -1,0 +1,15 @@
+//! Figure 5: partitioning the mesh into horizontal slices (§3.4).
+//!
+//! Draws the n×n grid with the εn-row slice boundaries the three-stage
+//! routing algorithm uses for its stage-1 randomization.
+
+use lnpram_routing::mesh::default_slice_rows;
+use lnpram_topology::render::mesh_slices_ascii;
+
+fn main() {
+    println!("# Figure 5 — mesh slice partitioning\n");
+    for n in [16usize, 32] {
+        let rows = default_slice_rows(n);
+        println!("{}", mesh_slices_ascii(n, rows));
+    }
+}

@@ -1,0 +1,53 @@
+//! Run every figure and table binary in sequence, printing the complete
+//! reproduction report (the source of EXPERIMENTS.md's measured columns).
+//!
+//! ```sh
+//! cargo run --release -p lnpram-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "figure1_leveled",
+    "figure2_star",
+    "figure3_star_logical",
+    "figure4_shuffle",
+    "figure5_mesh_slices",
+    "table_thm21_leveled_routing",
+    "table_thm22_star_routing",
+    "table_thm23_shuffle_routing",
+    "table_thm24_relation_routing",
+    "table_lemma21_retry",
+    "table_lemma22_hash_load",
+    "table_cor31_33_buckets",
+    "table_thm25_erew_leveled",
+    "table_thm26_crcw_combining",
+    "table_linear_array_lemma",
+    "table_intro_star_vs_cube",
+    "table_adversarial_mesh",
+    "table_deterministic_baseline",
+    "table_batcher_baseline",
+    "table_constant_degree_hosts",
+    "table_thm31_mesh_routing",
+    "table_thm32_mesh_emulation",
+    "table_thm33_locality",
+    "table_ablate_discipline",
+    "table_ablate_slice",
+    "table_ablate_hash_degree",
+    "table_ablate_const_queue",
+    "table_level_congestion",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in BINARIES {
+        let path = dir.join(bin);
+        println!("\n{}\n$ {}\n", "=".repeat(72), bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e} (build all bins first)"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall {} experiment binaries completed", BINARIES.len());
+}

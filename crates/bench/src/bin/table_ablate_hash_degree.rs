@@ -1,0 +1,76 @@
+//! Ablation A3: the hash-family degree S = cL of §2.1.
+//!
+//! Low-degree polynomials (S = 1, 2) have weaker independence: adversarial
+//! address sets (an arithmetic progression) can pile onto few modules and
+//! force rehashes; S = cL restores the Lemma 2.2 tail. Reports max module
+//! load on an adversarial set, plus emulation time and rehashes.
+
+use lnpram_bench::{fmt, trials, Table};
+use lnpram_core::{EmulatorConfig, LeveledPramEmulator};
+use lnpram_hash::analysis::max_load;
+use lnpram_hash::HashFamily;
+use lnpram_math::rng::SeedSeq;
+use lnpram_pram::model::AccessMode;
+use lnpram_pram::programs::PermutationTraffic;
+use lnpram_routing::workloads;
+use lnpram_topology::leveled::RadixButterfly;
+
+fn main() {
+    let net = RadixButterfly::new(2, 10); // 1024 processors, diameter 20
+    let n = 1024u64;
+    let diam = 20usize;
+    let n_trials = 25u64;
+
+    let mut t = Table::new(
+        "Ablation A3 — hash degree S (butterfly(2,10), N = 1024)",
+        &["S", "max load: stride set", "max load: random set", "emu steps/PRAM", "rehashes"],
+    );
+    for s_deg in [1usize, 2, diam / 2, diam, 2 * diam] {
+        let fam = HashFamily::new(n * 64, n, s_deg);
+        // Adversarial structured set: arithmetic progression of stride N.
+        let stride: Vec<u64> = (0..n).map(|i| i * n).collect();
+        let adv = trials(n_trials, |s| {
+            let h = fam.sample(&mut SeedSeq::new(s).rng());
+            max_load(&h, stride.iter().copied()) as f64
+        });
+        let rnd_set: Vec<u64> = {
+            use rand::Rng;
+            let mut rng = SeedSeq::new(999).rng();
+            (0..n).map(|_| rng.gen_range(0..n * 64)).collect()
+        };
+        let rnd = trials(n_trials, |s| {
+            let h = fam.sample(&mut SeedSeq::new(s).rng());
+            max_load(&h, rnd_set.iter().copied()) as f64
+        });
+        // Emulation with this degree.
+        let mut rng = SeedSeq::new(1).rng();
+        let perm = workloads::random_permutation(1024, &mut rng);
+        let mut prog = PermutationTraffic::new(perm, 3);
+        let mut emu = LeveledPramEmulator::new(
+            net,
+            AccessMode::Erew,
+            1024,
+            EmulatorConfig {
+                hash_degree_override: Some(s_deg),
+                // A degree-S=1 hash maps everything to one module; allow
+                // the emulator to rehash its way through (still S=1, so
+                // the step cost explodes instead — the point of the row).
+                max_rehashes: 40,
+                budget_factor: 64,
+                seed: s_deg as u64,
+                ..Default::default()
+            },
+        );
+        let rep = emu.run_program(&mut prog, 1000);
+        t.row(&[
+            fmt::n(s_deg),
+            fmt::dist(&adv),
+            fmt::dist(&rnd),
+            fmt::f(rep.mean_step_time(), 1),
+            fmt::n(rep.rehashes as usize),
+        ]);
+    }
+    t.print();
+    println!("paper: S = cL gives the interpolation-counting tail of Lemma 2.2;\n\
+              constant-degree hashes lose it on structured address sets.");
+}

@@ -1,0 +1,43 @@
+//! Ablation A2: the slice height εn of §3.4.
+//!
+//! Stage 1 costs εn + o(n) and buys row-load balance for stage 2; the
+//! paper picks ε = 1/log n. The sweep shows the tradeoff: slices too
+//! short under-randomize (stage-2 congestion), too tall overpay stage 1.
+
+use lnpram_bench::{fmt, trials, Table};
+use lnpram_math::rng::SeedSeq;
+use lnpram_routing::mesh::{default_slice_rows, route_mesh_with_dests, MeshAlgorithm};
+use lnpram_routing::workloads;
+use lnpram_simnet::SimConfig;
+use lnpram_topology::Mesh;
+
+fn main() {
+    let n = 64usize;
+    let n_trials = 8u64;
+    let mesh = Mesh::square(n);
+    let mut t = Table::new(
+        "Ablation A2 — slice height for the three-stage algorithm (n = 64)",
+        &["slice rows", "eps", "time (p95/max)", "time/n", "max queue"],
+    );
+    let default = default_slice_rows(n);
+    for rows in [1usize, 2, 4, default, 16, 32, 64] {
+        let alg = MeshAlgorithm::ThreeStage { slice_rows: rows };
+        let run = |s: u64| {
+            let mut rng = SeedSeq::new(s).rng();
+            let dests = workloads::random_permutation(n * n, &mut rng);
+            route_mesh_with_dests(mesh, &dests, alg, SeedSeq::new(s), SimConfig::default())
+        };
+        let time = trials(n_trials, |s| run(s).metrics.routing_time as f64);
+        let queue = trials(n_trials, |s| run(s).metrics.max_queue as f64);
+        let marker = if rows == default { " (= n/log n)" } else { "" };
+        t.row(&[
+            format!("{rows}{marker}"),
+            fmt::f(rows as f64 / n as f64, 3),
+            fmt::dist(&time),
+            fmt::f(time.mean / n as f64, 2),
+            fmt::f(queue.mean, 1),
+        ]);
+    }
+    t.print();
+    println!("paper: eps = 1/log n makes stage 1 o(n) while stages 2-3 stay n + o(n).");
+}

@@ -1,0 +1,87 @@
+//! Table I2 — why randomize? Adversarial permutations on the mesh.
+//!
+//! §2.2.1 motivates oblivious *randomized* routing: any deterministic
+//! oblivious router has pathological permutations. We pit deterministic
+//! dimension-order (greedy) routing against the paper's three-stage
+//! algorithm on the classic adversaries:
+//!
+//! * **transpose** — all of row r turns at the diagonal node (r, r);
+//!   benign for row-first dimension order (the east/west convoys arrive
+//!   one per step and split north/south), included to show not every
+//!   "structured" pattern hurts;
+//! * **bit-reversal** — the standard BPC worst case: greedy's max queue
+//!   grows as Θ(n);
+//! * **tornado** — maximal sustained row-link load (greedy is *faster*
+//!   here — deterministic routing wins on friendly patterns, the point
+//!   is robustness, not every-case dominance);
+//! * **random** — the average case, for calibration.
+//!
+//! Expected shape: greedy's max queue scales with n on bit-reversal while
+//! the randomized three-stage algorithm's queues stay flat and its time
+//! stays at `2n + o(n)` regardless of the pattern.
+
+use lnpram_bench::{fmt, trials, Table};
+use lnpram_math::rng::SeedSeq;
+use lnpram_routing::mesh::{
+    canonical_discipline, default_slice_rows, route_mesh_with_dests, MeshAlgorithm,
+};
+use lnpram_routing::workloads;
+use lnpram_simnet::SimConfig;
+use lnpram_topology::{Mesh, Network};
+
+fn pattern(mesh: &Mesh, name: &str, seed: u64) -> Vec<usize> {
+    match name {
+        "transpose" => workloads::mesh_transpose(mesh),
+        "bit-reversal" => workloads::mesh_bit_reversal(mesh),
+        "tornado" => workloads::mesh_tornado(mesh),
+        _ => workloads::random_permutation(mesh.num_nodes(), &mut SeedSeq::new(seed).rng()),
+    }
+}
+
+fn main() {
+    let n_trials = 5u64;
+    let mut t = Table::new(
+        "Table I2 — deterministic vs randomized routing on adversarial patterns",
+        &["n", "pattern", "algorithm", "time/n", "max queue"],
+    );
+    for n in [16usize, 32, 64] {
+        for pat in ["transpose", "bit-reversal", "tornado", "random"] {
+            let algs = [
+                ("greedy", MeshAlgorithm::Greedy),
+                (
+                    "three-stage",
+                    MeshAlgorithm::ThreeStage {
+                        slice_rows: default_slice_rows(n),
+                    },
+                ),
+            ];
+            for (name, alg) in algs {
+                let run = |s: u64| {
+                    let mesh = Mesh::square(n);
+                    let dests = pattern(&mesh, pat, s);
+                    let cfg = SimConfig {
+                        discipline: canonical_discipline(alg),
+                        ..Default::default()
+                    };
+                    route_mesh_with_dests(mesh, &dests, alg, SeedSeq::new(s), cfg)
+                };
+                let time = trials(n_trials, |s| run(s).metrics.routing_time as f64);
+                let queue = trials(n_trials, |s| run(s).metrics.max_queue as f64);
+                t.row(&[
+                    fmt::n(n),
+                    pat.into(),
+                    name.into(),
+                    fmt::f(time.mean / n as f64, 2),
+                    fmt::f(queue.mean, 1),
+                ]);
+            }
+        }
+    }
+    t.print();
+    println!(
+        "paper (§2.2.1): deterministic oblivious routing has pathological\n\
+         permutations; randomization makes the routing time and queue\n\
+         distribution pattern-independent. Greedy's queues grow as ~n/2 on\n\
+         bit-reversal; three-stage stays flat on every pattern."
+    );
+}

@@ -1,0 +1,50 @@
+//! Theorem 2.4: partial ℓ-relation routing on an ℓ-level degree-d
+//! leveled network with ℓ = O(d) completes in Õ(ℓ).
+//!
+//! Sweeps the relation arity h up to 2ℓ on hosts in the ℓ = O(d) regime
+//! (d-ary butterflies with ℓ = d and the n-way shuffle) — time must grow
+//! linearly in h (the per-node injection bound), staying Õ(ℓ) at h = ℓ.
+
+use lnpram_bench::{fmt, trials, Table};
+use lnpram_routing::route_leveled_relation;
+use lnpram_simnet::SimConfig;
+use lnpram_topology::leveled::{Leveled, RadixButterfly, UnrolledShuffle};
+
+fn sweep<L: Leveled + Copy>(t: &mut Table, net: L, n_trials: u64) {
+    let ell = net.levels();
+    for h in [1usize, ell.div_ceil(2).max(1), ell, 2 * ell] {
+        let time = trials(n_trials, |s| {
+            route_leveled_relation(net, h, s, SimConfig::default())
+                .metrics
+                .routing_time as f64
+        });
+        let queue = trials(n_trials, |s| {
+            route_leveled_relation(net, h, s, SimConfig::default())
+                .metrics
+                .max_queue as f64
+        });
+        t.row(&[
+            net.name(),
+            fmt::n(net.width()),
+            fmt::n(ell),
+            fmt::n(h),
+            fmt::dist(&time),
+            fmt::f(time.mean / ell as f64, 2),
+            fmt::f(time.mean / (ell * h.max(1)) as f64, 2),
+            fmt::f(queue.mean, 1),
+        ]);
+    }
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Theorem 2.4 — partial h-relation routing on leveled networks (l = O(d))",
+        &["network", "N", "l", "h", "time", "time/l", "time/(l*h)", "max queue"],
+    );
+    sweep(&mut t, RadixButterfly::new(4, 4), 6);
+    sweep(&mut t, RadixButterfly::new(6, 4), 6);
+    sweep(&mut t, UnrolledShuffle::n_way(4), 6);
+    sweep(&mut t, UnrolledShuffle::n_way(5), 4);
+    t.print();
+    println!("paper: at h = l the routing is Õ(l); time/(l*h) flat = linear growth in h.");
+}

@@ -1,0 +1,59 @@
+//! Theorem 3.2: one EREW PRAM step emulated on the n×n mesh in 4n + o(n)
+//! — vs the Ranade-style butterfly comparator whose mesh embedding costs
+//! on the order of 100n (the paper's motivation for §3).
+
+use lnpram_bench::{fmt, Table};
+use lnpram_core::{EmulatorConfig, MeshPramEmulator};
+use lnpram_math::rng::SeedSeq;
+use lnpram_pram::model::{AccessMode, PramProgram};
+use lnpram_pram::programs::PermutationTraffic;
+use lnpram_routing::{ranade, workloads};
+
+fn main() {
+    let mut t = Table::new(
+        "Theorem 3.2 — EREW PRAM step on the n x n mesh (4n + o(n))",
+        &["n", "N=n^2", "steps/PRAM step", "per n", "worst step", "rehashes"],
+    );
+    for (n, rounds) in [(8usize, 6usize), (16, 6), (32, 5), (48, 4), (64, 3)] {
+        let mut rng = SeedSeq::new(n as u64).rng();
+        let perm = workloads::random_permutation(n * n, &mut rng);
+        let mut prog = PermutationTraffic::new(perm, rounds);
+        let mut emu = MeshPramEmulator::new(
+            n,
+            AccessMode::Erew,
+            prog.address_space(),
+            EmulatorConfig { seed: n as u64, ..Default::default() },
+        );
+        let rep = emu.run_program(&mut prog, 10_000);
+        t.row(&[
+            fmt::n(n),
+            fmt::n(n * n),
+            fmt::f(rep.mean_step_time(), 1),
+            fmt::f(rep.mean_step_time() / n as f64, 2),
+            fmt::n(rep.max_step_time() as usize),
+            fmt::n(rep.rehashes as usize),
+        ]);
+    }
+    t.print();
+
+    // The comparator: measured Ranade butterfly constant x the standard
+    // mesh embedding dilation (see routing::ranade docs).
+    let mut t = Table::new(
+        "Ranade-style comparator (butterfly emulation embedded on the mesh)",
+        &["n", "butterfly steps/level", "modeled mesh steps", "per n"],
+    );
+    for n in [16usize, 32, 64] {
+        let levels = 2 * (n as f64).log2().ceil() as usize;
+        let rep = ranade::ranade_random(levels, 1);
+        let est = ranade::mesh_embedding_steps(n, rep.time_per_level());
+        t.row(&[
+            fmt::n(n),
+            fmt::f(rep.time_per_level(), 2),
+            fmt::f(est, 0),
+            fmt::f(est / n as f64, 1),
+        ]);
+    }
+    t.print();
+    println!("paper: the direct algorithm costs ~4n; Ranade's technique applied\n\
+              to the mesh has a constant 'roughly 100' — impractical at mesh scale.");
+}

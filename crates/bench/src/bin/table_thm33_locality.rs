@@ -1,0 +1,43 @@
+//! Theorem 3.3: when every request originates within distance d of its
+//! memory location, the mesh emulation finishes in 6d + o(d) w.h.p.
+
+use lnpram_bench::{fmt, Table};
+use lnpram_core::{EmulatorConfig, MeshPramEmulator};
+use lnpram_math::rng::SeedSeq;
+use lnpram_pram::model::{AccessMode, PramProgram};
+use lnpram_pram::programs::PermutationTraffic;
+use lnpram_routing::workloads;
+use lnpram_topology::Mesh;
+
+fn main() {
+    let n = 48usize;
+    let mesh = Mesh::square(n);
+    let mut t = Table::new(
+        "Theorem 3.3 — d-local requests on the 48x48 mesh (6d + o(d))",
+        &["d", "steps/PRAM step", "per d", "per n", "queue"],
+    );
+    for d in [3usize, 6, 12, 24, 48] {
+        let mut rng = SeedSeq::new(13).child(d as u64).rng();
+        let dests = workloads::local_permutation(&mesh, d, &mut rng);
+        let mut prog = PermutationTraffic::new(dests, 4);
+        let mut emu = MeshPramEmulator::new_local(
+            n,
+            AccessMode::Erew,
+            prog.address_space(),
+            d,
+            EmulatorConfig { seed: d as u64, ..Default::default() },
+        );
+        let rep = emu.run_program(&mut prog, 10_000);
+        let queue = rep.steps.iter().map(|s| s.max_queue).max().unwrap_or(0);
+        t.row(&[
+            fmt::n(d),
+            fmt::f(rep.mean_step_time(), 1),
+            fmt::f(rep.mean_step_time() / d as f64, 2),
+            fmt::f(rep.mean_step_time() / n as f64, 2),
+            fmt::n(queue as usize),
+        ]);
+    }
+    t.print();
+    println!("paper: time tracks 6d + o(d) — the per-d column stays bounded while\n\
+              per-n shrinks with locality; queues stay O(1).");
+}

@@ -1,0 +1,263 @@
+//! # lnpram-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper
+//! (see DESIGN.md §3 for the experiment index) plus Criterion
+//! micro-benches of the hot paths. This library holds the shared
+//! machinery: trial runners, distribution digests and plain-text table
+//! rendering, so every `src/bin/table_*.rs` stays a thin experiment
+//! definition.
+//!
+//! Conventions:
+//!
+//! * every randomized experiment reports over ≥ `trials` seeds with the
+//!   mean / p95 / max of the measured quantity;
+//! * every time is reported both raw and normalised by the theorem's unit
+//!   (ℓ, the diameter, or n) so the bound's *constant* is visible;
+//! * binaries print Markdown-ish tables to stdout; `run_all` concatenates
+//!   everything (that output is the basis of EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lnpram_math::stats::Summary;
+use parking_lot::Mutex;
+
+/// Run `f` for seeds `0..trials` and summarise the returned values.
+pub fn trials<F: FnMut(u64) -> f64>(trials: u64, mut f: F) -> Summary {
+    let data: Vec<f64> = (0..trials).map(&mut f).collect();
+    Summary::of(&data)
+}
+
+/// Run independent trials across worker threads (crossbeam scoped
+/// threads; one worker per core). The per-seed closure must be `Sync` —
+/// all the routing entry points are, since they build their own engines.
+/// Results are returned in seed order, so the summary is identical to the
+/// serial [`trials`] (determinism is per seed, not per schedule).
+pub fn par_trials<F>(n_trials: u64, f: F) -> Summary
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(n_trials as usize));
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n_trials.max(1) as usize);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if seed >= n_trials {
+                    break;
+                }
+                let value = f(seed);
+                results.lock().push((seed, value));
+            });
+        }
+    })
+    .expect("trial worker panicked");
+    let mut data = results.into_inner();
+    data.sort_by_key(|&(seed, _)| seed);
+    Summary::of(&data.into_iter().map(|(_, v)| v).collect::<Vec<_>>())
+}
+
+/// One experiment's machine-readable record (written by `run_all` into
+/// `bench_results.json` for downstream tooling).
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord {
+    /// Experiment id (e.g. "thm21"), matching DESIGN.md's index.
+    pub id: String,
+    /// Row label within the experiment (host / configuration).
+    pub label: String,
+    /// Metric name (e.g. "time_per_level").
+    pub metric: String,
+    /// Mean over trials.
+    pub mean: f64,
+    /// Max over trials.
+    pub max: f64,
+}
+
+impl ExperimentRecord {
+    /// Build from a summary.
+    pub fn from_summary(id: &str, label: &str, metric: &str, s: &Summary) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            label: label.into(),
+            metric: metric.into(),
+            mean: s.mean,
+            max: s.max,
+        }
+    }
+}
+
+/// Serialise records to a JSON file. The record shape is flat, so the
+/// writer is hand-rolled (no serde_json in the dependency budget); string
+/// fields are experiment ids and labels we control — escaped anyway for
+/// robustness.
+pub fn save_records(path: &str, records: &[ExperimentRecord]) -> std::io::Result<()> {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"label\": \"{}\", \"metric\": \"{}\", \"mean\": {}, \"max\": {}}}{}\n",
+            esc(&r.id),
+            esc(&r.label),
+            esc(&r.metric),
+            r.mean,
+            r.max,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// A plain-text table builder with fixed-width columns.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = format!("## {}\n\n", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (w, cell) in widths.iter().zip(cells) {
+                line.push_str(&format!(" {cell:>w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Render and print.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format helpers for table cells.
+pub mod fmt {
+    use lnpram_math::stats::Summary;
+
+    /// `mean (p95/max)` of a summary, one decimal.
+    pub fn dist(s: &Summary) -> String {
+        format!("{:.1} ({:.1}/{:.0})", s.mean, s.p95, s.max)
+    }
+
+    /// A float with the given precision.
+    pub fn f(x: f64, prec: usize) -> String {
+        format!("{x:.prec$}")
+    }
+
+    /// An integer-ish count.
+    pub fn n(x: usize) -> String {
+        x.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_summary() {
+        let s = trials(10, |seed| seed as f64);
+        assert_eq!(s.count, 10);
+        assert!((s.mean - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn par_trials_matches_serial() {
+        let serial = trials(16, |seed| (seed * seed) as f64);
+        let parallel = par_trials(16, |seed| (seed * seed) as f64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn save_records_writes_valid_shape() {
+        let recs = vec![
+            ExperimentRecord {
+                id: "thm21".into(),
+                label: "butterfly(2,6)".into(),
+                metric: "time_per_level".into(),
+                mean: 2.5,
+                max: 3.0,
+            },
+            ExperimentRecord {
+                id: "thm22".into(),
+                label: "star \"quoted\"".into(),
+                metric: "time_per_diam".into(),
+                mean: 2.1,
+                max: 2.4,
+            },
+        ];
+        let path = std::env::temp_dir().join("lnpram_bench_records_test.json");
+        save_records(path.to_str().unwrap(), &recs).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("[\n"));
+        assert!(body.contains("\"id\": \"thm21\""));
+        assert!(body.contains("\\\"quoted\\\""));
+        assert_eq!(body.matches('{').count(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-col"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["100".into(), "x".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("| 100 |"));
+        let widths: Vec<usize> = r
+            .lines()
+            .skip(2)
+            .filter(|l| !l.is_empty())
+            .map(str::len)
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,196 @@
+//! CRCW packet combining: pending tables with reply fan-out.
+//!
+//! Theorem 2.6 upgrades the EREW emulation to CRCW by "combining all
+//! incoming packets having the same destination into one packet and
+//! storing log d direction bits … to make sure each requesting processor
+//! receives a reply" (footnote 3: any number of same-destination arrivals
+//! combine in unit time).
+//!
+//! We realise this with a *pending table* at every node, keyed by
+//! `(address, trail)`: the first read request for a key is forwarded and
+//! opens an entry; subsequent requests for the same key are absorbed,
+//! appending their arrival direction to the entry's fan-out list (those
+//! are the direction bits). The read reply retraces the request tree in
+//! reverse: at each node it pops the entry and emits one copy per
+//! recorded direction, plus a local delivery if this node's own processor
+//! requested the cell.
+//!
+//! Correctness rests on the routes being *memoryless and convergent*:
+//! once two requests for the same key meet at a node, their remaining
+//! paths coincide (true for the unique-path phase of leveled networks,
+//! for the greedy star route, and for the deterministic legs of the mesh
+//! algorithm), so the absorbed request's reply is guaranteed to pass back
+//! through the absorbing node.
+//!
+//! The `trail` component of the key is 0 when combining is enabled; with
+//! combining disabled (ablation A4) it is the requesting processor id, so
+//! every request keeps a private trail and nothing merges.
+
+use std::collections::HashMap;
+
+/// Where a pending request came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The processor co-located with this node issued it.
+    Local,
+    /// It arrived from this neighboring node.
+    FromNode(u32),
+    /// It continues another pending trail *at this same node* — used where
+    /// a private random-phase trail joins the shared convergent-phase tree
+    /// (the star/mesh emulators; see the deadlock discussion below). When
+    /// the reply consumes this entry it immediately processes the chained
+    /// trail's entry at the same node.
+    Chain(u32),
+}
+
+/// One pending read: the fan-out targets awaiting the reply.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PendingEntry {
+    /// Neighbor nodes to copy the reply to.
+    pub fanout: Vec<u32>,
+    /// Trails to continue at this same node (see [`Source::Chain`]).
+    pub chains: Vec<u32>,
+    /// Deliver to this node's own processor too?
+    pub local: bool,
+}
+
+/// Pending-read tables for every node of the emulating network.
+#[derive(Debug, Clone)]
+pub struct PendingTables {
+    tables: Vec<HashMap<(u64, u32), PendingEntry>>,
+    combined: u32,
+}
+
+impl PendingTables {
+    /// Tables for a network of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        PendingTables {
+            tables: vec![HashMap::new(); nodes],
+            combined: 0,
+        }
+    }
+
+    /// Register a read request for `(addr, trail)` arriving at `node` from
+    /// `source`. Returns `true` when this is the first request for the key
+    /// here — the caller must forward the packet. `false` means absorbed
+    /// (a combining event).
+    pub fn register(&mut self, node: usize, addr: u64, trail: u32, source: Source) -> bool {
+        let entry = self.tables[node].entry((addr, trail)).or_default();
+        let first = entry.fanout.is_empty() && entry.chains.is_empty() && !entry.local;
+        match source {
+            Source::Local => {
+                debug_assert!(!entry.local, "one op per processor per step");
+                entry.local = true;
+            }
+            Source::FromNode(u) => entry.fanout.push(u),
+            Source::Chain(t) => entry.chains.push(t),
+        }
+        if !first {
+            self.combined += 1;
+        }
+        first
+    }
+
+    /// Remove and return the entry for `(addr, trail)` at `node` — called
+    /// when the reply passes through. Panics if no entry exists (a reply
+    /// must always follow a registered request path).
+    pub fn take(&mut self, node: usize, addr: u64, trail: u32) -> PendingEntry {
+        self.tables[node]
+            .remove(&(addr, trail))
+            .unwrap_or_else(|| panic!("reply at node {node} for ({addr},{trail}) with no pending entry"))
+    }
+
+    /// Combining events since construction or the last [`Self::reset`].
+    pub fn combined(&self) -> u32 {
+        self.combined
+    }
+
+    /// Clear all entries and the combining counter (start of a PRAM step
+    /// or after a rehash).
+    pub fn reset(&mut self) {
+        for t in &mut self.tables {
+            t.clear();
+        }
+        self.combined = 0;
+    }
+
+    /// Are all tables empty? (After a completed reply phase they must be —
+    /// asserted by the emulators in debug builds.)
+    pub fn all_clear(&self) -> bool {
+        self.tables.iter().all(HashMap::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_registration_forwards_rest_absorb() {
+        let mut pt = PendingTables::new(4);
+        assert!(pt.register(2, 100, 0, Source::Local));
+        assert!(!pt.register(2, 100, 0, Source::FromNode(1)));
+        assert!(!pt.register(2, 100, 0, Source::FromNode(3)));
+        assert_eq!(pt.combined(), 2);
+        let e = pt.take(2, 100, 0);
+        assert!(e.local);
+        assert_eq!(e.fanout, vec![1, 3]);
+        assert!(pt.all_clear());
+    }
+
+    #[test]
+    fn distinct_trails_do_not_merge() {
+        let mut pt = PendingTables::new(2);
+        assert!(pt.register(0, 100, 7, Source::Local));
+        assert!(pt.register(0, 100, 8, Source::FromNode(1)));
+        assert_eq!(pt.combined(), 0);
+    }
+
+    #[test]
+    fn distinct_addresses_do_not_merge() {
+        let mut pt = PendingTables::new(2);
+        assert!(pt.register(1, 5, 0, Source::Local));
+        assert!(pt.register(1, 6, 0, Source::Local));
+        assert_eq!(pt.combined(), 0);
+    }
+
+    #[test]
+    fn per_node_isolation() {
+        let mut pt = PendingTables::new(3);
+        assert!(pt.register(0, 9, 0, Source::Local));
+        assert!(pt.register(1, 9, 0, Source::FromNode(0)));
+        assert_eq!(pt.combined(), 0);
+        assert_eq!(pt.take(1, 9, 0).fanout, vec![0]);
+        assert!(!pt.all_clear());
+        pt.take(0, 9, 0);
+        assert!(pt.all_clear());
+    }
+
+    #[test]
+    fn chained_trails_count_as_combining() {
+        let mut pt = PendingTables::new(2);
+        assert!(pt.register(0, 4, 0, Source::Chain(7)));
+        assert!(!pt.register(0, 4, 0, Source::Chain(9)));
+        assert_eq!(pt.combined(), 1);
+        let e = pt.take(0, 4, 0);
+        assert_eq!(e.chains, vec![7, 9]);
+        assert!(e.fanout.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending entry")]
+    fn reply_without_request_panics() {
+        let mut pt = PendingTables::new(1);
+        pt.take(0, 1, 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut pt = PendingTables::new(2);
+        pt.register(0, 1, 0, Source::Local);
+        pt.register(0, 1, 0, Source::FromNode(1));
+        pt.reset();
+        assert!(pt.all_clear());
+        assert_eq!(pt.combined(), 0);
+    }
+}

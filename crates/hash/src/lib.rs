@@ -1,0 +1,28 @@
+//! # lnpram-hash
+//!
+//! The Karlin–Upfal universal hash family of paper §2.1:
+//!
+//! ```text
+//! H = { h | h(x) = ((Σ_{0≤i<S} aᵢ xⁱ) mod P) mod N }
+//! ```
+//!
+//! with `P ≥ M` prime, coefficients `aᵢ ∈ Z_P`, and degree parameter
+//! `S = cL` (L = the emulating network's diameter). A random `h ∈ H` maps
+//! the PRAM's `M` shared-memory addresses onto the `N` memory modules; the
+//! degree-`S` independence is what gives Lemma 2.2's bucket-load tail and
+//! hence the Õ(ℓ) emulation bound. Each function needs only
+//! `O(S log P) = O(L log M)` bits to describe (the property the paper
+//! highlights as making the scheme practical).
+//!
+//! * [`family`] — sampling and evaluating hash functions.
+//! * [`analysis`] — bucket-load experiments and the Lemma 2.2 /
+//!   Corollary 3.1–3.3 analytic bounds they are compared against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod family;
+
+pub use analysis::{karlin_upfal_tail_bound, load_profile, max_load};
+pub use family::{HashFamily, PolyHash};

@@ -1,0 +1,221 @@
+//! Probability tail bounds (Facts 2.2 and 2.3 of the paper).
+//!
+//! The paper's analysis bounds routing delay via binomial tails
+//! (`B(m, N, P)`), Hoeffding's reduction from Poisson to Bernoulli trials,
+//! and Chernoff bounds. The experiment tables compare *measured* tail
+//! frequencies against these *analytic* bounds, so we need numerically
+//! careful implementations (log-space throughout).
+
+/// Natural log of the gamma function by the Lanczos approximation
+/// (g = 7, n = 9 coefficients; |relative error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)` in log space; exact -inf conventions avoided by
+/// returning `f64::NEG_INFINITY` for invalid `k`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Exact binomial upper tail `B(m, N, P) = P[X ≥ m]`, `X ~ Bin(N, p)`,
+/// summed in log space from the mode outward for stability.
+pub fn binomial_upper_tail(m: u64, n: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    if m == 0 {
+        return 1.0;
+    }
+    if m > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let mut total = 0.0f64;
+    for k in m..=n {
+        let lpk = ln_choose(n, k) + k as f64 * lp + (n - k) as f64 * lq;
+        total += lpk.exp();
+        // Terms decay geometrically past the mode; stop when negligible.
+        if k as f64 > n as f64 * p && lpk < -745.0 {
+            break;
+        }
+    }
+    total.min(1.0)
+}
+
+/// Chernoff bound on the binomial upper tail (Fact 2.3 of the paper):
+/// for `m ≥ Np`, `B(m, N, p) ≤ (Np/m)^m · e^(m − Np)`.
+pub fn chernoff_upper_bound(m: u64, n: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    let np = n as f64 * p;
+    let m_f = m as f64;
+    if m_f <= np {
+        return 1.0; // bound is vacuous below the mean
+    }
+    if m == 0 {
+        return 1.0;
+    }
+    let ln_bound = m_f * (np / m_f).ln() + (m_f - np);
+    ln_bound.exp().min(1.0)
+}
+
+/// Hoeffding's inequality for the sum of `n` independent `[0,1]` variables:
+/// `P[X ≥ E[X] + t] ≤ exp(−2t²/n)`.
+pub fn hoeffding_upper_bound(n: u64, t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    (-2.0 * t * t / n as f64).exp().min(1.0)
+}
+
+/// The delay-tail bound derived in the proof of Theorem 2.4: the
+/// probability that the total delay of a fixed packet exceeds `delta` on an
+/// `levels`-level network is at most `e^levels · (e/ (delta/levels))^delta`
+/// in the paper's generating-function form. We expose the cleaner
+/// Poisson-tail form `P[D ≥ δ] ≤ e^{ℓ} (ℓ e / δ)^{δ} / ???` — concretely:
+/// the generating function of total delay is `e^{ℓ x}` truncated, giving
+/// `P[D = p] ≤ ℓ^p/p! · e^{?}`; summing, `P[D ≥ δ] ≤ e^{ℓ}·(ℓ/δ)^δ e^δ /
+/// √(2πδ)` — we use the rigorous Poisson(ℓ) tail: the paper shows the delay
+/// distribution is dominated term-by-term by `ℓ^p/p!`, whose tail is the
+/// Poisson(ℓ) tail scaled by `e^{ℓ}`.
+pub fn leveled_delay_tail_bound(levels: u64, delta: u64) -> f64 {
+    // P[D >= δ] ≤ Σ_{p≥δ} ℓ^p / p!  =  e^ℓ · P[Poisson(ℓ) ≥ δ]
+    // Bound the Poisson tail by its Chernoff form:
+    //   P[Poisson(λ) ≥ δ] ≤ e^{−λ} (eλ/δ)^δ  for δ > λ
+    // so  P[D ≥ δ] ≤ (eℓ/δ)^δ.
+    let l = levels as f64;
+    let d = delta as f64;
+    if d <= l * std::f64::consts::E {
+        return 1.0;
+    }
+    (d * ((std::f64::consts::E * l / d).ln())).exp().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1e-300)
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!(close(ln_gamma(5.0), 24.0f64.ln(), 1e-12));
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-10
+        ));
+        // Large argument vs Stirling sanity: ln Γ(171) finite
+        assert!(ln_gamma(171.0).is_finite());
+    }
+
+    #[test]
+    fn ln_choose_matches_pascal() {
+        for n in 0..=30u64 {
+            let mut row = vec![1f64];
+            for _ in 0..n {
+                let mut next = vec![1f64];
+                for w in row.windows(2) {
+                    next.push(w[0] + w[1]);
+                }
+                next.push(1.0);
+                row = next;
+            }
+            for (k, &exact) in row.iter().enumerate() {
+                assert!(
+                    close(ln_choose(n, k as u64).exp(), exact, 1e-9),
+                    "C({n},{k})"
+                );
+            }
+        }
+        assert_eq!(ln_choose(5, 6), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_tail_exact_small() {
+        // X ~ Bin(4, 0.5): P[X>=3] = (4+1)/16 = 0.3125
+        assert!(close(binomial_upper_tail(3, 4, 0.5), 0.3125, 1e-12));
+        assert_eq!(binomial_upper_tail(0, 10, 0.3), 1.0);
+        assert_eq!(binomial_upper_tail(11, 10, 0.3), 0.0);
+        assert_eq!(binomial_upper_tail(1, 10, 0.0), 0.0);
+        assert_eq!(binomial_upper_tail(5, 10, 1.0), 1.0);
+    }
+
+    #[test]
+    fn chernoff_dominates_exact_tail() {
+        for &(m, n, p) in &[(60u64, 100u64, 0.5f64), (80, 100, 0.5), (30, 100, 0.2), (500, 1000, 0.4)] {
+            let exact = binomial_upper_tail(m, n, p);
+            let bound = chernoff_upper_bound(m, n, p);
+            assert!(
+                bound >= exact - 1e-12,
+                "chernoff must dominate: m={m} n={n} p={p}: {bound} < {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn chernoff_vacuous_below_mean() {
+        assert_eq!(chernoff_upper_bound(40, 100, 0.5), 1.0);
+    }
+
+    #[test]
+    fn hoeffding_monotone_in_t() {
+        let b1 = hoeffding_upper_bound(100, 5.0);
+        let b2 = hoeffding_upper_bound(100, 10.0);
+        assert!(b2 < b1);
+        assert_eq!(hoeffding_upper_bound(100, 0.0), 1.0);
+    }
+
+    #[test]
+    fn leveled_delay_tail_decreases() {
+        let l = 10;
+        let b1 = leveled_delay_tail_bound(l, 30);
+        let b2 = leveled_delay_tail_bound(l, 60);
+        let b3 = leveled_delay_tail_bound(l, 120);
+        assert!(b1 <= 1.0);
+        assert!(b2 < b1);
+        assert!(b3 < b2);
+        // Within e·ℓ the bound is vacuous.
+        assert_eq!(leveled_delay_tail_bound(l, 10), 1.0);
+    }
+}

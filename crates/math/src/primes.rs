@@ -1,0 +1,150 @@
+//! Deterministic primality testing and prime search.
+//!
+//! The hash family of paper §2.1 needs a prime `P ≥ M` where `M` is the
+//! emulated PRAM's address-space size. [`next_prime_at_least`] finds the
+//! smallest such prime; [`is_prime`] is a Miller–Rabin test with the
+//! deterministic witness set that is exact for all `u64` inputs.
+
+use crate::modmath::{mulmod, powmod};
+
+/// Deterministic Miller–Rabin witnesses covering all `u64` values
+/// (Sinclair's 7-witness set).
+const WITNESSES: [u64; 7] = [2, 325, 9375, 28178, 450775, 9780504, 1795265022];
+
+/// Exact primality test for any `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s with d odd
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for &a in &WITNESSES {
+        let a = a % n;
+        if a == 0 {
+            continue;
+        }
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime `>= n`. Panics if the search would overflow `u64`
+/// (practically unreachable: there is always a prime well below `u64::MAX`
+/// for any realistic address-space size).
+pub fn next_prime_at_least(n: u64) -> u64 {
+    let mut c = n.max(2);
+    if c > 2 && c.is_multiple_of(2) {
+        c += 1;
+    }
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c = c.checked_add(if c == 2 { 1 } else { 2 }).expect("prime search overflow");
+    }
+}
+
+/// All primes `< n` by a simple sieve — used in tests and small analyses.
+pub fn sieve(n: usize) -> Vec<u64> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut composite = vec![false; n];
+    let mut out = Vec::new();
+    for i in 2..n {
+        if !composite[i] {
+            out.push(i as u64);
+            let mut j = i * i;
+            while j < n {
+                composite[j] = true;
+                j += i;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn agrees_with_sieve_below_10k() {
+        let primes = sieve(10_000);
+        let mut iter = primes.iter().copied().peekable();
+        for n in 0u64..10_000 {
+            let expected = iter.peek() == Some(&n);
+            if expected {
+                iter.next();
+            }
+            assert_eq!(is_prime(n), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(1_000_000_009));
+        assert!(!is_prime(1_000_000_007u64 * 3));
+        // Largest 64-bit prime.
+        assert!(is_prime(18_446_744_073_709_551_557));
+        // Carmichael numbers must be rejected.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825265] {
+            assert!(!is_prime(c), "carmichael {c}");
+        }
+    }
+
+    #[test]
+    fn next_prime_examples() {
+        assert_eq!(next_prime_at_least(0), 2);
+        assert_eq!(next_prime_at_least(2), 2);
+        assert_eq!(next_prime_at_least(3), 3);
+        assert_eq!(next_prime_at_least(4), 5);
+        assert_eq!(next_prime_at_least(90), 97);
+        assert_eq!(next_prime_at_least(1 << 20), 1_048_583);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_next_prime_is_prime_and_minimal(n in 0u64..5_000_000) {
+            let p = next_prime_at_least(n);
+            prop_assert!(p >= n);
+            prop_assert!(is_prime(p));
+            // no prime in [n, p)
+            for q in n..p {
+                prop_assert!(!is_prime(q));
+            }
+        }
+
+        #[test]
+        fn prop_product_of_two_primes_is_composite(i in 0usize..100, j in 0usize..100) {
+            let primes = sieve(600);
+            let n = primes[i] * primes[j];
+            prop_assert!(!is_prime(n));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Descriptive statistics for experiment reporting.
+//!
+//! Every table in EXPERIMENTS.md reports, per configuration, the
+//! distribution of a measured quantity (routing steps, queue length,
+//! bucket load) over trials. [`Summary`] holds the standard digest;
+//! [`Histogram`] supports delay-distribution figures.
+
+/// Digest of a sample: count, mean, standard deviation, min/max and
+/// selected percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarise a sample of `f64`s. Panics on an empty sample.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "Summary::of on empty sample");
+        let count = data.len();
+        let mean = data.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+        }
+    }
+
+    /// Summarise integer observations (the common case: step counts).
+    pub fn of_usize(data: &[usize]) -> Self {
+        let as_f: Vec<f64> = data.iter().map(|&x| x as f64).collect();
+        Self::of(&as_f)
+    }
+}
+
+/// Percentile by the nearest-rank method on pre-sorted data.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&q));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A fixed-width histogram over `u64` observations (delay distributions,
+/// queue occupancies).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    total: u64,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// New histogram with the given bucket width (`>= 1`).
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width >= 1);
+        Histogram {
+            bucket_width,
+            counts: Vec::new(),
+            total: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation recorded (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Iterate `(bucket_lower_bound, count)` for non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
+    }
+
+    /// Fraction of observations strictly above `threshold` — the empirical
+    /// tail probability compared against Chernoff bounds in the tables.
+    pub fn tail_fraction(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let above: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as u64 + 1) * self.bucket_width > threshold + 1)
+            .map(|(i, &c)| {
+                // Buckets entirely above the threshold count fully; the
+                // straddling bucket is counted fully too (conservative).
+                let lower = i as u64 * self.bucket_width;
+                if lower > threshold {
+                    c
+                } else {
+                    0
+                }
+            })
+            .sum();
+        above as f64 / self.total as f64
+    }
+
+    /// Render as a compact ASCII bar chart (for figure binaries).
+    pub fn ascii(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (lo, c) in self.buckets() {
+            let bar = (c as usize * width / peak as usize).max(1);
+            out.push_str(&format!(
+                "{:>8}..{:<8} {:>8} {}\n",
+                lo,
+                lo + self.bucket_width - 1,
+                c,
+                "#".repeat(bar)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_constant_sample() {
+        let s = Summary::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 5.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // sample std dev of 1..4 = sqrt(5/3)
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p99, 4.0);
+    }
+
+    #[test]
+    fn summary_of_usize() {
+        let s = Summary::of_usize(&[10, 20, 30]);
+        assert_eq!(s.mean, 20.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let data: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&data);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new(10);
+        for v in [0u64, 5, 9, 10, 25, 99] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max(), 99);
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 3), (10, 1), (20, 1), (90, 1)]);
+    }
+
+    #[test]
+    fn histogram_tail_fraction() {
+        let mut h = Histogram::new(1);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let t = h.tail_fraction(89);
+        assert!((t - 0.10).abs() < 1e-9, "got {t}");
+        assert_eq!(h.tail_fraction(1000), 0.0);
+    }
+
+    #[test]
+    fn histogram_ascii_nonempty() {
+        let mut h = Histogram::new(5);
+        h.record(1);
+        h.record(2);
+        h.record(12);
+        let art = h.ascii(20);
+        assert!(art.contains('#'));
+        assert_eq!(art.lines().count(), 2);
+    }
+}

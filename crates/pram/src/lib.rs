@@ -1,0 +1,25 @@
+//! # lnpram-pram
+//!
+//! The PRAM (parallel random-access machine) being emulated — the abstract
+//! model of the paper's title: an arbitrary number of processors sharing a
+//! global memory with unit-time access (paper §1).
+//!
+//! * [`model`] — values, memory operations, access modes
+//!   (EREW/CREW/CRCW) and CRCW write-conflict resolution policies.
+//! * [`machine`] — the *reference executor*: runs a program directly
+//!   against shared memory with unit-time steps, checking the access-mode
+//!   contract. The network emulators in `lnpram-core` must produce
+//!   bit-identical results; this is the correctness oracle.
+//! * [`programs`] — a library of classical PRAM programs (reduction max,
+//!   prefix sum, pointer jumping, odd–even transposition sort, histogram,
+//!   broadcast hot-spot) used as examples, tests and emulation workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod model;
+pub mod programs;
+
+pub use machine::{ExecReport, PramMachine};
+pub use model::{AccessMode, MemOp, PramProgram, WritePolicy};

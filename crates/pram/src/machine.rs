@@ -1,0 +1,345 @@
+//! The reference PRAM executor (the correctness oracle).
+//!
+//! Runs a [`PramProgram`] directly against a flat shared memory with the
+//! standard step semantics: all reads of a step observe the memory state
+//! *before* that step's writes; writes are then applied under the access
+//! mode's conflict rules. The network emulators of `lnpram-core` must
+//! reproduce this machine's results exactly — the integration tests diff
+//! final memories and per-processor read traces.
+
+use crate::model::{AccessMode, AccessViolation, MemOp, PramProgram, WritePolicy};
+use std::collections::HashMap;
+
+/// The shared memory plus execution bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PramMachine {
+    memory: Vec<u64>,
+    mode: AccessMode,
+    violations: Vec<AccessViolation>,
+}
+
+/// Result of running a program to completion.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// PRAM steps executed (a step where every processor issued `Halt`
+    /// does not count).
+    pub steps: usize,
+    /// Access-mode violations detected (empty for a correct program).
+    pub violations: Vec<AccessViolation>,
+    /// Every read served, as `(step, proc, addr, value)` — the trace the
+    /// emulator must match.
+    pub read_trace: Vec<(usize, usize, u64, u64)>,
+}
+
+impl PramMachine {
+    /// A machine with `address_space` zeroed cells.
+    pub fn new(address_space: u64, mode: AccessMode) -> Self {
+        PramMachine {
+            memory: vec![0; address_space as usize],
+            mode,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Current contents of a cell.
+    pub fn peek(&self, addr: u64) -> u64 {
+        self.memory[addr as usize]
+    }
+
+    /// The whole memory (for diffing against an emulator's memory image).
+    pub fn memory(&self) -> &[u64] {
+        &self.memory
+    }
+
+    /// Execute `prog` to completion (all processors `Halt`), with a step
+    /// cap to catch non-terminating programs.
+    pub fn run<P: PramProgram>(&mut self, prog: &mut P, max_steps: usize) -> ExecReport {
+        let p = prog.processors();
+        for (addr, val) in prog.initial_memory() {
+            self.memory[addr as usize] = val;
+        }
+        let mut last_read: Vec<Option<u64>> = vec![None; p];
+        let mut read_trace = Vec::new();
+        let mut steps = 0usize;
+
+        for step in 0..max_steps {
+            // Collect this step's ops.
+            let ops: Vec<MemOp> = (0..p).map(|i| prog.op(i, step, last_read[i])).collect();
+            if ops.iter().all(|o| matches!(o, MemOp::Halt)) {
+                break;
+            }
+            steps += 1;
+
+            // Read phase: all reads see pre-step memory.
+            let mut read_counts: HashMap<u64, usize> = HashMap::new();
+            for (proc, op) in ops.iter().enumerate() {
+                if let MemOp::Read(addr) = *op {
+                    let value = self.memory[addr as usize];
+                    last_read[proc] = Some(value);
+                    read_trace.push((step, proc, addr, value));
+                    *read_counts.entry(addr).or_default() += 1;
+                }
+            }
+            if !self.mode.allows_concurrent_reads() {
+                for (&addr, &readers) in &read_counts {
+                    if readers > 1 {
+                        self.violations
+                            .push(AccessViolation::ConcurrentRead { addr, readers });
+                    }
+                }
+            }
+
+            // Write phase: group writers per address, resolve.
+            let mut writes: HashMap<u64, Vec<(usize, u64)>> = HashMap::new();
+            for (proc, op) in ops.iter().enumerate() {
+                if let MemOp::Write(addr, val) = *op {
+                    writes.entry(addr).or_default().push((proc, val));
+                }
+            }
+            let mut addrs: Vec<u64> = writes.keys().copied().collect();
+            addrs.sort_unstable();
+            for addr in addrs {
+                let writers = &writes[&addr];
+                if self.mode == AccessMode::Erew && read_counts.contains_key(&addr) {
+                    self.violations.push(AccessViolation::ReadWriteClash { addr });
+                }
+                if writers.len() > 1 && !self.mode.allows_concurrent_writes() {
+                    self.violations.push(AccessViolation::ConcurrentWrite {
+                        addr,
+                        writers: writers.len(),
+                    });
+                }
+                self.memory[addr as usize] = resolve_write(self.mode, addr, writers, &mut self.violations);
+            }
+        }
+
+        ExecReport {
+            steps,
+            violations: std::mem::take(&mut self.violations),
+            read_trace,
+        }
+    }
+}
+
+/// Resolve the value stored when `writers` all wrote `addr` in one step.
+/// Exposed for the emulator, which must resolve identically at the memory
+/// modules (and inside combined packets).
+pub fn resolve_write(
+    mode: AccessMode,
+    addr: u64,
+    writers: &[(usize, u64)],
+    violations: &mut Vec<AccessViolation>,
+) -> u64 {
+    debug_assert!(!writers.is_empty());
+    let policy = match mode {
+        AccessMode::Crcw(p) => p,
+        // Non-CRCW with multiple writers is already a violation; fall back
+        // to lowest-processor for determinism.
+        _ => WritePolicy::Priority,
+    };
+    match policy {
+        WritePolicy::Common => {
+            let v0 = writers[0].1;
+            if writers.iter().any(|&(_, v)| v != v0) {
+                violations.push(AccessViolation::CommonMismatch { addr });
+            }
+            v0
+        }
+        WritePolicy::Arbitrary | WritePolicy::Priority => {
+            writers.iter().min_by_key(|&&(proc, _)| proc).unwrap().1
+        }
+        WritePolicy::Max => writers.iter().map(|&(_, v)| v).max().unwrap(),
+        WritePolicy::Sum => writers.iter().map(|&(_, v)| v).fold(0u64, u64::wrapping_add),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every processor writes its id to cell `proc`, then reads it back.
+    struct WriteThenRead {
+        p: usize,
+    }
+
+    impl PramProgram for WriteThenRead {
+        fn processors(&self) -> usize {
+            self.p
+        }
+        fn address_space(&self) -> u64 {
+            self.p as u64
+        }
+        fn initial_memory(&self) -> Vec<(u64, u64)> {
+            vec![]
+        }
+        fn op(&mut self, proc: usize, step: usize, last_read: Option<u64>) -> MemOp {
+            match step {
+                0 => MemOp::Write(proc as u64, 100 + proc as u64),
+                1 => MemOp::Read(proc as u64),
+                _ => {
+                    assert_eq!(last_read, Some(100 + proc as u64));
+                    MemOp::Halt
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut m = PramMachine::new(8, AccessMode::Erew);
+        let rep = m.run(&mut WriteThenRead { p: 8 }, 100);
+        assert_eq!(rep.steps, 2);
+        assert!(rep.violations.is_empty());
+        assert_eq!(rep.read_trace.len(), 8);
+        for proc in 0..8 {
+            assert_eq!(m.peek(proc as u64), 100 + proc as u64);
+        }
+    }
+
+    /// All processors read cell 0 — legal in CREW/CRCW, a violation in EREW.
+    struct Broadcast {
+        p: usize,
+    }
+
+    impl PramProgram for Broadcast {
+        fn processors(&self) -> usize {
+            self.p
+        }
+        fn address_space(&self) -> u64 {
+            1
+        }
+        fn initial_memory(&self) -> Vec<(u64, u64)> {
+            vec![(0, 7)]
+        }
+        fn op(&mut self, _proc: usize, step: usize, last_read: Option<u64>) -> MemOp {
+            match step {
+                0 => MemOp::Read(0),
+                _ => {
+                    assert_eq!(last_read, Some(7));
+                    MemOp::Halt
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_read_flagged_only_in_erew() {
+        let mut erew = PramMachine::new(1, AccessMode::Erew);
+        let rep = erew.run(&mut Broadcast { p: 4 }, 10);
+        assert_eq!(rep.violations.len(), 1);
+        assert!(matches!(
+            rep.violations[0],
+            AccessViolation::ConcurrentRead { addr: 0, readers: 4 }
+        ));
+
+        let mut crew = PramMachine::new(1, AccessMode::Crew);
+        let rep = crew.run(&mut Broadcast { p: 4 }, 10);
+        assert!(rep.violations.is_empty());
+    }
+
+    /// All processors write distinct values to cell 0.
+    struct WriteClash {
+        p: usize,
+    }
+
+    impl PramProgram for WriteClash {
+        fn processors(&self) -> usize {
+            self.p
+        }
+        fn address_space(&self) -> u64 {
+            1
+        }
+        fn initial_memory(&self) -> Vec<(u64, u64)> {
+            vec![]
+        }
+        fn op(&mut self, proc: usize, step: usize, _lr: Option<u64>) -> MemOp {
+            if step == 0 {
+                MemOp::Write(0, proc as u64 + 1)
+            } else {
+                MemOp::Halt
+            }
+        }
+    }
+
+    #[test]
+    fn write_policies_resolve() {
+        for (policy, expect) in [
+            (WritePolicy::Priority, 1u64),
+            (WritePolicy::Arbitrary, 1),
+            (WritePolicy::Max, 4),
+            (WritePolicy::Sum, 1 + 2 + 3 + 4),
+        ] {
+            let mut m = PramMachine::new(1, AccessMode::Crcw(policy));
+            let rep = m.run(&mut WriteClash { p: 4 }, 10);
+            assert!(rep.violations.is_empty(), "{policy:?}");
+            assert_eq!(m.peek(0), expect, "{policy:?}");
+        }
+        // Common with differing values is a violation.
+        let mut m = PramMachine::new(1, AccessMode::Crcw(WritePolicy::Common));
+        let rep = m.run(&mut WriteClash { p: 4 }, 10);
+        assert_eq!(rep.violations.len(), 1);
+        // CREW flags the concurrent write.
+        let mut m = PramMachine::new(1, AccessMode::Crew);
+        let rep = m.run(&mut WriteClash { p: 4 }, 10);
+        assert!(matches!(
+            rep.violations[0],
+            AccessViolation::ConcurrentWrite { addr: 0, writers: 4 }
+        ));
+    }
+
+    /// Reads in a step see pre-step values (read-before-write semantics).
+    struct SwapCells;
+
+    impl PramProgram for SwapCells {
+        fn processors(&self) -> usize {
+            2
+        }
+        fn address_space(&self) -> u64 {
+            4
+        }
+        fn initial_memory(&self) -> Vec<(u64, u64)> {
+            vec![(0, 10), (1, 20)]
+        }
+        fn op(&mut self, proc: usize, step: usize, last_read: Option<u64>) -> MemOp {
+            // step 0: proc 0 reads cell 1, proc 1 reads cell 0.
+            // step 1: each writes what it read into its own cell — a swap,
+            // which only works if reads precede writes.
+            match step {
+                0 => MemOp::Read(1 - proc as u64),
+                1 => MemOp::Write(proc as u64, last_read.unwrap()),
+                _ => MemOp::Halt,
+            }
+        }
+    }
+
+    #[test]
+    fn reads_see_pre_step_memory() {
+        let mut m = PramMachine::new(4, AccessMode::Erew);
+        let rep = m.run(&mut SwapCells, 10);
+        assert!(rep.violations.is_empty());
+        assert_eq!(m.peek(0), 20);
+        assert_eq!(m.peek(1), 10);
+    }
+
+    #[test]
+    fn nonterminating_capped() {
+        struct Forever;
+        impl PramProgram for Forever {
+            fn processors(&self) -> usize {
+                1
+            }
+            fn address_space(&self) -> u64 {
+                1
+            }
+            fn initial_memory(&self) -> Vec<(u64, u64)> {
+                vec![]
+            }
+            fn op(&mut self, _p: usize, _s: usize, _lr: Option<u64>) -> MemOp {
+                MemOp::Read(0)
+            }
+        }
+        let mut m = PramMachine::new(1, AccessMode::Crew);
+        let rep = m.run(&mut Forever, 25);
+        assert_eq!(rep.steps, 25);
+    }
+}

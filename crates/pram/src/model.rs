@@ -1,0 +1,142 @@
+//! The PRAM model: memory operations, access modes, conflict policies.
+//!
+//! A PRAM step (paper §1): every processor performs one shared-memory
+//! access (read or write) plus free local computation. The access-mode
+//! taxonomy is standard:
+//!
+//! * **EREW** — exclusive read, exclusive write (Theorem 2.5's model);
+//! * **CREW** — concurrent read, exclusive write;
+//! * **CRCW** — concurrent read *and* write (Theorem 2.6's model), with a
+//!   [`WritePolicy`] resolving simultaneous writes to one cell.
+
+/// A single processor's shared-memory operation for one PRAM step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Read the cell at the address; the value is handed to the processor
+    /// at the start of the *next* step.
+    Read(u64),
+    /// Write the value to the cell.
+    Write(u64, u64),
+    /// No shared-memory access this step (local work only).
+    None,
+    /// The processor has finished its program.
+    Halt,
+}
+
+/// CRCW write-conflict resolution (which value survives when several
+/// processors write one cell in the same step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// All writers must write the same value (checked; violation is an
+    /// access-mode error).
+    Common,
+    /// An arbitrary writer wins. For reproducibility we fix "arbitrary" to
+    /// the lowest processor id, which is also a valid Priority resolution.
+    Arbitrary,
+    /// The lowest-numbered processor wins.
+    Priority,
+    /// The maximum value wins (a combining policy).
+    Max,
+    /// The sum of all written values is stored (a combining policy —
+    /// footnote 3's message combining supports it directly).
+    Sum,
+}
+
+/// Shared-memory access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Exclusive read, exclusive write.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent read, concurrent write under the given policy.
+    Crcw(WritePolicy),
+}
+
+impl AccessMode {
+    /// May several processors read one cell in one step?
+    pub fn allows_concurrent_reads(self) -> bool {
+        !matches!(self, AccessMode::Erew)
+    }
+
+    /// May several processors write one cell in one step?
+    pub fn allows_concurrent_writes(self) -> bool {
+        matches!(self, AccessMode::Crcw(_))
+    }
+}
+
+/// A PRAM program: per-processor state machines advanced in lock step.
+///
+/// The executor (reference machine or network emulator) calls
+/// [`PramProgram::op`] once per processor per step, passing the value
+/// returned by that processor's previous `Read` (if any). Programs must be
+/// deterministic functions of `(proc, step, read values so far)` so that
+/// the reference executor and the emulators produce identical traces.
+pub trait PramProgram {
+    /// Number of processors.
+    fn processors(&self) -> usize;
+
+    /// Size of the shared address space the program touches (the
+    /// emulator hashes addresses `0..address_space()`).
+    fn address_space(&self) -> u64;
+
+    /// Initial shared-memory contents as `(address, value)` pairs; all
+    /// other cells start at 0.
+    fn initial_memory(&self) -> Vec<(u64, u64)>;
+
+    /// The operation of processor `proc` at `step`. `last_read` carries
+    /// the result of this processor's most recent `Read` (from the
+    /// previous step), or `None` if it did not read.
+    fn op(&mut self, proc: usize, step: usize, last_read: Option<u64>) -> MemOp;
+}
+
+/// Violations of the access-mode contract detected by the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessViolation {
+    /// Two processors read one cell under EREW.
+    ConcurrentRead {
+        /// The contended address.
+        addr: u64,
+        /// Number of simultaneous readers.
+        readers: usize,
+    },
+    /// Two processors wrote one cell under EREW/CREW.
+    ConcurrentWrite {
+        /// The contended address.
+        addr: u64,
+        /// Number of simultaneous writers.
+        writers: usize,
+    },
+    /// CRCW-Common writers disagreed.
+    CommonMismatch {
+        /// The contended address.
+        addr: u64,
+    },
+    /// A processor read and another wrote one cell in the same EREW step.
+    ReadWriteClash {
+        /// The contended address.
+        addr: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!AccessMode::Erew.allows_concurrent_reads());
+        assert!(AccessMode::Crew.allows_concurrent_reads());
+        assert!(!AccessMode::Crew.allows_concurrent_writes());
+        let crcw = AccessMode::Crcw(WritePolicy::Arbitrary);
+        assert!(crcw.allows_concurrent_reads());
+        assert!(crcw.allows_concurrent_writes());
+    }
+
+    #[test]
+    fn memop_equality() {
+        assert_eq!(MemOp::Read(3), MemOp::Read(3));
+        assert_ne!(MemOp::Read(3), MemOp::Write(3, 0));
+        assert_ne!(MemOp::None, MemOp::Halt);
+    }
+}

@@ -1,0 +1,260 @@
+//! Batcher bitonic sort-routing on the hypercube — the *non-oblivious*
+//! baseline of §2.2.1.
+//!
+//! "Batcher's sorting algorithms are examples of non-oblivious routing
+//! algorithms. They require Θ(log² N) routing time for the cube class
+//! networks … and hence are not optimal and only work for permutation
+//! routing although they possess the advantage that they need not have
+//! queues."
+//!
+//! Bitonic sort maps exactly onto the k-cube: the compare–exchange
+//! between positions `i` and `i ^ 2^q` is one traversal of the dimension-
+//! `q` link. Sorting the packets by destination places packet with
+//! destination `v` at node `v` — permutation routing in exactly
+//! `k(k+1)/2` steps, max queue 1, zero randomness. The trade, measured by
+//! `table_batcher_baseline`: Θ(log² N) vs Valiant's Õ(log N), and no
+//! extension to h-relations or many-one traffic.
+//!
+//! The exchange is simulated on the [`Engine`]: at every stage each node
+//! sends a *copy* of its held packet across the scheduled dimension and,
+//! on receiving its partner's copy, keeps the min or max by the bitonic
+//! rule. Both directed channels of a dimension link carry exactly one
+//! packet per stage — the paper's machine model, with every queue at its
+//! floor of 1.
+
+use crate::workloads;
+use lnpram_math::rng::SeedSeq;
+use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_topology::hypercube::Hypercube;
+use lnpram_topology::Network;
+
+/// The full bitonic schedule for a k-cube: `(phase p, dimension q)` pairs,
+/// `q` descending within each phase; `k(k+1)/2` stages total.
+///
+/// ```
+/// use lnpram_routing::bitonic::bitonic_schedule;
+/// assert_eq!(bitonic_schedule(2), vec![(0, 0), (1, 1), (1, 0)]);
+/// assert_eq!(bitonic_schedule(10).len(), 55);
+/// ```
+pub fn bitonic_schedule(k: usize) -> Vec<(usize, usize)> {
+    let mut stages = Vec::with_capacity(k * (k + 1) / 2);
+    for p in 0..k {
+        for q in (0..=p).rev() {
+            stages.push((p, q));
+        }
+    }
+    stages
+}
+
+/// Does `node` keep the smaller of the pair at stage `(p, q)`?
+///
+/// Ascending blocks are those whose bit `p+1` is 0 (the final phase
+/// `p = k − 1` has that bit always 0, i.e. one fully ascending merge);
+/// within a pair the low endpoint of dimension `q` keeps the min in an
+/// ascending block and the max in a descending one.
+fn keeps_min(node: usize, p: usize, q: usize) -> bool {
+    let ascending = node & (1 << (p + 1)) == 0;
+    let low_end = node & (1 << q) == 0;
+    ascending == low_end
+}
+
+/// Per-node program of the bitonic exchange.
+struct BitonicRouter {
+    schedule: Vec<(usize, usize)>,
+    /// The packet each node currently holds.
+    held: Vec<Packet>,
+    /// Next stage index per node (incremented per received copy).
+    stage: Vec<usize>,
+}
+
+impl BitonicRouter {
+    fn new(k: usize, initial: Vec<Packet>) -> Self {
+        let n = initial.len();
+        BitonicRouter {
+            schedule: bitonic_schedule(k),
+            held: initial,
+            stage: vec![0; n],
+        }
+    }
+
+    /// Emit this node's copy for stage `s` (dimension port = q).
+    fn send_stage(&self, node: usize, s: usize, out: &mut Outbox) {
+        let (_, q) = self.schedule[s];
+        out.send(q, self.held[node]);
+    }
+}
+
+impl Protocol for BitonicRouter {
+    fn on_packet(&mut self, node: usize, pkt: Packet, step: u32, out: &mut Outbox) {
+        if step == 0 {
+            // Injection: adopt the initial packet and start stage 0.
+            self.held[node] = pkt;
+            if self.schedule.is_empty() {
+                out.deliver(pkt); // k = 0 degenerate cube
+                return;
+            }
+            self.send_stage(node, 0, out);
+            return;
+        }
+        // A partner copy for the current stage arrived.
+        let s = self.stage[node];
+        let (p, q) = self.schedule[s];
+        debug_assert_eq!(pkt.src as usize ^ (1 << q), node, "partner mismatch: {} vs {node}", pkt.src);
+        let mine = self.held[node];
+        let take_min = keeps_min(node, p, q);
+        let mine_smaller = mine.dest <= pkt.dest;
+        self.held[node] = if take_min == mine_smaller { mine } else { pkt };
+        self.stage[node] = s + 1;
+        if s + 1 == self.schedule.len() {
+            debug_assert_eq!(
+                self.held[node].dest as usize, node,
+                "bitonic sort must place each packet at its destination"
+            );
+            out.deliver(self.held[node]);
+        } else {
+            // `src` marks the copy's sender so the partner assert holds.
+            let mut copy = self.held[node];
+            copy.src = node as u32;
+            self.held[node] = copy;
+            self.send_stage(node, s + 1, out);
+        }
+    }
+}
+
+/// Report of one bitonic sort-routing run.
+#[derive(Debug, Clone)]
+pub struct BitonicRunReport {
+    /// Engine metrics (routing time = `k(k+1)/2` exactly).
+    pub metrics: Metrics,
+    /// Completed within budget?
+    pub completed: bool,
+    /// Cube dimensions k.
+    pub dims: usize,
+}
+
+impl BitonicRunReport {
+    /// The stage count `k(k+1)/2` the run must match.
+    pub fn expected_steps(&self) -> u32 {
+        (self.dims * (self.dims + 1) / 2) as u32
+    }
+}
+
+/// Route one random permutation on the k-cube by bitonic sorting.
+///
+/// ```
+/// use lnpram_routing::bitonic::route_cube_bitonic;
+/// use lnpram_simnet::SimConfig;
+/// let rep = route_cube_bitonic(6, 1, SimConfig::default());
+/// assert!(rep.completed);
+/// assert_eq!(rep.metrics.routing_time, 21); // 6·7/2, input-independent
+/// assert_eq!(rep.metrics.max_queue, 1);     // sorting needs no queues
+/// ```
+pub fn route_cube_bitonic(k: usize, seed: u64, cfg: SimConfig) -> BitonicRunReport {
+    let seq = SeedSeq::new(seed);
+    let mut rng = seq.child(0).rng();
+    let dests = workloads::random_permutation(1 << k, &mut rng);
+    route_cube_bitonic_with_dests(k, &dests, cfg)
+}
+
+/// Route an explicit permutation by bitonic sorting (destinations must be
+/// a permutation — sorting is only a router for one-to-one traffic, which
+/// is exactly §2.2.1's criticism of it).
+pub fn route_cube_bitonic_with_dests(
+    k: usize,
+    dests: &[usize],
+    cfg: SimConfig,
+) -> BitonicRunReport {
+    assert!(
+        workloads::is_permutation(dests),
+        "bitonic routing requires a permutation"
+    );
+    let cube = Hypercube::new(k);
+    assert_eq!(dests.len(), cube.num_nodes());
+    let mut eng = Engine::new(&cube, cfg);
+    let mut initial = Vec::with_capacity(dests.len());
+    for (src, &dest) in dests.iter().enumerate() {
+        let mut pkt = Packet::new(src as u32, src as u32, dest as u32);
+        pkt.src = src as u32;
+        initial.push(pkt);
+        eng.inject(src, pkt);
+    }
+    let mut router = BitonicRouter::new(k, initial);
+    let out = eng.run(&mut router);
+    BitonicRunReport {
+        metrics: out.metrics,
+        completed: out.completed,
+        dims: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_length_is_k_choose() {
+        for k in 1..=8 {
+            assert_eq!(bitonic_schedule(k).len(), k * (k + 1) / 2);
+        }
+        assert_eq!(bitonic_schedule(3), vec![(0, 0), (1, 1), (1, 0), (2, 2), (2, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn sorts_any_permutation_in_exact_steps() {
+        for k in [1usize, 2, 3, 5, 8] {
+            for seed in 0..3u64 {
+                let rep = route_cube_bitonic(k, seed, SimConfig::default());
+                assert!(rep.completed, "k={k} seed={seed}");
+                assert_eq!(rep.metrics.delivered, 1 << k);
+                assert_eq!(
+                    rep.metrics.routing_time,
+                    rep.expected_steps(),
+                    "k={k}: bitonic time is deterministic"
+                );
+                assert_eq!(rep.metrics.max_queue, 1, "queue-free by design");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_and_reversal_permutations() {
+        let k = 4;
+        let n = 1 << k;
+        let identity: Vec<usize> = (0..n).collect();
+        let rep = route_cube_bitonic_with_dests(k, &identity, SimConfig::default());
+        assert!(rep.completed);
+        assert_eq!(rep.metrics.delivered, n);
+        let reversal: Vec<usize> = (0..n).rev().collect();
+        let rep = route_cube_bitonic_with_dests(k, &reversal, SimConfig::default());
+        assert!(rep.completed);
+        // Sorting time does not depend on the permutation at all.
+        assert_eq!(rep.metrics.routing_time, rep.expected_steps());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn many_one_rejected() {
+        let dests = vec![0usize; 8];
+        let _ = route_cube_bitonic_with_dests(3, &dests, SimConfig::default());
+    }
+
+    #[test]
+    fn slower_than_valiant_at_scale() {
+        // §2.2.1's point: Θ(log² N) loses to Õ(log N) once log N is large
+        // enough to dominate the constants.
+        use crate::hypercube::route_cube_permutation;
+        let k = 10;
+        let bitonic = route_cube_bitonic(k, 1, SimConfig::default());
+        let valiant = route_cube_permutation(k, 1, SimConfig::default());
+        assert!(bitonic.completed && valiant.completed);
+        assert!(
+            bitonic.metrics.routing_time > valiant.metrics.routing_time,
+            "bitonic {} vs valiant {}",
+            bitonic.metrics.routing_time,
+            valiant.metrics.routing_time
+        );
+        // But bitonic's queues sit at the floor.
+        assert_eq!(bitonic.metrics.max_queue, 1);
+        assert!(valiant.metrics.max_queue > 1);
+    }
+}

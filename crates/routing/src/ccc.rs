@@ -1,0 +1,139 @@
+//! Two-phase randomized routing on cube-connected cycles.
+//!
+//! CCC(k) is the constant-degree classic of the paper's leveled family
+//! (§2.3.1). Its canonical oblivious route (cycle sweep + cross edges)
+//! is memoryless in `(current, target)` exactly like the star graph's
+//! greedy route, so Algorithm 2.2's recipe applies verbatim: phase 1 to
+//! a uniformly random node along the canonical path, phase 2 onward to
+//! the destination. Expected: Õ(diameter) = Õ(k) routing — at **fixed
+//! degree 3**, which is the trade CCC makes against the butterfly's
+//! unbounded radix and the cube's log N degree.
+
+use crate::workloads;
+use lnpram_math::rng::SeedSeq;
+use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_topology::{CubeConnectedCycles, Network};
+use rand::Rng;
+
+/// Per-node program: phase 0 toward `via`, phase 1 toward `dest`, both
+/// along the canonical sweep route.
+pub struct CccRouter {
+    ccc: CubeConnectedCycles,
+}
+
+impl CccRouter {
+    /// Router on the given CCC.
+    pub fn new(ccc: CubeConnectedCycles) -> Self {
+        CccRouter { ccc }
+    }
+}
+
+impl Protocol for CccRouter {
+    fn on_packet(&mut self, node: usize, mut pkt: Packet, _step: u32, out: &mut Outbox) {
+        if pkt.phase == 0 && node == pkt.via as usize {
+            pkt.phase = 1;
+        }
+        let target = if pkt.phase == 0 { pkt.via } else { pkt.dest } as usize;
+        match self.ccc.canonical_next_port(node, target) {
+            None => {
+                if pkt.phase == 0 {
+                    pkt.phase = 1;
+                    match self.ccc.canonical_next_port(node, pkt.dest as usize) {
+                        None => out.deliver(pkt),
+                        Some(p) => out.send(p, pkt),
+                    }
+                } else {
+                    out.deliver(pkt);
+                }
+            }
+            Some(p) => out.send(p, pkt),
+        }
+    }
+}
+
+/// Report of one CCC routing run.
+#[derive(Debug, Clone)]
+pub struct CccRunReport {
+    /// Engine metrics.
+    pub metrics: Metrics,
+    /// All delivered within budget?
+    pub completed: bool,
+    /// Cycle length / cube dimension k.
+    pub k: usize,
+}
+
+impl CccRunReport {
+    /// Routing time normalised by the diameter `2k + ⌊k/2⌋ − 2`
+    /// (`k ≥ 4`; 6 for k = 3).
+    pub fn time_per_diameter(&self) -> f64 {
+        let diam = if self.k == 3 { 6 } else { 2 * self.k + self.k / 2 - 2 };
+        f64::from(self.metrics.routing_time) / diam as f64
+    }
+}
+
+/// Route one random permutation on CCC(k) with the two-phase scheme.
+pub fn route_ccc_permutation(k: usize, seed: u64, cfg: SimConfig) -> CccRunReport {
+    let ccc = CubeConnectedCycles::new(k);
+    let seq = SeedSeq::new(seed);
+    let mut rng = seq.child(0).rng();
+    let dests = workloads::random_permutation(ccc.num_nodes(), &mut rng);
+    let mut eng = Engine::new(&ccc, cfg);
+    let mut via_rng = seq.child(1).rng();
+    for (src, &dest) in dests.iter().enumerate() {
+        let via = via_rng.gen_range(0..ccc.num_nodes()) as u32;
+        eng.inject(src, Packet::new(src as u32, src as u32, dest as u32).with_via(via));
+    }
+    let mut router = CccRouter::new(ccc);
+    let out = eng.run(&mut router);
+    CccRunReport {
+        metrics: out.metrics,
+        completed: out.completed,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_delivers_all() {
+        for k in [3usize, 4, 5] {
+            let rep = route_ccc_permutation(k, 1, SimConfig::default());
+            assert!(rep.completed, "k={k}");
+            assert_eq!(rep.metrics.delivered, k << k);
+        }
+    }
+
+    #[test]
+    fn time_linear_in_diameter() {
+        // Constant-degree host: expect a modest, flat multiple of the
+        // diameter across sizes (the degree-3 links carry more load than
+        // a butterfly's, so the constant is larger than 2).
+        for (k, cap) in [(4usize, 8.0), (6, 8.0), (8, 8.0)] {
+            let rep = route_ccc_permutation(k, 2, SimConfig::default());
+            assert!(rep.completed);
+            assert!(
+                rep.time_per_diameter() <= cap,
+                "k={k}: {:.2}x diameter",
+                rep.time_per_diameter()
+            );
+        }
+    }
+
+    #[test]
+    fn queues_stay_modest() {
+        let rep = route_ccc_permutation(6, 3, SimConfig::default());
+        // Degree 3, N = 384: queues should stay far below N (Fact 2.5's
+        // O(T) bound at T = O(k) means tens at most).
+        assert!(rep.metrics.max_queue <= 40, "queue {}", rep.metrics.max_queue);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = route_ccc_permutation(5, 9, SimConfig::default());
+        let b = route_ccc_permutation(5, 9, SimConfig::default());
+        assert_eq!(a.metrics.routing_time, b.metrics.routing_time);
+        assert_eq!(a.metrics.max_queue, b.metrics.max_queue);
+    }
+}

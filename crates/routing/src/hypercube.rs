@@ -1,0 +1,137 @@
+//! Randomized routing on the binary hypercube — Valiant's original
+//! scheme, the paper's introduction's point of comparison.
+//!
+//! Valiant & Brebner's two-phase algorithm (route to a random node by
+//! fixing differing bits lowest-first, then to the destination the same
+//! way) gives Õ(log N) permutation routing on the n-cube. The paper's
+//! point (§1, §2.3.4): the cube's degree *and* diameter are log N, while
+//! the star graph achieves strictly smaller degree and diameter at the
+//! same size — so the star's Õ(diameter) routing beats what any cube
+//! algorithm can do. `table_intro_star_vs_cube` measures the comparison.
+
+use crate::workloads;
+use lnpram_math::rng::SeedSeq;
+use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_topology::hypercube::Hypercube;
+use lnpram_topology::Network;
+use rand::Rng;
+
+/// Per-node program: two-phase e-cube (dimension-ordered) routing.
+/// (The route needs only bit arithmetic on node labels — no topology
+/// state — so the struct is a unit.)
+pub struct CubeRouter;
+
+impl CubeRouter {
+    /// Router on a hypercube of any dimension.
+    pub fn new(_cube: Hypercube) -> Self {
+        CubeRouter
+    }
+}
+
+impl Protocol for CubeRouter {
+    fn on_packet(&mut self, node: usize, mut pkt: Packet, _step: u32, out: &mut Outbox) {
+        if pkt.phase == 0 && node == pkt.via as usize {
+            pkt.phase = 1;
+        }
+        let target = if pkt.phase == 0 { pkt.via } else { pkt.dest } as usize;
+        if node == target {
+            debug_assert_eq!(pkt.phase, 1);
+            out.deliver(pkt);
+            return;
+        }
+        // e-cube: correct the lowest differing bit.
+        let bit = (node ^ target).trailing_zeros() as usize;
+        out.send(bit, pkt);
+    }
+}
+
+/// Report of one hypercube routing run.
+#[derive(Debug, Clone)]
+pub struct CubeRunReport {
+    /// Engine metrics.
+    pub metrics: Metrics,
+    /// All delivered within budget?
+    pub completed: bool,
+    /// Dimensions (= degree = diameter).
+    pub dims: usize,
+}
+
+impl CubeRunReport {
+    /// Routing time / diameter.
+    pub fn time_per_diameter(&self) -> f64 {
+        f64::from(self.metrics.routing_time) / self.dims.max(1) as f64
+    }
+}
+
+/// Route one random permutation on the n-cube with Valiant's two-phase
+/// randomized e-cube algorithm.
+pub fn route_cube_permutation(dims: usize, seed: u64, cfg: SimConfig) -> CubeRunReport {
+    let cube = Hypercube::new(dims);
+    let seq = SeedSeq::new(seed);
+    let mut rng = seq.child(0).rng();
+    let dests = workloads::random_permutation(cube.num_nodes(), &mut rng);
+    let mut eng = Engine::new(&cube, cfg);
+    let mut via_rng = seq.child(1).rng();
+    for (src, &dest) in dests.iter().enumerate() {
+        let via = via_rng.gen_range(0..cube.num_nodes()) as u32;
+        let mut pkt = Packet::new(src as u32, src as u32, dest as u32).with_via(via);
+        if pkt.via == src as u32 {
+            pkt.phase = 1;
+        }
+        eng.inject(src, pkt);
+    }
+    let mut router = CubeRouter::new(cube);
+    let out = eng.run(&mut router);
+    CubeRunReport {
+        metrics: out.metrics,
+        completed: out.completed,
+        dims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_on_cube_delivers_all() {
+        for dims in [3usize, 6, 8] {
+            let rep = route_cube_permutation(dims, 1, SimConfig::default());
+            assert!(rep.completed, "dims={dims}");
+            assert_eq!(rep.metrics.delivered, 1 << dims);
+        }
+    }
+
+    #[test]
+    fn time_linear_in_dimension() {
+        // Valiant: Õ(log N) = Õ(dims); constant should be small and flat.
+        let c6 = route_cube_permutation(6, 2, SimConfig::default()).time_per_diameter();
+        let c10 = route_cube_permutation(10, 2, SimConfig::default()).time_per_diameter();
+        assert!(c6 < 6.0, "{c6:.2}");
+        assert!(c10 < 1.8 * c6, "{c6:.2} -> {c10:.2}");
+    }
+
+    #[test]
+    fn star_beats_cube_at_comparable_size() {
+        // The introduction's comparison, measured: star(7) (5040 nodes,
+        // diameter 9) routes faster in absolute steps than cube(13)
+        // (8192 nodes, diameter 13).
+        use crate::star::route_star_permutation;
+        let star = route_star_permutation(7, 5, SimConfig::default());
+        let cube = route_cube_permutation(13, 5, SimConfig::default());
+        assert!(star.completed && cube.completed);
+        assert!(
+            star.metrics.routing_time < cube.metrics.routing_time,
+            "star {} vs cube {}",
+            star.metrics.routing_time,
+            cube.metrics.routing_time
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = route_cube_permutation(8, 7, SimConfig::default());
+        let b = route_cube_permutation(8, 7, SimConfig::default());
+        assert_eq!(a.metrics.routing_time, b.metrics.routing_time);
+    }
+}

@@ -1,0 +1,55 @@
+//! # lnpram-routing
+//!
+//! The routing algorithms of Palis–Rajasekaran–Wei (1991) and the baselines
+//! they are compared against, all as [`Protocol`](lnpram_simnet::Protocol)
+//! implementations over the synchronous simulator:
+//!
+//! * [`leveled`] — **Algorithm 2.1**, the universal two-phase randomized
+//!   routing on any leveled network with the unique-path property
+//!   (Theorems 2.1 and 2.4: permutation and partial ℓ-relation routing in
+//!   Õ(ℓ) with FIFO queues).
+//! * [`star`] — **Algorithm 2.2** on the physical n-star graph
+//!   (Theorem 2.2 / Corollary 2.1: Õ(n)).
+//! * [`shuffle`] — **Algorithm 2.3** on the physical d-way shuffle
+//!   (Theorem 2.3 / Corollary 2.2: Õ(n)).
+//! * [`mesh`] — the three-stage slice algorithm of §3.4 (Theorem 3.1:
+//!   `2n + o(n)` with furthest-destination-first priority), plus the
+//!   greedy and Valiant–Brebner baselines.
+//! * [`linear`] — the §3.4.1 linear-array lemma (`n′ + o(n)` with
+//!   furthest-destination-first), the engine of the mesh analysis.
+//! * [`hypercube`] — Valiant's two-phase e-cube routing, the classical
+//!   Õ(log N) comparison point of the paper's introduction.
+//! * [`bitonic`] — Batcher bitonic sort-routing on the hypercube, the
+//!   non-oblivious Θ(log² N) queue-free baseline §2.2.1 names.
+//! * [`ccc`] — two-phase randomized routing on cube-connected cycles,
+//!   the constant-degree classic of the leveled family.
+//! * [`mesh_sort`] — a non-oblivious sorting-based comparator (shearsort),
+//!   the kind of scheme §2.2.1 argues against.
+//! * [`ranade`] — a Ranade-style combining routing on the binary butterfly
+//!   (the §3 comparator whose constant the paper calls impractically
+//!   large), including the standard mesh-embedding cost model.
+//! * [`retry`] — the Lemma 2.1 wrapper: repeat a randomized routing a
+//!   constant number of times to amplify the success probability.
+//! * [`workloads`] — permutations, partial h-relations and
+//!   locality-bounded request patterns used by the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod ccc;
+pub mod hypercube;
+pub mod leveled;
+pub mod linear;
+pub mod mesh;
+pub mod mesh_sort;
+pub mod ranade;
+pub mod retry;
+pub mod shuffle;
+pub mod star;
+pub mod workloads;
+
+pub use leveled::{route_leveled_permutation, route_leveled_relation, DoubledLeveled};
+pub use mesh::{route_mesh_permutation, MeshAlgorithm};
+pub use shuffle::route_shuffle_permutation;
+pub use star::route_star_permutation;

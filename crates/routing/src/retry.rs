@@ -1,0 +1,196 @@
+//! Lemma 2.1: success-probability amplification by retrying.
+//!
+//! If a randomized routing realizes any permutation within `c₁·f(N)` steps
+//! with probability `≥ 1 − N^{−ε}`, running it up to `c₂` times (packets
+//! that miss the deadline trace their paths back — paying another
+//! `≤ c₁·f(N)` steps — and try again with fresh randomness) succeeds within
+//! `c₁c₂·f(N)` steps with probability `≥ 1 − N^{−c₂ε}`.
+//!
+//! [`route_with_retry`] implements the schedule generically; the
+//! experiment binary `table_lemma21_retry` instantiates it for the
+//! universal leveled-network algorithm with deliberately tight deadlines
+//! so failures are actually observable.
+
+/// Retry schedule parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Step budget per attempt (`c₁·f(N)` in the lemma).
+    pub attempt_budget: u32,
+    /// Maximum number of attempts (`c₂`).
+    pub max_attempts: usize,
+}
+
+/// What one attempt reports back.
+#[derive(Debug, Clone)]
+pub struct AttemptResult {
+    /// Ids of packets that reached their destination within the budget.
+    pub delivered: Vec<u32>,
+    /// Steps the attempt actually used (≤ budget).
+    pub steps: u32,
+}
+
+/// Full retry-run report.
+#[derive(Debug, Clone)]
+pub struct RetryReport {
+    /// Attempts executed.
+    pub attempts: usize,
+    /// Did every packet eventually arrive?
+    pub succeeded: bool,
+    /// Total charged steps: a successful final attempt costs its own
+    /// routing time; every failed attempt is charged `2 × budget`
+    /// (deadline + trace-back), as in the lemma's accounting.
+    pub total_steps: u64,
+    /// Packets outstanding after each attempt (for the table's trajectory
+    /// column).
+    pub outstanding_after: Vec<usize>,
+}
+
+/// Run `attempt` under `policy` until all of `packet_ids` are delivered or
+/// attempts are exhausted. The closure receives the outstanding ids, the
+/// step budget, and the attempt index (use it to reseed — the lemma needs
+/// fresh randomness per trial).
+pub fn route_with_retry<F>(packet_ids: &[u32], policy: RetryPolicy, mut attempt: F) -> RetryReport
+where
+    F: FnMut(&[u32], u32, usize) -> AttemptResult,
+{
+    assert!(policy.max_attempts >= 1);
+    let mut outstanding: Vec<u32> = packet_ids.to_vec();
+    let mut total_steps = 0u64;
+    let mut outstanding_after = Vec::new();
+    let mut attempts = 0usize;
+
+    while !outstanding.is_empty() && attempts < policy.max_attempts {
+        let result = attempt(&outstanding, policy.attempt_budget, attempts);
+        attempts += 1;
+        debug_assert!(result.steps <= policy.attempt_budget);
+        let delivered: std::collections::HashSet<u32> = result.delivered.iter().copied().collect();
+        outstanding.retain(|id| !delivered.contains(id));
+        if outstanding.is_empty() {
+            total_steps += u64::from(result.steps);
+        } else {
+            // Failed attempt: deadline + trace-back.
+            total_steps += 2 * u64::from(policy.attempt_budget);
+        }
+        outstanding_after.push(outstanding.len());
+    }
+
+    RetryReport {
+        attempts,
+        succeeded: outstanding.is_empty(),
+        total_steps,
+        outstanding_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_success_costs_own_steps() {
+        let ids = [0u32, 1, 2];
+        let rep = route_with_retry(
+            &ids,
+            RetryPolicy {
+                attempt_budget: 100,
+                max_attempts: 5,
+            },
+            |out, _budget, _k| AttemptResult {
+                delivered: out.to_vec(),
+                steps: 17,
+            },
+        );
+        assert!(rep.succeeded);
+        assert_eq!(rep.attempts, 1);
+        assert_eq!(rep.total_steps, 17);
+        assert_eq!(rep.outstanding_after, vec![0]);
+    }
+
+    #[test]
+    fn partial_failures_retry_only_outstanding() {
+        let ids: Vec<u32> = (0..10).collect();
+        let mut seen_sizes = Vec::new();
+        let rep = route_with_retry(
+            &ids,
+            RetryPolicy {
+                attempt_budget: 50,
+                max_attempts: 10,
+            },
+            |out, _budget, _k| {
+                seen_sizes.push(out.len());
+                // Each attempt delivers half (rounded up) of what's left.
+                let take = out.len().div_ceil(2);
+                AttemptResult {
+                    delivered: out[..take].to_vec(),
+                    steps: 50,
+                }
+            },
+        );
+        assert!(rep.succeeded);
+        // 10 → deliver 5 → 5 → deliver 3 → 2 → deliver 1 → 1 → deliver 1.
+        assert_eq!(seen_sizes, vec![10, 5, 2, 1]);
+        assert_eq!(rep.attempts, 4);
+        // 3 failed attempts at 2*50 + final success at 50.
+        assert_eq!(rep.total_steps, 3 * 100 + 50);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let ids = [0u32];
+        let rep = route_with_retry(
+            &ids,
+            RetryPolicy {
+                attempt_budget: 10,
+                max_attempts: 3,
+            },
+            |_out, _b, _k| AttemptResult {
+                delivered: vec![],
+                steps: 10,
+            },
+        );
+        assert!(!rep.succeeded);
+        assert_eq!(rep.attempts, 3);
+        assert_eq!(rep.total_steps, 3 * 20);
+        assert_eq!(rep.outstanding_after, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_packet_set_trivially_succeeds() {
+        let rep = route_with_retry(
+            &[],
+            RetryPolicy {
+                attempt_budget: 10,
+                max_attempts: 1,
+            },
+            |_o, _b, _k| unreachable!("no attempt needed"),
+        );
+        assert!(rep.succeeded);
+        assert_eq!(rep.attempts, 0);
+        assert_eq!(rep.total_steps, 0);
+    }
+
+    #[test]
+    fn amplification_shape() {
+        // If each attempt independently fails with prob 1/2 (per packet
+        // set), the failure probability after k attempts is 2^{-k}:
+        // simulate deterministically by failing exactly the first k-1
+        // attempts and verify the cost accounting matches the lemma's
+        // c1*c2*f(N) shape.
+        for k in 1..=6usize {
+            let rep = route_with_retry(
+                &[0u32],
+                RetryPolicy {
+                    attempt_budget: 7,
+                    max_attempts: 6,
+                },
+                |out, _b, attempt| AttemptResult {
+                    delivered: if attempt == k - 1 { out.to_vec() } else { vec![] },
+                    steps: 7,
+                },
+            );
+            assert!(rep.succeeded);
+            assert_eq!(rep.attempts, k);
+            assert!(rep.total_steps <= 2 * 7 * k as u64);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Request-pattern generators for the routing experiments.
+//!
+//! §2.2.1 of the paper defines the routing problems these generate:
+//! permutation routing, partial routing, partial h-relations, and many-one
+//! routing; §3 (Theorem 3.3) additionally needs locality-bounded patterns
+//! where every request travels at most distance `d`.
+
+use lnpram_topology::{Mesh, Network};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random permutation destination map: `dests[i]` is the
+/// destination of the packet originating at node `i`.
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut dests: Vec<usize> = (0..n).collect();
+    dests.shuffle(rng);
+    dests
+}
+
+/// A partial permutation: each source holds a packet with probability
+/// `density`; occupied sources get distinct random destinations.
+/// `None` marks an empty source.
+pub fn partial_permutation<R: Rng + ?Sized>(
+    n: usize,
+    density: f64,
+    rng: &mut R,
+) -> Vec<Option<usize>> {
+    assert!((0.0..=1.0).contains(&density));
+    let perm = random_permutation(n, rng);
+    (0..n)
+        .map(|i| {
+            if rng.gen_bool(density) {
+                Some(perm[i])
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// A partial h-relation: every source originates at most `h` packets and
+/// every destination receives at most `h`. Built from `h` independent
+/// random permutations (the standard construction), so it is in fact an
+/// exact h-relation.
+///
+/// Returns, per source node, the list of destinations of its packets.
+pub fn h_relation<R: Rng + ?Sized>(n: usize, h: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::with_capacity(h); n];
+    for _ in 0..h {
+        let perm = random_permutation(n, rng);
+        for (src, &dest) in perm.iter().enumerate() {
+            out[src].push(dest);
+        }
+    }
+    out
+}
+
+/// Many-one routing: every source picks an independent uniformly random
+/// destination (collisions allowed). The CRCW hot-spot experiments sharpen
+/// this to Zipf or single-cell patterns at the PRAM layer.
+pub fn many_one<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// A locality-bounded permutation on a mesh: destinations are a permutation
+/// in which every packet travels Manhattan distance ≤ `d` (Theorem 3.3's
+/// premise). Built by tiling the mesh into `⌈d/2⌉ × ⌈d/2⌉` blocks and
+/// permuting within each block (all block-internal moves have distance
+/// < d), so the bound holds by construction.
+pub fn local_permutation<R: Rng + ?Sized>(mesh: &Mesh, d: usize, rng: &mut R) -> Vec<usize> {
+    assert!(d >= 1);
+    let block = d.div_ceil(2).max(1);
+    let (rows, cols) = (mesh.rows(), mesh.cols());
+    let mut dests = vec![0usize; rows * cols];
+    let mut cells = Vec::new();
+    for br in (0..rows).step_by(block) {
+        for bc in (0..cols).step_by(block) {
+            cells.clear();
+            for r in br..(br + block).min(rows) {
+                for c in bc..(bc + block).min(cols) {
+                    cells.push(mesh.node_at(r, c));
+                }
+            }
+            let mut perm = cells.clone();
+            perm.shuffle(rng);
+            for (i, &src) in cells.iter().enumerate() {
+                dests[src] = perm[i];
+            }
+        }
+    }
+    dests
+}
+
+/// The transpose permutation on an n×n mesh: `(r, c) → (c, r)` — the
+/// classic "structured" pattern for routing studies (it turns out benign
+/// for row-first dimension order: the east/west convoys split at the
+/// diagonal; see `table_adversarial_mesh`).
+///
+/// ```
+/// use lnpram_routing::workloads::{is_permutation, mesh_transpose};
+/// use lnpram_topology::Mesh;
+/// let t = mesh_transpose(&Mesh::square(4));
+/// assert!(is_permutation(&t));
+/// assert_eq!(t[1], 4); // (0,1) → (1,0)
+/// ```
+pub fn mesh_transpose(mesh: &Mesh) -> Vec<usize> {
+    assert_eq!(mesh.rows(), mesh.cols(), "transpose needs a square mesh");
+    (0..mesh.num_nodes())
+        .map(|v| {
+            let (r, c) = mesh.coords(v);
+            mesh.node_at(c, r)
+        })
+        .collect()
+}
+
+/// The bit-reversal permutation on an n×n mesh with n a power of two:
+/// node index `v` (in row-major order) maps to the index with its
+/// `log₂ n²` bits reversed. Another standard worst case for oblivious
+/// deterministic routers.
+pub fn mesh_bit_reversal(mesh: &Mesh) -> Vec<usize> {
+    let n = mesh.num_nodes();
+    assert!(n.is_power_of_two(), "bit reversal needs power-of-two size");
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|v| (v.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
+        .collect()
+}
+
+/// The tornado permutation on an n×n mesh: every packet moves just under
+/// half the ring in its row (`(r, c) → (r, (c + ⌈n/2⌉ − 1) mod n)`).
+/// Maximises sustained horizontal link load.
+pub fn mesh_tornado(mesh: &Mesh) -> Vec<usize> {
+    let cols = mesh.cols();
+    let shift = cols.div_ceil(2).saturating_sub(1);
+    (0..mesh.num_nodes())
+        .map(|v| {
+            let (r, c) = mesh.coords(v);
+            mesh.node_at(r, (c + shift) % cols)
+        })
+        .collect()
+}
+
+/// A cyclic shift by `k` in row-major node order (wraps around). Uniform
+/// but non-local traffic: every packet travels the same displacement.
+pub fn cyclic_shift(n: usize, k: usize) -> Vec<usize> {
+    (0..n).map(|v| (v + k) % n).collect()
+}
+
+/// Check that `dests` is a permutation of `0..n`.
+pub fn is_permutation(dests: &[usize]) -> bool {
+    let n = dests.len();
+    let mut seen = vec![false; n];
+    for &d in dests {
+        if d >= n || seen[d] {
+            return false;
+        }
+        seen[d] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnpram_math::rng::SeedSeq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn random_permutation_is_permutation() {
+        let mut rng = SeedSeq::new(1).rng();
+        for n in [1usize, 2, 10, 100] {
+            assert!(is_permutation(&random_permutation(n, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn partial_permutation_destinations_distinct() {
+        let mut rng = SeedSeq::new(2).rng();
+        let pp = partial_permutation(200, 0.5, &mut rng);
+        let mut dests: Vec<usize> = pp.iter().flatten().copied().collect();
+        let before = dests.len();
+        dests.sort_unstable();
+        dests.dedup();
+        assert_eq!(dests.len(), before);
+        assert!(before > 50 && before < 150, "density ~0.5, got {before}");
+    }
+
+    #[test]
+    fn h_relation_bounds_hold() {
+        let mut rng = SeedSeq::new(3).rng();
+        let (n, h) = (64usize, 5usize);
+        let rel = h_relation(n, h, &mut rng);
+        let mut indeg = vec![0usize; n];
+        for (src, dests) in rel.iter().enumerate() {
+            assert_eq!(dests.len(), h, "source {src}");
+            for &d in dests {
+                indeg[d] += 1;
+            }
+        }
+        assert!(indeg.iter().all(|&c| c == h));
+    }
+
+    #[test]
+    fn many_one_in_range() {
+        let mut rng = SeedSeq::new(4).rng();
+        let dests = many_one(50, &mut rng);
+        assert!(dests.iter().all(|&d| d < 50));
+    }
+
+    #[test]
+    fn local_permutation_respects_distance() {
+        let mesh = Mesh::square(16);
+        let mut rng = SeedSeq::new(5).rng();
+        for d in [1usize, 2, 4, 7] {
+            let dests = local_permutation(&mesh, d, &mut rng);
+            assert!(is_permutation(&dests), "d={d}");
+            for (src, &dst) in dests.iter().enumerate() {
+                assert!(
+                    mesh.manhattan(src, dst) <= d,
+                    "d={d}: {src}->{dst} dist {}",
+                    mesh.manhattan(src, dst)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_permutation_rejects() {
+        assert!(!is_permutation(&[0, 0]));
+        assert!(!is_permutation(&[2, 0])); // out of range for n=2
+        assert!(is_permutation(&[1, 0]));
+        assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    fn transpose_is_permutation_and_involution() {
+        let mesh = Mesh::square(8);
+        let t = mesh_transpose(&mesh);
+        assert!(is_permutation(&t));
+        for (v, &img) in t.iter().enumerate() {
+            assert_eq!(t[img], v, "transpose must be an involution");
+        }
+        // (1, 3) → (3, 1)
+        assert_eq!(t[mesh.node_at(1, 3)], mesh.node_at(3, 1));
+    }
+
+    #[test]
+    fn bit_reversal_is_permutation_and_involution() {
+        let mesh = Mesh::square(8); // 64 nodes = 2^6
+        let b = mesh_bit_reversal(&mesh);
+        assert!(is_permutation(&b));
+        for (v, &img) in b.iter().enumerate() {
+            assert_eq!(b[img], v);
+        }
+        // 0b000001 → 0b100000
+        assert_eq!(b[1], 32);
+    }
+
+    #[test]
+    fn tornado_shifts_rows() {
+        let mesh = Mesh::square(8);
+        let t = mesh_tornado(&mesh);
+        assert!(is_permutation(&t));
+        assert_eq!(t[mesh.node_at(2, 0)], mesh.node_at(2, 3));
+        assert_eq!(t[mesh.node_at(2, 6)], mesh.node_at(2, 1));
+    }
+
+    #[test]
+    fn cyclic_shift_wraps() {
+        let s = cyclic_shift(10, 3);
+        assert!(is_permutation(&s));
+        assert_eq!(s[9], 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_adversarial_patterns_are_permutations(n in 1usize..=5) {
+            let mesh = Mesh::square(1 << n); // power-of-two side
+            prop_assert!(is_permutation(&mesh_transpose(&mesh)));
+            prop_assert!(is_permutation(&mesh_bit_reversal(&mesh)));
+            prop_assert!(is_permutation(&mesh_tornado(&mesh)));
+            prop_assert!(is_permutation(&cyclic_shift(mesh.num_nodes(), n)));
+        }
+
+        #[test]
+        fn prop_local_permutation_all_d(seed: u64, n in 2usize..=12, d in 1usize..=10) {
+            let mesh = Mesh::square(n);
+            let mut rng = SeedSeq::new(seed).rng();
+            let dests = local_permutation(&mesh, d, &mut rng);
+            prop_assert!(is_permutation(&dests));
+            for (src, &dst) in dests.iter().enumerate() {
+                prop_assert!(mesh.manhattan(src, dst) <= d);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The per-node protocol: what a node does with an arriving packet.
+//!
+//! A [`Protocol`] is the node-local program of the routing or emulation
+//! algorithm. The engine calls [`Protocol::on_packet`] for every packet
+//! arriving at (or injected into) a node; the protocol responds through the
+//! [`Outbox`] by forwarding on out-ports, delivering locally, or absorbing
+//! (CRCW combining) — and may emit *several* packets (reply fan-out), which
+//! is how the paper's unit-time combining (footnote 3) is expressed.
+
+use crate::packet::Packet;
+
+/// Sink for a node's responses to one arrival.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    pub(crate) sends: Vec<(usize, Packet)>,
+    pub(crate) delivered: Vec<Packet>,
+}
+
+impl Outbox {
+    /// Forward `pkt` on `port` of the current node (enqueued this step,
+    /// eligible to traverse the link from the next step on).
+    pub fn send(&mut self, port: usize, pkt: Packet) {
+        self.sends.push((port, pkt));
+    }
+
+    /// The packet has reached its destination; record it as delivered at
+    /// the current step.
+    pub fn deliver(&mut self, pkt: Packet) {
+        self.delivered.push(pkt);
+    }
+
+    /// Number of sends queued so far this callback (lets protocols detect
+    /// whether a fan-out emitted anything).
+    pub fn pending_sends(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Absorb the packet silently (combining: the packet's request has been
+    /// merged into an already-forwarded one). Equivalent to doing nothing,
+    /// spelled out for readability at call sites.
+    pub fn absorb(&mut self, _pkt: Packet) {}
+
+    pub(crate) fn clear(&mut self) {
+        self.sends.clear();
+        self.delivered.clear();
+    }
+}
+
+/// A node-local routing/emulation program.
+///
+/// Determinism contract: `on_packet` must depend only on its arguments and
+/// on protocol-internal state mutated in engine call order. All randomness
+/// must be pre-assigned to packets (e.g. the `via` field) or drawn from a
+/// seeded RNG inside the protocol, so that runs are reproducible.
+pub trait Protocol {
+    /// Handle `pkt` arriving at `node` at the end of `step` (injections are
+    /// processed with `step = 0` before the first transmission).
+    fn on_packet(&mut self, node: usize, pkt: Packet, step: u32, out: &mut Outbox);
+
+    /// Handle *all* of a step's arrivals at `node` together. This is the
+    /// hook for footnote 3's unit-time combining: packets that are at one
+    /// node in one step may be merged before anything is forwarded. The
+    /// default just feeds each packet to [`Protocol::on_packet`] in
+    /// arrival order (sorted by incoming link id, so deterministic).
+    fn on_arrivals(&mut self, node: usize, pkts: &[Packet], step: u32, out: &mut Outbox) {
+        for &pkt in pkts {
+            self.on_packet(node, pkt, step, out);
+        }
+    }
+
+    /// Called after all arrivals of a step have been processed. Protocols
+    /// that batch per-step work (e.g. memory-module service) hook here.
+    fn on_step_end(&mut self, _step: u32) {}
+}
+
+impl<F> Protocol for F
+where
+    F: FnMut(usize, Packet, u32, &mut Outbox),
+{
+    fn on_packet(&mut self, node: usize, pkt: Packet, step: u32, out: &mut Outbox) {
+        self(node, pkt, step, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_collects_sends_and_deliveries() {
+        let mut out = Outbox::default();
+        let p = Packet::new(1, 0, 5);
+        out.send(2, p);
+        out.deliver(p);
+        out.absorb(p);
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, 2);
+        assert_eq!(out.delivered.len(), 1);
+        out.clear();
+        assert!(out.sends.is_empty() && out.delivered.is_empty());
+    }
+
+    #[test]
+    fn closures_are_protocols() {
+        let mut seen = 0usize;
+        {
+            let mut proto = |_node: usize, pkt: Packet, _step: u32, out: &mut Outbox| {
+                seen += 1;
+                out.deliver(pkt);
+            };
+            let mut out = Outbox::default();
+            proto.on_packet(3, Packet::new(0, 0, 3), 1, &mut out);
+            assert_eq!(out.delivered.len(), 1);
+        }
+        assert_eq!(seen, 1);
+    }
+}

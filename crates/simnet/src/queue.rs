@@ -1,0 +1,185 @@
+//! Per-link output queues and queueing disciplines.
+//!
+//! The paper assesses routing schemes by routing time, queue size and
+//! queueing discipline (§2.2.1). Two disciplines appear:
+//!
+//! * **FIFO** — used by the universal leveled-network algorithm
+//!   (Theorem 2.1 explicitly promises FIFO queues);
+//! * **furthest-destination-first** — used by the mesh algorithm (§3.4),
+//!   where contention is resolved in favour of the packet with the larger
+//!   remaining distance (encoded in [`Packet::priority`]).
+//!
+//! A [`LinkQueue`] records its own high-water mark so Theorem-level queue
+//! bounds (O(ℓ), O(log n), O(1)) can be checked per run.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Queueing discipline for resolving link contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// First-in first-out (paper's preference: simplest hardware).
+    #[default]
+    Fifo,
+    /// Largest [`Packet::priority`] first (furthest-destination-first when
+    /// the router sets `priority` to the remaining distance); FIFO among
+    /// equals.
+    FurthestFirst,
+}
+
+/// The output queue of one directed link.
+#[derive(Debug, Clone, Default)]
+pub struct LinkQueue {
+    items: VecDeque<Packet>,
+    high_water: usize,
+    pops: u32,
+}
+
+impl LinkQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Largest length this queue ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Packets that have traversed this link (successful [`LinkQueue::pop`]
+    /// count) — the per-link load used by the congestion tables.
+    pub fn pops(&self) -> u32 {
+        self.pops
+    }
+
+    /// Enqueue a packet (position depends only on arrival order; selection
+    /// order is the discipline's business).
+    pub fn push(&mut self, pkt: Packet) {
+        self.items.push_back(pkt);
+        self.high_water = self.high_water.max(self.items.len());
+    }
+
+    /// Select and remove the packet to transmit this step under `disc`,
+    /// or `None` if empty.
+    pub fn pop(&mut self, disc: Discipline) -> Option<Packet> {
+        let picked = match disc {
+            Discipline::Fifo => self.items.pop_front(),
+            Discipline::FurthestFirst => {
+                if self.items.is_empty() {
+                    return None;
+                }
+                // Max priority; ties broken by arrival order (stable scan).
+                let mut best = 0usize;
+                for i in 1..self.items.len() {
+                    if self.items[i].priority > self.items[best].priority {
+                        best = i;
+                    }
+                }
+                self.items.remove(best)
+            }
+        };
+        if picked.is_some() {
+            self.pops += 1;
+        }
+        picked
+    }
+
+    /// Iterate queued packets in arrival order (for inspection/tests).
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
+        self.items.iter()
+    }
+
+    /// Remove all packets, returning them in arrival order.
+    pub fn drain(&mut self) -> Vec<Packet> {
+        self.items.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u32, priority: u32) -> Packet {
+        Packet::new(id, 0, 1).with_priority(priority)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = LinkQueue::new();
+        for i in 0..5 {
+            q.push(pkt(i, 100 - i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop(Discipline::Fifo))
+            .map(|p| p.id)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn furthest_first_order() {
+        let mut q = LinkQueue::new();
+        q.push(pkt(0, 3));
+        q.push(pkt(1, 9));
+        q.push(pkt(2, 9));
+        q.push(pkt(3, 1));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop(Discipline::FurthestFirst))
+            .map(|p| p.id)
+            .collect();
+        // 9s first in arrival order, then 3, then 1.
+        assert_eq!(order, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = LinkQueue::new();
+        for i in 0..4 {
+            q.push(pkt(i, 0));
+        }
+        q.pop(Discipline::Fifo);
+        q.pop(Discipline::Fifo);
+        q.push(pkt(9, 0));
+        assert_eq!(q.high_water(), 4);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let mut q = LinkQueue::new();
+        assert_eq!(q.pop(Discipline::Fifo), None);
+        assert_eq!(q.pop(Discipline::FurthestFirst), None);
+    }
+
+    #[test]
+    fn pops_count_traversals() {
+        let mut q = LinkQueue::new();
+        assert_eq!(q.pops(), 0);
+        q.pop(Discipline::Fifo); // empty pop does not count
+        assert_eq!(q.pops(), 0);
+        for i in 0..3 {
+            q.push(pkt(i, 0));
+        }
+        q.pop(Discipline::Fifo);
+        q.pop(Discipline::FurthestFirst);
+        assert_eq!(q.pops(), 2);
+    }
+
+    #[test]
+    fn drain_returns_arrival_order() {
+        let mut q = LinkQueue::new();
+        q.push(pkt(2, 5));
+        q.push(pkt(1, 9));
+        let ids: Vec<u32> = q.drain().into_iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![2, 1]);
+        assert!(q.is_empty());
+    }
+}

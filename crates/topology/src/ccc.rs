@@ -1,0 +1,208 @@
+//! Cube-connected cycles — the classic constant-degree member of the
+//! leveled-network family.
+//!
+//! §2.3.1 notes that "many classical networks, like hypercube,
+//! butterfly, etc., fall into this class"; CCC(k) is the canonical
+//! constant-degree relative of both (a k-cube whose nodes are replaced
+//! by k-cycles — equivalently a wrapped butterfly with the levels folded
+//! in). `k·2^k` nodes, degree **3** regardless of size, diameter `Θ(k)`
+//! (`2k + ⌊k/2⌋ − 2` for `k ≥ 4`).
+//!
+//! Node `(w, p)` — cube word `w ∈ [2^k]`, cycle position `p ∈ [k]` — has
+//! three links: cycle next `(w, p+1)`, cycle previous `(w, p−1)`, and
+//! the cross edge `(w ⊕ 2^p, p)`. The canonical oblivious route sweeps
+//! the cycle toward the nearest differing cube bit, crossing whenever
+//! the current position's bit differs — memoryless in `(current,
+//! target)` exactly like the star graph's greedy route, so the same
+//! two-phase randomized routing applies (see `lnpram-routing`'s `ccc`
+//! module).
+
+use crate::graph::Network;
+
+/// The cube-connected cycles network CCC(k), `k ≥ 3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubeConnectedCycles {
+    k: usize,
+}
+
+/// Port numbering of every CCC node.
+pub mod port {
+    /// Cycle edge to position `p+1 (mod k)`.
+    pub const NEXT: usize = 0;
+    /// Cycle edge to position `p−1 (mod k)`.
+    pub const PREV: usize = 1;
+    /// Cross (cube) edge flipping bit `p` of the word.
+    pub const CROSS: usize = 2;
+}
+
+impl CubeConnectedCycles {
+    /// Construct CCC(k). `k ≥ 3` keeps the cycle edges simple (k = 1, 2
+    /// degenerate into self-loops / multi-edges).
+    pub fn new(k: usize) -> Self {
+        assert!((3..32).contains(&k), "CCC needs 3 ≤ k < 32");
+        CubeConnectedCycles { k }
+    }
+
+    /// Cycle length / cube dimension k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `(word, position)` of a node id.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        (node / self.k, node % self.k)
+    }
+
+    /// Node id of `(word, position)`.
+    pub fn node_at(&self, word: usize, pos: usize) -> usize {
+        debug_assert!(word < 1 << self.k && pos < self.k);
+        word * self.k + pos
+    }
+
+    /// Cyclic distance from `a` to `b` moving "next" (+1) each step.
+    fn fwd_gap(&self, a: usize, b: usize) -> usize {
+        (b + self.k - a) % self.k
+    }
+
+    /// The canonical memoryless oblivious next hop from `u` toward `v`,
+    /// or `None` when `u == v`:
+    ///
+    /// 1. while cube words differ: cross if the current position's bit
+    ///    differs, else rotate toward the *nearest* differing bit
+    ///    (forward on ties);
+    /// 2. then rotate to the target position the short way.
+    pub fn canonical_next_port(&self, u: usize, v: usize) -> Option<usize> {
+        if u == v {
+            return None;
+        }
+        let (w, p) = self.coords(u);
+        let (wt, pt) = self.coords(v);
+        let diff = w ^ wt;
+        if diff != 0 {
+            if diff >> p & 1 == 1 {
+                return Some(port::CROSS);
+            }
+            // Distances to the nearest differing bit in each direction.
+            let fwd = (1..self.k)
+                .find(|&d| diff >> ((p + d) % self.k) & 1 == 1)
+                .expect("diff != 0");
+            let bwd = (1..self.k)
+                .find(|&d| diff >> ((p + self.k - d) % self.k) & 1 == 1)
+                .expect("diff != 0");
+            return Some(if fwd <= bwd { port::NEXT } else { port::PREV });
+        }
+        // Words equal: rotate to the target position the short way.
+        let fwd = self.fwd_gap(p, pt);
+        Some(if fwd <= self.k - fwd { port::NEXT } else { port::PREV })
+    }
+
+    /// Length of the canonical route (for tests and bounds).
+    pub fn canonical_distance(&self, u: usize, v: usize) -> usize {
+        let mut cur = u;
+        let mut hops = 0usize;
+        while let Some(p) = self.canonical_next_port(cur, v) {
+            cur = self.neighbor(cur, p);
+            hops += 1;
+            assert!(hops <= 4 * self.k, "canonical route failed to converge");
+        }
+        hops
+    }
+}
+
+impl Network for CubeConnectedCycles {
+    fn num_nodes(&self) -> usize {
+        self.k << self.k
+    }
+
+    fn out_degree(&self, _node: usize) -> usize {
+        3
+    }
+
+    fn neighbor(&self, node: usize, p: usize) -> usize {
+        let (w, pos) = self.coords(node);
+        match p {
+            port::NEXT => self.node_at(w, (pos + 1) % self.k),
+            port::PREV => self.node_at(w, (pos + self.k - 1) % self.k),
+            port::CROSS => self.node_at(w ^ (1 << pos), pos),
+            _ => panic!("CCC degree is 3, got port {p}"),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ccc({})", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{audit, bfs_distances, diameter};
+
+    #[test]
+    fn sizes_and_degree() {
+        for k in [3usize, 4, 5] {
+            let g = CubeConnectedCycles::new(k);
+            assert_eq!(g.num_nodes(), k * (1 << k));
+            assert!((0..g.num_nodes()).all(|v| g.out_degree(v) == 3));
+        }
+    }
+
+    #[test]
+    fn links_are_involutions_or_cycles() {
+        let g = CubeConnectedCycles::new(4);
+        for v in 0..g.num_nodes() {
+            // cross is an involution; next/prev invert each other
+            assert_eq!(g.neighbor(g.neighbor(v, port::CROSS), port::CROSS), v);
+            assert_eq!(g.neighbor(g.neighbor(v, port::NEXT), port::PREV), v);
+            assert_eq!(g.neighbor(g.neighbor(v, port::PREV), port::NEXT), v);
+        }
+    }
+
+    #[test]
+    fn audit_connected_and_symmetric() {
+        let g = CubeConnectedCycles::new(3);
+        let rep = audit(&g);
+        assert_eq!(rep.nodes, 24);
+        assert_eq!(rep.max_degree, 3);
+        assert!(rep.symmetric);
+        assert!(rep.diameter.is_some());
+    }
+
+    #[test]
+    fn diameter_matches_known_value() {
+        // CCC(3) has diameter 6; for k ≥ 4 the formula is 2k + ⌊k/2⌋ − 2.
+        assert_eq!(diameter(&CubeConnectedCycles::new(3)), Some(6));
+        assert_eq!(diameter(&CubeConnectedCycles::new(4)), Some(8));
+        assert_eq!(diameter(&CubeConnectedCycles::new(5)), Some(10));
+    }
+
+    #[test]
+    fn canonical_route_reaches_and_is_bounded() {
+        for k in [3usize, 4, 5] {
+            let g = CubeConnectedCycles::new(k);
+            let n = g.num_nodes();
+            // Canonical route must terminate for every pair, within the
+            // sweep bound of ~2.5k.
+            for u in (0..n).step_by(3) {
+                let d = bfs_distances(&g, u);
+                for v in (0..n).step_by(5) {
+                    let hops = g.canonical_distance(u, v);
+                    assert!(hops >= d[v], "canonical can't beat BFS");
+                    assert!(
+                        hops <= 2 * k + k / 2,
+                        "k={k}: route {u}->{v} took {hops} > 2.5k"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = CubeConnectedCycles::new(5);
+        for v in 0..g.num_nodes() {
+            let (w, p) = g.coords(v);
+            assert_eq!(g.node_at(w, p), v);
+        }
+    }
+}

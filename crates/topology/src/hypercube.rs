@@ -1,0 +1,113 @@
+//! The binary n-cube (hypercube).
+//!
+//! `2ⁿ` nodes, degree n, diameter n — the classical PRAM-emulation host
+//! (Ranade's result implies an O(log N) emulation here). Included as the
+//! comparison point the paper's introduction argues against: its degree
+//! *and* diameter are logarithmic in N, whereas the star graph's are
+//! sub-logarithmic.
+
+use crate::graph::Network;
+
+/// The n-dimensional binary hypercube. Port `p` flips bit `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypercube {
+    dims: usize,
+}
+
+impl Hypercube {
+    /// Construct an n-cube, `1 ≤ n < 64`.
+    pub fn new(dims: usize) -> Self {
+        assert!((1..64).contains(&dims));
+        Hypercube { dims }
+    }
+
+    /// Dimension count n (= degree = diameter).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Hamming distance between node labels — the exact graph distance.
+    pub fn distance(&self, u: usize, v: usize) -> usize {
+        (u ^ v).count_ones() as usize
+    }
+
+    /// The e-cube (dimension-ordered) oblivious route from `u` to `v`:
+    /// correct differing bits lowest-first. Length = Hamming distance.
+    pub fn ecube_route(&self, u: usize, v: usize) -> Vec<usize> {
+        let diff = u ^ v;
+        (0..self.dims).filter(|&b| diff >> b & 1 == 1).collect()
+    }
+}
+
+impl Network for Hypercube {
+    fn num_nodes(&self) -> usize {
+        1 << self.dims
+    }
+
+    fn out_degree(&self, _node: usize) -> usize {
+        self.dims
+    }
+
+    fn neighbor(&self, node: usize, port: usize) -> usize {
+        debug_assert!(port < self.dims);
+        node ^ (1 << port)
+    }
+
+    fn name(&self) -> String {
+        format!("hypercube({})", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{audit, bfs_distances};
+
+    #[test]
+    fn cube_audit() {
+        let h = Hypercube::new(4);
+        let rep = audit(&h);
+        assert_eq!(rep.nodes, 16);
+        assert_eq!(rep.max_degree, 4);
+        assert_eq!(rep.diameter, Some(4));
+        assert!(rep.symmetric);
+    }
+
+    #[test]
+    fn hamming_matches_bfs() {
+        let h = Hypercube::new(5);
+        for u in [0usize, 9, 31] {
+            let bfs = bfs_distances(&h, u);
+            for v in 0..h.num_nodes() {
+                assert_eq!(bfs[v], h.distance(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn ecube_route_valid() {
+        let h = Hypercube::new(6);
+        for (u, v) in [(0usize, 63usize), (5, 40), (17, 17)] {
+            let route = h.ecube_route(u, v);
+            assert_eq!(route.len(), h.distance(u, v));
+            let mut cur = u;
+            for &p in &route {
+                cur = h.neighbor(cur, p);
+            }
+            assert_eq!(cur, v);
+        }
+    }
+
+    #[test]
+    fn star_beats_cube_on_degree_and_diameter() {
+        // Paper §2.3.4 comparison: at comparable sizes, the star graph has
+        // smaller degree and diameter. star(7): 5040 nodes, degree 6,
+        // diameter 9; cube(13): 8192 nodes, degree 13, diameter 13.
+        use crate::star::StarGraph;
+        let star = StarGraph::new(7);
+        let cube = Hypercube::new(13);
+        assert!(star.num_nodes() < cube.num_nodes());
+        assert!(star.out_degree(0) < cube.out_degree(0));
+        assert!(star.diameter() < cube.dims());
+    }
+}

@@ -1,0 +1,318 @@
+//! The n-star graph (paper §2.3.4, Definitions 2.4–2.5).
+//!
+//! Nodes are the `n!` permutations of `n` symbols; node `u` is adjacent to
+//! `SWAP_j(u)` for every `2 ≤ j ≤ n` (exchange the first and j-th symbols).
+//! The n-star has degree `n−1` and diameter `⌊3(n−1)/2⌋` — both grow
+//! *sub-logarithmically* in the node count `n!`, which is exactly why the
+//! paper's Õ(n) emulation beats the Ω(log N!) = Ω(n log n) one would get
+//! from treating it as a generic network.
+//!
+//! Node ids are permutation ranks in the factorial number system
+//! (`lnpram_math::perm`), so the simulator can address nodes densely.
+
+use crate::graph::Network;
+use lnpram_math::perm::{factorial, Perm};
+
+/// The n-star graph as a port-addressed network: port `p ∈ 0..n−1`
+/// applies `SWAP_{p+2}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StarGraph {
+    n: usize,
+    num_nodes: usize,
+}
+
+impl StarGraph {
+    /// Construct the n-star, `2 ≤ n ≤ 13`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "star graph needs n >= 2");
+        StarGraph {
+            n,
+            num_nodes: factorial(n),
+        }
+    }
+
+    /// Alphabet size n.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Diameter `⌊3(n−1)/2⌋` (Akers–Harel–Krishnamurthy).
+    pub fn diameter(&self) -> usize {
+        3 * (self.n - 1) / 2
+    }
+
+    /// The permutation label of a node id.
+    pub fn perm_of(&self, node: usize) -> Perm {
+        Perm::unrank(self.n, node)
+    }
+
+    /// The node id of a permutation label.
+    pub fn node_of(&self, p: &Perm) -> usize {
+        debug_assert_eq!(p.n(), self.n);
+        p.rank()
+    }
+
+    /// Exact distance between two nodes (via the cycle-structure formula).
+    pub fn distance(&self, u: usize, v: usize) -> usize {
+        if u == v {
+            return 0;
+        }
+        // dist(u, v) = dist(v⁻¹∘u, id): relabel so that v becomes identity.
+        let rel = self.perm_of(v).inverse().compose(&self.perm_of(u));
+        rel.star_distance_to_identity()
+    }
+
+    /// The canonical oblivious route from `u` to `v` as a sequence of ports.
+    ///
+    /// This is the greedy cycle-following algorithm from Akers &
+    /// Krishnamurthy \[2\]: repeatedly, if the front symbol is displaced send
+    /// it home (`SWAP` to its home position); otherwise open the
+    /// lowest-indexed unfinished cycle. The route depends only on the pair
+    /// `(u, v)` — an *oblivious* path — and its length equals the exact
+    /// distance, hence is at most the diameter.
+    pub fn canonical_route(&self, u: usize, v: usize) -> Vec<usize> {
+        let target = self.perm_of(v);
+        let target_inv = target.inverse();
+        // m = target⁻¹ ∘ current; route sorts m to the identity.
+        let mut m = target_inv.compose(&self.perm_of(u));
+        let mut ports = Vec::new();
+        loop {
+            let front = m.symbols()[0] as usize;
+            if front != 0 {
+                // Send the front symbol to its home position front+1 (1-based).
+                let j = front + 1;
+                m = m.swap(j);
+                ports.push(j - 2);
+            } else {
+                // Front is home; find the lowest displaced position to open
+                // its cycle, or stop if sorted.
+                match (1..self.n).find(|&i| m.symbols()[i] as usize != i) {
+                    Some(i) => {
+                        let j = i + 1; // 1-based position
+                        m = m.swap(j);
+                        ports.push(j - 2);
+                    }
+                    None => break,
+                }
+            }
+        }
+        ports
+    }
+
+    /// First hop of the canonical route (`None` when already there) —
+    /// the allocation-free form routers use per hop; consistent with
+    /// [`Self::canonical_route`] because the greedy rule is memoryless.
+    pub fn canonical_next_port(&self, u: usize, v: usize) -> Option<usize> {
+        if u == v {
+            return None;
+        }
+        let m = self.perm_of(v).inverse().compose(&self.perm_of(u));
+        let front = m.symbols()[0] as usize;
+        let j = if front != 0 {
+            front + 1
+        } else {
+            (1..self.n)
+                .find(|&i| m.symbols()[i] as usize != i)
+                .expect("m != identity")
+                + 1
+        };
+        Some(j - 2)
+    }
+
+    /// Walk a port sequence from `u`, returning the node visited after each
+    /// hop (excluding `u` itself).
+    pub fn walk(&self, u: usize, ports: &[usize]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(ports.len());
+        let mut cur = u;
+        for &p in ports {
+            cur = self.neighbor(cur, p);
+            out.push(cur);
+        }
+        out
+    }
+
+    /// The i-th stage subgraph id of a node: the tuple of its last `i`
+    /// symbols (Definition 2.6). Nodes with equal `stage_id(i)` lie in the
+    /// same `(n−i)`-star `Gⁱ`.
+    pub fn stage_id(&self, node: usize, i: usize) -> Vec<u8> {
+        assert!(i < self.n);
+        let p = self.perm_of(node);
+        p.symbols()[self.n - i..].to_vec()
+    }
+}
+
+impl Network for StarGraph {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn out_degree(&self, _node: usize) -> usize {
+        self.n - 1
+    }
+
+    fn neighbor(&self, node: usize, port: usize) -> usize {
+        debug_assert!(port < self.n - 1);
+        self.perm_of(node).swap(port + 2).rank()
+    }
+
+    fn name(&self) -> String {
+        format!("star({})", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{audit, bfs_distances};
+    use lnpram_math::rng::SeedSeq;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    #[test]
+    fn three_star_matches_paper_figure2a() {
+        // Figure 2(a): the 3-star is a 6-cycle.
+        let s = StarGraph::new(3);
+        let rep = audit(&s);
+        assert_eq!(rep.nodes, 6);
+        assert_eq!(rep.max_degree, 2);
+        assert_eq!(rep.diameter, Some(3));
+        assert!(rep.symmetric);
+    }
+
+    #[test]
+    fn four_star_audit() {
+        // n=4: 24 nodes, degree 3, diameter 4 (paper Figure 2(b)).
+        let s = StarGraph::new(4);
+        let rep = audit(&s);
+        assert_eq!(rep.nodes, 24);
+        assert_eq!(rep.max_degree, 3);
+        assert_eq!(rep.diameter, Some(4));
+        assert!(rep.symmetric);
+    }
+
+    #[test]
+    fn five_star_diameter() {
+        let s = StarGraph::new(5);
+        assert_eq!(crate::graph::diameter(&s), Some(6));
+        assert_eq!(s.diameter(), 6);
+    }
+
+    #[test]
+    fn swap_edges_are_involutions() {
+        let s = StarGraph::new(5);
+        for node in [0usize, 17, 63, 119] {
+            for port in 0..4 {
+                let w = s.neighbor(node, port);
+                assert_ne!(w, node);
+                assert_eq!(s.neighbor(w, port), node);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_agrees_with_bfs() {
+        for n in [3usize, 4, 5] {
+            let s = StarGraph::new(n);
+            for src in 0..s.num_nodes() {
+                let bfs = bfs_distances(&s, src);
+                for dest in 0..s.num_nodes() {
+                    assert_eq!(
+                        s.distance(dest, src),
+                        bfs[dest],
+                        "n={n} src={src} dest={dest}"
+                    );
+                    assert_eq!(s.distance(src, dest), bfs[dest], "symmetry");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_route_reaches_and_is_shortest() {
+        for n in [3usize, 4, 5] {
+            let s = StarGraph::new(n);
+            let mut rng = SeedSeq::new(9).child(n as u64).rng();
+            for _ in 0..200 {
+                let u = rng.gen_range(0..s.num_nodes());
+                let v = rng.gen_range(0..s.num_nodes());
+                let route = s.canonical_route(u, v);
+                let visits = s.walk(u, &route);
+                let arrived = visits.last().copied().unwrap_or(u);
+                assert_eq!(arrived, v, "route must reach destination");
+                assert_eq!(route.len(), s.distance(u, v), "route must be shortest");
+            }
+        }
+    }
+
+    #[test]
+    fn next_port_agrees_with_full_route() {
+        let s = StarGraph::new(5);
+        let mut rng = SeedSeq::new(21).rng();
+        for _ in 0..200 {
+            let u = rng.gen_range(0..s.num_nodes());
+            let v = rng.gen_range(0..s.num_nodes());
+            if u == v {
+                assert_eq!(s.canonical_next_port(u, v), None);
+            } else {
+                assert_eq!(s.canonical_next_port(u, v), Some(s.canonical_route(u, v)[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_critical_point_example() {
+        // Figure 2(b) discussion: BACD is a critical point of DACB at stage 1
+        // — they differ by SWAP_4 and lie in different G¹ subgraphs.
+        // Symbols: A=0, B=1, C=2, D=3.
+        let s = StarGraph::new(4);
+        let bacd = Perm::from_slice(&[1, 0, 2, 3]);
+        let dacb = Perm::from_slice(&[3, 0, 2, 1]);
+        assert_eq!(bacd.swap(4), dacb);
+        assert_ne!(
+            s.stage_id(s.node_of(&bacd), 1),
+            s.stage_id(s.node_of(&dacb), 1)
+        );
+    }
+
+    #[test]
+    fn stage_subgraphs_partition() {
+        // The G¹ subgraphs of the 4-star partition it into 4 copies of the
+        // 3-star (Definition 2.6).
+        let s = StarGraph::new(4);
+        let mut by_stage: std::collections::HashMap<Vec<u8>, usize> = Default::default();
+        for v in 0..s.num_nodes() {
+            *by_stage.entry(s.stage_id(v, 1)).or_default() += 1;
+        }
+        assert_eq!(by_stage.len(), 4);
+        assert!(by_stage.values().all(|&c| c == 6));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_route_length_at_most_diameter(seed: u64, n in 3usize..=7) {
+            let s = StarGraph::new(n);
+            let mut rng = SeedSeq::new(seed).rng();
+            let u = rng.gen_range(0..s.num_nodes());
+            let v = rng.gen_range(0..s.num_nodes());
+            prop_assert!(s.canonical_route(u, v).len() <= s.diameter());
+        }
+
+        #[test]
+        fn prop_route_is_a_valid_walk(seed: u64, n in 3usize..=6) {
+            let s = StarGraph::new(n);
+            let mut rng = SeedSeq::new(seed).rng();
+            let u = rng.gen_range(0..s.num_nodes());
+            let v = rng.gen_range(0..s.num_nodes());
+            let route = s.canonical_route(u, v);
+            // every port must be in range; consecutive hops adjacent
+            let mut cur = u;
+            for &p in &route {
+                prop_assert!(p < s.out_degree(cur));
+                cur = s.neighbor(cur, p);
+            }
+            prop_assert_eq!(cur, v);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Randomized hashing vs deterministic replication, head to head.
+//!
+//! The paper's scheme stores each shared cell once, at a *randomly
+//! hashed* module, and re-hashes if routing ever times out. The
+//! pre-existing deterministic alternative (reference \[3\], Alt–Hagerup–
+//! Mehlhorn–Preparata) stores `2c − 1` fixed copies and reads/writes
+//! quorums of `c`. This example runs the same program through both and
+//! prints what the determinism costs.
+//!
+//! ```sh
+//! cargo run --example deterministic_vs_hashed
+//! ```
+
+use lnpram::prelude::*;
+use lnpram::topology::leveled::Leveled;
+
+fn main() {
+    let net = RadixButterfly::new(2, 6); // 64 processors
+    let mut rng = SeedSeq::new(7).rng();
+    let perm = lnpram::routing::workloads::random_permutation(64, &mut rng);
+    let rounds = 8;
+
+    // The paper's randomized single-copy scheme (Theorem 2.5).
+    let mut prog = PermutationTraffic::new(perm.clone(), rounds);
+    let space = prog.address_space();
+    let mut hashed = LeveledPramEmulator::new(
+        net,
+        AccessMode::Erew,
+        space,
+        EmulatorConfig::default(),
+    );
+    let hashed_report = hashed.run_program(&mut prog, 10_000);
+
+    // The deterministic [3]-style baseline at three replication levels.
+    println!("host: {}, workload: {rounds} rounds of permutation traffic\n", net.name());
+    println!(
+        "{:<24} {:>12} {:>16} {:>10}",
+        "scheme", "pkts/access", "steps/PRAM step", "rehashes"
+    );
+    println!(
+        "{:<24} {:>12} {:>16.1} {:>10}",
+        "hashed (paper)",
+        1,
+        hashed_report.mean_step_time(),
+        hashed_report.rehashes
+    );
+
+    let mut images = Vec::new();
+    for copies in [1usize, 3, 5] {
+        let mut prog = PermutationTraffic::new(perm.clone(), rounds);
+        let mut emu = ReplicatedPramEmulator::new(
+            net,
+            AccessMode::Erew,
+            space,
+            copies,
+            EmulatorConfig::default(),
+        );
+        let report = emu.run_program(&mut prog, 10_000);
+        println!(
+            "{:<24} {:>12} {:>16.1} {:>10}",
+            format!("replicated R={copies}"),
+            emu.quorum(),
+            report.mean_step_time(),
+            "n/a"
+        );
+        images.push(emu.memory_image(space));
+    }
+
+    // Semantics must be identical regardless of the memory organisation.
+    let oracle = {
+        let mut m = PramMachine::new(space, AccessMode::Erew);
+        m.run(&mut PermutationTraffic::new(perm, rounds), 10_000);
+        m.memory().to_vec()
+    };
+    assert_eq!(hashed.memory_image(space), oracle);
+    for img in &images {
+        assert_eq!(img, &oracle);
+    }
+    println!(
+        "\nall four memory images are bit-identical to the reference PRAM;\n\
+         only the cost differs. R = 1 shows fixed placement alone is fine on\n\
+         *random* traffic — the hashing is insurance against adversarial\n\
+         patterns (see table_level_congestion for what that looks like)."
+    );
+}

@@ -1,0 +1,367 @@
+//! `lnpram` — command-line front end to the library.
+//!
+//! ```text
+//! lnpram audit   --topology star --n 4
+//! lnpram route   --topology mesh --n 32 --algorithm three-stage --trials 8
+//! lnpram emulate --host butterfly --k 6 --program prefix-sum
+//! lnpram help
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs after a
+//! subcommand) to stay within the approved dependency set.
+
+use lnpram::core::{EmulatorConfig, LeveledPramEmulator, MeshPramEmulator, ReplicatedPramEmulator, StarPramEmulator};
+use lnpram::pram::machine::PramMachine;
+use lnpram::pram::model::{AccessMode, PramProgram, WritePolicy};
+use lnpram::pram::programs::{ConnectedComponents, Histogram, PrefixSum, ReductionMax};
+use lnpram::routing::mesh::{
+    canonical_discipline, default_block_rows, default_slice_rows, route_mesh_permutation,
+    MeshAlgorithm,
+};
+use lnpram::routing::{
+    route_leveled_permutation, route_shuffle_permutation, route_star_permutation,
+};
+use lnpram::simnet::SimConfig;
+use lnpram::topology::graph::audit;
+use lnpram::topology::leveled::{audit_unique_paths, RadixButterfly, UnrolledShuffle};
+use lnpram::topology::{DWayShuffle, Mesh, Network, StarGraph};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{key}'"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+    }
+}
+
+fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+    }
+}
+
+const HELP: &str = "\
+lnpram — PRAM emulation on leveled networks (Palis–Rajasekaran–Wei, ICPP 1991)
+
+USAGE: lnpram <command> [--flag value]...
+
+COMMANDS
+  audit    Structural audit of a topology (degree, diameter, symmetry,
+           unique-path/delta property where applicable).
+             --topology star|shuffle|mesh|butterfly|ccc   (required)
+             --n <size>       star n / shuffle digits / mesh side / ccc k  [4]
+             --d <radix>      shuffle way / butterfly radix        [= n / 2]
+             --k <levels>     butterfly levels                     [4]
+
+  route    Route random permutations and report time/queue statistics.
+             --topology star|shuffle|mesh|butterfly   (required)
+             --n, --d, --k    as for audit
+             --algorithm three-stage|const-queue|greedy|valiant  (mesh) [three-stage]
+             --seed <s>       base seed                           [0]
+             --trials <t>     number of seeds                     [5]
+
+  emulate  Run a PRAM program through an emulator and verify against the
+           reference machine.
+             --host butterfly|star|mesh|replicated    (required)
+             --program prefix-sum|reduction-max|histogram|connected-components  [prefix-sum]
+             --n / --k        host size (star n, mesh side, butterfly levels)
+             --copies <R>     replicas for --host replicated      [3]
+             --seed <s>                                            [0]
+
+  help     This message.
+";
+
+fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
+    let topo = flags.get("topology").ok_or("--topology required")?;
+    let n = get_usize(flags, "n", 4)?;
+    match topo.as_str() {
+        "star" => {
+            let g = StarGraph::new(n);
+            print_audit(&g);
+            println!("paper: degree n−1 = {}, diameter ⌊3(n−1)/2⌋ = {}", n - 1, g.diameter());
+        }
+        "shuffle" => {
+            let d = get_usize(flags, "d", n)?;
+            let g = DWayShuffle::new(d, n);
+            print_audit(&g);
+            let lv = UnrolledShuffle::new(d, n);
+            audit_unique_paths(&lv).map_err(|e| format!("delta audit failed: {e}"))?;
+            println!("unique-path (delta) property: ok on the unrolled form");
+        }
+        "mesh" => {
+            let g = Mesh::square(n);
+            print_audit(&g);
+            println!("paper: diameter 2n−2 = {}", 2 * n - 2);
+        }
+        "ccc" => {
+            let g = lnpram::topology::CubeConnectedCycles::new(n.max(3));
+            print_audit(&g);
+            println!("constant degree 3; diameter 2k+⌊k/2⌋−2 for k ≥ 4");
+        }
+        "butterfly" => {
+            let d = get_usize(flags, "d", 2)?;
+            let k = get_usize(flags, "k", 4)?;
+            let lv = RadixButterfly::new(d, k);
+            audit_unique_paths(&lv).map_err(|e| format!("delta audit failed: {e}"))?;
+            use lnpram::topology::leveled::Leveled;
+            println!(
+                "butterfly(r={d}, k={k}): width {} levels {k}, unique-path: ok",
+                Leveled::width(&lv)
+            );
+        }
+        other => return Err(format!("unknown topology '{other}'")),
+    }
+    Ok(())
+}
+
+fn print_audit<N: Network>(g: &N) {
+    let rep = audit(g);
+    println!("{}: {} nodes, {} directed links", g.name(), g.num_nodes(), g.num_links());
+    println!(
+        "max degree {}, diameter {:?}, degree-symmetric: {}",
+        rep.max_degree, rep.diameter, rep.symmetric
+    );
+}
+
+fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
+    let topo = flags.get("topology").ok_or("--topology required")?;
+    let seed = get_u64(flags, "seed", 0)?;
+    let trials = get_u64(flags, "trials", 5)?.max(1);
+    let n = get_usize(flags, "n", 4)?;
+    let mut times = Vec::new();
+    let mut queues = Vec::new();
+    let mut norm = 1usize;
+    for t in 0..trials {
+        let s = seed + t;
+        let (time, queue, d) = match topo.as_str() {
+            "star" => {
+                let rep = route_star_permutation(n, s, SimConfig::default());
+                if !rep.completed {
+                    return Err("routing did not complete".into());
+                }
+                (rep.metrics.routing_time, rep.metrics.max_queue, rep.diameter)
+            }
+            "shuffle" => {
+                let d = get_usize(flags, "d", n)?;
+                let rep = route_shuffle_permutation(DWayShuffle::new(d, n), s, SimConfig::default());
+                (rep.metrics.routing_time, rep.metrics.max_queue, rep.n)
+            }
+            "butterfly" => {
+                let d = get_usize(flags, "d", 2)?;
+                let k = get_usize(flags, "k", 4)?;
+                let rep = route_leveled_permutation(RadixButterfly::new(d, k), s, SimConfig::default());
+                (rep.metrics.routing_time, rep.metrics.max_queue, rep.levels)
+            }
+            "ccc" => {
+                let rep = lnpram::routing::ccc::route_ccc_permutation(n, s, SimConfig::default());
+                let diam = if n == 3 { 6 } else { 2 * n + n / 2 - 2 };
+                (rep.metrics.routing_time, rep.metrics.max_queue, diam)
+            }
+            "mesh" => {
+                let alg = match flags.get("algorithm").map(String::as_str).unwrap_or("three-stage") {
+                    "three-stage" => MeshAlgorithm::ThreeStage { slice_rows: default_slice_rows(n) },
+                    "const-queue" => MeshAlgorithm::ThreeStageConstQueue {
+                        slice_rows: default_slice_rows(n),
+                        block_rows: default_block_rows(n),
+                    },
+                    "greedy" => MeshAlgorithm::Greedy,
+                    "valiant" => MeshAlgorithm::ValiantBrebner,
+                    other => return Err(format!("unknown mesh algorithm '{other}'")),
+                };
+                let cfg = SimConfig {
+                    discipline: canonical_discipline(alg),
+                    ..Default::default()
+                };
+                let rep = route_mesh_permutation(n, alg, s, cfg);
+                (rep.metrics.routing_time, rep.metrics.max_queue, rep.n)
+            }
+            other => return Err(format!("unknown topology '{other}'")),
+        };
+        norm = d.max(1);
+        times.push(f64::from(time));
+        queues.push(queue as f64);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "{topo} permutation routing over {trials} trials: time mean {:.1} max {:.0} \
+         (×{:.2} of norm {norm}), max queue mean {:.1}",
+        mean(&times),
+        max(&times),
+        mean(&times) / norm as f64,
+        mean(&queues),
+    );
+    Ok(())
+}
+
+fn run_and_verify<P, F>(make: F, mode: AccessMode, host: &str, mut run_emu: impl FnMut(&mut P) -> (Vec<u64>, f64)) -> Result<(), String>
+where
+    P: PramProgram,
+    F: Fn() -> P,
+{
+    let mut prog = make();
+    let space = prog.address_space();
+    let (image, mean_step) = run_emu(&mut prog);
+    let mut oracle = PramMachine::new(space, mode);
+    oracle.run(&mut make(), 1_000_000);
+    if image != oracle.memory() {
+        return Err(format!("{host}: emulated memory diverged from the reference PRAM"));
+    }
+    println!("{host}: memory image matches the reference PRAM ({space} cells)");
+    println!("mean network steps per PRAM step: {mean_step:.1}");
+    Ok(())
+}
+
+fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let host = flags.get("host").ok_or("--host required")?.clone();
+    let seed = get_u64(flags, "seed", 0)?;
+    let program = flags
+        .get("program")
+        .map(String::as_str)
+        .unwrap_or("prefix-sum");
+    let cfg = EmulatorConfig { seed, ..Default::default() };
+
+    // Each program picks its own processor count to fit the host.
+    let procs: usize = match host.as_str() {
+        "star" => {
+            let n = get_usize(flags, "n", 4)?;
+            (1..=n).product()
+        }
+        "mesh" => {
+            let n = get_usize(flags, "n", 5)?;
+            n * n
+        }
+        _ => {
+            let k = get_usize(flags, "k", 5)?;
+            1usize << k
+        }
+    };
+
+    macro_rules! dispatch {
+        ($make:expr, $mode:expr) => {{
+            let make = $make;
+            let mode = $mode;
+            match host.as_str() {
+                "butterfly" => {
+                    let k = get_usize(flags, "k", 5)?;
+                    run_and_verify(make, mode, "butterfly", |p| {
+                        let mut emu = LeveledPramEmulator::new(
+                            RadixButterfly::new(2, k), mode, p.address_space(), cfg.clone());
+                        let rep = emu.run_program(p, 1_000_000);
+                        (emu.memory_image(p.address_space()), rep.mean_step_time())
+                    })
+                }
+                "star" => {
+                    let n = get_usize(flags, "n", 4)?;
+                    run_and_verify(make, mode, "star", |p| {
+                        let mut emu = StarPramEmulator::new(n, mode, p.address_space(), cfg.clone());
+                        let rep = emu.run_program(p, 1_000_000);
+                        (emu.memory_image(p.address_space()), rep.mean_step_time())
+                    })
+                }
+                "mesh" => {
+                    let n = get_usize(flags, "n", 5)?;
+                    run_and_verify(make, mode, "mesh", |p| {
+                        let mut emu = MeshPramEmulator::new(n, mode, p.address_space(), cfg.clone());
+                        let rep = emu.run_program(p, 1_000_000);
+                        (emu.memory_image(p.address_space()), rep.mean_step_time())
+                    })
+                }
+                "replicated" => {
+                    let k = get_usize(flags, "k", 5)?;
+                    let copies = get_usize(flags, "copies", 3)?;
+                    run_and_verify(make, mode, "replicated", |p| {
+                        let mut emu = ReplicatedPramEmulator::new(
+                            RadixButterfly::new(2, k), mode, p.address_space(), copies, cfg.clone());
+                        let rep = emu.run_program(p, 1_000_000);
+                        (emu.memory_image(p.address_space()), rep.mean_step_time())
+                    })
+                }
+                other => Err(format!("unknown host '{other}'")),
+            }
+        }};
+    }
+
+    match program {
+        "prefix-sum" => {
+            let values: Vec<u64> = (1..=procs as u64).collect();
+            dispatch!(move || PrefixSum::new(values.clone()), AccessMode::Erew)
+        }
+        "reduction-max" => {
+            let values: Vec<u64> = (0..2 * procs as u64).map(|i| (i * 37 + 5) % 1000).collect();
+            dispatch!(move || ReductionMax::new(values.clone()), AccessMode::Erew)
+        }
+        "histogram" => {
+            let inputs: Vec<u64> = (0..procs as u64).map(|i| i % 8).collect();
+            dispatch!(
+                move || Histogram::new(inputs.clone(), 8),
+                AccessMode::Crcw(WritePolicy::Sum)
+            )
+        }
+        "connected-components" => {
+            // Random graph sized so 2E + V fits the host.
+            let v = (procs / 3).max(2);
+            let e = (procs - v) / 2;
+            let mut rng_state = seed ^ 0xC0FFEE;
+            let edges: Vec<(usize, usize)> = (0..e)
+                .map(|_| {
+                    let a = (lnpram::math::rng::splitmix64(&mut rng_state) as usize) % v;
+                    let b = (lnpram::math::rng::splitmix64(&mut rng_state) as usize) % v;
+                    (a, b)
+                })
+                .collect();
+            dispatch!(
+                move || ConnectedComponents::new(v, edges.clone()),
+                AccessMode::Crcw(WritePolicy::Max)
+            )
+        }
+        other => Err(format!("unknown program '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        print!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "audit" | "route" | "emulate" => match parse_flags(rest) {
+            Err(e) => Err(e),
+            Ok(flags) => match cmd.as_str() {
+                "audit" => cmd_audit(&flags),
+                "route" => cmd_route(&flags),
+                _ => cmd_emulate(&flags),
+            },
+        },
+        other => Err(format!("unknown command '{other}' (try: lnpram help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
