@@ -10,7 +10,9 @@ use lnpram_topology::leveled::RadixButterfly;
 
 /// One round of permutation traffic: processor `i` reads cell `perm[i]`.
 fn read_ops(n: usize) -> Vec<MemOp> {
-    (0..n).map(|i| MemOp::Read(((i * 7 + 3) % n) as u64)).collect()
+    (0..n)
+        .map(|i| MemOp::Read(((i * 7 + 3) % n) as u64))
+        .collect()
 }
 
 fn bench_leveled(c: &mut Criterion) {
@@ -62,23 +64,27 @@ fn bench_replicated(c: &mut Criterion) {
     let mut group = c.benchmark_group("emulate_step_replicated");
     group.sample_size(20);
     for copies in [1usize, 3, 5] {
-        group.bench_with_input(BenchmarkId::new("erew_read_step_R", copies), &copies, |b, _| {
-            let k = 7usize;
-            let n = 1usize << k;
-            let mut emu = ReplicatedPramEmulator::new(
-                RadixButterfly::new(2, k),
-                AccessMode::Erew,
-                n as u64,
-                copies,
-                EmulatorConfig::default(),
-            );
-            let ops = read_ops(n);
-            let mut label = 0u64;
-            b.iter(|| {
-                label += 1;
-                emu.emulate_step(&ops, label)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("erew_read_step_R", copies),
+            &copies,
+            |b, _| {
+                let k = 7usize;
+                let n = 1usize << k;
+                let mut emu = ReplicatedPramEmulator::new(
+                    RadixButterfly::new(2, k),
+                    AccessMode::Erew,
+                    n as u64,
+                    copies,
+                    EmulatorConfig::default(),
+                );
+                let ops = read_ops(n);
+                let mut label = 0u64;
+                b.iter(|| {
+                    label += 1;
+                    emu.emulate_step(&ops, label)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -11,20 +11,16 @@ fn bench_queue(c: &mut Criterion) {
         ("furthest_first", Discipline::FurthestFirst),
     ] {
         for occupancy in [4usize, 16, 64] {
-            group.bench_with_input(
-                BenchmarkId::new(name, occupancy),
-                &occupancy,
-                |b, &occ| {
-                    let mut q = LinkQueue::new();
-                    for i in 0..occ {
-                        q.push(Packet::new(i as u32, 0, 1).with_priority((i * 37 % 23) as u32));
-                    }
-                    b.iter(|| {
-                        let p = q.pop(disc).unwrap();
-                        q.push(black_box(p));
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, occupancy), &occupancy, |b, &occ| {
+                let mut q = LinkQueue::new();
+                for i in 0..occ {
+                    q.push(Packet::new(i as u32, 0, 1).with_priority((i * 37 % 23) as u32));
+                }
+                b.iter(|| {
+                    let p = q.pop(disc).unwrap();
+                    q.push(black_box(p));
+                });
+            });
         }
     }
     group.finish();

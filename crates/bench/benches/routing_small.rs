@@ -2,10 +2,10 @@
 //! for tracking regressions in the routers themselves).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lnpram_routing::mesh::default_slice_rows;
 use lnpram_routing::{
     route_mesh_permutation, route_shuffle_permutation, route_star_permutation, MeshAlgorithm,
 };
-use lnpram_routing::mesh::default_slice_rows;
 use lnpram_simnet::SimConfig;
 use lnpram_topology::DWayShuffle;
 

@@ -13,8 +13,10 @@ fn main() {
     for n in [3usize, 4] {
         let star = StarGraph::new(n);
         let rep = audit(&star);
-        println!("## {n}-star: {} nodes, degree {}, diameter {:?}, symmetric: {}",
-            rep.nodes, rep.max_degree, rep.diameter, rep.symmetric);
+        println!(
+            "## {n}-star: {} nodes, degree {}, diameter {:?}, symmetric: {}",
+            rep.nodes, rep.max_degree, rep.diameter, rep.symmetric
+        );
         assert_eq!(rep.nodes, (1..=n).product::<usize>());
         assert_eq!(rep.max_degree, n - 1);
         assert_eq!(rep.diameter, Some(3 * (n - 1) / 2));

@@ -12,7 +12,7 @@
 //! for both at laptop scales (the plain variant's `O(log n)` bound is
 //! loose in practice) with the refined variant bounded by a constant.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_math::rng::SeedSeq;
 use lnpram_routing::mesh::{
     canonical_discipline, default_block_rows, default_slice_rows, route_mesh_with_dests,
@@ -23,7 +23,7 @@ use lnpram_simnet::SimConfig;
 use lnpram_topology::Mesh;
 
 fn main() {
-    let n_trials = 8u64;
+    let n_trials = trial_count(8);
     let mut t = Table::new(
         "Ablation A5 — plain three-stage vs constant-queue refinement (Thm 3.2)",
         &["n", "variant", "workload", "time/n", "max queue"],

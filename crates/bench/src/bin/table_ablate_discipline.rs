@@ -4,7 +4,7 @@
 //! The paper's linear-array analysis (§3.4.1) requires the priority
 //! discipline; this table shows what it buys in time and queue length.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_math::rng::SeedSeq;
 use lnpram_routing::mesh::{default_slice_rows, route_mesh_with_dests, MeshAlgorithm};
 use lnpram_routing::workloads;
@@ -12,14 +12,16 @@ use lnpram_simnet::{Discipline, SimConfig};
 use lnpram_topology::Mesh;
 
 fn main() {
-    let n_trials = 8u64;
+    let n_trials = trial_count(8);
     let mut t = Table::new(
         "Ablation A1 — queue discipline for the mesh three-stage algorithm",
         &["n", "discipline", "time (p95/max)", "time/n", "max queue"],
     );
     for n in [16usize, 32, 64] {
         let mesh = Mesh::square(n);
-        let alg = MeshAlgorithm::ThreeStage { slice_rows: default_slice_rows(n) };
+        let alg = MeshAlgorithm::ThreeStage {
+            slice_rows: default_slice_rows(n),
+        };
         for (name, disc) in [
             ("furthest-first", Discipline::FurthestFirst),
             ("fifo", Discipline::Fifo),
@@ -27,7 +29,10 @@ fn main() {
             let run = |s: u64| {
                 let mut rng = SeedSeq::new(s).rng();
                 let dests = workloads::random_permutation(n * n, &mut rng);
-                let cfg = SimConfig { discipline: disc, ..Default::default() };
+                let cfg = SimConfig {
+                    discipline: disc,
+                    ..Default::default()
+                };
                 route_mesh_with_dests(mesh, &dests, alg, SeedSeq::new(s), cfg)
             };
             let time = trials(n_trials, |s| run(s).metrics.routing_time as f64);

@@ -5,7 +5,7 @@
 //! force rehashes; S = cL restores the Lemma 2.2 tail. Reports max module
 //! load on an adversarial set, plus emulation time and rehashes.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_core::{EmulatorConfig, LeveledPramEmulator};
 use lnpram_hash::analysis::max_load;
 use lnpram_hash::HashFamily;
@@ -19,11 +19,17 @@ fn main() {
     let net = RadixButterfly::new(2, 10); // 1024 processors, diameter 20
     let n = 1024u64;
     let diam = 20usize;
-    let n_trials = 25u64;
+    let n_trials = trial_count(25);
 
     let mut t = Table::new(
         "Ablation A3 — hash degree S (butterfly(2,10), N = 1024)",
-        &["S", "max load: stride set", "max load: random set", "emu steps/PRAM", "rehashes"],
+        &[
+            "S",
+            "max load: stride set",
+            "max load: random set",
+            "emu steps/PRAM",
+            "rehashes",
+        ],
     );
     for s_deg in [1usize, 2, diam / 2, diam, 2 * diam] {
         let fam = HashFamily::new(n * 64, n, s_deg);
@@ -71,6 +77,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("paper: S = cL gives the interpolation-counting tail of Lemma 2.2;\n\
-              constant-degree hashes lose it on structured address sets.");
+    println!(
+        "paper: S = cL gives the interpolation-counting tail of Lemma 2.2;\n\
+              constant-degree hashes lose it on structured address sets."
+    );
 }

@@ -4,7 +4,7 @@
 //! paper picks ε = 1/log n. The sweep shows the tradeoff: slices too
 //! short under-randomize (stage-2 congestion), too tall overpay stage 1.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_math::rng::SeedSeq;
 use lnpram_routing::mesh::{default_slice_rows, route_mesh_with_dests, MeshAlgorithm};
 use lnpram_routing::workloads;
@@ -13,7 +13,7 @@ use lnpram_topology::Mesh;
 
 fn main() {
     let n = 64usize;
-    let n_trials = 8u64;
+    let n_trials = trial_count(8);
     let mesh = Mesh::square(n);
     let mut t = Table::new(
         "Ablation A2 — slice height for the three-stage algorithm (n = 64)",

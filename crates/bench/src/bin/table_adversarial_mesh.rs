@@ -20,7 +20,7 @@
 //! the randomized three-stage algorithm's queues stay flat and its time
 //! stays at `2n + o(n)` regardless of the pattern.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_math::rng::SeedSeq;
 use lnpram_routing::mesh::{
     canonical_discipline, default_slice_rows, route_mesh_with_dests, MeshAlgorithm,
@@ -39,7 +39,7 @@ fn pattern(mesh: &Mesh, name: &str, seed: u64) -> Vec<usize> {
 }
 
 fn main() {
-    let n_trials = 5u64;
+    let n_trials = trial_count(5);
     let mut t = Table::new(
         "Table I2 — deterministic vs randomized routing on adversarial patterns",
         &["n", "pattern", "algorithm", "time/n", "max queue"],

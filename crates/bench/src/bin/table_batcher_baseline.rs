@@ -11,16 +11,24 @@
 //! Valiant's grows ~2.5k with queues of a few packets. The crossover
 //! where randomization wins sits at small k and widens with N.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_routing::bitonic::route_cube_bitonic;
 use lnpram_routing::hypercube::route_cube_permutation;
 use lnpram_simnet::SimConfig;
 
 fn main() {
-    let n_trials = 8u64;
+    let n_trials = trial_count(8);
     let mut t = Table::new(
         "Table I3 — Batcher bitonic vs Valiant randomized routing on the k-cube",
-        &["k", "N", "bitonic steps", "bitonic queue", "valiant steps", "valiant queue", "speedup"],
+        &[
+            "k",
+            "N",
+            "bitonic steps",
+            "bitonic queue",
+            "valiant steps",
+            "valiant queue",
+            "speedup",
+        ],
     );
     for k in [4usize, 6, 8, 10, 12] {
         let bit = trials(n_trials, |s| {
@@ -29,7 +37,9 @@ fn main() {
                 .routing_time as f64
         });
         let bit_q = trials(n_trials, |s| {
-            route_cube_bitonic(k, s, SimConfig::default()).metrics.max_queue as f64
+            route_cube_bitonic(k, s, SimConfig::default())
+                .metrics
+                .max_queue as f64
         });
         let val = trials(n_trials, |s| {
             route_cube_permutation(k, s, SimConfig::default())
@@ -37,7 +47,9 @@ fn main() {
                 .routing_time as f64
         });
         let val_q = trials(n_trials, |s| {
-            route_cube_permutation(k, s, SimConfig::default()).metrics.max_queue as f64
+            route_cube_permutation(k, s, SimConfig::default())
+                .metrics
+                .max_queue as f64
         });
         t.row(&[
             fmt::n(k),

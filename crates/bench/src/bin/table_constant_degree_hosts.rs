@@ -14,7 +14,7 @@
 //! paper's star graph (table_intro_star_vs_cube) beats them all on both
 //! axes at once.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_routing::ccc::route_ccc_permutation;
 use lnpram_routing::hypercube::route_cube_permutation;
 use lnpram_routing::route_leveled_permutation;
@@ -22,7 +22,7 @@ use lnpram_simnet::SimConfig;
 use lnpram_topology::leveled::RadixButterfly;
 
 fn main() {
-    let n_trials = 6u64;
+    let n_trials = trial_count(6);
     let mut t = Table::new(
         "Table I4 — constant-degree leveled hosts vs the hypercube",
         &["host", "N", "degree", "diam", "time", "time/diam"],

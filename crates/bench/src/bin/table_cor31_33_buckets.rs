@@ -5,13 +5,13 @@
 //! * Cor 3.2 — n² items into βn buckets: max ≤ n/β + O(n^{3/4});
 //! * Cor 3.3 — the total load of any log N buckets is O(log N).
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_hash::analysis::load_profile;
 use lnpram_hash::HashFamily;
 use lnpram_math::rng::SeedSeq;
 
 fn main() {
-    let n_trials = 30u64;
+    let n_trials = trial_count(30);
 
     let mut t = Table::new(
         "Corollary 3.1 — N items into N buckets",
@@ -22,7 +22,10 @@ fn main() {
         let fam = HashFamily::new(n * 8, n, 12);
         let maxes = trials(n_trials, |s| {
             let h = fam.sample(&mut SeedSeq::new(s).rng());
-            *load_profile(&h, (0..n).map(|i| i * 7 + 1)).iter().max().unwrap() as f64
+            *load_profile(&h, (0..n).map(|i| i * 7 + 1))
+                .iter()
+                .max()
+                .unwrap() as f64
         });
         let ln = (n as f64).ln();
         let bound = ln / ln.ln();
@@ -45,7 +48,10 @@ fn main() {
         let fam = HashFamily::new(items * 4, buckets, 12);
         let maxes = trials(n_trials.min(20), |s| {
             let h = fam.sample(&mut SeedSeq::new(s).rng());
-            *load_profile(&h, (0..items).map(|i| i * 3 + 2)).iter().max().unwrap() as f64
+            *load_profile(&h, (0..items).map(|i| i * 3 + 2))
+                .iter()
+                .max()
+                .unwrap() as f64
         });
         let bound = n as f64 / beta as f64 + (n as f64).powf(0.75);
         t.row(&[

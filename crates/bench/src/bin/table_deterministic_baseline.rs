@@ -34,7 +34,10 @@ fn rows<L: Leveled + Copy>(t: &mut Table, net: L, seed: u64) {
         net,
         AccessMode::Erew,
         prog.address_space(),
-        EmulatorConfig { seed, ..Default::default() },
+        EmulatorConfig {
+            seed,
+            ..Default::default()
+        },
     );
     let rep = hashed.run_program(&mut prog, 10_000);
     t.row(&[
@@ -54,7 +57,10 @@ fn rows<L: Leveled + Copy>(t: &mut Table, net: L, seed: u64) {
             AccessMode::Erew,
             prog.address_space(),
             copies,
-            EmulatorConfig { seed, ..Default::default() },
+            EmulatorConfig {
+                seed,
+                ..Default::default()
+            },
         );
         let rep = emu.run_program(&mut prog, 10_000);
         t.row(&[
@@ -71,7 +77,14 @@ fn rows<L: Leveled + Copy>(t: &mut Table, net: L, seed: u64) {
 fn main() {
     let mut t = Table::new(
         "Table D1 — randomized hashing vs deterministic replication ([3]-style)",
-        &["host", "N", "scheme", "pkts/access", "steps/PRAM step", "per diameter"],
+        &[
+            "host",
+            "N",
+            "scheme",
+            "pkts/access",
+            "steps/PRAM step",
+            "per diameter",
+        ],
     );
     rows(&mut t, RadixButterfly::new(2, 6), 1);
     rows(&mut t, RadixButterfly::new(2, 8), 2);

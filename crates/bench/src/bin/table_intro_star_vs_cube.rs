@@ -6,17 +6,24 @@
 //! networks route permutations in Õ(diameter), so the star's smaller
 //! diameter wins outright at comparable sizes.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_math::perm::factorial;
 use lnpram_routing::hypercube::route_cube_permutation;
 use lnpram_routing::star::route_star_permutation;
 use lnpram_simnet::SimConfig;
 
 fn main() {
-    let n_trials = 5u64;
+    let n_trials = trial_count(5);
     let mut t = Table::new(
         "Intro / §2.3.4 — star graph vs binary hypercube at comparable sizes",
-        &["network", "N", "degree", "diameter", "perm routing time", "time/diam"],
+        &[
+            "network",
+            "N",
+            "degree",
+            "diameter",
+            "perm routing time",
+            "time/diam",
+        ],
     );
     for (star_n, cube_d) in [(5usize, 7usize), (6, 10), (7, 13)] {
         let s = trials(n_trials, |seed| {
@@ -48,6 +55,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("paper: star degree/diameter grow more slowly in N than the cube's;\n\
-              with O~(diameter) routing on both, the star wins in absolute steps.");
+    println!(
+        "paper: star degree/diameter grow more slowly in N than the cube's;\n\
+              with O~(diameter) routing on both, the star wins in absolute steps."
+    );
 }

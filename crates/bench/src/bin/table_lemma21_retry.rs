@@ -20,7 +20,14 @@ fn main() {
 
     let mut t = Table::new(
         "Lemma 2.1 — retry amplification on butterfly(2,8), budget = 2l + slack",
-        &["slack", "p(fail single)", "mean attempts", "p(fail <=2 tries)", "p^2 (predicted)", "charged/f(N)"],
+        &[
+            "slack",
+            "p(fail single)",
+            "mean attempts",
+            "p(fail <=2 tries)",
+            "p^2 (predicted)",
+            "charged/f(N)",
+        ],
     );
     for slack in [2u32, 3, 4, 5] {
         let budget = 2 * ell + slack;
@@ -97,6 +104,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("paper: failure prob drops exponentially in the number of retries\n\
-              (measured p(fail after 2) tracks p(fail single)^2).");
+    println!(
+        "paper: failure prob drops exponentially in the number of retries\n\
+              (measured p(fail after 2) tracks p(fail single)^2)."
+    );
 }

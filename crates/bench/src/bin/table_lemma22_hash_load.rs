@@ -6,7 +6,7 @@
 //! functions; reports the measured max-load distribution next to the γ
 //! at which the analytic (union) bound crosses 1/trials and 10^{-9}.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_hash::analysis::{karlin_upfal_max_load_bound, max_load};
 use lnpram_hash::HashFamily;
 use lnpram_math::rng::SeedSeq;
@@ -18,10 +18,17 @@ fn gamma_for(bound: f64, n: u64, delta: u64) -> u64 {
 }
 
 fn main() {
-    let n_trials = 40u64;
+    let n_trials = trial_count(40);
     let mut t = Table::new(
         "Lemma 2.2 — max module load of N requests on N modules under h ~ H",
-        &["N", "delta=S", "measured max (p95/max)", "gamma@1/trials", "gamma@1e-9", "trials >= gamma@1/trials"],
+        &[
+            "N",
+            "delta=S",
+            "measured max (p95/max)",
+            "gamma@1/trials",
+            "gamma@1e-9",
+            "trials >= gamma@1/trials",
+        ],
     );
     for (n_pow, delta) in [(8u32, 8u64), (10, 10), (12, 12), (12, 24), (14, 14)] {
         let n = 1u64 << n_pow;
@@ -49,6 +56,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("paper: with delta = c*l, loads beyond c*l have probability N^-alpha;\n\
-              measured maxima sit at the gamma where the bound crosses 1/trials.");
+    println!(
+        "paper: with delta = c*l, loads beyond c*l have probability N^-alpha;\n\
+              measured maxima sit at the gamma where the bound crosses 1/trials."
+    );
 }

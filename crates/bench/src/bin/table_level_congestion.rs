@@ -63,10 +63,14 @@ fn main() {
     let random = route_leveled_with_dests(inner, &bit_reversal, SeedSeq::new(1), cfg.clone());
 
     let mut t = Table::new(
-        format!(
-            "Table A6 — per-level link load, bit-reversal on butterfly(2,{k}) (N = {n})"
-        ),
-        &["level", "direct max", "direct max/mean", "randomized max", "randomized max/mean"],
+        format!("Table A6 — per-level link load, bit-reversal on butterfly(2,{k}) (N = {n})"),
+        &[
+            "level",
+            "direct max",
+            "direct max/mean",
+            "randomized max",
+            "randomized max/mean",
+        ],
     );
     let dl = per_level(&direct.metrics.link_loads, inner);
     let rl = per_level(&random.metrics.link_loads, inner);

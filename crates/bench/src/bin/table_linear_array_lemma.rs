@@ -5,12 +5,12 @@
 //! n′ = εn + o(n) per column, stages 2–3 with n′ = n + o(n) per row /
 //! column).
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_routing::linear::{route_linear_random_dests, LinearLoad};
 use lnpram_simnet::SimConfig;
 
 fn main() {
-    let n_trials = 10u64;
+    let n_trials = trial_count(10);
     let mut t = Table::new(
         "Lemma (§3.4.1) — linear array, random destinations, furthest-first",
         &["n", "load", "n'", "time (p95/max)", "time/n'", "max queue"],
@@ -19,7 +19,11 @@ fn main() {
         let cases: Vec<(String, LinearLoad, usize)> = vec![
             ("1 per node".into(), LinearLoad::Uniform(1), n),
             ("4 per node".into(), LinearLoad::Uniform(4), 4 * n),
-            (format!("{} random", 2 * n), LinearLoad::Random(2 * n), 2 * n),
+            (
+                format!("{} random", 2 * n),
+                LinearLoad::Random(2 * n),
+                2 * n,
+            ),
             (format!("{} at node 0", n), LinearLoad::OneEnd(n), n),
         ];
         for (label, load, nprime) in cases {
@@ -44,6 +48,8 @@ fn main() {
         }
     }
     t.print();
-    println!("paper: n' + o(n) w.h.p. — the time/n' column approaches 1 from above\n\
-              as n grows (the one-end pile-up adds the n-step traversal term).");
+    println!(
+        "paper: n' + o(n) w.h.p. — the time/n' column approaches 1 from above\n\
+              as n grows (the one-end pile-up adds the n-step traversal term)."
+    );
 }

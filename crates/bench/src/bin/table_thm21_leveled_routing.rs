@@ -5,7 +5,7 @@
 //! reports routing time normalised by ℓ (the theorem's constant must stay
 //! flat as N grows) and the max FIFO queue normalised by ℓ.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_routing::route_leveled_permutation;
 use lnpram_simnet::SimConfig;
 use lnpram_topology::leveled::{Leveled, RadixButterfly, UnrolledShuffle};
@@ -37,11 +37,17 @@ fn sweep<L: Leveled + Copy>(t: &mut Table, nets: &[L], n_trials: u64) {
 }
 
 fn main() {
-    let n_trials = 10;
+    let n_trials = trial_count(10);
     let mut t = Table::new(
         "Theorem 2.1 — permutation routing on leveled networks (Algorithm 2.1, FIFO)",
         &[
-            "network", "N", "levels", "deg", "time (p95/max)", "time/l", "queue (p95/max)",
+            "network",
+            "N",
+            "levels",
+            "deg",
+            "time (p95/max)",
+            "time/l",
+            "queue (p95/max)",
             "queue/l",
         ],
     );

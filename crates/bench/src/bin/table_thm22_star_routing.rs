@@ -4,7 +4,7 @@
 //! Note the scale column: the diameter is *sub-logarithmic* in N = n!
 //! (star(7) has 5040 nodes and diameter 9, where log2 N ≈ 12.3).
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_math::perm::factorial;
 use lnpram_routing::star::{route_star_deterministic, route_star_permutation, route_star_relation};
 use lnpram_simnet::SimConfig;
@@ -12,10 +12,20 @@ use lnpram_simnet::SimConfig;
 fn main() {
     let mut t = Table::new(
         "Theorem 2.2 / Cor 2.1 — routing on the n-star (Algorithm 2.2, FIFO)",
-        &["n", "N=n!", "diam", "log2 N", "perm time", "time/diam", "n-rel time", "rel/diam", "max queue"],
+        &[
+            "n",
+            "N=n!",
+            "diam",
+            "log2 N",
+            "perm time",
+            "time/diam",
+            "n-rel time",
+            "rel/diam",
+            "max queue",
+        ],
     );
     for n in [4usize, 5, 6, 7] {
-        let n_trials = if n >= 7 { 3 } else { 8 };
+        let n_trials = trial_count(if n >= 7 { 3 } else { 8 });
         let diam = 3 * (n - 1) / 2;
         let perm = trials(n_trials, |s| {
             route_star_permutation(n, s, SimConfig::default())
@@ -54,10 +64,16 @@ fn main() {
     // no randomization — faster on random inputs, no w.h.p. guarantee.
     let mut t = Table::new(
         "§2.3.3 deterministic vs randomized star routing (random permutations)",
-        &["n", "deterministic", "det/diam", "randomized (Alg 2.2)", "rand/diam"],
+        &[
+            "n",
+            "deterministic",
+            "det/diam",
+            "randomized (Alg 2.2)",
+            "rand/diam",
+        ],
     );
     for n in [5usize, 6, 7] {
-        let n_trials = if n >= 7 { 3 } else { 8 };
+        let n_trials = trial_count(if n >= 7 { 3 } else { 8 });
         let diam = (3 * (n - 1) / 2) as f64;
         let det = trials(n_trials, |s| {
             route_star_deterministic(n, s, SimConfig::default())

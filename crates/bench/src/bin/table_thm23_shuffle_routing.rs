@@ -2,7 +2,7 @@
 //! routing on the n-way shuffle in Õ(n) — beating Valiant's
 //! Õ(n log n / log log n) bound for this network.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_routing::shuffle::{route_shuffle_permutation, route_shuffle_relation};
 use lnpram_simnet::SimConfig;
 use lnpram_topology::{DWayShuffle, Network};
@@ -10,11 +10,20 @@ use lnpram_topology::{DWayShuffle, Network};
 fn main() {
     let mut t = Table::new(
         "Theorem 2.3 / Cor 2.2 — routing on the n-way shuffle (Algorithm 2.3, FIFO)",
-        &["n", "N=n^n", "diam", "perm time", "time/n", "valiant bound", "n-rel time", "max queue"],
+        &[
+            "n",
+            "N=n^n",
+            "diam",
+            "perm time",
+            "time/n",
+            "valiant bound",
+            "n-rel time",
+            "max queue",
+        ],
     );
     for n in [2usize, 3, 4, 5] {
         let sh = DWayShuffle::n_way(n);
-        let n_trials = if n >= 5 { 4 } else { 10 };
+        let n_trials = trial_count(if n >= 5 { 4 } else { 10 });
         let perm = trials(n_trials, |s| {
             route_shuffle_permutation(sh, s, SimConfig::default())
                 .metrics
@@ -33,7 +42,11 @@ fn main() {
         // Valiant's general d-way bound: O(n log n / log log n) — show the
         // growth factor it would add at this n.
         let nf = n as f64;
-        let valiant = if n >= 3 { nf * nf.ln() / nf.ln().ln().max(0.2) } else { nf };
+        let valiant = if n >= 3 {
+            nf * nf.ln() / nf.ln().ln().max(0.2)
+        } else {
+            nf
+        };
         t.row(&[
             fmt::n(n),
             fmt::n(sh.num_nodes()),

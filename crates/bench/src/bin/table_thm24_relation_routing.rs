@@ -39,7 +39,16 @@ fn sweep<L: Leveled + Copy>(t: &mut Table, net: L, n_trials: u64) {
 fn main() {
     let mut t = Table::new(
         "Theorem 2.4 — partial h-relation routing on leveled networks (l = O(d))",
-        &["network", "N", "l", "h", "time", "time/l", "time/(l*h)", "max queue"],
+        &[
+            "network",
+            "N",
+            "l",
+            "h",
+            "time",
+            "time/l",
+            "time/(l*h)",
+            "max queue",
+        ],
     );
     sweep(&mut t, RadixButterfly::new(4, 4), 6);
     sweep(&mut t, RadixButterfly::new(6, 4), 6);

@@ -27,7 +27,10 @@ fn leveled_row<L: Leveled + Copy>(t: &mut Table, net: L, seed: u64) {
         net,
         AccessMode::Erew,
         prog.address_space(),
-        EmulatorConfig { seed, ..Default::default() },
+        EmulatorConfig {
+            seed,
+            ..Default::default()
+        },
     );
     let rep = emu.run_program(&mut prog, 10_000);
     t.row(&[
@@ -50,7 +53,10 @@ fn star_row(t: &mut Table, n: usize, seed: u64) {
         n,
         AccessMode::Erew,
         prog.address_space(),
-        EmulatorConfig { seed, ..Default::default() },
+        EmulatorConfig {
+            seed,
+            ..Default::default()
+        },
     );
     let rep = emu.run_program(&mut prog, 10_000);
     t.row(&[
@@ -67,7 +73,15 @@ fn star_row(t: &mut Table, n: usize, seed: u64) {
 fn main() {
     let mut t = Table::new(
         "Theorem 2.5 / Cor 2.3-2.4 — EREW PRAM step emulation in O~(diameter)",
-        &["host", "N", "diam", "steps/PRAM step", "per diam", "worst step", "rehashes"],
+        &[
+            "host",
+            "N",
+            "diam",
+            "steps/PRAM step",
+            "per diam",
+            "worst step",
+            "rehashes",
+        ],
     );
     for (k, seed) in [(6usize, 1u64), (8, 2), (10, 3), (12, 4)] {
         leveled_row(&mut t, RadixButterfly::new(2, k), seed);
@@ -80,6 +94,8 @@ fn main() {
     star_row(&mut t, 5, 10);
     star_row(&mut t, 6, 11);
     t.print();
-    println!("paper: per-diameter slowdown is a constant (optimal emulation);\n\
-              for star/shuffle the diameter is sub-logarithmic in N.");
+    println!(
+        "paper: per-diameter slowdown is a constant (optimal emulation);\n\
+              for star/shuffle the diameter is sub-logarithmic in N."
+    );
 }

@@ -66,7 +66,10 @@ fn run_leveled<L: Leveled + Copy, P: PramProgram>(
         net,
         AccessMode::Crew,
         prog.address_space(),
-        EmulatorConfig { combining, ..Default::default() },
+        EmulatorConfig {
+            combining,
+            ..Default::default()
+        },
     );
     let rep = emu.run_program(&mut prog, 10_000);
     let busiest = rep.steps.iter().map(|s| s.service_steps).max().unwrap_or(0);
@@ -76,7 +79,14 @@ fn run_leveled<L: Leveled + Copy, P: PramProgram>(
 fn main() {
     let mut t = Table::new(
         "Theorem 2.6 / A4 — CRCW combining on concurrent-read workloads",
-        &["host", "workload", "combining", "steps/PRAM step", "busiest module", "combines"],
+        &[
+            "host",
+            "workload",
+            "combining",
+            "steps/PRAM step",
+            "busiest module",
+            "combines",
+        ],
     );
     for k in [6usize, 8, 10] {
         let net = RadixButterfly::new(2, k);
@@ -112,7 +122,10 @@ fn main() {
             5,
             AccessMode::Crew,
             prog.address_space(),
-            EmulatorConfig { combining: comb, ..Default::default() },
+            EmulatorConfig {
+                combining: comb,
+                ..Default::default()
+            },
         );
         let rep = emu.run_program(&mut prog, 10_000);
         let busiest = rep.steps.iter().map(|s| s.service_steps).max().unwrap_or(0);
@@ -126,6 +139,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("paper: combining keeps CRCW steps at O~(l) — busiest-module load\n\
-              collapses from N (all concurrent readers) to O(1).");
+    println!(
+        "paper: combining keeps CRCW steps at O~(l) — busiest-module load\n\
+              collapses from N (all concurrent readers) to O(1)."
+    );
 }

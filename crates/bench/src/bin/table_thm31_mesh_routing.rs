@@ -2,7 +2,7 @@
 //! the n×n mesh in 2n + o(n) w.h.p. with O(log n) queues — against the
 //! Valiant–Brebner (3n + o(n)), greedy, and shearsort baselines.
 
-use lnpram_bench::{fmt, trials, Table};
+use lnpram_bench::{fmt, trial_count, trials, Table};
 use lnpram_math::rng::SeedSeq;
 use lnpram_routing::mesh::{
     default_slice_rows, route_mesh_permutation, route_mesh_with_dests, MeshAlgorithm,
@@ -12,16 +12,25 @@ use lnpram_simnet::SimConfig;
 use lnpram_topology::Mesh;
 
 fn main() {
-    let n_trials = 8u64;
+    let n_trials = trial_count(8);
     let mut t = Table::new(
         "Theorem 3.1 — permutation routing on the n x n mesh",
-        &["n", "algorithm", "time (p95/max)", "time/n", "max queue", "log2 n"],
+        &[
+            "n",
+            "algorithm",
+            "time (p95/max)",
+            "time/n",
+            "max queue",
+            "log2 n",
+        ],
     );
     for n in [16usize, 32, 64, 96] {
         let algos: Vec<(String, MeshAlgorithm)> = vec![
             (
                 "three-stage".into(),
-                MeshAlgorithm::ThreeStage { slice_rows: default_slice_rows(n) },
+                MeshAlgorithm::ThreeStage {
+                    slice_rows: default_slice_rows(n),
+                },
             ),
             ("valiant-brebner".into(), MeshAlgorithm::ValiantBrebner),
             ("greedy XY".into(), MeshAlgorithm::Greedy),
@@ -61,8 +70,10 @@ fn main() {
         ]);
     }
     t.print();
-    println!("paper: three-stage -> 2n + o(n) with O(log n) queues;\n\
-              VB -> 3n + o(n); sorting-based schemes pay n log n.\n");
+    println!(
+        "paper: three-stage -> 2n + o(n) with O(log n) queues;\n\
+              VB -> 3n + o(n); sorting-based schemes pay n log n.\n"
+    );
 
     // Structured workload: the transpose permutation (r,c) -> (c,r).
     // Deterministic greedy is competitive on permutations; the paper's
@@ -85,7 +96,9 @@ fn main() {
         for (name, alg) in [
             (
                 "three-stage",
-                MeshAlgorithm::ThreeStage { slice_rows: default_slice_rows(n) },
+                MeshAlgorithm::ThreeStage {
+                    slice_rows: default_slice_rows(n),
+                },
             ),
             ("greedy XY", MeshAlgorithm::Greedy),
         ] {

@@ -12,7 +12,14 @@ use lnpram_routing::{ranade, workloads};
 fn main() {
     let mut t = Table::new(
         "Theorem 3.2 — EREW PRAM step on the n x n mesh (4n + o(n))",
-        &["n", "N=n^2", "steps/PRAM step", "per n", "worst step", "rehashes"],
+        &[
+            "n",
+            "N=n^2",
+            "steps/PRAM step",
+            "per n",
+            "worst step",
+            "rehashes",
+        ],
     );
     for (n, rounds) in [(8usize, 6usize), (16, 6), (32, 5), (48, 4), (64, 3)] {
         let mut rng = SeedSeq::new(n as u64).rng();
@@ -22,7 +29,10 @@ fn main() {
             n,
             AccessMode::Erew,
             prog.address_space(),
-            EmulatorConfig { seed: n as u64, ..Default::default() },
+            EmulatorConfig {
+                seed: n as u64,
+                ..Default::default()
+            },
         );
         let rep = emu.run_program(&mut prog, 10_000);
         t.row(&[
@@ -54,6 +64,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("paper: the direct algorithm costs ~4n; Ranade's technique applied\n\
-              to the mesh has a constant 'roughly 100' — impractical at mesh scale.");
+    println!(
+        "paper: the direct algorithm costs ~4n; Ranade's technique applied\n\
+              to the mesh has a constant 'roughly 100' — impractical at mesh scale."
+    );
 }

@@ -25,7 +25,10 @@ fn main() {
             AccessMode::Erew,
             prog.address_space(),
             d,
-            EmulatorConfig { seed: d as u64, ..Default::default() },
+            EmulatorConfig {
+                seed: d as u64,
+                ..Default::default()
+            },
         );
         let rep = emu.run_program(&mut prog, 10_000);
         let queue = rep.steps.iter().map(|s| s.max_queue).max().unwrap_or(0);
@@ -38,6 +41,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("paper: time tracks 6d + o(d) — the per-d column stays bounded while\n\
-              per-n shrinks with locality; queues stay O(1).");
+    println!(
+        "paper: time tracks 6d + o(d) — the per-d column stays bounded while\n\
+              per-n shrinks with locality; queues stay O(1)."
+    );
 }

@@ -19,43 +19,58 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use lnpram_math::stats::Summary;
-use parking_lot::Mutex;
+use lnpram_math::stats::{par_summary, Summary};
 
-/// Run `f` for seeds `0..trials` and summarise the returned values.
-pub fn trials<F: FnMut(u64) -> f64>(trials: u64, mut f: F) -> Summary {
-    let data: Vec<f64> = (0..trials).map(&mut f).collect();
-    Summary::of(&data)
+/// Number of trials to actually run: `default`, unless the
+/// `LNPRAM_TRIALS` environment variable overrides it.
+///
+/// CI sets `LNPRAM_TRIALS` to a small value so `cargo test -q` stays
+/// fast, while the bench binaries keep their full-size sweeps when the
+/// variable is unset. A value of `0` or garbage falls back to `default`.
+pub fn trial_count(default: u64) -> u64 {
+    parse_trial_count(std::env::var("LNPRAM_TRIALS").ok().as_deref(), default)
 }
 
-/// Run independent trials across worker threads (crossbeam scoped
-/// threads; one worker per core). The per-seed closure must be `Sync` —
-/// all the routing entry points are, since they build their own engines.
-/// Results are returned in seed order, so the summary is identical to the
-/// serial [`trials`] (determinism is per seed, not per schedule).
+/// The parsing rule behind [`trial_count`], separated so tests don't
+/// have to mutate process environment (`setenv` racing another thread's
+/// `getenv` is UB on glibc).
+fn parse_trial_count(var: Option<&str>, default: u64) -> u64 {
+    match var.map(|v| v.trim().parse::<u64>()) {
+        Some(Ok(n)) if n > 0 => n,
+        _ => default,
+    }
+}
+
+/// Run `f` for seeds `0..trials` and summarise the returned values.
+///
+/// Trials run across worker threads (std scoped threads, one per core,
+/// work handed out by an atomic counter). The per-seed closure must be
+/// `Sync` — all the routing entry points are, since they build their own
+/// engines. Results are collected in seed order, so the summary is
+/// identical to the serial [`serial_trials`] (determinism is per seed,
+/// not per schedule).
+pub fn trials<F>(trials: u64, f: F) -> Summary
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    par_summary(trials, f)
+}
+
+/// Alias of [`trials`], kept for call sites that want to be explicit that
+/// they fan out across cores.
 pub fn par_trials<F>(n_trials: u64, f: F) -> Summary
 where
     F: Fn(u64) -> f64 + Sync,
 {
-    let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(n_trials as usize));
-    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n_trials.max(1) as usize);
-    let next = std::sync::atomic::AtomicU64::new(0);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if seed >= n_trials {
-                    break;
-                }
-                let value = f(seed);
-                results.lock().push((seed, value));
-            });
-        }
-    })
-    .expect("trial worker panicked");
-    let mut data = results.into_inner();
-    data.sort_by_key(|&(seed, _)| seed);
-    Summary::of(&data.into_iter().map(|(_, v)| v).collect::<Vec<_>>())
+    par_summary(n_trials, f)
+}
+
+/// Single-threaded trial loop, for closures that must mutate state
+/// between seeds (and as the reference the parallel runner is tested
+/// against).
+pub fn serial_trials<F: FnMut(u64) -> f64>(trials: u64, mut f: F) -> Summary {
+    let data: Vec<f64> = (0..trials).map(&mut f).collect();
+    Summary::of(&data)
 }
 
 /// One experiment's machine-readable record (written by `run_all` into
@@ -204,9 +219,19 @@ mod tests {
 
     #[test]
     fn par_trials_matches_serial() {
-        let serial = trials(16, |seed| (seed * seed) as f64);
+        let serial = serial_trials(16, |seed| (seed * seed) as f64);
         let parallel = par_trials(16, |seed| (seed * seed) as f64);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn trial_count_parsing() {
+        assert_eq!(parse_trial_count(None, 12), 12);
+        assert_eq!(parse_trial_count(Some("3"), 12), 3);
+        assert_eq!(parse_trial_count(Some(" 5 "), 12), 5);
+        assert_eq!(parse_trial_count(Some("0"), 12), 12);
+        assert_eq!(parse_trial_count(Some("not-a-number"), 12), 12);
+        assert_eq!(parse_trial_count(Some(""), 12), 12);
     }
 
     #[test]

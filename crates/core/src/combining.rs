@@ -95,9 +95,9 @@ impl PendingTables {
     /// when the reply passes through. Panics if no entry exists (a reply
     /// must always follow a registered request path).
     pub fn take(&mut self, node: usize, addr: u64, trail: u32) -> PendingEntry {
-        self.tables[node]
-            .remove(&(addr, trail))
-            .unwrap_or_else(|| panic!("reply at node {node} for ({addr},{trail}) with no pending entry"))
+        self.tables[node].remove(&(addr, trail)).unwrap_or_else(|| {
+            panic!("reply at node {node} for ({addr},{trail}) with no pending entry")
+        })
     }
 
     /// Combining events since construction or the last [`Self::reset`].

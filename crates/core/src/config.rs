@@ -99,7 +99,11 @@ impl EmuReport {
 
     /// Worst single-step time.
     pub fn max_step_time(&self) -> u32 {
-        self.steps.iter().map(StepStats::total_steps).max().unwrap_or(0)
+        self.steps
+            .iter()
+            .map(StepStats::total_steps)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The emulation constant: mean step time divided by `diameter` — the

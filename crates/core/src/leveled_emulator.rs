@@ -191,9 +191,13 @@ impl<L: Leveled + Copy> LeveledPramEmulator<L> {
         let step_seq = self.seq.child(1).child(step_label);
         let mut attempt = 0u32;
         let reads_out = loop {
-            let budget =
-                self.cfg.budget_factor * self.diameter() as u32 * (1 << attempt.min(8));
-            match self.try_step(&requests, step_seq.child(attempt as u64), budget, &mut stats) {
+            let budget = self.cfg.budget_factor * self.diameter() as u32 * (1 << attempt.min(8));
+            match self.try_step(
+                &requests,
+                step_seq.child(attempt as u64),
+                budget,
+                &mut stats,
+            ) {
                 Some(reads) => break reads,
                 None => {
                     attempt += 1;
@@ -323,8 +327,7 @@ impl<L: Leveled + Copy> LeveledPramEmulator<L> {
         // h-relation costing one full traversal (2ℓ), plus broadcasting
         // the O(L log M)-bit description of h (ℓ steps).
         let batches = cells.len().div_ceil(self.processors().max(1)) as u64;
-        self.report.remap_steps +=
-            batches * self.diameter() as u64 + self.inner.levels() as u64;
+        self.report.remap_steps += batches * self.diameter() as u64 + self.inner.levels() as u64;
         for (addr, val) in cells {
             let m = self.hash.eval(addr) as usize;
             self.modules.poke(m, addr, val);
@@ -362,10 +365,12 @@ impl<L: Leveled> RequestProtocol<'_, L> {
     /// EREW/CREW writes are conflicts the modules must observe.
     fn mergeable_policy(&self) -> Option<WritePolicy> {
         match self.modules.mode() {
-            AccessMode::Crcw(p @ (WritePolicy::Sum
-            | WritePolicy::Max
-            | WritePolicy::Priority
-            | WritePolicy::Arbitrary)) => Some(p),
+            AccessMode::Crcw(
+                p @ (WritePolicy::Sum
+                | WritePolicy::Max
+                | WritePolicy::Priority
+                | WritePolicy::Arbitrary),
+            ) => Some(p),
             _ => None,
         }
     }
@@ -448,15 +453,17 @@ impl<L: Leveled> Protocol for RequestProtocol<'_, L> {
             // Module column.
             if is_write {
                 let (value, proc) = self.write_vals[&pkt.id];
-                self.modules.buffer(idx, ModuleRequest::Write { addr, value, proc });
+                self.modules
+                    .buffer(idx, ModuleRequest::Write { addr, value, proc });
                 out.deliver(pkt);
             } else {
                 let trail = self.trail_of(&pkt);
-                let first =
-                    self.tables
-                        .register(node, addr, trail, Source::FromNode(pkt.prev));
+                let first = self
+                    .tables
+                    .register(node, addr, trail, Source::FromNode(pkt.prev));
                 if first {
-                    self.modules.buffer(idx, ModuleRequest::Read { addr, trail });
+                    self.modules
+                        .buffer(idx, ModuleRequest::Read { addr, trail });
                 }
                 out.deliver(pkt);
             }
@@ -595,11 +602,7 @@ mod tests {
         let combined = report.total_combined();
         assert!(combined >= 15, "expected heavy combining, got {combined}");
         // Busiest module batch must stay 1 on read rounds (full combining).
-        for s in report
-            .steps
-            .iter()
-            .filter(|s| s.combined > 0)
-        {
+        for s in report.steps.iter().filter(|s| s.combined > 0) {
             assert_eq!(s.service_steps, 1, "combining must collapse the batch");
         }
     }

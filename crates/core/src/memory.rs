@@ -189,8 +189,22 @@ mod tests {
     #[test]
     fn common_mismatch_recorded() {
         let mut ma = ModuleArray::new(1, AccessMode::Crcw(WritePolicy::Common));
-        ma.buffer(0, ModuleRequest::Write { addr: 1, value: 7, proc: 0 });
-        ma.buffer(0, ModuleRequest::Write { addr: 1, value: 8, proc: 1 });
+        ma.buffer(
+            0,
+            ModuleRequest::Write {
+                addr: 1,
+                value: 7,
+                proc: 0,
+            },
+        );
+        ma.buffer(
+            0,
+            ModuleRequest::Write {
+                addr: 1,
+                value: 8,
+                proc: 1,
+            },
+        );
         ma.serve_batches();
         assert_eq!(ma.violations().len(), 1);
     }

@@ -193,8 +193,16 @@ impl MeshPramEmulator {
             .iter()
             .enumerate()
             .filter_map(|(proc, op)| match *op {
-                MemOp::Read(addr) => Some(Req { proc, addr, write: None }),
-                MemOp::Write(addr, v) => Some(Req { proc, addr, write: Some(v) }),
+                MemOp::Read(addr) => Some(Req {
+                    proc,
+                    addr,
+                    write: None,
+                }),
+                MemOp::Write(addr, v) => Some(Req {
+                    proc,
+                    addr,
+                    write: Some(v),
+                }),
                 _ => None,
             })
             .collect();
@@ -376,8 +384,13 @@ impl Protocol for MeshRequestProtocol<'_> {
                 self.modules
                     .buffer(node, ModuleRequest::Write { addr, value, proc });
             } else {
-                self.modules
-                    .buffer(node, ModuleRequest::Read { addr, trail: pkt.src });
+                self.modules.buffer(
+                    node,
+                    ModuleRequest::Read {
+                        addr,
+                        trail: pkt.src,
+                    },
+                );
             }
             out.deliver(pkt);
             return;
@@ -511,7 +524,10 @@ mod tests {
         oracle.run(&mut PrefixSum::new(values), 10_000);
         assert_eq!(emu.memory_image(space), oracle.memory());
         let worst_queue = rep.steps.iter().map(|s| s.max_queue).max().unwrap_or(0);
-        assert!(worst_queue <= 8, "const-queue emulation saw queue {worst_queue}");
+        assert!(
+            worst_queue <= 8,
+            "const-queue emulation saw queue {worst_queue}"
+        );
     }
 
     #[test]

@@ -65,6 +65,9 @@ enum RepRequest {
     },
 }
 
+/// A read reply from a replica batch: `(module, key, proc, value, version)`.
+type ReadReply = (usize, u64, u32, u64, u64);
+
 /// Per-module replica storage: cells hold `(value, version)` pairs keyed
 /// by `addr·R + copy`, with the same read-before-write batch semantics as
 /// [`crate::memory::ModuleArray`].
@@ -107,7 +110,7 @@ impl ReplicaStore {
     /// Serve all batches: reads observe pre-write values, then writes are
     /// resolved per key under the CRCW policy. Returns the read replies as
     /// `(module, key, proc, value, version)` plus the busiest batch size.
-    fn serve_batches(&mut self) -> (Vec<(usize, u64, u32, u64, u64)>, u32) {
+    fn serve_batches(&mut self) -> (Vec<ReadReply>, u32) {
         let mut reads = Vec::new();
         let mut busiest = 0u32;
         for module in 0..self.cells.len() {
@@ -115,8 +118,7 @@ impl ReplicaStore {
             busiest = busiest.max(batch.len() as u32);
             for req in &batch {
                 if let RepRequest::Read { key, proc } = *req {
-                    let (value, version) =
-                        self.cells[module].get(&key).copied().unwrap_or((0, 0));
+                    let (value, version) = self.cells[module].get(&key).copied().unwrap_or((0, 0));
                     reads.push((module, key, proc, value, version));
                 }
             }
@@ -184,7 +186,10 @@ impl<L: Leveled + Copy> ReplicatedPramEmulator<L> {
         copies: usize,
         cfg: EmulatorConfig,
     ) -> Self {
-        assert!(copies >= 1 && copies <= PLACEMENT_KEYS.len(), "1 ≤ copies ≤ 7");
+        assert!(
+            copies >= 1 && copies <= PLACEMENT_KEYS.len(),
+            "1 ≤ copies ≤ 7"
+        );
         assert!(copies % 2 == 1, "copies must be odd (R = 2c − 1)");
         let width = inner.width();
         let seq = SeedSeq::new(cfg.seed);
@@ -467,7 +472,8 @@ impl<L: Leveled> Protocol for ReplicaRequestProtocol<'_, L> {
                     },
                 );
             } else {
-                self.store.buffer(idx, RepRequest::Read { key, proc: pkt.src });
+                self.store
+                    .buffer(idx, RepRequest::Read { key, proc: pkt.src });
             }
             out.deliver(pkt);
             return;
@@ -540,13 +546,8 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn even_copy_count_rejected() {
         let inner = RadixButterfly::new(2, 3);
-        let _ = ReplicatedPramEmulator::new(
-            inner,
-            AccessMode::Erew,
-            64,
-            2,
-            EmulatorConfig::default(),
-        );
+        let _ =
+            ReplicatedPramEmulator::new(inner, AccessMode::Erew, 64, 2, EmulatorConfig::default());
     }
 
     #[test]
@@ -617,8 +618,7 @@ mod tests {
         let mut prog = Histogram::new(inputs.clone(), 5);
         let space = prog.address_space();
         let mode = AccessMode::Crcw(WritePolicy::Sum);
-        let mut emu =
-            ReplicatedPramEmulator::new(inner, mode, space, 3, EmulatorConfig::default());
+        let mut emu = ReplicatedPramEmulator::new(inner, mode, space, 3, EmulatorConfig::default());
         emu.run_program(&mut prog, 1000);
         assert!(prog.verify(&emu.memory_image(space)));
         let mut oracle = PramMachine::new(space, mode);
@@ -632,13 +632,8 @@ mod tests {
         // so copies outside it keep version 0 — the read must still see
         // the second write through max-version resolution.
         let inner = RadixButterfly::new(2, 3);
-        let mut emu = ReplicatedPramEmulator::new(
-            inner,
-            AccessMode::Erew,
-            16,
-            3,
-            EmulatorConfig::default(),
-        );
+        let mut emu =
+            ReplicatedPramEmulator::new(inner, AccessMode::Erew, 16, 3, EmulatorConfig::default());
         emu.emulate_step(&[MemOp::Write(5, 100)], 0);
         emu.emulate_step(&[MemOp::Write(5, 200)], 1);
         let reads = emu.emulate_step(&[MemOp::Read(5)], 2);
@@ -713,7 +708,10 @@ mod tests {
                 AccessMode::Erew,
                 prog.address_space(),
                 3,
-                EmulatorConfig { seed: 21, ..Default::default() },
+                EmulatorConfig {
+                    seed: 21,
+                    ..Default::default()
+                },
             );
             let rep = emu.run_program(&mut prog, 100);
             (rep.network_steps(), emu.memory_image(8))

@@ -50,9 +50,7 @@ impl StarPramEmulator {
     pub fn new(n: usize, mode: AccessMode, address_space: u64, cfg: EmulatorConfig) -> Self {
         let star = StarGraph::new(n);
         let family = match cfg.hash_degree_override {
-            Some(s_deg) => {
-                HashFamily::new(address_space, star.num_nodes() as u64, s_deg.max(1))
-            }
+            Some(s_deg) => HashFamily::new(address_space, star.num_nodes() as u64, s_deg.max(1)),
             None => HashFamily::for_diameter(
                 address_space,
                 star.num_nodes() as u64,
@@ -141,8 +139,16 @@ impl StarPramEmulator {
             .iter()
             .enumerate()
             .filter_map(|(proc, op)| match *op {
-                MemOp::Read(addr) => Some(Req { proc, addr, write: None }),
-                MemOp::Write(addr, v) => Some(Req { proc, addr, write: Some(v) }),
+                MemOp::Read(addr) => Some(Req {
+                    proc,
+                    addr,
+                    write: None,
+                }),
+                MemOp::Write(addr, v) => Some(Req {
+                    proc,
+                    addr,
+                    write: Some(v),
+                }),
                 _ => None,
             })
             .collect();
@@ -258,8 +264,7 @@ impl StarPramEmulator {
             .sample(&mut self.seq.child(2).child(self.hash_epoch).rng());
         let cells = self.modules.drain_cells();
         let batches = cells.len().div_ceil(self.processors().max(1)) as u64;
-        self.report.remap_steps +=
-            batches * 2 * self.diameter() as u64 + self.diameter() as u64;
+        self.report.remap_steps += batches * 2 * self.diameter() as u64 + self.diameter() as u64;
         for (addr, val) in cells {
             let m = self.hash.eval(addr) as usize;
             self.modules.poke(m, addr, val);
@@ -365,7 +370,8 @@ impl Protocol for StarRequestProtocol<'_> {
             Self::phase0_trail(&pkt)
         };
         if pkt.phase == 1 && node == pkt.dest as usize {
-            self.modules.buffer(node, ModuleRequest::Read { addr, trail });
+            self.modules
+                .buffer(node, ModuleRequest::Read { addr, trail });
             out.deliver(pkt);
             return;
         }

@@ -44,7 +44,8 @@ pub fn karlin_upfal_tail_bound(set_size: u64, modules: u64, degree_s: u64, gamma
     if gamma > set_size {
         return 0.0;
     }
-    let ln_p = ln_choose(set_size, degree_s) - degree_s as f64 * (modules as f64).ln()
+    let ln_p = ln_choose(set_size, degree_s)
+        - degree_s as f64 * (modules as f64).ln()
         - ln_choose(gamma, degree_s);
     ln_p.exp().min(1.0)
 }
@@ -81,10 +82,7 @@ mod tests {
         let loads = load_profile(&h, 0..5000u64);
         assert_eq!(loads.len(), 32);
         assert_eq!(loads.iter().map(|&c| c as u64).sum::<u64>(), 5000);
-        assert_eq!(
-            max_load(&h, 0..5000u64),
-            loads.into_iter().max().unwrap()
-        );
+        assert_eq!(max_load(&h, 0..5000u64), loads.into_iter().max().unwrap());
     }
 
     #[test]

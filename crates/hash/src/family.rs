@@ -96,6 +96,13 @@ impl PolyHash {
         self.coeffs.len()
     }
 
+    /// The coefficients `a₀..a_{S−1}` — the description that gets
+    /// broadcast when rehashing ([`HashFamily::description_bits`]); a
+    /// hash rebuilt from them via [`PolyHash::from_coeffs`] is identical.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
     /// The modulus prime P.
     pub fn prime(&self) -> u64 {
         self.prime
@@ -172,6 +179,41 @@ mod tests {
         for x in 0..101u64 {
             assert_eq!(h.eval(x), ((3 + 2 * x) % 101) % 10);
         }
+    }
+
+    #[test]
+    fn sampled_hash_has_family_degree() {
+        for degree_s in [1usize, 2, 8, 40] {
+            let fam = HashFamily::new(1 << 16, 64, degree_s);
+            let h = fam.sample(&mut SeedSeq::new(9).rng());
+            assert_eq!(h.degree_s(), degree_s);
+            assert_eq!(h.prime(), fam.prime);
+            assert_eq!(h.modules(), fam.modules);
+        }
+    }
+
+    #[test]
+    fn description_roundtrip_reproduces_evaluation() {
+        // The rehash broadcast: a hash rebuilt from its transmitted
+        // description (coefficients + P + N) must evaluate identically.
+        let fam = HashFamily::new(1 << 20, 128, 12);
+        let h = fam.sample(&mut SeedSeq::new(21).rng());
+        let rebuilt = PolyHash::from_coeffs(h.coeffs().to_vec(), h.prime(), h.modules());
+        assert_eq!(rebuilt, h);
+        for x in (0..1u64 << 20).step_by(997) {
+            assert_eq!(rebuilt.eval(x), h.eval(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_hash() {
+        // Fuzz-failure reproducibility: sampling with the seed a failing
+        // test printed must rebuild the exact hash function.
+        let fam = HashFamily::new(1 << 18, 32, 6);
+        let a = fam.sample(&mut SeedSeq::new(0xDEAD_BEEF).rng());
+        let b = fam.sample(&mut SeedSeq::new(0xDEAD_BEEF).rng());
+        assert_eq!(a, b);
+        assert_eq!(a.coeffs(), b.coeffs());
     }
 
     #[test]

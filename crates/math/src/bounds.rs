@@ -183,7 +183,12 @@ mod tests {
 
     #[test]
     fn chernoff_dominates_exact_tail() {
-        for &(m, n, p) in &[(60u64, 100u64, 0.5f64), (80, 100, 0.5), (30, 100, 0.2), (500, 1000, 0.4)] {
+        for &(m, n, p) in &[
+            (60u64, 100u64, 0.5f64),
+            (80, 100, 0.5),
+            (30, 100, 0.2),
+            (500, 1000, 0.4),
+        ] {
             let exact = binomial_upper_tail(m, n, p);
             let bound = chernoff_upper_bound(m, n, p);
             assert!(

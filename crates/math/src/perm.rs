@@ -120,7 +120,10 @@ impl Perm {
 
     /// Is this the identity?
     pub fn is_identity(&self) -> bool {
-        self.symbols.iter().enumerate().all(|(i, &s)| s as usize == i)
+        self.symbols
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| s as usize == i)
     }
 
     /// Rank in the factorial number system: a bijection onto `0..n!`
@@ -266,11 +269,11 @@ mod tests {
     fn rank_unrank_bijection_small() {
         for n in 1..=6 {
             let mut seen = vec![false; factorial(n)];
-            for r in 0..factorial(n) {
+            for (r, was_seen) in seen.iter_mut().enumerate() {
                 let p = Perm::unrank(n, r);
                 assert_eq!(p.rank(), r);
-                assert!(!seen[r]);
-                seen[r] = true;
+                assert!(!*was_seen);
+                *was_seen = true;
             }
         }
     }

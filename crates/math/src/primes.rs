@@ -63,7 +63,9 @@ pub fn next_prime_at_least(n: u64) -> u64 {
         if is_prime(c) {
             return c;
         }
-        c = c.checked_add(if c == 2 { 1 } else { 2 }).expect("prime search overflow");
+        c = c
+            .checked_add(if c == 2 { 1 } else { 2 })
+            .expect("prime search overflow");
     }
 }
 

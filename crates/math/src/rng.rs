@@ -116,12 +116,48 @@ mod tests {
 
     #[test]
     fn splitmix_known_vector() {
-        // Reference value from the SplitMix64 paper's test vector chain.
+        // Known-answer vectors from the reference SplitMix64
+        // implementation (Vigna's splitmix64.c; also Java's
+        // SplittableRandom): the first three outputs from state 0.
         let mut s = 0u64;
-        let v1 = splitmix64(&mut s);
-        let v2 = splitmix64(&mut s);
-        assert_ne!(v1, v2);
-        assert_eq!(s, 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(2));
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+        assert_eq!(s, 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(3));
+    }
+
+    #[test]
+    fn splitmix_known_vector_nonzero_seed() {
+        let mut s = 0x0123_4567_89AB_CDEFu64;
+        assert_eq!(splitmix64(&mut s), 0x157A_3807_A48F_AA9D);
+        assert_eq!(splitmix64(&mut s), 0xD573_529B_34A1_D093);
+        assert_eq!(splitmix64(&mut s), 0x2F90_B72E_996D_CCBE);
+    }
+
+    #[test]
+    fn seedseq_values_are_frozen() {
+        // Snapshots of the seed tree. These pin the derivation scheme: a
+        // change here silently re-seeds every experiment in the repo, so
+        // it must be deliberate (and noted in CHANGES.md).
+        assert_eq!(SeedSeq::new(42).value(), 0x3EAD_971D_F807_E01A);
+        assert_eq!(SeedSeq::new(42).child(7).value(), 0x7D2A_D9D0_B3BC_8B34);
+        assert_eq!(
+            SeedSeq::new(42).child(7).child(0).value(),
+            0x1B62_538A_3307_0749
+        );
+    }
+
+    #[test]
+    fn rng_stream_is_frozen() {
+        // First outputs of the materialised generator for root seed 1 —
+        // the same pin as above, one level further down. (Values are from
+        // the vendored xoshiro256++-based StdRng; they will change if the
+        // real `rand` crate is swapped back in, which is the point: that
+        // swap re-randomizes every experiment and must be noticed.)
+        let mut r = SeedSeq::new(1).rng();
+        assert_eq!(r.gen::<u64>(), 0x561F_73F1_9AFF_630C);
+        assert_eq!(r.gen::<u64>(), 0x834F_3F56_6437_A070);
+        assert_eq!(r.gen::<u64>(), 0xBA43_9ED9_DEDF_0059);
     }
 
     #[test]

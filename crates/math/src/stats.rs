@@ -59,6 +59,83 @@ impl Summary {
     }
 }
 
+/// Evaluate `f(seed)` for seeds `0..trials` across worker threads and
+/// return the values in seed order.
+///
+/// This is the workspace's parallel trial-runner: every table, figure and
+/// statistics-heavy test is a `mean over independent seeded simulations`
+/// loop, and the per-seed runs share no state, so they scale with cores.
+/// Work is handed out by an atomic counter (cheap dynamic balancing — the
+/// routing times of different seeds vary), each worker keeps a local
+/// `(seed, value)` list, and results are re-sorted by seed afterwards, so
+/// the output is **identical to the serial loop** regardless of thread
+/// schedule: determinism is per seed, not per schedule.
+pub fn par_trial_values<F>(trials: u64, f: F) -> Vec<f64>
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    let workers = std::env::var("LNPRAM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    par_trial_values_with_workers(trials, workers, f)
+}
+
+/// [`par_trial_values`] with an explicit worker count (normally one per
+/// core; override the default with the `LNPRAM_THREADS` environment
+/// variable). `workers <= 1` runs the plain serial loop.
+pub fn par_trial_values_with_workers<F>(trials: u64, workers: usize, f: F) -> Vec<f64>
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    let workers = workers.min(trials.max(1) as usize);
+    if workers <= 1 {
+        return (0..trials).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let per_worker: Vec<Vec<(u64, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if seed >= trials {
+                            break local;
+                        }
+                        local.push((seed, f(seed)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial worker panicked"))
+            .collect()
+    });
+    let mut tagged: Vec<(u64, f64)> = per_worker.into_iter().flatten().collect();
+    tagged.sort_unstable_by_key(|&(seed, _)| seed);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+/// [`Summary`] of `f(seed)` over seeds `0..trials`, computed in parallel.
+pub fn par_summary<F>(trials: u64, f: F) -> Summary
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    Summary::of(&par_trial_values(trials, f))
+}
+
+/// Mean of `f(seed)` over seeds `0..trials`, computed in parallel.
+pub fn par_mean<F>(trials: u64, f: F) -> f64
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    let values = par_trial_values(trials, f);
+    values.iter().sum::<f64>() / values.len().max(1) as f64
+}
+
 /// Percentile by the nearest-rank method on pre-sorted data.
 fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
@@ -208,6 +285,45 @@ mod tests {
         assert_eq!(s.p50, 50.0);
         assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn par_trial_values_matches_serial_order() {
+        let serial: Vec<f64> = (0..33).map(|s| (s * s) as f64).collect();
+        let parallel = par_trial_values(33, |s| (s * s) as f64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_trial_values_threaded_path_is_seed_ordered() {
+        // Force real threads (the auto path may pick 1 worker on a
+        // single-core host) with uneven per-seed work so workers finish
+        // out of order; results must still come back in seed order.
+        let serial: Vec<f64> = (0..64).map(|s| (s * 3 + 1) as f64).collect();
+        for workers in [2, 4, 16, 100] {
+            let parallel = par_trial_values_with_workers(64, workers, |s| {
+                if s % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                (s * 3 + 1) as f64
+            });
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_trial_values_degenerate_counts() {
+        assert!(par_trial_values(0, |_| 1.0).is_empty());
+        assert_eq!(par_trial_values(1, |s| s as f64), vec![0.0]);
+        assert!(par_trial_values_with_workers(0, 8, |_| 1.0).is_empty());
+    }
+
+    #[test]
+    fn par_summary_and_mean_agree() {
+        let s = par_summary(10, |seed| seed as f64);
+        assert_eq!(s.count, 10);
+        assert!((s.mean - 4.5).abs() < 1e-12);
+        assert!((par_mean(10, |seed| seed as f64) - 4.5).abs() < 1e-12);
     }
 
     #[test]

@@ -101,7 +101,8 @@ impl PramMachine {
             for addr in addrs {
                 let writers = &writes[&addr];
                 if self.mode == AccessMode::Erew && read_counts.contains_key(&addr) {
-                    self.violations.push(AccessViolation::ReadWriteClash { addr });
+                    self.violations
+                        .push(AccessViolation::ReadWriteClash { addr });
                 }
                 if writers.len() > 1 && !self.mode.allows_concurrent_writes() {
                     self.violations.push(AccessViolation::ConcurrentWrite {
@@ -109,7 +110,8 @@ impl PramMachine {
                         writers: writers.len(),
                     });
                 }
-                self.memory[addr as usize] = resolve_write(self.mode, addr, writers, &mut self.violations);
+                self.memory[addr as usize] =
+                    resolve_write(self.mode, addr, writers, &mut self.violations);
             }
         }
 
@@ -149,7 +151,10 @@ pub fn resolve_write(
             writers.iter().min_by_key(|&&(proc, _)| proc).unwrap().1
         }
         WritePolicy::Max => writers.iter().map(|&(_, v)| v).max().unwrap(),
-        WritePolicy::Sum => writers.iter().map(|&(_, v)| v).fold(0u64, u64::wrapping_add),
+        WritePolicy::Sum => writers
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0u64, u64::wrapping_add),
     }
 }
 
@@ -229,7 +234,10 @@ mod tests {
         assert_eq!(rep.violations.len(), 1);
         assert!(matches!(
             rep.violations[0],
-            AccessViolation::ConcurrentRead { addr: 0, readers: 4 }
+            AccessViolation::ConcurrentRead {
+                addr: 0,
+                readers: 4
+            }
         ));
 
         let mut crew = PramMachine::new(1, AccessMode::Crew);
@@ -283,7 +291,10 @@ mod tests {
         let rep = m.run(&mut WriteClash { p: 4 }, 10);
         assert!(matches!(
             rep.violations[0],
-            AccessViolation::ConcurrentWrite { addr: 0, writers: 4 }
+            AccessViolation::ConcurrentWrite {
+                addr: 0,
+                writers: 4
+            }
         ));
     }
 

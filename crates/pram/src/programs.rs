@@ -599,7 +599,12 @@ impl PramProgram for MatVec {
             .map(|(i, &v)| (i as u64, v))
             .collect();
         let base = (self.n * self.n) as u64;
-        mem.extend(self.x.iter().enumerate().map(|(j, &v)| (base + j as u64, v)));
+        mem.extend(
+            self.x
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| (base + j as u64, v)),
+        );
         mem
     }
     fn op(&mut self, proc: usize, step: usize, last_read: Option<u64>) -> MemOp {
@@ -816,7 +821,9 @@ impl PramProgram for PermutationTraffic {
         self.perm.len() as u64
     }
     fn initial_memory(&self) -> Vec<(u64, u64)> {
-        (0..self.perm.len() as u64).map(|i| (i, i * 10 + 1)).collect()
+        (0..self.perm.len() as u64)
+            .map(|i| (i, i * 10 + 1))
+            .collect()
     }
     fn op(&mut self, proc: usize, step: usize, last_read: Option<u64>) -> MemOp {
         let (round, phase) = (step / 2, step % 2);
@@ -839,7 +846,10 @@ mod tests {
     use rand::seq::SliceRandom;
     use rand::Rng;
 
-    fn run<P: PramProgram>(prog: &mut P, mode: AccessMode) -> (PramMachine, crate::machine::ExecReport) {
+    fn run<P: PramProgram>(
+        prog: &mut P,
+        mode: AccessMode,
+    ) -> (PramMachine, crate::machine::ExecReport) {
         let mut m = PramMachine::new(prog.address_space(), mode);
         let rep = m.run(prog, 100_000);
         (m, rep)

@@ -99,7 +99,12 @@ impl Protocol for BitonicRouter {
         // A partner copy for the current stage arrived.
         let s = self.stage[node];
         let (p, q) = self.schedule[s];
-        debug_assert_eq!(pkt.src as usize ^ (1 << q), node, "partner mismatch: {} vs {node}", pkt.src);
+        debug_assert_eq!(
+            pkt.src as usize ^ (1 << q),
+            node,
+            "partner mismatch: {} vs {node}",
+            pkt.src
+        );
         let mine = self.held[node];
         let take_min = keeps_min(node, p, q);
         let mine_smaller = mine.dest <= pkt.dest;
@@ -196,7 +201,10 @@ mod tests {
         for k in 1..=8 {
             assert_eq!(bitonic_schedule(k).len(), k * (k + 1) / 2);
         }
-        assert_eq!(bitonic_schedule(3), vec![(0, 0), (1, 1), (1, 0), (2, 2), (2, 1), (2, 0)]);
+        assert_eq!(
+            bitonic_schedule(3),
+            vec![(0, 0), (1, 1), (1, 0), (2, 2), (2, 1), (2, 0)]
+        );
     }
 
     #[test]

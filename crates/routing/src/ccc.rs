@@ -66,7 +66,11 @@ impl CccRunReport {
     /// Routing time normalised by the diameter `2k + ⌊k/2⌋ − 2`
     /// (`k ≥ 4`; 6 for k = 3).
     pub fn time_per_diameter(&self) -> f64 {
-        let diam = if self.k == 3 { 6 } else { 2 * self.k + self.k / 2 - 2 };
+        let diam = if self.k == 3 {
+            6
+        } else {
+            2 * self.k + self.k / 2 - 2
+        };
         f64::from(self.metrics.routing_time) / diam as f64
     }
 }
@@ -81,7 +85,10 @@ pub fn route_ccc_permutation(k: usize, seed: u64, cfg: SimConfig) -> CccRunRepor
     let mut via_rng = seq.child(1).rng();
     for (src, &dest) in dests.iter().enumerate() {
         let via = via_rng.gen_range(0..ccc.num_nodes()) as u32;
-        eng.inject(src, Packet::new(src as u32, src as u32, dest as u32).with_via(via));
+        eng.inject(
+            src,
+            Packet::new(src as u32, src as u32, dest as u32).with_via(via),
+        );
     }
     let mut router = CccRouter::new(ccc);
     let out = eng.run(&mut router);
@@ -126,7 +133,11 @@ mod tests {
         let rep = route_ccc_permutation(6, 3, SimConfig::default());
         // Degree 3, N = 384: queues should stay far below N (Fact 2.5's
         // O(T) bound at T = O(k) means tens at most).
-        assert!(rep.metrics.max_queue <= 40, "queue {}", rep.metrics.max_queue);
+        assert!(
+            rep.metrics.max_queue <= 40,
+            "queue {}",
+            rep.metrics.max_queue
+        );
     }
 
     #[test]

@@ -56,7 +56,8 @@ impl<L: Leveled> Leveled for DoubledLeveled<L> {
         self.inner.succ(level % self.inner.levels(), idx, digit)
     }
     fn digit_toward(&self, level: usize, idx: usize, dest: usize) -> usize {
-        self.inner.digit_toward(level % self.inner.levels(), idx, dest)
+        self.inner
+            .digit_toward(level % self.inner.levels(), idx, dest)
     }
     fn pred(&self, level: usize, idx: usize, digit: usize) -> usize {
         self.inner.pred(level % self.inner.levels(), idx, digit)
@@ -357,9 +358,8 @@ mod tests {
         let direct = route_leveled_direct(inner, &dests, cfg.clone());
         let random = route_leveled_with_dests(inner, &dests, SeedSeq::new(3), cfg);
         assert!(direct.completed && random.completed);
-        let max_of = |rep: &LeveledRunReport| {
-            rep.metrics.link_loads.iter().copied().max().unwrap_or(0)
-        };
+        let max_of =
+            |rep: &LeveledRunReport| rep.metrics.link_loads.iter().copied().max().unwrap_or(0);
         assert!(
             max_of(&direct) >= 2 * max_of(&random),
             "direct max load {} should far exceed randomized {}",

@@ -158,8 +158,7 @@ mod tests {
     fn one_end_pile_up_still_linear() {
         // All packets at node 0: time ≤ n′ + n (serial drain + traversal).
         let n = 128;
-        let rep =
-            route_linear_random_dests(n, LinearLoad::OneEnd(2 * n), 3, SimConfig::default());
+        let rep = route_linear_random_dests(n, LinearLoad::OneEnd(2 * n), 3, SimConfig::default());
         assert_eq!(rep.metrics.delivered, 2 * n);
         assert!(
             (rep.metrics.routing_time as usize) < 2 * n + n + 20,

@@ -121,8 +121,7 @@ impl Protocol for MeshRouter {
                 (0, _) => pkt.via as usize,
                 (
                     1,
-                    MeshAlgorithm::ThreeStage { .. }
-                    | MeshAlgorithm::ThreeStageConstQueue { .. },
+                    MeshAlgorithm::ThreeStage { .. } | MeshAlgorithm::ThreeStageConstQueue { .. },
                 ) => {
                     // stage 2: same row as current, destination's column
                     let (r, _) = self.mesh.coords(node);
@@ -252,12 +251,7 @@ pub fn route_mesh_with_dests(
 /// Theorem 3.3's workload: a permutation in which every packet travels at
 /// most Manhattan distance `d`, routed with the three-stage algorithm whose
 /// slice height is capped at `O(d)` so stage 1 stays local.
-pub fn route_mesh_local(
-    n: usize,
-    d: usize,
-    seed: u64,
-    mut cfg: SimConfig,
-) -> MeshRunReport {
+pub fn route_mesh_local(n: usize, d: usize, seed: u64, mut cfg: SimConfig) -> MeshRunReport {
     let slice_rows = default_slice_rows(n).min(d.max(1));
     let alg = MeshAlgorithm::ThreeStage { slice_rows };
     cfg.discipline = canonical_discipline(alg);
@@ -404,8 +398,10 @@ mod tests {
             for seed in 0..3u64 {
                 let mesh = Mesh::square(n);
                 let seq = SeedSeq::new(seed);
-                let mut cfg = SimConfig::default();
-                cfg.discipline = canonical_discipline(alg);
+                let cfg = SimConfig {
+                    discipline: canonical_discipline(alg),
+                    ..SimConfig::default()
+                };
                 let dests = workloads::many_one(mesh.num_nodes(), &mut seq.child(7).rng());
                 let rep = route_mesh_with_dests(mesh, &dests, alg, seq, cfg);
                 assert!(rep.completed);
@@ -469,12 +465,12 @@ mod tests {
                 for s in 0..trials {
                     let mesh = Mesh::square(n);
                     let seq = SeedSeq::new(s);
-                    let mut cfg = SimConfig::default();
-                    cfg.discipline = canonical_discipline(alg);
-                    let perm = workloads::random_permutation(
-                        mesh.num_nodes(),
-                        &mut seq.child(3).rng(),
-                    );
+                    let cfg = SimConfig {
+                        discipline: canonical_discipline(alg),
+                        ..SimConfig::default()
+                    };
+                    let perm =
+                        workloads::random_permutation(mesh.num_nodes(), &mut seq.child(3).rng());
                     qp += route_mesh_with_dests(mesh, &perm, alg, seq, cfg.clone())
                         .metrics
                         .max_queue;

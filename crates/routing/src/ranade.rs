@@ -106,21 +106,23 @@ pub fn ranade_route(levels: usize, dests: &[u32], addrs: &[u64]) -> RanadeReport
     // State per (level 1..=levels, row): two in-buffers; per out-edge of
     // (level, row): an out-queue of at most one in-flight item per step.
     // Buffer indexing: buf[level-1][row][side] — side = which in-edge.
-    let mut bufs: Vec<Vec<[VecDeque<Item>; 2]>> =
-        (0..levels).map(|_| (0..n).map(|_| [VecDeque::new(), VecDeque::new()]).collect()).collect();
+    let mut bufs: Vec<Vec<[VecDeque<Item>; 2]>> = (0..levels)
+        .map(|_| (0..n).map(|_| [VecDeque::new(), VecDeque::new()]).collect())
+        .collect();
     // Out-queues of nodes at `level` (0 = sources): out[level][row] holds
     // items awaiting transmission, each tagged with its out-bit.
-    let mut outq: Vec<Vec<VecDeque<(usize, Item)>>> =
-        (0..levels).map(|_| (0..n).map(|_| VecDeque::new()).collect()).collect();
+    let mut outq: Vec<Vec<VecDeque<(usize, Item)>>> = (0..levels)
+        .map(|_| (0..n).map(|_| VecDeque::new()).collect())
+        .collect();
     let mut ended_out: Vec<Vec<bool>> = (0..levels).map(|_| vec![false; n]).collect();
 
     let mut delivered = 0usize;
     let mut combined = 0usize;
     let mut max_queue = 0usize;
     let mut finished_outputs = vec![0usize; n]; // count of End received at final column
-    // The memory module at each final-column row also combines: requests
-    // for the same (module, address) arriving from its two in-edges are
-    // served once (Ranade's modules read sorted streams).
+                                                // The memory module at each final-column row also combines: requests
+                                                // for the same (module, address) arriving from its two in-edges are
+                                                // served once (Ranade's modules read sorted streams).
     let mut module_seen: Vec<std::collections::HashSet<Key>> =
         (0..n).map(|_| std::collections::HashSet::new()).collect();
     let mut steps = 0usize;
@@ -145,9 +147,8 @@ pub fn ranade_route(levels: usize, dests: &[u32], addrs: &[u64]) -> RanadeReport
         // out-queue is FIFO but at most one item *per edge* may move, so
         // scan the first item for each distinct bit.
         for level in 0..levels {
-            for row in 0..n {
+            for (row, q) in outq[level].iter_mut().enumerate() {
                 let mut sent = [false; 2];
-                let q = &mut outq[level][row];
                 let mut i = 0;
                 while i < q.len() {
                     let (bit, item) = q[i];

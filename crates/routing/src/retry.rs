@@ -184,7 +184,11 @@ mod tests {
                     max_attempts: 6,
                 },
                 |out, _b, attempt| AttemptResult {
-                    delivered: if attempt == k - 1 { out.to_vec() } else { vec![] },
+                    delivered: if attempt == k - 1 {
+                        out.to_vec()
+                    } else {
+                        vec![]
+                    },
                     steps: 7,
                 },
             );

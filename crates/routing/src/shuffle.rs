@@ -102,7 +102,10 @@ pub fn route_shuffle_with_dests(
     let mut via_rng = seq.child(1).rng();
     for (src, &dest) in dests.iter().enumerate() {
         let via = via_rng.gen_range(0..shuffle.num_nodes()) as u32;
-        eng.inject(src, Packet::new(src as u32, src as u32, dest as u32).with_via(via));
+        eng.inject(
+            src,
+            Packet::new(src as u32, src as u32, dest as u32).with_via(via),
+        );
     }
     let mut router = ShuffleRouter::new(shuffle);
     let out = eng.run(&mut router);

@@ -98,7 +98,10 @@ pub fn route_star_with_dests(
     let mut via_rng = seq.child(1).rng();
     for (src, &dest) in dests.iter().enumerate() {
         let via = via_rng.gen_range(0..star.num_nodes()) as u32;
-        eng.inject(src, Packet::new(src as u32, src as u32, dest as u32).with_via(via));
+        eng.inject(
+            src,
+            Packet::new(src as u32, src as u32, dest as u32).with_via(via),
+        );
     }
     let mut router = StarRouter::new(star);
     let out = eng.run(&mut router);
@@ -248,7 +251,11 @@ mod tests {
     fn queue_stays_modest() {
         // Õ(n) queues: with n = 5 expect far below N.
         let rep = route_star_permutation(5, 9, SimConfig::default());
-        assert!(rep.metrics.max_queue <= 6 * 5, "queue {}", rep.metrics.max_queue);
+        assert!(
+            rep.metrics.max_queue <= 6 * 5,
+            "queue {}",
+            rep.metrics.max_queue
+        );
     }
 
     mod properties {

@@ -200,8 +200,8 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
             // --- Transmit phase ---
             self.active.sort_unstable();
             arrivals.clear();
-            let use_parallel = self.cfg.threads > 1
-                && self.active.len() >= self.cfg.parallel_threshold;
+            let use_parallel =
+                self.cfg.threads > 1 && self.active.len() >= self.cfg.parallel_threshold;
             if use_parallel {
                 self.transmit_parallel(&mut arrivals);
             } else {
@@ -261,6 +261,9 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
     }
 
     fn transmit_parallel(&mut self, arrivals: &mut Vec<(u32, Packet)>) {
+        // Per-worker output: arrivals as (destination link, packet),
+        // still-active link ids, emptied link ids.
+        type ChunkResult = (Vec<(u32, Packet)>, Vec<u32>, Vec<u32>);
         // Hand out disjoint &mut queue references in active-id order, then
         // chunk them across scoped threads. `active` is sorted and
         // deduplicated (in_active invariant), so the split walk is valid.
@@ -283,7 +286,7 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
         let blocked = &self.blocked;
         let link_target = &self.link_target;
         let chunk = active.len().div_ceil(threads).max(1);
-        let results: Vec<(Vec<(u32, Packet)>, Vec<u32>, Vec<u32>)> = std::thread::scope(|s| {
+        let results: Vec<ChunkResult> = std::thread::scope(|s| {
             let handles: Vec<_> = refs
                 .chunks_mut(chunk)
                 .map(|chunk_refs| {
@@ -310,7 +313,10 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("transmit worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("transmit worker panicked"))
+                .collect()
         });
         let mut still_all = Vec::new();
         for (arr, still, emptied) in results {
@@ -474,12 +480,17 @@ mod tests {
     #[test]
     fn blocked_link_strands_packets() {
         let mesh = Mesh::linear(3);
-        let mut eng = Engine::new(&mesh, SimConfig {
-            max_steps: 10,
-            ..Default::default()
-        });
+        let mut eng = Engine::new(
+            &mesh,
+            SimConfig {
+                max_steps: 10,
+                ..Default::default()
+            },
+        );
         // Block 0 -> 1 (port of East at node 0).
-        let port = mesh.port_of_dir(0, lnpram_topology::mesh::Dir::East).unwrap();
+        let port = mesh
+            .port_of_dir(0, lnpram_topology::mesh::Dir::East)
+            .unwrap();
         eng.block_link(0, port);
         eng.inject(0, Packet::new(0, 0, 2));
         let out = eng.run(&mut GreedyMesh { mesh });
@@ -540,7 +551,10 @@ mod tests {
         let serial = run(usize::MAX);
         let parallel = run(1);
         assert!(!serial.is_empty());
-        assert_eq!(serial, parallel, "pop counting must not depend on threading");
+        assert_eq!(
+            serial, parallel,
+            "pop counting must not depend on threading"
+        );
         // Total traversals = sum of every packet's path length ≥ sum of
         // Manhattan distances (greedy takes shortest paths exactly).
         let total: u64 = serial.iter().map(|&l| u64::from(l)).sum();
@@ -558,7 +572,10 @@ mod tests {
         let out = eng.run(&mut GreedyMesh { mesh });
         assert!(out.metrics.link_loads.is_empty());
         // The engine-side accessor still works on demand.
-        assert_eq!(eng.link_loads().iter().map(|&l| u64::from(l)).sum::<u64>(), 4);
+        assert_eq!(
+            eng.link_loads().iter().map(|&l| u64::from(l)).sum::<u64>(),
+            4
+        );
     }
 
     #[test]

@@ -47,7 +47,8 @@ impl Metrics {
     pub(crate) fn on_delivery(&mut self, step: u32, injected_at: u32) {
         self.delivered += 1;
         self.routing_time = self.routing_time.max(step);
-        self.latency.record(u64::from(step.saturating_sub(injected_at)));
+        self.latency
+            .record(u64::from(step.saturating_sub(injected_at)));
     }
 
     /// Mean queue occupancy per executed step (packet-steps / steps).
@@ -100,9 +101,11 @@ mod tests {
 
     #[test]
     fn occupancy_division() {
-        let mut m = Metrics::default();
-        m.steps = 4;
-        m.queued_packet_steps = 10;
+        let m = Metrics {
+            steps: 4,
+            queued_packet_steps: 10,
+            ..Metrics::default()
+        };
         assert!((m.mean_queue_occupancy() - 2.5).abs() < 1e-12);
         let empty = Metrics::default();
         assert_eq!(empty.mean_queue_occupancy(), 0.0);

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let p = Packet::new(7, 1, 2).with_via(9).with_tag(0xABCD).with_priority(3);
+        let p = Packet::new(7, 1, 2)
+            .with_via(9)
+            .with_tag(0xABCD)
+            .with_priority(3);
         assert_eq!(p.id, 7);
         assert_eq!(p.src, 1);
         assert_eq!(p.dest, 2);

@@ -93,7 +93,11 @@ impl CubeConnectedCycles {
         }
         // Words equal: rotate to the target position the short way.
         let fwd = self.fwd_gap(p, pt);
-        Some(if fwd <= self.k - fwd { port::NEXT } else { port::PREV })
+        Some(if fwd <= self.k - fwd {
+            port::NEXT
+        } else {
+            port::PREV
+        })
     }
 
     /// Length of the canonical route (for tests and bounds).

@@ -78,8 +78,8 @@ mod tests {
         let h = Hypercube::new(5);
         for u in [0usize, 9, 31] {
             let bfs = bfs_distances(&h, u);
-            for v in 0..h.num_nodes() {
-                assert_eq!(bfs[v], h.distance(u, v));
+            for (v, &d) in bfs.iter().enumerate() {
+                assert_eq!(d, h.distance(u, v));
             }
         }
     }

@@ -85,7 +85,9 @@ pub fn audit_unique_paths<L: Leveled + ?Sized>(lv: &L) -> Result<(), String> {
         }
         for (dest, &count) in reach.iter().enumerate() {
             if count != 1 {
-                return Err(format!("{count} paths from {src} to {dest}, want exactly 1"));
+                return Err(format!(
+                    "{count} paths from {src} to {dest}, want exactly 1"
+                ));
             }
         }
     }
@@ -97,14 +99,13 @@ pub fn audit_unique_paths<L: Leveled + ?Sized>(lv: &L) -> Result<(), String> {
                 fwd[lv.succ(level, idx, digit)].push(idx);
             }
         }
-        for idx in 0..w {
+        for (idx, fwd_preds) in fwd.iter_mut().enumerate() {
             let mut back: Vec<usize> = (0..d).map(|g| lv.pred(level, idx, g)).collect();
             back.sort_unstable();
-            fwd[idx].sort_unstable();
-            if back != fwd[idx] {
+            fwd_preds.sort_unstable();
+            if back != *fwd_preds {
                 return Err(format!(
-                    "pred mismatch at level {level}, node {idx}: {:?} vs {:?}",
-                    back, fwd[idx]
+                    "pred mismatch at level {level}, node {idx}: {back:?} vs {fwd_preds:?}"
                 ));
             }
         }
@@ -151,7 +152,6 @@ impl RadixButterfly {
     fn digit_of(&self, idx: usize, j: usize) -> usize {
         idx / self.pow[j] % self.radix
     }
-
 }
 
 impl Leveled for RadixButterfly {

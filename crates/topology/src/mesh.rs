@@ -145,7 +145,8 @@ impl Network for Mesh {
 
     fn neighbor(&self, node: usize, port: usize) -> usize {
         let dir = self.dir_of_port(node, port);
-        self.step(node, dir).expect("dir_of_port returned valid dir")
+        self.step(node, dir)
+            .expect("dir_of_port returned valid dir")
     }
 
     fn name(&self) -> String {
@@ -184,8 +185,8 @@ mod tests {
         let m = Mesh::new(5, 7);
         for src in [0usize, 12, 34] {
             let bfs = bfs_distances(&m, src);
-            for v in 0..m.num_nodes() {
-                assert_eq!(bfs[v], m.manhattan(src, v));
+            for (v, &d) in bfs.iter().enumerate() {
+                assert_eq!(d, m.manhattan(src, v));
             }
         }
     }

@@ -58,10 +58,7 @@ pub fn star_dot(star: &StarGraph) -> String {
 
 /// Letters rendering of a permutation: 0 ↦ A, 1 ↦ B, … (paper Figure 2).
 pub fn perm_letters(p: &Perm) -> String {
-    p.symbols()
-        .iter()
-        .map(|&s| (b'A' + s) as char)
-        .collect()
+    p.symbols().iter().map(|&s| (b'A' + s) as char).collect()
 }
 
 /// ASCII schematic of a leveled network (paper Figure 1): columns of
@@ -69,13 +66,7 @@ pub fn perm_letters(p: &Perm) -> String {
 /// the actual link pattern is drawn; otherwise a summary header only.
 pub fn leveled_ascii<L: Leveled + ?Sized>(lv: &L) -> String {
     let (w, ell, d) = (lv.width(), lv.levels(), lv.degree());
-    let mut out = format!(
-        "{}: {} levels, width {}, degree {}\n",
-        lv.name(),
-        ell,
-        w,
-        d
-    );
+    let mut out = format!("{}: {} levels, width {}, degree {}\n", lv.name(), ell, w, d);
     out.push_str(&format!(
         "columns: {} (level 1) .. {} (level {})\n",
         "c0", "cL", ell
@@ -87,9 +78,7 @@ pub fn leveled_ascii<L: Leveled + ?Sized>(lv: &L) -> String {
     for level in 0..ell {
         out.push_str(&format!("level {level} -> {}:\n", level + 1));
         for idx in 0..w {
-            let succs: Vec<String> = (0..d)
-                .map(|g| lv.succ(level, idx, g).to_string())
-                .collect();
+            let succs: Vec<String> = (0..d).map(|g| lv.succ(level, idx, g).to_string()).collect();
             out.push_str(&format!("  node {idx} -> {{{}}}\n", succs.join(", ")));
         }
     }

@@ -168,8 +168,8 @@ mod tests {
             let s = DWayShuffle::new(d, n);
             for u in 0..s.num_nodes() {
                 let bfs = bfs_distances(&s, u);
-                for v in 0..s.num_nodes() {
-                    assert_eq!(s.distance(u, v), bfs[v], "d={d} n={n} u={u} v={v}");
+                for (v, &dist) in bfs.iter().enumerate() {
+                    assert_eq!(s.distance(u, v), dist, "d={d} n={n} u={u} v={v}");
                 }
             }
         }

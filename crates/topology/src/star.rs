@@ -215,13 +215,9 @@ mod tests {
             let s = StarGraph::new(n);
             for src in 0..s.num_nodes() {
                 let bfs = bfs_distances(&s, src);
-                for dest in 0..s.num_nodes() {
-                    assert_eq!(
-                        s.distance(dest, src),
-                        bfs[dest],
-                        "n={n} src={src} dest={dest}"
-                    );
-                    assert_eq!(s.distance(src, dest), bfs[dest], "symmetry");
+                for (dest, &d) in bfs.iter().enumerate() {
+                    assert_eq!(s.distance(dest, src), d, "n={n} src={src} dest={dest}");
+                    assert_eq!(s.distance(src, dest), d, "symmetry");
                 }
             }
         }
@@ -254,7 +250,10 @@ mod tests {
             if u == v {
                 assert_eq!(s.canonical_next_port(u, v), None);
             } else {
-                assert_eq!(s.canonical_next_port(u, v), Some(s.canonical_route(u, v)[0]));
+                assert_eq!(
+                    s.canonical_next_port(u, v),
+                    Some(s.canonical_route(u, v)[0])
+                );
             }
         }
     }

@@ -23,16 +23,15 @@ fn main() {
     // The paper's randomized single-copy scheme (Theorem 2.5).
     let mut prog = PermutationTraffic::new(perm.clone(), rounds);
     let space = prog.address_space();
-    let mut hashed = LeveledPramEmulator::new(
-        net,
-        AccessMode::Erew,
-        space,
-        EmulatorConfig::default(),
-    );
+    let mut hashed =
+        LeveledPramEmulator::new(net, AccessMode::Erew, space, EmulatorConfig::default());
     let hashed_report = hashed.run_program(&mut prog, 10_000);
 
     // The deterministic [3]-style baseline at three replication levels.
-    println!("host: {}, workload: {rounds} rounds of permutation traffic\n", net.name());
+    println!(
+        "host: {}, workload: {rounds} rounds of permutation traffic\n",
+        net.name()
+    );
     println!(
         "{:<24} {:>12} {:>16} {:>10}",
         "scheme", "pkts/access", "steps/PRAM step", "rehashes"

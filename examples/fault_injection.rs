@@ -30,8 +30,8 @@ fn main() {
 /// Part 1: the leveled network under a deliberately tight deadline.
 fn tight_deadline_retries() {
     let inner = RadixButterfly::new(2, 8); // 256 rows, path length 2ℓ = 16
-    // Observed routing times are 19–21 steps; a 20-step deadline misses on
-    // the ~8% of seeds that need 21 — real, occasional failures.
+                                           // Observed routing times are 19–21 steps; a 20-step deadline misses on
+                                           // the ~8% of seeds that need 21 — real, occasional failures.
     let budget = 20u32;
     let ids: Vec<u32> = (0..256).collect();
     let mut failures = 0usize;
@@ -94,7 +94,11 @@ impl Protocol for DetourRouter {
         let (r, c) = self.mesh.coords(node);
         let (dr, dc) = self.mesh.coords(pkt.dest as usize);
         let dir = if r != dr {
-            if r < dr { Dir::South } else { Dir::North }
+            if r < dr {
+                Dir::South
+            } else {
+                Dir::North
+            }
         } else if c < dc {
             Dir::East
         } else {

@@ -18,19 +18,17 @@ fn main() {
     let n = 32usize;
     let mesh = Mesh::square(n);
     println!("32x32 mesh, d-local EREW permutation traffic (Theorem 3.3):\n");
-    println!("{:>4} {:>14} {:>10} {:>10}", "d", "steps/PRAM", "per d", "per n");
+    println!(
+        "{:>4} {:>14} {:>10} {:>10}",
+        "d", "steps/PRAM", "per d", "per n"
+    );
     for d in [2usize, 4, 8, 16, 32] {
         let mut rng = SeedSeq::new(7).child(d as u64).rng();
         let dests = workloads::local_permutation(&mesh, d, &mut rng);
         let mut prog = PermutationTraffic::new(dests, 4);
         let space = prog.address_space();
-        let mut emu = MeshPramEmulator::new_local(
-            n,
-            AccessMode::Erew,
-            space,
-            d,
-            EmulatorConfig::default(),
-        );
+        let mut emu =
+            MeshPramEmulator::new_local(n, AccessMode::Erew, space, d, EmulatorConfig::default());
         let report = emu.run_program(&mut prog, 1000);
 
         // Also verify against the oracle — locality must not change results.

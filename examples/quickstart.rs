@@ -42,12 +42,8 @@ fn main() {
 
     // 2. The paper's headline host: the n-way shuffle in leveled form.
     let shuffle = UnrolledShuffle::n_way(3); // 27 nodes, diameter 3
-    let mut emu = LeveledPramEmulator::new(
-        shuffle,
-        AccessMode::Erew,
-        space,
-        EmulatorConfig::default(),
-    );
+    let mut emu =
+        LeveledPramEmulator::new(shuffle, AccessMode::Erew, space, EmulatorConfig::default());
     let report = emu.run_program(&mut PrefixSum::new(values.clone()), 10_000);
     assert_eq!(emu.memory_image(space), oracle.memory());
     println!(

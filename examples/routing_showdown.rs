@@ -44,10 +44,22 @@ fn main() {
         let dests = workloads::random_permutation(n * n, &mut rng);
         mesh_sort::shearsort_route(n, &dests).steps as f64
     });
-    println!("three-stage (paper): {t3:7.1} steps  = {:.2}n", t3 / n as f64);
-    println!("valiant-brebner:     {tvb:7.1} steps  = {:.2}n", tvb / n as f64);
-    println!("greedy XY:           {tg:7.1} steps  = {:.2}n", tg / n as f64);
-    println!("shearsort (sorting): {tsort:7.1} steps  = {:.2}n", tsort / n as f64);
+    println!(
+        "three-stage (paper): {t3:7.1} steps  = {:.2}n",
+        t3 / n as f64
+    );
+    println!(
+        "valiant-brebner:     {tvb:7.1} steps  = {:.2}n",
+        tvb / n as f64
+    );
+    println!(
+        "greedy XY:           {tg:7.1} steps  = {:.2}n",
+        tg / n as f64
+    );
+    println!(
+        "shearsort (sorting): {tsort:7.1} steps  = {:.2}n",
+        tsort / n as f64
+    );
     println!();
 
     println!("== sub-logarithmic-diameter networks (Theorems 2.2 / 2.3) ==");

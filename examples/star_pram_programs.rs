@@ -54,7 +54,9 @@ fn main() {
         "list ranking",
         || {
             // A fixed scrambled list of 20 elements.
-            let order = [3usize, 7, 1, 12, 0, 9, 15, 4, 18, 2, 11, 6, 19, 8, 14, 5, 17, 10, 16, 13];
+            let order = [
+                3usize, 7, 1, 12, 0, 9, 15, 4, 18, 2, 11, 6, 19, 8, 14, 5, 17, 10, 16, 13,
+            ];
             let mut succ = vec![0usize; 20];
             for w in order.windows(2) {
                 succ[w[0]] = w[1];

@@ -10,7 +10,9 @@
 //! Argument parsing is hand-rolled (`--key value` pairs after a
 //! subcommand) to stay within the approved dependency set.
 
-use lnpram::core::{EmulatorConfig, LeveledPramEmulator, MeshPramEmulator, ReplicatedPramEmulator, StarPramEmulator};
+use lnpram::core::{
+    EmulatorConfig, LeveledPramEmulator, MeshPramEmulator, ReplicatedPramEmulator, StarPramEmulator,
+};
 use lnpram::pram::machine::PramMachine;
 use lnpram::pram::model::{AccessMode, PramProgram, WritePolicy};
 use lnpram::pram::programs::{ConnectedComponents, Histogram, PrefixSum, ReductionMax};
@@ -35,9 +37,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{key}'"))?;
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
     }
     Ok(flags)
@@ -95,7 +95,11 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         "star" => {
             let g = StarGraph::new(n);
             print_audit(&g);
-            println!("paper: degree n−1 = {}, diameter ⌊3(n−1)/2⌋ = {}", n - 1, g.diameter());
+            println!(
+                "paper: degree n−1 = {}, diameter ⌊3(n−1)/2⌋ = {}",
+                n - 1,
+                g.diameter()
+            );
         }
         "shuffle" => {
             let d = get_usize(flags, "d", n)?;
@@ -133,7 +137,12 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn print_audit<N: Network>(g: &N) {
     let rep = audit(g);
-    println!("{}: {} nodes, {} directed links", g.name(), g.num_nodes(), g.num_links());
+    println!(
+        "{}: {} nodes, {} directed links",
+        g.name(),
+        g.num_nodes(),
+        g.num_links()
+    );
     println!(
         "max degree {}, diameter {:?}, degree-symmetric: {}",
         rep.max_degree, rep.diameter, rep.symmetric
@@ -156,17 +165,23 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
                 if !rep.completed {
                     return Err("routing did not complete".into());
                 }
-                (rep.metrics.routing_time, rep.metrics.max_queue, rep.diameter)
+                (
+                    rep.metrics.routing_time,
+                    rep.metrics.max_queue,
+                    rep.diameter,
+                )
             }
             "shuffle" => {
                 let d = get_usize(flags, "d", n)?;
-                let rep = route_shuffle_permutation(DWayShuffle::new(d, n), s, SimConfig::default());
+                let rep =
+                    route_shuffle_permutation(DWayShuffle::new(d, n), s, SimConfig::default());
                 (rep.metrics.routing_time, rep.metrics.max_queue, rep.n)
             }
             "butterfly" => {
                 let d = get_usize(flags, "d", 2)?;
                 let k = get_usize(flags, "k", 4)?;
-                let rep = route_leveled_permutation(RadixButterfly::new(d, k), s, SimConfig::default());
+                let rep =
+                    route_leveled_permutation(RadixButterfly::new(d, k), s, SimConfig::default());
                 (rep.metrics.routing_time, rep.metrics.max_queue, rep.levels)
             }
             "ccc" => {
@@ -175,8 +190,14 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
                 (rep.metrics.routing_time, rep.metrics.max_queue, diam)
             }
             "mesh" => {
-                let alg = match flags.get("algorithm").map(String::as_str).unwrap_or("three-stage") {
-                    "three-stage" => MeshAlgorithm::ThreeStage { slice_rows: default_slice_rows(n) },
+                let alg = match flags
+                    .get("algorithm")
+                    .map(String::as_str)
+                    .unwrap_or("three-stage")
+                {
+                    "three-stage" => MeshAlgorithm::ThreeStage {
+                        slice_rows: default_slice_rows(n),
+                    },
                     "const-queue" => MeshAlgorithm::ThreeStageConstQueue {
                         slice_rows: default_slice_rows(n),
                         block_rows: default_block_rows(n),
@@ -211,7 +232,12 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn run_and_verify<P, F>(make: F, mode: AccessMode, host: &str, mut run_emu: impl FnMut(&mut P) -> (Vec<u64>, f64)) -> Result<(), String>
+fn run_and_verify<P, F>(
+    make: F,
+    mode: AccessMode,
+    host: &str,
+    mut run_emu: impl FnMut(&mut P) -> (Vec<u64>, f64),
+) -> Result<(), String>
 where
     P: PramProgram,
     F: Fn() -> P,
@@ -222,7 +248,9 @@ where
     let mut oracle = PramMachine::new(space, mode);
     oracle.run(&mut make(), 1_000_000);
     if image != oracle.memory() {
-        return Err(format!("{host}: emulated memory diverged from the reference PRAM"));
+        return Err(format!(
+            "{host}: emulated memory diverged from the reference PRAM"
+        ));
     }
     println!("{host}: memory image matches the reference PRAM ({space} cells)");
     println!("mean network steps per PRAM step: {mean_step:.1}");
@@ -236,7 +264,10 @@ fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("program")
         .map(String::as_str)
         .unwrap_or("prefix-sum");
-    let cfg = EmulatorConfig { seed, ..Default::default() };
+    let cfg = EmulatorConfig {
+        seed,
+        ..Default::default()
+    };
 
     // Each program picks its own processor count to fit the host.
     let procs: usize = match host.as_str() {
@@ -263,7 +294,11 @@ fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
                     let k = get_usize(flags, "k", 5)?;
                     run_and_verify(make, mode, "butterfly", |p| {
                         let mut emu = LeveledPramEmulator::new(
-                            RadixButterfly::new(2, k), mode, p.address_space(), cfg.clone());
+                            RadixButterfly::new(2, k),
+                            mode,
+                            p.address_space(),
+                            cfg.clone(),
+                        );
                         let rep = emu.run_program(p, 1_000_000);
                         (emu.memory_image(p.address_space()), rep.mean_step_time())
                     })
@@ -271,7 +306,8 @@ fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
                 "star" => {
                     let n = get_usize(flags, "n", 4)?;
                     run_and_verify(make, mode, "star", |p| {
-                        let mut emu = StarPramEmulator::new(n, mode, p.address_space(), cfg.clone());
+                        let mut emu =
+                            StarPramEmulator::new(n, mode, p.address_space(), cfg.clone());
                         let rep = emu.run_program(p, 1_000_000);
                         (emu.memory_image(p.address_space()), rep.mean_step_time())
                     })
@@ -279,7 +315,8 @@ fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
                 "mesh" => {
                     let n = get_usize(flags, "n", 5)?;
                     run_and_verify(make, mode, "mesh", |p| {
-                        let mut emu = MeshPramEmulator::new(n, mode, p.address_space(), cfg.clone());
+                        let mut emu =
+                            MeshPramEmulator::new(n, mode, p.address_space(), cfg.clone());
                         let rep = emu.run_program(p, 1_000_000);
                         (emu.memory_image(p.address_space()), rep.mean_step_time())
                     })
@@ -289,7 +326,12 @@ fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
                     let copies = get_usize(flags, "copies", 3)?;
                     run_and_verify(make, mode, "replicated", |p| {
                         let mut emu = ReplicatedPramEmulator::new(
-                            RadixButterfly::new(2, k), mode, p.address_space(), copies, cfg.clone());
+                            RadixButterfly::new(2, k),
+                            mode,
+                            p.address_space(),
+                            copies,
+                            cfg.clone(),
+                        );
                         let rep = emu.run_program(p, 1_000_000);
                         (emu.memory_image(p.address_space()), rep.mean_step_time())
                     })

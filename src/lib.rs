@@ -60,8 +60,8 @@ pub use lnpram_topology as topology;
 /// The most common imports in one place.
 pub mod prelude {
     pub use lnpram_core::{
-        EmuReport, EmulatorConfig, LeveledPramEmulator, MeshPramEmulator,
-        ReplicatedPramEmulator, StarPramEmulator,
+        EmuReport, EmulatorConfig, LeveledPramEmulator, MeshPramEmulator, ReplicatedPramEmulator,
+        StarPramEmulator,
     };
     pub use lnpram_hash::{HashFamily, PolyHash};
     pub use lnpram_math::rng::SeedSeq;

@@ -90,11 +90,7 @@ fn butterfly_runs_whole_program_library() {
 fn nway_shuffle_runs_whole_program_library() {
     // Corollary 2.4/2.6 host: the 3-way shuffle, 27 processors.
     let net = UnrolledShuffle::n_way(3);
-    check_on_leveled!(
-        PrefixSum::new((1..=27).collect()),
-        AccessMode::Erew,
-        net
-    );
+    check_on_leveled!(PrefixSum::new((1..=27).collect()), AccessMode::Erew, net);
     check_on_leveled!(
         OddEvenSort::new((0..27).map(|i| (i * 17 + 5) % 40).collect()),
         AccessMode::Erew,
@@ -151,7 +147,10 @@ fn star_emulator_matches_oracle_on_programs() {
                 (emu.memory_image(space), oracle_image(make(), mode))
             }
         };
-        assert_eq!(emu_img, ref_img, "star emulator diverged (case {mode_prog})");
+        assert_eq!(
+            emu_img, ref_img,
+            "star emulator diverged (case {mode_prog})"
+        );
     }
 }
 
@@ -238,7 +237,8 @@ fn replicated_baseline_matches_oracle_on_programs() {
         let make = || PrefixSum::new((1..=32).collect());
         let mode = AccessMode::Erew;
         let space = make().address_space();
-        let mut emu = ReplicatedPramEmulator::new(net, mode, space, copies, EmulatorConfig::default());
+        let mut emu =
+            ReplicatedPramEmulator::new(net, mode, space, copies, EmulatorConfig::default());
         emu.run_program(&mut make(), 200_000);
         assert_eq!(
             emu.memory_image(space),
@@ -249,7 +249,8 @@ fn replicated_baseline_matches_oracle_on_programs() {
         let make = || ListRankingProgram::new(scrambled_list(32, 13));
         let mode = AccessMode::Crew;
         let space = make().address_space();
-        let mut emu = ReplicatedPramEmulator::new(net, mode, space, copies, EmulatorConfig::default());
+        let mut emu =
+            ReplicatedPramEmulator::new(net, mode, space, copies, EmulatorConfig::default());
         emu.run_program(&mut make(), 200_000);
         assert_eq!(
             emu.memory_image(space),

@@ -46,7 +46,9 @@ impl PramProgram for FuzzProgram {
         self.space
     }
     fn initial_memory(&self) -> Vec<(u64, u64)> {
-        (0..self.space).map(|a| (a, a.wrapping_mul(31) + 7)).collect()
+        (0..self.space)
+            .map(|a| (a, a.wrapping_mul(31) + 7))
+            .collect()
     }
     fn op(&mut self, proc: usize, step: usize, last_read: Option<u64>) -> MemOp {
         if let Some(v) = last_read {

@@ -8,8 +8,13 @@ use lnpram::routing::ranade;
 use lnpram::routing::{mesh::default_slice_rows, mesh_sort, workloads};
 use lnpram::simnet::SimConfig;
 
-fn mean<F: Fn(u64) -> f64>(trials: u64, f: F) -> f64 {
-    (0..trials).map(f).sum::<f64>() / trials as f64
+/// Mean of `f(seed)` over seeded trials, fanned out across cores by the
+/// workspace trial-runner (`lnpram_math::stats::par_mean`; results are
+/// per-seed deterministic regardless of thread schedule). `LNPRAM_TRIALS`
+/// overrides the per-site trial count, so CI can throttle the
+/// statistics-heavy tests without touching the assertions.
+fn mean<F: Fn(u64) -> f64 + Sync>(trials: u64, f: F) -> f64 {
+    lnpram::math::stats::par_mean(lnpram_bench::trial_count(trials), f)
 }
 
 #[test]
@@ -93,7 +98,11 @@ fn theorem_31_mesh_three_stage_beats_baselines() {
     });
     assert!(t3 < tvb, "three-stage {t3:.0} must beat VB {tvb:.0}");
     assert!(t3 < tsort / 2.0, "and be far below sorting ({tsort:.0})");
-    assert!(t3 / n as f64 <= 3.5, "≈2n + o(n): got {:.2}n", t3 / n as f64);
+    assert!(
+        t3 / n as f64 <= 3.5,
+        "≈2n + o(n): got {:.2}n",
+        t3 / n as f64
+    );
 }
 
 #[test]
@@ -160,8 +169,8 @@ fn ranade_comparator_constant_is_impractical_on_mesh() {
 
 #[test]
 fn lemma_21_retry_with_real_leveled_routing() {
-    use lnpram::routing::retry::{route_with_retry, AttemptResult, RetryPolicy};
     use lnpram::routing::leveled::route_leveled_with_dests;
+    use lnpram::routing::retry::{route_with_retry, AttemptResult, RetryPolicy};
 
     // Deliberately tight budget so some attempts fail, then verify the
     // retry wrapper converges. We re-route *all* packets per attempt with
@@ -289,5 +298,8 @@ fn replication_cost_scales_with_quorum() {
         emu.run_program(&mut prog, 1000).mean_step_time()
     };
     let (t1, t3, t5) = (time(1), time(3), time(5));
-    assert!(t1 < t3 && t3 < t5, "expected monotone cost: {t1:.1} {t3:.1} {t5:.1}");
+    assert!(
+        t1 < t3 && t3 < t5,
+        "expected monotone cost: {t1:.1} {t3:.1} {t5:.1}"
+    );
 }

@@ -1,0 +1,314 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the slice of the criterion 0.5 API the workspace's five
+//! benches use: [`Criterion`], benchmark groups, [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a plain
+//! warmup-then-sample loop reporting the median ns/iteration — adequate
+//! for relative regression tracking, without criterion's statistics,
+//! plotting, or baseline storage. Swap in the real crate by replacing
+//! the `[workspace.dependencies]` path entry with a version.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting
+/// a computation. `std::hint::black_box` is exactly this.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function name / parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Just the parameter (for groups benchmarked over one axis).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the routine.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    median_ns: f64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration cost.
+    ///
+    /// In test mode (no `--bench` on the command line, i.e. running
+    /// under `cargo test --benches`) the routine executes exactly once —
+    /// a smoke check that the benchmark still works, mirroring upstream
+    /// criterion.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate cost with a doubling probe.
+        let mut batch = 1u64;
+        let probe = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_millis(1) || batch >= 1 << 20 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 2;
+        };
+        // Size batches so all samples fit in the measurement budget.
+        let budget_ns = self.measurement.as_nanos() as f64 / self.samples as f64;
+        let per_sample = ((budget_ns / probe.max(1.0)) as u64).clamp(1, 1 << 24);
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+fn report(group: &str, id: &str, median_ns: f64) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else if id.is_empty() {
+        group.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let (value, unit) = if median_ns >= 1e9 {
+        (median_ns / 1e9, "s")
+    } else if median_ns >= 1e6 {
+        (median_ns / 1e6, "ms")
+    } else if median_ns >= 1e3 {
+        (median_ns / 1e3, "µs")
+    } else {
+        (median_ns, "ns")
+    };
+    println!("{label:<50} time: {value:>10.3} {unit}/iter");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion default: 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Override the measurement budget for this group only.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement: self.measurement,
+            median_ns: 0.0,
+            test_mode: self.criterion.test_mode,
+        };
+        routine(&mut b);
+        if !b.test_mode {
+            report(&self.name, &id.to_string(), b.median_ns);
+        }
+        self
+    }
+
+    /// Benchmark `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement: self.measurement,
+            median_ns: 0.0,
+            test_mode: self.criterion.test_mode,
+        };
+        routine(&mut b, input);
+        if !b.test_mode {
+            report(&self.name, &id.to_string(), b.median_ns);
+        }
+        self
+    }
+
+    /// End the group (prints a separating blank line).
+    pub fn finish(self) {
+        if !self.criterion.test_mode {
+            println!();
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Far below criterion's 5 s default: the shim is for relative
+            // regression tracking, not publication-grade statistics.
+            measurement: Duration::from_millis(300),
+            // `cargo bench` passes `--bench` to the target; absence means
+            // this is `cargo test --benches`, where upstream criterion
+            // runs each routine once as a smoke test. Mirror that.
+            test_mode: !std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts and ignores cargo-bench CLI arguments (`--bench`, filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("## {name}");
+        }
+        BenchmarkGroup {
+            name,
+            measurement: self.measurement,
+            criterion: self,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmark a single free-standing routine.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 20,
+            measurement: self.measurement,
+            median_ns: 0.0,
+            test_mode: self.test_mode,
+        };
+        routine(&mut b);
+        if !self.test_mode {
+            report("", id, b.median_ns);
+        }
+        self
+    }
+}
+
+/// Bundle benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` cargo runs bench executables
+            // with `--test`; benches only need to build there, not run.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            measurement: Duration::from_millis(5),
+            median_ns: 0.0,
+            test_mode: false,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(2),
+            test_mode: false,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .bench_function("noop", |b| b.iter(|| black_box(0)));
+        g.bench_with_input(BenchmarkId::new("with", 1), &1u32, |b, &x| {
+            b.iter(|| black_box(x))
+        });
+        g.finish();
+    }
+}
