@@ -1,7 +1,8 @@
-//! Hot path: link-queue push/pop under both disciplines.
+//! Hot path: link-queue push/pop under both disciplines (slab-pooled
+//! chain queues — pops are an O(1) unlink, FurthestFirst pays one scan).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use lnpram_simnet::queue::LinkQueue;
+use lnpram_simnet::queue::{LinkQueue, PacketPool};
 use lnpram_simnet::{Discipline, Packet};
 
 fn bench_queue(c: &mut Criterion) {
@@ -12,13 +13,17 @@ fn bench_queue(c: &mut Criterion) {
     ] {
         for occupancy in [4usize, 16, 64] {
             group.bench_with_input(BenchmarkId::new(name, occupancy), &occupancy, |b, &occ| {
+                let mut pool = PacketPool::new();
                 let mut q = LinkQueue::new();
                 for i in 0..occ {
-                    q.push(Packet::new(i as u32, 0, 1).with_priority((i * 37 % 23) as u32));
+                    q.push(
+                        &mut pool,
+                        Packet::new(i as u32, 0, 1).with_priority((i * 37 % 23) as u32),
+                    );
                 }
                 b.iter(|| {
-                    let p = q.pop(disc).unwrap();
-                    q.push(black_box(p));
+                    let p = q.pop(&mut pool, disc).unwrap();
+                    q.push(&mut pool, black_box(p));
                 });
             });
         }

@@ -1,0 +1,153 @@
+//! Engine step-throughput on the three canonical workloads — the perf
+//! trajectory anchor.
+//!
+//! Routes random permutations on the leveled network (Algorithm 2.1 with
+//! a reused [`LeveledRoutingSession`]), the 5-star (Algorithm 2.2) and
+//! the 32×32 mesh (three-stage §3.4), reporting packets/sec and
+//! steps/sec, and writes the numbers as machine-readable JSON (default
+//! `BENCH_2.json`, override with `LNPRAM_BENCH_OUT`). CI's `bench-smoke`
+//! job runs this with `LNPRAM_TRIALS=2` so every subsequent PR has a
+//! baseline to beat; run it locally with the default trial count for
+//! stable numbers.
+
+use lnpram_bench::{fmt, trial_count, Table};
+use lnpram_math::rng::SeedSeq;
+use lnpram_routing::leveled::LeveledRoutingSession;
+use lnpram_routing::mesh::{default_slice_rows, MeshAlgorithm};
+use lnpram_routing::{route_mesh_permutation, route_star_permutation, workloads};
+use lnpram_simnet::SimConfig;
+use lnpram_topology::leveled::RadixButterfly;
+use std::time::Instant;
+
+/// One workload's measurement.
+struct WorkloadResult {
+    name: String,
+    trials: u64,
+    packets: u64,
+    steps: u64,
+    elapsed_s: f64,
+}
+
+impl WorkloadResult {
+    fn packets_per_sec(&self) -> f64 {
+        self.packets as f64 / self.elapsed_s
+    }
+
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.elapsed_s
+    }
+}
+
+/// Time `trials` runs of `run`, which returns `(packets delivered,
+/// engine steps executed)` for one seed.
+fn measure(name: &str, trials: u64, mut run: impl FnMut(u64) -> (u64, u64)) -> WorkloadResult {
+    // One untimed warm-up run so allocator warm-up and lazy init are not
+    // billed to the first trial.
+    run(u64::MAX);
+    let start = Instant::now();
+    let mut packets = 0u64;
+    let mut steps = 0u64;
+    for seed in 0..trials {
+        let (p, s) = run(seed);
+        packets += p;
+        steps += s;
+    }
+    WorkloadResult {
+        name: name.to_string(),
+        trials,
+        packets,
+        steps,
+        elapsed_s: start.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, trials: u64, results: &[WorkloadResult]) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"engine_throughput\",\n");
+    out.push_str(&format!("  \"trials\": {trials},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"trials\": {}, \"packets\": {}, \"steps\": {}, \
+             \"elapsed_s\": {:.6}, \"packets_per_sec\": {:.1}, \"steps_per_sec\": {:.1}}}{}\n",
+            json_escape(&r.name),
+            r.trials,
+            r.packets,
+            r.steps,
+            r.elapsed_s,
+            r.packets_per_sec(),
+            r.steps_per_sec(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let trials = trial_count(20);
+    let mut results = Vec::new();
+
+    // Leveled network: Algorithm 2.1 on butterfly(2,10) — 1024 packets
+    // per run over 20 link stages — through one reused session engine.
+    {
+        let inner = RadixButterfly::new(2, 10);
+        let mut session = LeveledRoutingSession::new(inner, SimConfig::default());
+        results.push(measure("leveled/butterfly(2,10)", trials, |seed| {
+            let seq = SeedSeq::new(seed);
+            let mut rng = seq.child(0).rng();
+            let dests = workloads::random_permutation(1024, &mut rng);
+            let rep = session.route_with_dests(&dests, seq);
+            assert!(rep.completed);
+            (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
+        }));
+    }
+
+    // Star graph: Algorithm 2.2 on the 5-star (120 nodes).
+    results.push(measure("star/5-star", trials, |seed| {
+        let rep = route_star_permutation(5, seed, SimConfig::default());
+        assert!(rep.completed);
+        (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
+    }));
+
+    // Mesh: three-stage §3.4 routing on the 32×32 mesh (1024 packets).
+    results.push(measure("mesh/32x32-three-stage", trials, |seed| {
+        let alg = MeshAlgorithm::ThreeStage {
+            slice_rows: default_slice_rows(32),
+        };
+        let rep = route_mesh_permutation(32, alg, seed, SimConfig::default());
+        assert!(rep.completed);
+        (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
+    }));
+
+    let mut t = Table::new(
+        format!("Engine step throughput ({trials} trials per workload)"),
+        &[
+            "workload",
+            "packets/s",
+            "steps/s",
+            "packets",
+            "steps",
+            "secs",
+        ],
+    );
+    for r in &results {
+        t.row(&[
+            r.name.clone(),
+            fmt::f(r.packets_per_sec(), 0),
+            fmt::f(r.steps_per_sec(), 0),
+            r.packets.to_string(),
+            r.steps.to_string(),
+            fmt::f(r.elapsed_s, 3),
+        ]);
+    }
+    t.print();
+
+    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_2.json".to_string());
+    write_json(&path, trials, &results).expect("write bench json");
+    println!("wrote {path}");
+}

@@ -7,7 +7,7 @@
 
 use lnpram_bench::{fmt, Table};
 use lnpram_math::rng::SeedSeq;
-use lnpram_routing::leveled::route_leveled_with_dests;
+use lnpram_routing::leveled::LeveledRoutingSession;
 use lnpram_routing::retry::{route_with_retry, AttemptResult, RetryPolicy};
 use lnpram_routing::workloads;
 use lnpram_simnet::SimConfig;
@@ -17,6 +17,9 @@ fn main() {
     let net = RadixButterfly::new(2, 8); // 256 rows, l = 8
     let ell = 8u32;
     let runs = 60u64;
+    // One engine for the whole table: every retry of every run recycles
+    // it (Engine::reset) instead of rebuilding the 2l-column queue state.
+    let mut session = LeveledRoutingSession::new(net, SimConfig::default());
 
     let mut t = Table::new(
         "Lemma 2.1 — retry amplification on butterfly(2,8), budget = 2l + slack",
@@ -48,15 +51,8 @@ fn main() {
                     max_attempts: 40,
                 },
                 |outstanding, b, k| {
-                    let rep = route_leveled_with_dests(
-                        net,
-                        &dests,
-                        SeedSeq::new(run * 1000 + k as u64),
-                        SimConfig {
-                            max_steps: b,
-                            ..Default::default()
-                        },
-                    );
+                    session.set_max_steps(b);
+                    let rep = session.route_with_dests(&dests, SeedSeq::new(run * 1000 + k as u64));
                     if rep.completed {
                         AttemptResult {
                             delivered: outstanding.to_vec(),

@@ -63,6 +63,14 @@ pub struct LeveledPramEmulator<L: Leveled + Copy> {
     seq: SeedSeq,
     hash_epoch: u64,
     report: EmuReport,
+    /// Forward (request-phase) view of the doubled network.
+    fwd: LeveledNet<DoubledLeveled<L>>,
+    /// Backward (reply-phase) view of the doubled network.
+    bwd: LeveledNet<DoubledLeveled<L>>,
+    /// Request-phase engine, built once and recycled every attempt.
+    req_engine: Engine,
+    /// Reply-phase engine, likewise persistent.
+    rep_engine: Engine,
 }
 
 impl<L: Leveled + Copy> LeveledPramEmulator<L> {
@@ -84,6 +92,28 @@ impl<L: Leveled + Copy> LeveledPramEmulator<L> {
         let seq = SeedSeq::new(cfg.seed);
         let hash = family.sample(&mut seq.child(0).rng());
         let nodes = (2 * inner.levels() + 1) * width;
+        let doubled = DoubledLeveled::new(inner);
+        let fwd = LeveledNet::forward(doubled);
+        let bwd = LeveledNet::backward(doubled);
+        // Engines are built once here and recycled with `Engine::reset`
+        // for every attempt of every PRAM step: a T-step emulation builds
+        // its per-link state once instead of T times. The reply phase
+        // retraces an already-successful pattern, so it never times out.
+        let req_engine = Engine::new(
+            &fwd,
+            SimConfig {
+                discipline: cfg.discipline,
+                ..Default::default()
+            },
+        );
+        let rep_engine = Engine::new(
+            &bwd,
+            SimConfig {
+                discipline: cfg.discipline,
+                max_steps: u32::MAX,
+                ..Default::default()
+            },
+        );
         LeveledPramEmulator {
             inner,
             cfg,
@@ -94,6 +124,10 @@ impl<L: Leveled + Copy> LeveledPramEmulator<L> {
             seq,
             hash_epoch: 0,
             report: EmuReport::default(),
+            fwd,
+            bwd,
+            req_engine,
+            rep_engine,
         }
     }
 
@@ -223,22 +257,13 @@ impl<L: Leveled + Copy> LeveledPramEmulator<L> {
         budget: u32,
         stats: &mut StepStats,
     ) -> Option<Vec<(usize, u64)>> {
-        let doubled = DoubledLeveled::new(self.inner);
-        let fwd = LeveledNet::forward(doubled);
-        let bwd = LeveledNet::backward(doubled);
         let width = self.inner.width();
         self.tables.reset();
         self.modules.clear_batches();
 
         // ---- Request phase ----
-        let mut eng = Engine::new(
-            &fwd,
-            SimConfig {
-                discipline: self.cfg.discipline,
-                max_steps: budget,
-                ..Default::default()
-            },
-        );
+        self.req_engine.reset();
+        self.req_engine.set_max_steps(budget);
         let mut via_rng = attempt_seq.child(0).rng();
         let mut write_vals: HashMap<u32, (u64, usize)> = HashMap::new();
         for (id, req) in requests.iter().enumerate() {
@@ -251,19 +276,26 @@ impl<L: Leveled + Copy> LeveledPramEmulator<L> {
             if let Some(v) = req.write {
                 write_vals.insert(id as u32, (v, req.proc));
             }
-            eng.inject(fwd.node_id(0, req.proc), pkt);
+            self.req_engine.inject(self.fwd.node_id(0, req.proc), pkt);
         }
         let combining = self.cfg.combining;
         {
+            let Self {
+                fwd,
+                tables,
+                modules,
+                req_engine,
+                ..
+            } = self;
             let mut proto = RequestProtocol {
-                net: &fwd,
-                tables: &mut self.tables,
-                modules: &mut self.modules,
+                net: &*fwd,
+                tables,
+                modules,
                 write_vals: &mut write_vals,
                 combining,
                 write_merges: 0,
             };
-            let out = eng.run(&mut proto);
+            let out = req_engine.run(&mut proto);
             if !out.completed {
                 return None;
             }
@@ -281,32 +313,30 @@ impl<L: Leveled + Copy> LeveledPramEmulator<L> {
         if reads.is_empty() {
             return Some(Vec::new());
         }
-        let mut eng = Engine::new(
-            &bwd,
-            SimConfig {
-                discipline: self.cfg.discipline,
-                // Replies retrace an already-successful pattern; never
-                // rehash here — just let it finish.
-                max_steps: u32::MAX,
-                ..Default::default()
-            },
-        );
+        self.rep_engine.reset();
         let mut read_values: HashMap<u64, u64> = HashMap::new();
         for &(module, addr, trail, value) in &reads {
             read_values.insert(addr, value);
             let mut pkt = Packet::new(0, trail, 0).with_tag(addr);
             pkt.via = trail;
-            eng.inject(bwd.node_id(2 * self.inner.levels(), module), pkt);
+            self.rep_engine
+                .inject(self.bwd.node_id(2 * self.inner.levels(), module), pkt);
         }
         let mut deliveries: Vec<(usize, u64)> = Vec::new();
         {
+            let Self {
+                bwd,
+                tables,
+                rep_engine,
+                ..
+            } = self;
             let mut proto = ReplyProtocol {
-                net: &bwd,
-                tables: &mut self.tables,
+                net: &*bwd,
+                tables,
                 read_values: &read_values,
                 deliveries: &mut deliveries,
             };
-            let out = eng.run(&mut proto);
+            let out = rep_engine.run(&mut proto);
             debug_assert!(out.completed);
             stats.reply_steps = out.metrics.routing_time;
             stats.max_queue = stats.max_queue.max(out.metrics.max_queue as u32);

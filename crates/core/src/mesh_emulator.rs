@@ -68,6 +68,9 @@ pub struct MeshPramEmulator {
     seq: SeedSeq,
     hash_epoch: u64,
     report: EmuReport,
+    /// One persistent engine serves both routing phases (same mesh, same
+    /// discipline); recycled with `Engine::reset` per phase.
+    engine: Engine,
 }
 
 impl MeshPramEmulator {
@@ -88,6 +91,13 @@ impl MeshPramEmulator {
         };
         let seq = SeedSeq::new(cfg.seed);
         let hash = family.sample(&mut seq.child(0).rng());
+        let engine = Engine::new(
+            &mesh,
+            SimConfig {
+                discipline: Discipline::FurthestFirst,
+                ..Default::default()
+            },
+        );
         MeshPramEmulator {
             mesh,
             cfg,
@@ -99,6 +109,7 @@ impl MeshPramEmulator {
             seq,
             hash_epoch: 0,
             report: EmuReport::default(),
+            engine,
         }
     }
 
@@ -247,14 +258,8 @@ impl MeshPramEmulator {
             self.modules.clear_batches();
 
             // ---- Request phase (three-stage routing to modules) ----
-            let mut eng = Engine::new(
-                &self.mesh,
-                SimConfig {
-                    discipline: Discipline::FurthestFirst,
-                    max_steps: budget,
-                    ..Default::default()
-                },
-            );
+            self.engine.reset();
+            self.engine.set_max_steps(budget);
             let mut via_rng = attempt_seq.child(0).rng();
             let mut write_vals: HashMap<u32, (u64, usize)> = HashMap::new();
             for (id, req) in requests.iter().enumerate() {
@@ -272,14 +277,17 @@ impl MeshPramEmulator {
                 if let Some(v) = req.write {
                     write_vals.insert(id as u32, (v, req.proc));
                 }
-                eng.inject(req.proc, pkt);
+                self.engine.inject(req.proc, pkt);
             }
+            let Self {
+                modules, engine, ..
+            } = self;
             let mut proto = MeshRequestProtocol {
-                router: MeshRouter::new(self.mesh, alg),
-                modules: &mut self.modules,
+                router: MeshRouter::new(mesh, alg),
+                modules,
                 write_vals: &write_vals,
             };
-            let out = eng.run(&mut proto);
+            let out = engine.run(&mut proto);
             if !out.completed {
                 attempt += 1;
                 assert!(
@@ -299,14 +307,8 @@ impl MeshPramEmulator {
             // ---- Reply phase (three-stage routing back) ----
             let mut deliveries: Vec<(usize, u64)> = Vec::new();
             if !reads.is_empty() {
-                let mut eng = Engine::new(
-                    &self.mesh,
-                    SimConfig {
-                        discipline: Discipline::FurthestFirst,
-                        max_steps: u32::MAX,
-                        ..Default::default()
-                    },
-                );
+                self.engine.reset();
+                self.engine.set_max_steps(u32::MAX);
                 let mut via_rng = attempt_seq.child(1).rng();
                 for (i, &(module, addr, trail, value)) in reads.iter().enumerate() {
                     let (r, c) = self.mesh.coords(module);
@@ -320,18 +322,18 @@ impl MeshPramEmulator {
                         .with_tag(addr);
                     pkt.phase = 0;
                     let _ = value; // value delivered via lookup below
-                    eng.inject(module, pkt);
+                    self.engine.inject(module, pkt);
                 }
                 let values: HashMap<(u64, u32), u64> = reads
                     .iter()
                     .map(|&(_, addr, trail, value)| ((addr, trail), value))
                     .collect();
                 let mut proto = MeshReplyProtocol {
-                    router: MeshRouter::new(self.mesh, alg),
+                    router: MeshRouter::new(mesh, alg),
                     values: &values,
                     deliveries: &mut deliveries,
                 };
-                let out = eng.run(&mut proto);
+                let out = self.engine.run(&mut proto);
                 debug_assert!(out.completed);
                 stats.reply_steps = out.metrics.routing_time;
                 stats.max_queue = stats.max_queue.max(out.metrics.max_queue as u32);

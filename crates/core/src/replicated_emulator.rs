@@ -166,13 +166,17 @@ impl ReplicaStore {
 /// ```
 pub struct ReplicatedPramEmulator<L: Leveled + Copy> {
     inner: L,
-    cfg: EmulatorConfig,
     /// Number of copies `R = 2c − 1` per cell (odd, ≤ 7).
     copies: usize,
     store: ReplicaStore,
     seq: SeedSeq,
     report: EmuReport,
     address_space: u64,
+    /// Forward view of the doubled network (both phases route forward —
+    /// this baseline does not retrace combining trees).
+    fwd: LeveledNet<DoubledLeveled<L>>,
+    /// One persistent engine for both phases, recycled per phase.
+    engine: Engine,
 }
 
 impl<L: Leveled + Copy> ReplicatedPramEmulator<L> {
@@ -193,14 +197,26 @@ impl<L: Leveled + Copy> ReplicatedPramEmulator<L> {
         assert!(copies % 2 == 1, "copies must be odd (R = 2c − 1)");
         let width = inner.width();
         let seq = SeedSeq::new(cfg.seed);
+        let fwd = LeveledNet::forward(DoubledLeveled::new(inner));
+        // No rehash escape hatch: the placement is fixed, so both phases
+        // run with an unbounded budget (congestion is simply paid).
+        let engine = Engine::new(
+            &fwd,
+            SimConfig {
+                discipline: cfg.discipline,
+                max_steps: u32::MAX,
+                ..Default::default()
+            },
+        );
         ReplicatedPramEmulator {
             inner,
-            cfg,
             copies,
             store: ReplicaStore::new(width, mode),
             seq,
             report: EmuReport::default(),
             address_space,
+            fwd,
+            engine,
         }
     }
 
@@ -303,8 +319,6 @@ impl<L: Leveled + Copy> ReplicatedPramEmulator<L> {
         // Versions start at 1 so step 0's writes beat initial memory (0).
         let version = step_label + 1;
         let step_seq = self.seq.child(1).child(step_label);
-        let doubled = DoubledLeveled::new(self.inner);
-        let fwd = LeveledNet::forward(doubled);
         let width = self.inner.width();
         self.store.clear_batches();
 
@@ -352,14 +366,7 @@ impl<L: Leveled + Copy> ReplicatedPramEmulator<L> {
         }
 
         // ---- Request phase ----
-        let mut eng = Engine::new(
-            &fwd,
-            SimConfig {
-                discipline: self.cfg.discipline,
-                max_steps: u32::MAX,
-                ..Default::default()
-            },
-        );
+        self.engine.reset();
         let mut via_rng = step_seq.child(0).rng();
         let mut write_vals: HashMap<u32, (u64, usize)> = HashMap::new();
         for (id, issue) in issues.iter().enumerate() {
@@ -371,16 +378,19 @@ impl<L: Leveled + Copy> ReplicatedPramEmulator<L> {
             if let Some(v) = issue.write {
                 write_vals.insert(id as u32, (v, issue.proc));
             }
-            eng.inject(fwd.node_id(0, issue.proc), pkt);
+            self.engine.inject(self.fwd.node_id(0, issue.proc), pkt);
         }
         {
+            let Self {
+                fwd, store, engine, ..
+            } = self;
             let mut proto = ReplicaRequestProtocol {
-                net: &fwd,
-                store: &mut self.store,
+                net: &*fwd,
+                store,
                 write_vals: &write_vals,
                 version,
             };
-            let out = eng.run(&mut proto);
+            let out = engine.run(&mut proto);
             debug_assert!(out.completed);
             stats.request_steps = out.metrics.routing_time;
             stats.max_queue = stats.max_queue.max(out.metrics.max_queue as u32);
@@ -393,14 +403,7 @@ impl<L: Leveled + Copy> ReplicatedPramEmulator<L> {
         // ---- Reply phase (fresh forward pass, module column → procs) ----
         let mut deliveries: Vec<(usize, u64)> = Vec::new();
         if !replies.is_empty() {
-            let mut eng = Engine::new(
-                &fwd,
-                SimConfig {
-                    discipline: self.cfg.discipline,
-                    max_steps: u32::MAX,
-                    ..Default::default()
-                },
-            );
+            self.engine.reset();
             let mut via_rng = step_seq.child(1).rng();
             let mut values: HashMap<(u64, u32), (u64, u64)> = HashMap::new();
             for (i, &(module, key, proc, value, ver)) in replies.iter().enumerate() {
@@ -409,16 +412,17 @@ impl<L: Leveled + Copy> ReplicatedPramEmulator<L> {
                 let pkt = Packet::new(i as u32, module as u32, proc)
                     .with_via(via)
                     .with_tag(key);
-                eng.inject(fwd.node_id(0, module), pkt);
+                self.engine.inject(self.fwd.node_id(0, module), pkt);
             }
             let mut raw: Vec<(usize, u64, u64)> = Vec::new();
             {
+                let Self { fwd, engine, .. } = self;
                 let mut proto = ReplicaReplyProtocol {
-                    net: &fwd,
+                    net: &*fwd,
                     values: &values,
                     raw: &mut raw,
                 };
-                let out = eng.run(&mut proto);
+                let out = engine.run(&mut proto);
                 debug_assert!(out.completed);
                 stats.reply_steps = out.metrics.routing_time;
                 stats.max_queue = stats.max_queue.max(out.metrics.max_queue as u32);

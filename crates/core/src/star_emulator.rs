@@ -43,6 +43,9 @@ pub struct StarPramEmulator {
     seq: SeedSeq,
     hash_epoch: u64,
     report: EmuReport,
+    /// One persistent engine serves both phases (the star is its own
+    /// reply network); recycled with `Engine::reset` per phase.
+    engine: Engine,
 }
 
 impl StarPramEmulator {
@@ -60,6 +63,13 @@ impl StarPramEmulator {
         };
         let seq = SeedSeq::new(cfg.seed);
         let hash = family.sample(&mut seq.child(0).rng());
+        let engine = Engine::new(
+            &star,
+            SimConfig {
+                discipline: cfg.discipline,
+                ..Default::default()
+            },
+        );
         StarPramEmulator {
             star,
             cfg,
@@ -70,6 +80,7 @@ impl StarPramEmulator {
             seq,
             hash_epoch: 0,
             report: EmuReport::default(),
+            engine,
         }
     }
 
@@ -172,14 +183,8 @@ impl StarPramEmulator {
             self.modules.clear_batches();
 
             // ---- Request phase (Algorithm 2.2 + combining) ----
-            let mut eng = Engine::new(
-                &self.star,
-                SimConfig {
-                    discipline: self.cfg.discipline,
-                    max_steps: budget,
-                    ..Default::default()
-                },
-            );
+            self.engine.reset();
+            self.engine.set_max_steps(budget);
             let mut via_rng = attempt_seq.child(0).rng();
             let mut write_vals: HashMap<u32, (u64, usize)> = HashMap::new();
             for (id, req) in requests.iter().enumerate() {
@@ -192,17 +197,24 @@ impl StarPramEmulator {
                 if let Some(v) = req.write {
                     write_vals.insert(id as u32, (v, req.proc));
                 }
-                eng.inject(req.proc, pkt);
+                self.engine.inject(req.proc, pkt);
             }
             {
+                let Self {
+                    star,
+                    tables,
+                    modules,
+                    engine,
+                    ..
+                } = self;
                 let mut proto = StarRequestProtocol {
-                    star: self.star,
-                    tables: &mut self.tables,
-                    modules: &mut self.modules,
+                    star: *star,
+                    tables,
+                    modules,
                     write_vals: &write_vals,
                     combining: self.cfg.combining,
                 };
-                let out = eng.run(&mut proto);
+                let out = engine.run(&mut proto);
                 if !out.completed {
                     attempt += 1;
                     assert!(
@@ -224,28 +236,28 @@ impl StarPramEmulator {
             // ---- Reply phase (retrace trees; SWAP ports are involutions) ----
             let mut deliveries: Vec<(usize, u64)> = Vec::new();
             if !reads.is_empty() {
-                let mut eng = Engine::new(
-                    &self.star,
-                    SimConfig {
-                        discipline: self.cfg.discipline,
-                        max_steps: u32::MAX,
-                        ..Default::default()
-                    },
-                );
+                self.engine.reset();
+                self.engine.set_max_steps(u32::MAX);
                 let mut read_values: HashMap<u64, u64> = HashMap::new();
                 for &(module, addr, trail, value) in &reads {
                     read_values.insert(addr, value);
                     let mut pkt = Packet::new(0, 0, 0).with_tag(addr);
                     pkt.via = trail;
-                    eng.inject(module, pkt);
+                    self.engine.inject(module, pkt);
                 }
+                let Self {
+                    star,
+                    tables,
+                    engine,
+                    ..
+                } = self;
                 let mut proto = StarReplyProtocol {
-                    star: self.star,
-                    tables: &mut self.tables,
+                    star: *star,
+                    tables,
                     read_values: &read_values,
                     deliveries: &mut deliveries,
                 };
-                let out = eng.run(&mut proto);
+                let out = engine.run(&mut proto);
                 debug_assert!(out.completed);
                 stats.reply_steps = out.metrics.routing_time;
                 stats.max_queue = stats.max_queue.max(out.metrics.max_queue as u32);

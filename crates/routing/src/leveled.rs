@@ -122,6 +122,96 @@ impl LeveledRunReport {
     }
 }
 
+/// A reusable Algorithm 2.1 routing session: the doubled network and the
+/// simulation engine are built **once**, then any number of destination
+/// maps are routed through it. The Lemma 2.1 retry schedule and the trial
+/// sweeps re-route dozens of times per configuration; recycling the
+/// engine with [`Engine::reset`] replaces the per-attempt rebuild of all
+/// per-link queue state with a cheap counter wipe.
+pub struct LeveledRoutingSession<L> {
+    levels: usize,
+    width: usize,
+    net: LeveledNet<DoubledLeveled<L>>,
+    engine: Engine,
+}
+
+impl<L: Leveled + Copy> LeveledRoutingSession<L> {
+    /// Build the doubled network and its engine for `inner`.
+    pub fn new(inner: L, cfg: SimConfig) -> Self {
+        let levels = inner.levels();
+        let width = inner.width();
+        let net = LeveledNet::forward(DoubledLeveled::new(inner));
+        let engine = Engine::new(&net, cfg);
+        LeveledRoutingSession {
+            levels,
+            width,
+            net,
+            engine,
+        }
+    }
+
+    /// Override the per-run step budget (Lemma 2.1 retries tighten it to
+    /// observe failures) while keeping the warmed engine.
+    pub fn set_max_steps(&mut self, max_steps: u32) {
+        self.engine.set_max_steps(max_steps);
+    }
+
+    /// Route one destination map (one packet per first-column node) with
+    /// fresh Valiant intermediates drawn from `seq`.
+    pub fn route_with_dests(&mut self, dests: &[usize], seq: SeedSeq) -> LeveledRunReport {
+        assert_eq!(dests.len(), self.width);
+        self.engine.reset();
+        let mut via_rng = seq.child(1).rng();
+        for (src, &dest) in dests.iter().enumerate() {
+            let via = via_rng.gen_range(0..self.width) as u32;
+            let pkt = Packet::new(src as u32, src as u32, dest as u32).with_via(via);
+            self.engine.inject(self.net.node_id(0, src), pkt);
+        }
+        self.finish(dests.len())
+    }
+
+    /// Route with `via = dest` (the derandomized ablation — see
+    /// [`route_leveled_direct`]).
+    pub fn route_direct(&mut self, dests: &[usize]) -> LeveledRunReport {
+        assert_eq!(dests.len(), self.width);
+        self.engine.reset();
+        for (src, &dest) in dests.iter().enumerate() {
+            let pkt = Packet::new(src as u32, src as u32, dest as u32).with_via(dest as u32);
+            self.engine.inject(self.net.node_id(0, src), pkt);
+        }
+        self.finish(dests.len())
+    }
+
+    /// Route a multi-packet request map: `relation[src]` lists every
+    /// destination originating at `src` (Theorem 2.4's h-relations).
+    pub fn route_relation(&mut self, relation: &[Vec<usize>], seq: SeedSeq) -> LeveledRunReport {
+        assert_eq!(relation.len(), self.width);
+        self.engine.reset();
+        let mut via_rng = seq.child(1).rng();
+        let mut id = 0u32;
+        for (src, dests) in relation.iter().enumerate() {
+            for &dest in dests {
+                let via = via_rng.gen_range(0..self.width) as u32;
+                let pkt = Packet::new(id, src as u32, dest as u32).with_via(via);
+                self.engine.inject(self.net.node_id(0, src), pkt);
+                id += 1;
+            }
+        }
+        self.finish(id as usize)
+    }
+
+    fn finish(&mut self, packets: usize) -> LeveledRunReport {
+        let mut router = UniversalLeveledRouter::new(&self.net);
+        let out = self.engine.run(&mut router);
+        LeveledRunReport {
+            metrics: out.metrics,
+            completed: out.completed,
+            levels: self.levels,
+            packets,
+        }
+    }
+}
+
 /// Route one random permutation on `inner` per Algorithm 2.1 and
 /// Theorem 2.1: one packet per first-column node, destinations forming a
 /// permutation of the last column.
@@ -133,35 +223,19 @@ pub fn route_leveled_permutation<L: Leveled + Copy>(
     let seq = SeedSeq::new(seed);
     let mut rng = seq.child(0).rng();
     let dests = workloads::random_permutation(inner.width(), &mut rng);
-    route_leveled_with_dests(inner, &dests, seq, cfg)
+    LeveledRoutingSession::new(inner, cfg).route_with_dests(&dests, seq)
 }
 
 /// Route an explicit destination map (one packet per first-column node).
+/// One-shot convenience over [`LeveledRoutingSession`]; loops should hold
+/// a session instead.
 pub fn route_leveled_with_dests<L: Leveled + Copy>(
     inner: L,
     dests: &[usize],
     seq: SeedSeq,
     cfg: SimConfig,
 ) -> LeveledRunReport {
-    assert_eq!(dests.len(), inner.width());
-    let levels = inner.levels();
-    let doubled = DoubledLeveled::new(inner);
-    let net = LeveledNet::forward(doubled);
-    let mut eng = Engine::new(&net, cfg);
-    let mut via_rng = seq.child(1).rng();
-    for (src, &dest) in dests.iter().enumerate() {
-        let via = via_rng.gen_range(0..inner.width()) as u32;
-        let pkt = Packet::new(src as u32, src as u32, dest as u32).with_via(via);
-        eng.inject(net.node_id(0, src), pkt);
-    }
-    let mut router = UniversalLeveledRouter::new(&net);
-    let out = eng.run(&mut router);
-    LeveledRunReport {
-        metrics: out.metrics,
-        completed: out.completed,
-        levels,
-        packets: dests.len(),
-    }
+    LeveledRoutingSession::new(inner, cfg).route_with_dests(dests, seq)
 }
 
 /// Route an explicit destination map **without** the phase-1
@@ -175,23 +249,7 @@ pub fn route_leveled_direct<L: Leveled + Copy>(
     dests: &[usize],
     cfg: SimConfig,
 ) -> LeveledRunReport {
-    assert_eq!(dests.len(), inner.width());
-    let levels = inner.levels();
-    let doubled = DoubledLeveled::new(inner);
-    let net = LeveledNet::forward(doubled);
-    let mut eng = Engine::new(&net, cfg);
-    for (src, &dest) in dests.iter().enumerate() {
-        let pkt = Packet::new(src as u32, src as u32, dest as u32).with_via(dest as u32);
-        eng.inject(net.node_id(0, src), pkt);
-    }
-    let mut router = UniversalLeveledRouter::new(&net);
-    let out = eng.run(&mut router);
-    LeveledRunReport {
-        metrics: out.metrics,
-        completed: out.completed,
-        levels,
-        packets: dests.len(),
-    }
+    LeveledRoutingSession::new(inner, cfg).route_direct(dests)
 }
 
 /// Route a partial h-relation (Theorem 2.4 with `h = ℓ` is the partial
@@ -206,30 +264,7 @@ pub fn route_leveled_relation<L: Leveled + Copy>(
     let seq = SeedSeq::new(seed);
     let mut rng = seq.child(0).rng();
     let relation = workloads::h_relation(inner.width(), h, &mut rng);
-    let levels = inner.levels();
-    let doubled = DoubledLeveled::new(inner);
-    let net = LeveledNet::forward(doubled);
-    let mut eng = Engine::new(&net, cfg);
-    let mut via_rng = seq.child(1).rng();
-    let mut id = 0u32;
-    let mut packets = 0usize;
-    for (src, dests) in relation.iter().enumerate() {
-        for &dest in dests {
-            let via = via_rng.gen_range(0..inner.width()) as u32;
-            let pkt = Packet::new(id, src as u32, dest as u32).with_via(via);
-            eng.inject(net.node_id(0, src), pkt);
-            id += 1;
-            packets += 1;
-        }
-    }
-    let mut router = UniversalLeveledRouter::new(&net);
-    let out = eng.run(&mut router);
-    LeveledRunReport {
-        metrics: out.metrics,
-        completed: out.completed,
-        levels,
-        packets,
-    }
+    LeveledRoutingSession::new(inner, cfg).route_relation(&relation, seq)
 }
 
 #[cfg(test)]
@@ -311,6 +346,46 @@ mod tests {
             ratio < 3.5,
             "doubling levels should ~double time; ratio {ratio}"
         );
+    }
+
+    #[test]
+    fn session_reuse_matches_one_shot() {
+        // A warmed session must reproduce the one-shot entry points
+        // bit-for-bit: engine reuse is a cost optimisation, not a
+        // behaviour change (this is what lets Lemma 2.1's retry loop
+        // recycle one engine).
+        let inner = RadixButterfly::new(2, 5);
+        let mut session = LeveledRoutingSession::new(inner, SimConfig::default());
+        for seed in 0..6u64 {
+            let seq = SeedSeq::new(seed);
+            let mut rng = seq.child(0).rng();
+            let dests = workloads::random_permutation(32, &mut rng);
+            let reused = session.route_with_dests(&dests, SeedSeq::new(seed));
+            let fresh =
+                route_leveled_with_dests(inner, &dests, SeedSeq::new(seed), SimConfig::default());
+            assert_eq!(reused.completed, fresh.completed);
+            assert_eq!(reused.metrics.routing_time, fresh.metrics.routing_time);
+            assert_eq!(reused.metrics.delivered, fresh.metrics.delivered);
+            assert_eq!(reused.metrics.max_queue, fresh.metrics.max_queue);
+        }
+    }
+
+    #[test]
+    fn session_retry_budget_override_is_sticky_per_run() {
+        // Tight budget fails, relaxed budget on the same session succeeds
+        // — the Lemma 2.1 usage pattern.
+        let inner = RadixButterfly::new(2, 5);
+        let mut session = LeveledRoutingSession::new(inner, SimConfig::default());
+        let seq = SeedSeq::new(3);
+        let mut rng = seq.child(0).rng();
+        let dests = workloads::random_permutation(32, &mut rng);
+        session.set_max_steps(3); // below the 2l = 10 path length
+        let tight = session.route_with_dests(&dests, SeedSeq::new(3));
+        assert!(!tight.completed);
+        session.set_max_steps(10_000);
+        let relaxed = session.route_with_dests(&dests, SeedSeq::new(3));
+        assert!(relaxed.completed);
+        assert_eq!(relaxed.metrics.delivered, 32);
     }
 
     #[test]

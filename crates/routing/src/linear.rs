@@ -80,7 +80,7 @@ pub fn route_linear_random_dests(
     let mut rng = SeedSeq::new(seed).rng();
     let mut eng = Engine::new(&array, cfg);
     let mut id = 0u32;
-    let mut inject = |eng: &mut Engine<Mesh>, src: usize, rng: &mut rand::rngs::StdRng| {
+    let mut inject = |eng: &mut Engine, src: usize, rng: &mut rand::rngs::StdRng| {
         let dest = rng.gen_range(0..n);
         eng.inject(src, Packet::new(id, src as u32, dest as u32));
         id += 1;

@@ -12,17 +12,45 @@
 //! A packet enqueued during step `t` is eligible for transmission at step
 //! `t+1`, so an uncongested path of length `L` takes exactly `L` steps.
 //!
+//! # Internals: allocation-free stepping
+//!
+//! The engine snapshots the network's adjacency into CSR arrays at
+//! construction (`link_offset`/`link_target`), so it owns its topology
+//! and borrows nothing — an `Engine` can be stored next to the network
+//! it simulates and reused across runs.
+//!
+//! All queued packets live in one slab arena ([`PacketPool`]): a link
+//! queue is a pair of `u32` chain indices, enqueue recycles a free-list
+//! slot, and pop is an O(1) unlink — after warm-up the step loop performs
+//! **zero heap allocation**:
+//!
+//! * the [`Outbox`] is drained in place (its buffers are reused for every
+//!   callback);
+//! * arrivals are grouped by destination node with a reusable
+//!   bucket-chain scratch (a counting sort over touched nodes) instead of
+//!   a per-step `sort_by_key`;
+//! * the `active` link list is kept sorted incrementally — the transmit
+//!   phase preserves order and newly activated links are merged in — so
+//!   no per-step re-sort is needed;
+//! * run state (queues, arena, metrics, scratch) is recycled by
+//!   [`Engine::reset`], so a T-step emulation reuses one engine instead
+//!   of building per-link state T times.
+//!
 //! The transmit phase is embarrassingly parallel across links; when the
-//! number of active links exceeds [`SimConfig::parallel_threshold`] the
-//! engine fans the selection out over scoped threads (disjoint `&mut`
-//! queue references are distributed with `split_at_mut`, so this is safe
-//! Rust with no locking on the hot path).
+//! number of active links is at least [`SimConfig::parallel_threshold`]
+//! the engine fans the *selection* scans out over a persistent
+//! [`WorkerPool`](crate::worker) whose threads park between steps, then
+//! commits the extractions serially in active order — so the arrival
+//! sequence is bit-identical to the serial path (the determinism
+//! contract `prop_parallel_equals_serial` pins).
 
 use crate::metrics::Metrics;
 use crate::packet::Packet;
 use crate::protocol::{Outbox, Protocol};
-use crate::queue::{Discipline, LinkQueue};
+use crate::queue::{Discipline, LinkQueue, PacketPool, Selection, NIL};
+use crate::worker::WorkerPool;
 use lnpram_topology::Network;
+use std::sync::Mutex;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -69,34 +97,60 @@ impl SimConfig {
 /// Result of [`Engine::run`].
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
-    /// Accumulated metrics.
+    /// Accumulated metrics (moved out of the engine, not cloned).
     pub metrics: Metrics,
     /// `true` if all queues drained; `false` if `max_steps` was hit first
     /// (the emulation layer treats this as a routing-timeout → rehash).
     pub completed: bool,
 }
 
-/// The synchronous simulator for one routing run.
-pub struct Engine<'n, N: Network + ?Sized> {
-    net: &'n N,
+/// The synchronous simulator for one network.
+///
+/// The engine owns a CSR copy of the adjacency, so it has no borrow of
+/// the network and no type parameter: emulators store one engine per
+/// routing direction and recycle it across rounds with
+/// [`Engine::reset`].
+pub struct Engine {
     cfg: SimConfig,
     /// CSR offsets: links of node `v` are `link_offset[v] .. link_offset[v+1]`.
     link_offset: Vec<u32>,
     /// Head node of each link.
     link_target: Vec<u32>,
     queues: Vec<LinkQueue>,
+    pool: PacketPool,
     blocked: Vec<bool>,
-    /// Link ids with non-empty queues (deduplicated via `in_active`).
+    /// Link ids with non-empty queues, ascending (deduplicated via
+    /// `in_active`, order maintained incrementally).
     active: Vec<u32>,
     in_active: Vec<bool>,
     in_flight: usize,
     pending: Vec<(usize, Packet)>,
     metrics: Metrics,
+    // --- reusable per-step scratch (never reallocated after warm-up) ---
+    /// This step's arrivals as `(destination node, packet)`, active order.
+    arrivals: Vec<(u32, Packet)>,
+    /// Bucket chains over `arrivals` (same length), per destination node.
+    arrival_next: Vec<u32>,
+    /// Per-node chain heads/tails into `arrivals`; `NIL` = untouched.
+    node_head: Vec<u32>,
+    node_tail: Vec<u32>,
+    /// Nodes with at least one arrival this step.
+    touched: Vec<u32>,
+    /// One node's arrival batch, rebuilt per node.
+    batch: Vec<Packet>,
+    /// Swap buffer for `active` (still-active lists, merge output).
+    scratch: Vec<u32>,
+    // --- parallel transmit machinery, created on first use ---
+    workers: Option<WorkerPool>,
+    /// Per-worker selection buffers, aligned with chunks of `active`
+    /// (`None` = blocked link, nothing transmits).
+    worker_out: Vec<Mutex<Vec<Option<Selection>>>>,
 }
 
-impl<'n, N: Network + ?Sized> Engine<'n, N> {
-    /// Build an engine for `net`.
-    pub fn new(net: &'n N, cfg: SimConfig) -> Self {
+impl Engine {
+    /// Build an engine for `net` (the adjacency is copied; the engine
+    /// keeps no reference to `net`).
+    pub fn new<N: Network + ?Sized>(net: &N, cfg: SimConfig) -> Self {
         let n = net.num_nodes();
         let mut link_offset = Vec::with_capacity(n + 1);
         let mut link_target = Vec::new();
@@ -109,28 +163,41 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
         }
         let links = link_target.len();
         Engine {
-            net,
             cfg,
             link_offset,
             link_target,
             queues: vec![LinkQueue::new(); links],
+            pool: PacketPool::new(),
             blocked: vec![false; links],
             active: Vec::new(),
             in_active: vec![false; links],
             in_flight: 0,
             pending: Vec::new(),
             metrics: Metrics::default(),
+            arrivals: Vec::new(),
+            arrival_next: Vec::new(),
+            node_head: vec![NIL; n],
+            node_tail: vec![NIL; n],
+            touched: Vec::new(),
+            batch: Vec::new(),
+            scratch: Vec::new(),
+            workers: None,
+            worker_out: Vec::new(),
         }
     }
 
-    /// The network being simulated.
-    pub fn network(&self) -> &'n N {
-        self.net
+    /// Number of nodes in the simulated network.
+    pub fn num_nodes(&self) -> usize {
+        self.link_offset.len() - 1
+    }
+
+    fn out_degree(&self, node: usize) -> usize {
+        (self.link_offset[node + 1] - self.link_offset[node]) as usize
     }
 
     /// Link id of `(node, port)`.
     pub fn link_id(&self, node: usize, port: usize) -> usize {
-        debug_assert!(port < self.net.out_degree(node));
+        debug_assert!(port < self.out_degree(node));
         self.link_offset[node] as usize + port
     }
 
@@ -141,6 +208,30 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
         self.blocked[id] = true;
     }
 
+    /// Override the step budget (emulators vary it per phase/attempt
+    /// while reusing one engine).
+    pub fn set_max_steps(&mut self, max_steps: u32) {
+        self.cfg.max_steps = max_steps;
+    }
+
+    /// Restore the engine to its just-built state — empty queues, zeroed
+    /// counters and metrics, no blocked links — while keeping every
+    /// allocation (arena, scratch, worker pool) warm. Reusing one engine
+    /// via `reset` makes a T-step emulation build its per-link state once
+    /// instead of T times.
+    pub fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.reset();
+        }
+        self.pool.clear();
+        self.blocked.fill(false);
+        self.active.clear();
+        self.in_active.fill(false);
+        self.in_flight = 0;
+        self.pending.clear();
+        self.metrics = Metrics::default();
+    }
+
     /// Schedule `pkt` for injection at `node` before the first step.
     pub fn inject(&mut self, node: usize, pkt: Packet) {
         self.pending.push((node, pkt));
@@ -148,7 +239,7 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
 
     fn enqueue(&mut self, node: usize, port: usize, pkt: Packet) {
         let id = self.link_id(node, port);
-        self.queues[id].push(pkt);
+        self.queues[id].push(&mut self.pool, pkt);
         self.in_flight += 1;
         if !self.in_active[id] {
             self.in_active[id] = true;
@@ -157,179 +248,229 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
     }
 
     fn apply_outbox(&mut self, node: usize, out: &mut Outbox, step: u32) {
-        // Drain without borrowing `out` across the enqueue calls.
-        let sends = std::mem::take(&mut out.sends);
-        for (port, pkt) in sends {
+        // Drain in place: `out`'s buffers are distinct from `self`, so the
+        // sends can be walked while enqueueing, and `clear()` keeps the
+        // capacity for the next callback (no per-callback allocation).
+        let mut i = 0;
+        while i < out.sends.len() {
+            let (port, pkt) = out.sends[i];
             assert!(
-                port < self.net.out_degree(node),
+                port < self.out_degree(node),
                 "protocol sent on invalid port {port} of node {node}"
             );
             self.enqueue(node, port, pkt);
+            i += 1;
         }
-        for pkt in out.delivered.drain(..) {
+        for pkt in &out.delivered {
             self.metrics.on_delivery(step, pkt.injected_at);
         }
         out.clear();
+    }
+
+    /// Re-establish ascending order of `active` after appends beyond
+    /// `sorted_len` (the prefix is already sorted; the suffix holds the
+    /// links activated since). Sorts only the suffix and merges — the
+    /// per-step full re-sort this replaces is gone.
+    fn restore_active_order(&mut self, sorted_len: usize) {
+        if self.active.len() == sorted_len {
+            return;
+        }
+        let (prefix, suffix) = self.active.split_at_mut(sorted_len);
+        suffix.sort_unstable();
+        if sorted_len == 0 || prefix[sorted_len - 1] < suffix[0] {
+            return; // concatenation is already sorted
+        }
+        self.scratch.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < prefix.len() && j < suffix.len() {
+            if prefix[i] < suffix[j] {
+                self.scratch.push(prefix[i]);
+                i += 1;
+            } else {
+                self.scratch.push(suffix[j]);
+                j += 1;
+            }
+        }
+        self.scratch.extend_from_slice(&prefix[i..]);
+        self.scratch.extend_from_slice(&suffix[j..]);
+        std::mem::swap(&mut self.active, &mut self.scratch);
     }
 
     /// Run the protocol until all queues drain or `max_steps` elapse.
     pub fn run<P: Protocol>(&mut self, proto: &mut P) -> RunOutcome {
         let mut out = Outbox::default();
 
-        // Step 0: process injections.
-        let pending = std::mem::take(&mut self.pending);
-        for (node, pkt) in pending {
+        // Step 0: process injections (drained in place, buffer kept).
+        let mut i = 0;
+        while i < self.pending.len() {
+            let (node, pkt) = self.pending[i];
             proto.on_packet(node, pkt, 0, &mut out);
             self.apply_outbox(node, &mut out, 0);
+            i += 1;
         }
+        self.pending.clear();
+        self.restore_active_order(0);
         proto.on_step_end(0);
 
         let mut step: u32 = 0;
-        let mut arrivals: Vec<(u32, Packet)> = Vec::new();
-        let mut batch: Vec<Packet> = Vec::new();
         while self.in_flight > 0 {
             if step >= self.cfg.max_steps {
-                let metrics = self.snapshot_metrics(step);
                 return RunOutcome {
-                    metrics,
+                    metrics: self.take_metrics(step),
                     completed: false,
                 };
             }
             step += 1;
 
             // --- Transmit phase ---
-            self.active.sort_unstable();
-            arrivals.clear();
+            self.arrivals.clear();
             let use_parallel =
                 self.cfg.threads > 1 && self.active.len() >= self.cfg.parallel_threshold;
             if use_parallel {
-                self.transmit_parallel(&mut arrivals);
+                self.transmit_parallel();
             } else {
-                self.transmit_serial(&mut arrivals);
+                self.transmit_serial();
             }
-            self.in_flight -= arrivals.len();
+            self.in_flight -= self.arrivals.len();
+            let sorted_len = self.active.len();
 
             // --- Process phase ---
             // Group same-node arrivals so protocols can apply footnote 3's
-            // unit-time combining across a step's batch. Stable sort keeps
-            // the deterministic link-id order within each node.
-            arrivals.sort_by_key(|&(node, _)| node);
-            let mut i = 0usize;
-            while i < arrivals.len() {
-                let node = arrivals[i].0;
-                let mut j = i + 1;
-                while j < arrivals.len() && arrivals[j].0 == node {
-                    j += 1;
+            // unit-time combining across a step's batch. The bucket chains
+            // keep the deterministic link-id order within each node, and
+            // nodes are visited in ascending id — the same order the old
+            // stable sort produced, without moving any packet.
+            self.arrival_next.clear();
+            self.arrival_next.resize(self.arrivals.len(), NIL);
+            for a in 0..self.arrivals.len() {
+                let node = self.arrivals[a].0 as usize;
+                if self.node_head[node] == NIL {
+                    self.node_head[node] = a as u32;
+                    self.touched.push(node as u32);
+                } else {
+                    self.arrival_next[self.node_tail[node] as usize] = a as u32;
                 }
-                batch.clear();
-                batch.extend(arrivals[i..j].iter().map(|&(_, pkt)| pkt));
-                proto.on_arrivals(node as usize, &batch, step, &mut out);
-                self.apply_outbox(node as usize, &mut out, step);
-                i = j;
+                self.node_tail[node] = a as u32;
             }
+            self.touched.sort_unstable();
+            for t in 0..self.touched.len() {
+                let node = self.touched[t] as usize;
+                self.batch.clear();
+                let mut a = self.node_head[node];
+                while a != NIL {
+                    self.batch.push(self.arrivals[a as usize].1);
+                    a = self.arrival_next[a as usize];
+                }
+                self.node_head[node] = NIL;
+                let batch = std::mem::take(&mut self.batch);
+                proto.on_arrivals(node, &batch, step, &mut out);
+                self.batch = batch;
+                self.apply_outbox(node, &mut out, step);
+            }
+            self.touched.clear();
             proto.on_step_end(step);
+            self.restore_active_order(sorted_len);
 
             self.metrics.queued_packet_steps += self.in_flight as u64;
         }
 
-        let metrics = self.snapshot_metrics(step);
         RunOutcome {
-            metrics,
+            metrics: self.take_metrics(step),
             completed: true,
         }
     }
 
-    fn transmit_serial(&mut self, arrivals: &mut Vec<(u32, Packet)>) {
-        let mut still = Vec::with_capacity(self.active.len());
-        let active = std::mem::take(&mut self.active);
-        for &id in &active {
+    fn transmit_serial(&mut self) {
+        self.scratch.clear();
+        let disc = self.cfg.discipline;
+        let mut i = 0;
+        while i < self.active.len() {
+            let id = self.active[i];
+            i += 1;
             let idx = id as usize;
             if self.blocked[idx] {
-                still.push(id); // queue stays, nothing traverses
+                self.scratch.push(id); // queue stays, nothing traverses
                 continue;
             }
-            if let Some(pkt) = self.queues[idx].pop(self.cfg.discipline) {
-                arrivals.push((self.link_target[idx], pkt));
+            if let Some(pkt) = self.queues[idx].pop(&mut self.pool, disc) {
+                self.arrivals.push((self.link_target[idx], pkt));
             }
             if self.queues[idx].is_empty() {
                 self.in_active[idx] = false;
             } else {
-                still.push(id);
+                self.scratch.push(id);
             }
         }
-        self.active = still;
+        std::mem::swap(&mut self.active, &mut self.scratch);
     }
 
-    fn transmit_parallel(&mut self, arrivals: &mut Vec<(u32, Packet)>) {
-        // Per-worker output: arrivals as (destination link, packet),
-        // still-active link ids, emptied link ids.
-        type ChunkResult = (Vec<(u32, Packet)>, Vec<u32>, Vec<u32>);
-        // Hand out disjoint &mut queue references in active-id order, then
-        // chunk them across scoped threads. `active` is sorted and
-        // deduplicated (in_active invariant), so the split walk is valid.
-        let discipline = self.cfg.discipline;
-        let threads = self.cfg.threads;
-        let active = std::mem::take(&mut self.active);
-        let mut refs: Vec<(u32, &mut LinkQueue)> = Vec::with_capacity(active.len());
-        {
-            let mut rest: &mut [LinkQueue] = &mut self.queues;
-            let mut base = 0usize;
-            for &id in &active {
-                let idx = id as usize - base;
-                let (_, tail) = rest.split_at_mut(idx);
-                let (q, tail2) = tail.split_at_mut(1);
-                refs.push((id, &mut q[0]));
-                rest = tail2;
-                base = id as usize + 1;
-            }
-        }
-        let blocked = &self.blocked;
-        let link_target = &self.link_target;
-        let chunk = active.len().div_ceil(threads).max(1);
-        let results: Vec<ChunkResult> = std::thread::scope(|s| {
-            let handles: Vec<_> = refs
-                .chunks_mut(chunk)
-                .map(|chunk_refs| {
-                    s.spawn(move || {
-                        let mut arr = Vec::with_capacity(chunk_refs.len());
-                        let mut still = Vec::new();
-                        let mut emptied = Vec::new();
-                        for (id, q) in chunk_refs.iter_mut() {
-                            let idx = *id as usize;
-                            if blocked[idx] {
-                                still.push(*id);
-                                continue;
-                            }
-                            if let Some(pkt) = q.pop(discipline) {
-                                arr.push((link_target[idx], pkt));
-                            }
-                            if q.is_empty() {
-                                emptied.push(*id);
-                            } else {
-                                still.push(*id);
-                            }
-                        }
-                        (arr, still, emptied)
-                    })
-                })
+    fn transmit_parallel(&mut self) {
+        // Selection (the per-queue scan) fans out across the persistent
+        // workers; extraction commits serially in active order below, so
+        // arrivals and queue mutations are identical to the serial path.
+        if self.workers.is_none() {
+            let pool = WorkerPool::new(self.cfg.threads.max(2));
+            self.worker_out = (0..pool.threads())
+                .map(|_| Mutex::new(Vec::new()))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("transmit worker panicked"))
-                .collect()
-        });
-        let mut still_all = Vec::new();
-        for (arr, still, emptied) in results {
-            arrivals.extend(arr);
-            still_all.extend(still);
-            for id in emptied {
-                self.in_active[id as usize] = false;
-            }
+            self.workers = Some(pool);
         }
-        self.active = still_all;
+        let workers = self.workers.as_ref().expect("worker pool initialised");
+        let chunk = self.active.len().div_ceil(workers.threads()).max(1);
+        {
+            let active = &self.active;
+            let queues = &self.queues;
+            let pool = &self.pool;
+            let blocked = &self.blocked;
+            let disc = self.cfg.discipline;
+            let out_ref = &self.worker_out;
+            workers.run(&move |w: usize| {
+                let mut buf = out_ref[w].lock().expect("worker buffer");
+                buf.clear();
+                let lo = (w * chunk).min(active.len());
+                let hi = (lo + chunk).min(active.len());
+                for &id in &active[lo..hi] {
+                    let idx = id as usize;
+                    buf.push(if blocked[idx] {
+                        None
+                    } else {
+                        queues[idx].select(pool, disc)
+                    });
+                }
+            });
+        }
+        self.scratch.clear();
+        let mut pos = 0usize;
+        for w in 0..self.worker_out.len() {
+            // Move each buffer out of its mutex so the engine can be
+            // mutated while walking it, then hand the allocation back.
+            let buf = std::mem::take(&mut *self.worker_out[w].lock().expect("worker buffer"));
+            for &sel in buf.iter() {
+                let id = self.active[pos];
+                pos += 1;
+                let idx = id as usize;
+                match sel {
+                    None => self.scratch.push(id), // blocked
+                    Some(sel) => {
+                        let pkt = self.queues[idx].commit_pop(&mut self.pool, sel);
+                        self.arrivals.push((self.link_target[idx], pkt));
+                        if self.queues[idx].is_empty() {
+                            self.in_active[idx] = false;
+                        } else {
+                            self.scratch.push(id);
+                        }
+                    }
+                }
+            }
+            *self.worker_out[w].lock().expect("worker buffer") = buf;
+        }
+        debug_assert_eq!(pos, self.active.len(), "every active link decided");
+        std::mem::swap(&mut self.active, &mut self.scratch);
     }
 
-    fn snapshot_metrics(&mut self, steps: u32) -> Metrics {
+    /// Finalise and move the accumulated metrics out (no clone — the
+    /// engine's metrics are left fresh for the next run).
+    fn take_metrics(&mut self, steps: u32) -> Metrics {
         self.metrics.steps = steps;
         self.metrics.max_queue = self
             .queues
@@ -340,7 +481,7 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
         if self.cfg.record_link_loads {
             self.metrics.link_loads = self.queues.iter().map(|q| q.pops()).collect();
         }
-        self.metrics.clone()
+        std::mem::take(&mut self.metrics)
     }
 
     /// Per-link traversal counts in link-id order (CSR: links of node `v`
@@ -359,11 +500,14 @@ impl<'n, N: Network + ?Sized> Engine<'n, N> {
     /// retry wrapper of Lemma 2.1 to send unsuccessful packets back).
     pub fn drain_all(&mut self) -> Vec<Packet> {
         let mut out = Vec::new();
-        let active = std::mem::take(&mut self.active);
-        for id in active {
-            out.extend(self.queues[id as usize].drain());
-            self.in_active[id as usize] = false;
+        let mut i = 0;
+        while i < self.active.len() {
+            let idx = self.active[i] as usize;
+            self.queues[idx].drain_into(&mut self.pool, &mut out);
+            self.in_active[idx] = false;
+            i += 1;
         }
+        self.active.clear();
         self.in_flight = 0;
         out
     }
@@ -605,6 +749,106 @@ mod tests {
         assert_eq!(out.metrics.routing_time, 1);
     }
 
+    /// Satellite pin: a reset engine is indistinguishable from a fresh
+    /// one — bit-identical metrics and link loads over the same injection
+    /// sequence, under both transmit modes, across several rounds.
+    #[test]
+    fn reset_engine_matches_fresh_engine() {
+        let mesh = Mesh::square(6);
+        let cfg = |threshold: usize| SimConfig {
+            parallel_threshold: threshold,
+            threads: 2,
+            record_link_loads: true,
+            ..Default::default()
+        };
+        let inject_round = |eng: &mut Engine, round: usize| {
+            for i in 0..mesh.num_nodes() {
+                let dest = (i * 13 + round * 7 + 3) % mesh.num_nodes();
+                eng.inject(i, Packet::new(i as u32, i as u32, dest as u32));
+            }
+        };
+        let fingerprint = |m: &Metrics| {
+            (
+                m.routing_time,
+                m.delivered,
+                m.max_queue,
+                m.queued_packet_steps,
+                m.steps,
+                m.link_loads.clone(),
+            )
+        };
+        for threshold in [usize::MAX, 1] {
+            let mut reused = Engine::new(&mesh, cfg(threshold));
+            for round in 0..4 {
+                reused.reset();
+                inject_round(&mut reused, round);
+                let out_reused = reused.run(&mut GreedyMesh { mesh });
+
+                let mut fresh = Engine::new(&mesh, cfg(threshold));
+                inject_round(&mut fresh, round);
+                let out_fresh = fresh.run(&mut GreedyMesh { mesh });
+
+                assert!(out_reused.completed && out_fresh.completed);
+                assert_eq!(
+                    fingerprint(&out_reused.metrics),
+                    fingerprint(&out_fresh.metrics),
+                    "round {round}, threshold {threshold}"
+                );
+                assert_eq!(reused.link_loads(), fresh.link_loads());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_stranded_state_and_blocks() {
+        let mesh = Mesh::linear(4);
+        let mut eng = Engine::new(
+            &mesh,
+            SimConfig {
+                max_steps: 2,
+                ..Default::default()
+            },
+        );
+        let port = mesh
+            .port_of_dir(0, lnpram_topology::mesh::Dir::East)
+            .unwrap();
+        eng.block_link(0, port);
+        eng.inject(0, Packet::new(0, 0, 3));
+        let out = eng.run(&mut GreedyMesh { mesh });
+        assert!(!out.completed);
+        assert_eq!(eng.in_flight(), 1);
+
+        eng.reset();
+        eng.set_max_steps(100);
+        assert_eq!(eng.in_flight(), 0);
+        eng.inject(0, Packet::new(0, 0, 3));
+        let out = eng.run(&mut GreedyMesh { mesh });
+        assert!(out.completed, "reset must unblock links and drain queues");
+        assert_eq!(out.metrics.delivered, 1);
+        assert_eq!(out.metrics.max_queue, 1, "high-water marks must reset");
+    }
+
+    #[test]
+    fn arena_stops_growing_after_warmup_across_rounds() {
+        let mesh = Mesh::square(5);
+        let mut eng = Engine::new(&mesh, SimConfig::default());
+        let run_round = |eng: &mut Engine| {
+            eng.reset();
+            for i in 0..mesh.num_nodes() {
+                let dest = (i * 11 + 2) % mesh.num_nodes();
+                eng.inject(i, Packet::new(i as u32, i as u32, dest as u32));
+            }
+            let out = eng.run(&mut GreedyMesh { mesh });
+            assert!(out.completed);
+        };
+        run_round(&mut eng);
+        let warm = eng.pool.capacity();
+        for _ in 0..5 {
+            run_round(&mut eng);
+            assert_eq!(eng.pool.capacity(), warm, "arena regrew after warm-up");
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -678,6 +922,33 @@ mod tests {
                     )
                 };
                 prop_assert_eq!(run(usize::MAX), run(1));
+            }
+
+            /// Reusing one engine across rounds is observably identical to
+            /// building a fresh engine per round, for any workload.
+            #[test]
+            fn prop_reset_equals_fresh(seed: u64, rows in 2usize..6, rounds in 1usize..4) {
+                let mesh = Mesh::square(rows + 1);
+                let n = mesh.num_nodes();
+                let mut reused = Engine::new(&mesh, SimConfig::default());
+                for round in 0..rounds {
+                    let mut fresh = Engine::new(&mesh, SimConfig::default());
+                    reused.reset();
+                    let mut state = seed ^ round as u64;
+                    for src in 0..n {
+                        let dest = (lnpram_math::rng::splitmix64(&mut state) as usize) % n;
+                        let pkt = Packet::new(src as u32, src as u32, dest as u32);
+                        reused.inject(src, pkt);
+                        fresh.inject(src, pkt);
+                    }
+                    let a = reused.run(&mut GreedyMesh { mesh });
+                    let b = fresh.run(&mut GreedyMesh { mesh });
+                    prop_assert_eq!(a.metrics.routing_time, b.metrics.routing_time);
+                    prop_assert_eq!(a.metrics.delivered, b.metrics.delivered);
+                    prop_assert_eq!(a.metrics.max_queue, b.metrics.max_queue);
+                    prop_assert_eq!(a.metrics.queued_packet_steps, b.metrics.queued_packet_steps);
+                    prop_assert_eq!(reused.link_loads(), fresh.link_loads());
+                }
             }
         }
     }

@@ -1,4 +1,4 @@
-//! Per-link output queues and queueing disciplines.
+//! Pooled per-link output queues and queueing disciplines.
 //!
 //! The paper assesses routing schemes by routing time, queue size and
 //! queueing discipline (§2.2.1). Two disciplines appear:
@@ -9,11 +9,25 @@
 //!   where contention is resolved in favour of the packet with the larger
 //!   remaining distance (encoded in [`Packet::priority`]).
 //!
+//! Storage is a single slab arena — [`PacketPool`] — shared by every
+//! queue of an engine: one contiguous `Vec` of packet slots threaded by an
+//! intrusive free list. A [`LinkQueue`] is just four `u32` indices into
+//! that arena (head/tail of its FIFO chain plus counters), so enqueue and
+//! pop never touch the allocator once the arena has grown to the
+//! high-water mark of a run, and tearing a queue down costs nothing.
+//!
+//! Selection is split into a read-only [`LinkQueue::select`] (returns the
+//! slot to extract) and a mutating [`LinkQueue::commit_pop`], so the
+//! engine's parallel transmit phase can scan queues from worker threads
+//! with shared references and commit the extractions serially.
+//!
 //! A [`LinkQueue`] records its own high-water mark so Theorem-level queue
 //! bounds (O(ℓ), O(log n), O(1)) can be checked per run.
 
 use crate::packet::Packet;
-use std::collections::VecDeque;
+
+/// Sentinel index terminating slot chains ("no slot").
+pub(crate) const NIL: u32 = u32::MAX;
 
 /// Queueing discipline for resolving link contention.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,87 +41,265 @@ pub enum Discipline {
     FurthestFirst,
 }
 
-/// The output queue of one directed link.
-#[derive(Debug, Clone, Default)]
+/// One arena slot: a packet plus the intrusive `next` link (chains both
+/// per-link FIFOs and the free list).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    pkt: Packet,
+    next: u32,
+}
+
+/// The slab arena backing every [`LinkQueue`] of one engine.
+///
+/// Freed slots go on an intrusive free list and are recycled before the
+/// backing `Vec` grows, so steady-state traffic allocates nothing.
+#[derive(Debug, Clone)]
+pub struct PacketPool {
+    slots: Vec<Slot>,
+    free_head: u32,
+}
+
+impl Default for PacketPool {
+    fn default() -> Self {
+        PacketPool::new()
+    }
+}
+
+impl PacketPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        PacketPool {
+            slots: Vec::new(),
+            free_head: NIL,
+        }
+    }
+
+    /// Slots currently backing the pool (occupied + free); the arena's
+    /// high-water mark.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Store `pkt`, recycling a free slot if one exists.
+    fn alloc(&mut self, pkt: Packet) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            self.free_head = self.slots[idx as usize].next;
+            self.slots[idx as usize] = Slot { pkt, next: NIL };
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NIL, "packet pool exhausted the u32 index space");
+            self.slots.push(Slot { pkt, next: NIL });
+            idx
+        }
+    }
+
+    /// Return `idx` to the free list (the packet value is left in place;
+    /// it is dead storage until the slot is recycled).
+    fn free(&mut self, idx: u32) {
+        self.slots[idx as usize].next = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Drop every slot but keep the arena's backing allocation, so a
+    /// reused engine re-warms without touching the allocator.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = NIL;
+    }
+
+    fn pkt(&self, idx: u32) -> &Packet {
+        &self.slots[idx as usize].pkt
+    }
+
+    fn next(&self, idx: u32) -> u32 {
+        self.slots[idx as usize].next
+    }
+}
+
+/// A pending extraction chosen by [`LinkQueue::select`]: the slot to
+/// remove and its predecessor in the chain (`NIL` when it is the head).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    slot: u32,
+    prev: u32,
+}
+
+/// The output queue of one directed link: head/tail indices of its
+/// arrival-order chain in the shared [`PacketPool`], plus counters.
+#[derive(Debug, Clone)]
 pub struct LinkQueue {
-    items: VecDeque<Packet>,
-    high_water: usize,
+    head: u32,
+    tail: u32,
+    len: u32,
+    high_water: u32,
     pops: u32,
+}
+
+impl Default for LinkQueue {
+    fn default() -> Self {
+        LinkQueue::new()
+    }
 }
 
 impl LinkQueue {
     /// An empty queue.
     pub fn new() -> Self {
-        Self::default()
+        LinkQueue {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            high_water: 0,
+            pops: 0,
+        }
     }
 
     /// Number of queued packets.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len as usize
     }
 
     /// Is the queue empty?
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
-    /// Largest length this queue ever reached.
+    /// Largest length this queue ever reached (since the last
+    /// [`LinkQueue::reset`]).
     pub fn high_water(&self) -> usize {
-        self.high_water
+        self.high_water as usize
     }
 
-    /// Packets that have traversed this link (successful [`LinkQueue::pop`]
-    /// count) — the per-link load used by the congestion tables.
+    /// Packets that have traversed this link (successful pop count) — the
+    /// per-link load used by the congestion tables.
     pub fn pops(&self) -> u32 {
         self.pops
     }
 
     /// Enqueue a packet (position depends only on arrival order; selection
     /// order is the discipline's business).
-    pub fn push(&mut self, pkt: Packet) {
-        self.items.push_back(pkt);
-        self.high_water = self.high_water.max(self.items.len());
+    pub fn push(&mut self, pool: &mut PacketPool, pkt: Packet) {
+        let idx = pool.alloc(pkt);
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            pool.slots[self.tail as usize].next = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+        self.high_water = self.high_water.max(self.len);
+    }
+
+    /// Choose the packet to transmit this step under `disc` without
+    /// mutating anything, or `None` if empty. Ties under
+    /// [`Discipline::FurthestFirst`] break toward the earliest arrival
+    /// (the chain *is* arrival order, so the first strict maximum wins —
+    /// exactly the old `VecDeque` scan's order).
+    pub fn select(&self, pool: &PacketPool, disc: Discipline) -> Option<Selection> {
+        if self.head == NIL {
+            return None;
+        }
+        match disc {
+            Discipline::Fifo => Some(Selection {
+                slot: self.head,
+                prev: NIL,
+            }),
+            Discipline::FurthestFirst => {
+                let mut best = Selection {
+                    slot: self.head,
+                    prev: NIL,
+                };
+                let mut best_priority = pool.pkt(self.head).priority;
+                let mut prev = self.head;
+                let mut cur = pool.next(self.head);
+                while cur != NIL {
+                    let p = pool.pkt(cur).priority;
+                    if p > best_priority {
+                        best = Selection { slot: cur, prev };
+                        best_priority = p;
+                    }
+                    prev = cur;
+                    cur = pool.next(cur);
+                }
+                Some(best)
+            }
+        }
+    }
+
+    /// Extract a previously [`select`](Self::select)ed packet: O(1) chain
+    /// unlink, no shifting, slot returned to the pool's free list.
+    pub fn commit_pop(&mut self, pool: &mut PacketPool, sel: Selection) -> Packet {
+        let Selection { slot, prev } = sel;
+        let pkt = *pool.pkt(slot);
+        let after = pool.next(slot);
+        if prev == NIL {
+            self.head = after;
+        } else {
+            pool.slots[prev as usize].next = after;
+        }
+        if self.tail == slot {
+            self.tail = prev;
+        }
+        pool.free(slot);
+        self.len -= 1;
+        self.pops += 1;
+        pkt
     }
 
     /// Select and remove the packet to transmit this step under `disc`,
     /// or `None` if empty.
-    pub fn pop(&mut self, disc: Discipline) -> Option<Packet> {
-        let picked = match disc {
-            Discipline::Fifo => self.items.pop_front(),
-            Discipline::FurthestFirst => {
-                if self.items.is_empty() {
-                    return None;
-                }
-                // Max priority; ties broken by arrival order (stable scan).
-                let mut best = 0usize;
-                for i in 1..self.items.len() {
-                    if self.items[i].priority > self.items[best].priority {
-                        best = i;
-                    }
-                }
-                self.items.remove(best)
-            }
-        };
-        if picked.is_some() {
-            self.pops += 1;
-        }
-        picked
+    pub fn pop(&mut self, pool: &mut PacketPool, disc: Discipline) -> Option<Packet> {
+        self.select(pool, disc)
+            .map(|sel| self.commit_pop(pool, sel))
     }
 
     /// Iterate queued packets in arrival order (for inspection/tests).
-    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
-        self.items.iter()
+    pub fn iter<'a>(&'a self, pool: &'a PacketPool) -> impl Iterator<Item = &'a Packet> {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let pkt = pool.pkt(cur);
+                cur = pool.next(cur);
+                Some(pkt)
+            }
+        })
+    }
+
+    /// Remove all packets into `out` in arrival order, freeing the slots.
+    pub fn drain_into(&mut self, pool: &mut PacketPool, out: &mut Vec<Packet>) {
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(*pool.pkt(cur));
+            let next = pool.next(cur);
+            pool.free(cur);
+            cur = next;
+        }
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
     }
 
     /// Remove all packets, returning them in arrival order.
-    pub fn drain(&mut self) -> Vec<Packet> {
-        self.items.drain(..).collect()
+    pub fn drain(&mut self, pool: &mut PacketPool) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(self.len());
+        self.drain_into(pool, &mut out);
+        out
+    }
+
+    /// Forget the chain and zero every counter (the pool is cleared
+    /// separately — this is the per-link half of `Engine::reset`).
+    pub fn reset(&mut self) {
+        *self = LinkQueue::new();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::VecDeque;
 
     fn pkt(id: u32, priority: u32) -> Packet {
         Packet::new(id, 0, 1).with_priority(priority)
@@ -115,11 +307,12 @@ mod tests {
 
     #[test]
     fn fifo_order() {
+        let mut pool = PacketPool::new();
         let mut q = LinkQueue::new();
         for i in 0..5 {
-            q.push(pkt(i, 100 - i));
+            q.push(&mut pool, pkt(i, 100 - i));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop(Discipline::Fifo))
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop(&mut pool, Discipline::Fifo))
             .map(|p| p.id)
             .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
@@ -127,12 +320,13 @@ mod tests {
 
     #[test]
     fn furthest_first_order() {
+        let mut pool = PacketPool::new();
         let mut q = LinkQueue::new();
-        q.push(pkt(0, 3));
-        q.push(pkt(1, 9));
-        q.push(pkt(2, 9));
-        q.push(pkt(3, 1));
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop(Discipline::FurthestFirst))
+        q.push(&mut pool, pkt(0, 3));
+        q.push(&mut pool, pkt(1, 9));
+        q.push(&mut pool, pkt(2, 9));
+        q.push(&mut pool, pkt(3, 1));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop(&mut pool, Discipline::FurthestFirst))
             .map(|p| p.id)
             .collect();
         // 9s first in arrival order, then 3, then 1.
@@ -141,45 +335,143 @@ mod tests {
 
     #[test]
     fn high_water_tracks_peak() {
+        let mut pool = PacketPool::new();
         let mut q = LinkQueue::new();
         for i in 0..4 {
-            q.push(pkt(i, 0));
+            q.push(&mut pool, pkt(i, 0));
         }
-        q.pop(Discipline::Fifo);
-        q.pop(Discipline::Fifo);
-        q.push(pkt(9, 0));
+        q.pop(&mut pool, Discipline::Fifo);
+        q.pop(&mut pool, Discipline::Fifo);
+        q.push(&mut pool, pkt(9, 0));
         assert_eq!(q.high_water(), 4);
         assert_eq!(q.len(), 3);
     }
 
     #[test]
     fn pop_empty_is_none() {
+        let mut pool = PacketPool::new();
         let mut q = LinkQueue::new();
-        assert_eq!(q.pop(Discipline::Fifo), None);
-        assert_eq!(q.pop(Discipline::FurthestFirst), None);
+        assert_eq!(q.pop(&mut pool, Discipline::Fifo), None);
+        assert_eq!(q.pop(&mut pool, Discipline::FurthestFirst), None);
     }
 
     #[test]
     fn pops_count_traversals() {
+        let mut pool = PacketPool::new();
         let mut q = LinkQueue::new();
         assert_eq!(q.pops(), 0);
-        q.pop(Discipline::Fifo); // empty pop does not count
+        q.pop(&mut pool, Discipline::Fifo); // empty pop does not count
         assert_eq!(q.pops(), 0);
         for i in 0..3 {
-            q.push(pkt(i, 0));
+            q.push(&mut pool, pkt(i, 0));
         }
-        q.pop(Discipline::Fifo);
-        q.pop(Discipline::FurthestFirst);
+        q.pop(&mut pool, Discipline::Fifo);
+        q.pop(&mut pool, Discipline::FurthestFirst);
         assert_eq!(q.pops(), 2);
     }
 
     #[test]
     fn drain_returns_arrival_order() {
+        let mut pool = PacketPool::new();
         let mut q = LinkQueue::new();
-        q.push(pkt(2, 5));
-        q.push(pkt(1, 9));
-        let ids: Vec<u32> = q.drain().into_iter().map(|p| p.id).collect();
+        q.push(&mut pool, pkt(2, 5));
+        q.push(&mut pool, pkt(1, 9));
+        let ids: Vec<u32> = q.drain(&mut pool).into_iter().map(|p| p.id).collect();
         assert_eq!(ids, vec![2, 1]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_not_grown() {
+        let mut pool = PacketPool::new();
+        let mut q = LinkQueue::new();
+        for i in 0..8 {
+            q.push(&mut pool, pkt(i, 0));
+        }
+        let warm = pool.capacity();
+        for round in 0..100u32 {
+            let p = q.pop(&mut pool, Discipline::Fifo).unwrap();
+            q.push(&mut pool, p);
+            assert_eq!(pool.capacity(), warm, "round {round} grew the arena");
+        }
+    }
+
+    #[test]
+    fn interleaved_queues_share_one_pool() {
+        let mut pool = PacketPool::new();
+        let mut a = LinkQueue::new();
+        let mut b = LinkQueue::new();
+        for i in 0..6 {
+            a.push(&mut pool, pkt(i, i));
+            b.push(&mut pool, pkt(100 + i, 0));
+        }
+        a.pop(&mut pool, Discipline::FurthestFirst);
+        b.pop(&mut pool, Discipline::Fifo);
+        let a_ids: Vec<u32> = a.iter(&pool).map(|p| p.id).collect();
+        let b_ids: Vec<u32> = b.iter(&pool).map(|p| p.id).collect();
+        assert_eq!(a_ids, vec![0, 1, 2, 3, 4]); // 5 had max priority, gone
+        assert_eq!(b_ids, vec![101, 102, 103, 104, 105]);
+    }
+
+    /// The old `VecDeque`-based queue, kept as an executable model: max
+    /// scan with strict `>` (first maximum wins) plus positional remove.
+    struct ModelQueue {
+        items: VecDeque<Packet>,
+    }
+
+    impl ModelQueue {
+        fn pop(&mut self, disc: Discipline) -> Option<Packet> {
+            match disc {
+                Discipline::Fifo => self.items.pop_front(),
+                Discipline::FurthestFirst => {
+                    if self.items.is_empty() {
+                        return None;
+                    }
+                    let mut best = 0usize;
+                    for i in 1..self.items.len() {
+                        if self.items[i].priority > self.items[best].priority {
+                            best = i;
+                        }
+                    }
+                    self.items.remove(best)
+                }
+            }
+        }
+    }
+
+    /// Satellite pin: the pooled chain queue must reproduce the old
+    /// implementation's pop order *exactly* — same `(priority,
+    /// arrival)` selection, same tie-breaks — over randomized
+    /// push/pop interleavings under both disciplines.
+    #[test]
+    fn pop_order_pins_old_implementation() {
+        for disc in [Discipline::Fifo, Discipline::FurthestFirst] {
+            let mut state = 0x5EED_u64 ^ (disc == Discipline::Fifo) as u64;
+            let mut pool = PacketPool::new();
+            let mut q = LinkQueue::new();
+            let mut model = ModelQueue {
+                items: VecDeque::new(),
+            };
+            let mut id = 0u32;
+            for _ in 0..2000 {
+                let r = lnpram_math::rng::splitmix64(&mut state);
+                if !r.is_multiple_of(3) || q.is_empty() {
+                    // Small priority range to force plenty of ties.
+                    let p = pkt(id, (r >> 8) as u32 % 4);
+                    id += 1;
+                    q.push(&mut pool, p);
+                    model.items.push_back(p);
+                } else {
+                    let got = q.pop(&mut pool, disc);
+                    let want = model.pop(disc);
+                    assert_eq!(got, want, "{disc:?} diverged after {id} pushes");
+                }
+            }
+            // Drain both to the end.
+            while let Some(want) = model.pop(disc) {
+                assert_eq!(q.pop(&mut pool, disc), Some(want));
+            }
+            assert!(q.is_empty());
+        }
     }
 }
