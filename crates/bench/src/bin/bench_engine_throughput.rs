@@ -1,14 +1,18 @@
-//! Engine step-throughput on the three canonical workloads — the perf
-//! trajectory anchor.
+//! Engine step-throughput on the three canonical workloads, **serial
+//! vs. sharded** — the perf trajectory anchor.
 //!
-//! Routes random permutations on the leveled network (Algorithm 2.1 with
-//! a reused [`LeveledRoutingSession`]), the 5-star (Algorithm 2.2) and
-//! the 32×32 mesh (three-stage §3.4), reporting packets/sec and
-//! steps/sec, and writes the numbers as machine-readable JSON (default
-//! `BENCH_2.json`, override with `LNPRAM_BENCH_OUT`). CI's `bench-smoke`
-//! job runs this with `LNPRAM_TRIALS=2` so every subsequent PR has a
-//! baseline to beat; run it locally with the default trial count for
-//! stable numbers.
+//! Routes random permutations on the leveled network (Algorithm 2.1
+//! with a reused [`LeveledRoutingSession`]), the 5-star (Algorithm 2.2)
+//! and the 32×32 mesh (three-stage §3.4), each through the single
+//! serial engine and through the `lnpram-shard` partitioned path at
+//! `K = LNPRAM_SHARDS` (default 4) shards, reporting packets/sec and
+//! steps/sec per path. Outcomes are bit-identical by the sharded
+//! determinism contract (asserted per trial), so the columns measure
+//! pure coordination cost vs. transmit parallelism. Results land as
+//! machine-readable JSON (default `BENCH_3.json`, override with
+//! `LNPRAM_BENCH_OUT`). CI's `bench-smoke` job runs this with
+//! `LNPRAM_TRIALS=2` so every subsequent PR has a baseline to beat; run
+//! it locally with the default trial count for stable numbers.
 
 use lnpram_bench::{fmt, trial_count, Table};
 use lnpram_math::rng::SeedSeq;
@@ -19,16 +23,14 @@ use lnpram_simnet::SimConfig;
 use lnpram_topology::leveled::RadixButterfly;
 use std::time::Instant;
 
-/// One workload's measurement.
-struct WorkloadResult {
-    name: String,
-    trials: u64,
+/// One path's (serial or sharded) timing for a workload.
+struct PathResult {
     packets: u64,
     steps: u64,
     elapsed_s: f64,
 }
 
-impl WorkloadResult {
+impl PathResult {
     fn packets_per_sec(&self) -> f64 {
         self.packets as f64 / self.elapsed_s
     }
@@ -38,49 +40,103 @@ impl WorkloadResult {
     }
 }
 
-/// Time `trials` runs of `run`, which returns `(packets delivered,
-/// engine steps executed)` for one seed.
-fn measure(name: &str, trials: u64, mut run: impl FnMut(u64) -> (u64, u64)) -> WorkloadResult {
-    // One untimed warm-up run so allocator warm-up and lazy init are not
-    // billed to the first trial.
-    run(u64::MAX);
-    let start = Instant::now();
-    let mut packets = 0u64;
-    let mut steps = 0u64;
+/// One workload's serial + sharded measurements.
+struct WorkloadResult {
+    name: String,
+    trials: u64,
+    serial: PathResult,
+    sharded: PathResult,
+}
+
+impl WorkloadResult {
+    /// Sharded packets/sec over serial packets/sec.
+    fn speedup(&self) -> f64 {
+        self.sharded.packets_per_sec() / self.serial.packets_per_sec()
+    }
+}
+
+/// Time `trials` runs each of `serial` and `sharded`, **interleaved
+/// per seed** so clock-frequency drift and noisy neighbors hit both
+/// paths equally (un-paired timing makes the speedup column a lottery
+/// on busy hosts). Each closure returns `(packets delivered, engine
+/// steps executed)` for one seed.
+fn measure_pair(
+    trials: u64,
+    mut serial: impl FnMut(u64) -> (u64, u64),
+    mut sharded: impl FnMut(u64) -> (u64, u64),
+) -> (PathResult, PathResult) {
+    // One untimed warm-up run each so allocator warm-up and lazy init
+    // are not billed to the first trial.
+    serial(u64::MAX);
+    sharded(u64::MAX);
+    let mut acc = [
+        PathResult {
+            packets: 0,
+            steps: 0,
+            elapsed_s: 0.0,
+        },
+        PathResult {
+            packets: 0,
+            steps: 0,
+            elapsed_s: 0.0,
+        },
+    ];
     for seed in 0..trials {
-        let (p, s) = run(seed);
-        packets += p;
-        steps += s;
+        for (i, run) in [
+            &mut serial as &mut dyn FnMut(u64) -> (u64, u64),
+            &mut sharded,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let start = Instant::now();
+            let (p, s) = run(seed);
+            acc[i].elapsed_s += start.elapsed().as_secs_f64();
+            acc[i].packets += p;
+            acc[i].steps += s;
+        }
     }
-    WorkloadResult {
-        name: name.to_string(),
-        trials,
-        packets,
-        steps,
-        elapsed_s: start.elapsed().as_secs_f64().max(1e-9),
-    }
+    let [mut a, mut b] = acc;
+    a.elapsed_s = a.elapsed_s.max(1e-9);
+    b.elapsed_s = b.elapsed_s.max(1e-9);
+    (a, b)
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(path: &str, trials: u64, results: &[WorkloadResult]) -> std::io::Result<()> {
+fn path_json(p: &PathResult) -> String {
+    format!(
+        "{{\"elapsed_s\": {:.6}, \"packets_per_sec\": {:.1}, \"steps_per_sec\": {:.1}}}",
+        p.elapsed_s,
+        p.packets_per_sec(),
+        p.steps_per_sec()
+    )
+}
+
+fn write_json(
+    path: &str,
+    trials: u64,
+    shards: usize,
+    results: &[WorkloadResult],
+) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_throughput\",\n");
     out.push_str(&format!("  \"trials\": {trials},\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
     out.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"trials\": {}, \"packets\": {}, \"steps\": {}, \
-             \"elapsed_s\": {:.6}, \"packets_per_sec\": {:.1}, \"steps_per_sec\": {:.1}}}{}\n",
+             \"serial\": {}, \"sharded\": {}, \"speedup\": {:.3}}}{}\n",
             json_escape(&r.name),
             r.trials,
-            r.packets,
-            r.steps,
-            r.elapsed_s,
-            r.packets_per_sec(),
-            r.steps_per_sec(),
+            r.serial.packets,
+            r.serial.steps,
+            path_json(&r.serial),
+            path_json(&r.sharded),
+            r.speedup(),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -88,66 +144,161 @@ fn write_json(path: &str, trials: u64, results: &[WorkloadResult]) -> std::io::R
     std::fs::write(path, out)
 }
 
+/// Per-seed outcome signatures recorded by the serial pass and checked
+/// by the sharded pass — the bench enforces the `lnpram-shard`
+/// bit-identity contract on every workload it publishes numbers for.
+#[derive(Default)]
+struct Reference {
+    sigs: std::cell::RefCell<Vec<(u32, u64)>>,
+}
+
+impl Reference {
+    /// Record (serial pass) or verify (sharded pass) one seed's
+    /// signature; `u64::MAX` is the untimed warm-up seed and is skipped.
+    fn observe(&self, seed: u64, check: bool, sig: (u32, u64)) {
+        if seed == u64::MAX {
+            return;
+        }
+        let mut sigs = self.sigs.borrow_mut();
+        if check {
+            assert_eq!(sigs[seed as usize], sig, "sharded diverged from serial");
+        } else if seed as usize == sigs.len() {
+            sigs.push(sig);
+        }
+    }
+}
+
+/// Shard count for the sharded column (`LNPRAM_SHARDS`, default 4).
+fn shard_count() -> usize {
+    std::env::var("LNPRAM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k >= 2)
+        .unwrap_or(4)
+}
+
 fn main() {
     let trials = trial_count(20);
+    let shards = shard_count();
+    let sharded_cfg = || SimConfig {
+        shards,
+        ..Default::default()
+    };
     let mut results = Vec::new();
 
     // Leveled network: Algorithm 2.1 on butterfly(2,10) — 1024 packets
-    // per run over 20 link stages — through one reused session engine.
+    // per run over 20 link stages — through one reused session engine
+    // per path. Per-seed outcomes are asserted identical across paths.
     {
         let inner = RadixButterfly::new(2, 10);
-        let mut session = LeveledRoutingSession::new(inner, SimConfig::default());
-        results.push(measure("leveled/butterfly(2,10)", trials, |seed| {
+        let mut serial_session = LeveledRoutingSession::new(inner, SimConfig::default());
+        let mut sharded_session = LeveledRoutingSession::new(inner, sharded_cfg());
+        let reference = Reference::default();
+        let run = |session: &mut LeveledRoutingSession<RadixButterfly>, seed: u64, check: bool| {
             let seq = SeedSeq::new(seed);
             let mut rng = seq.child(0).rng();
             let dests = workloads::random_permutation(1024, &mut rng);
             let rep = session.route_with_dests(&dests, seq);
             assert!(rep.completed);
+            reference.observe(
+                seed,
+                check,
+                (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
+            );
             (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
-        }));
+        };
+        let (serial, sharded) = measure_pair(
+            trials,
+            |seed| run(&mut serial_session, seed, false),
+            |seed| run(&mut sharded_session, seed, true),
+        );
+        results.push(WorkloadResult {
+            name: "leveled/butterfly(2,10)".to_string(),
+            trials,
+            serial,
+            sharded,
+        });
     }
 
     // Star graph: Algorithm 2.2 on the 5-star (120 nodes).
-    results.push(measure("star/5-star", trials, |seed| {
-        let rep = route_star_permutation(5, seed, SimConfig::default());
-        assert!(rep.completed);
-        (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
-    }));
+    {
+        let reference = Reference::default();
+        let star = |seed: u64, cfg: SimConfig, check: bool| {
+            let rep = route_star_permutation(5, seed, cfg);
+            assert!(rep.completed);
+            reference.observe(
+                seed,
+                check,
+                (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
+            );
+            (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
+        };
+        let (serial, sharded) = measure_pair(
+            trials,
+            |seed| star(seed, SimConfig::default(), false),
+            |seed| star(seed, sharded_cfg(), true),
+        );
+        results.push(WorkloadResult {
+            name: "star/5-star".to_string(),
+            trials,
+            serial,
+            sharded,
+        });
+    }
 
     // Mesh: three-stage §3.4 routing on the 32×32 mesh (1024 packets).
-    results.push(measure("mesh/32x32-three-stage", trials, |seed| {
+    {
         let alg = MeshAlgorithm::ThreeStage {
             slice_rows: default_slice_rows(32),
         };
-        let rep = route_mesh_permutation(32, alg, seed, SimConfig::default());
-        assert!(rep.completed);
-        (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
-    }));
+        let reference = Reference::default();
+        let mesh = |seed: u64, cfg: SimConfig, check: bool| {
+            let rep = route_mesh_permutation(32, alg, seed, cfg);
+            assert!(rep.completed);
+            reference.observe(
+                seed,
+                check,
+                (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
+            );
+            (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
+        };
+        let (serial, sharded) = measure_pair(
+            trials,
+            |seed| mesh(seed, SimConfig::default(), false),
+            |seed| mesh(seed, sharded_cfg(), true),
+        );
+        results.push(WorkloadResult {
+            name: "mesh/32x32-three-stage".to_string(),
+            trials,
+            serial,
+            sharded,
+        });
+    }
 
     let mut t = Table::new(
-        format!("Engine step throughput ({trials} trials per workload)"),
+        format!("Engine step throughput, serial vs {shards}-sharded ({trials} trials per cell)"),
         &[
             "workload",
-            "packets/s",
-            "steps/s",
-            "packets",
-            "steps",
-            "secs",
+            "serial pkt/s",
+            "sharded pkt/s",
+            "speedup",
+            "serial steps/s",
+            "sharded steps/s",
         ],
     );
     for r in &results {
         t.row(&[
             r.name.clone(),
-            fmt::f(r.packets_per_sec(), 0),
-            fmt::f(r.steps_per_sec(), 0),
-            r.packets.to_string(),
-            r.steps.to_string(),
-            fmt::f(r.elapsed_s, 3),
+            fmt::f(r.serial.packets_per_sec(), 0),
+            fmt::f(r.sharded.packets_per_sec(), 0),
+            fmt::f(r.speedup(), 3),
+            fmt::f(r.serial.steps_per_sec(), 0),
+            fmt::f(r.sharded.steps_per_sec(), 0),
         ]);
     }
     t.print();
 
-    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_2.json".to_string());
-    write_json(&path, trials, &results).expect("write bench json");
+    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_3.json".to_string());
+    write_json(&path, trials, shards, &results).expect("write bench json");
     println!("wrote {path}");
 }

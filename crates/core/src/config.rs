@@ -26,6 +26,14 @@ pub struct EmulatorConfig {
     pub combining: bool,
     /// Seed for hash sampling and routing randomness.
     pub seed: u64,
+    /// Partition the routing engines into this many shards
+    /// (`lnpram-shard`): `0`/`1` = single serial engine, `≥ 2` = the
+    /// lockstep sharded path, clamped to `lnpram-shard`'s `MAX_SHARDS`
+    /// (15). Results are bit-identical either way (the sharded
+    /// determinism contract); the knob only changes how the network
+    /// simulation scales. Honoured by the leveled, star and mesh
+    /// emulators; the replicated baseline always runs serial.
+    pub shards: usize,
 }
 
 impl Default for EmulatorConfig {
@@ -38,6 +46,7 @@ impl Default for EmulatorConfig {
             max_rehashes: 8,
             combining: true,
             seed: 0,
+            shards: 0,
         }
     }
 }

@@ -32,7 +32,8 @@ use lnpram_hash::{HashFamily, PolyHash};
 use lnpram_math::rng::SeedSeq;
 use lnpram_pram::model::{AccessMode, MemOp, PramProgram, WritePolicy};
 use lnpram_routing::DoubledLeveled;
-use lnpram_simnet::{Engine, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, LevelCut};
+use lnpram_simnet::{Outbox, Packet, Protocol, SimConfig};
 use lnpram_topology::leveled::{Leveled, LeveledNet};
 use lnpram_topology::Network;
 use rand::Rng;
@@ -67,10 +68,11 @@ pub struct LeveledPramEmulator<L: Leveled + Copy> {
     fwd: LeveledNet<DoubledLeveled<L>>,
     /// Backward (reply-phase) view of the doubled network.
     bwd: LeveledNet<DoubledLeveled<L>>,
-    /// Request-phase engine, built once and recycled every attempt.
-    req_engine: Engine,
+    /// Request-phase engine, built once and recycled every attempt
+    /// (serial or sharded per [`EmulatorConfig::shards`]).
+    req_engine: AnyEngine,
     /// Reply-phase engine, likewise persistent.
-    rep_engine: Engine,
+    rep_engine: AnyEngine,
 }
 
 impl<L: Leveled + Copy> LeveledPramEmulator<L> {
@@ -95,24 +97,32 @@ impl<L: Leveled + Copy> LeveledPramEmulator<L> {
         let doubled = DoubledLeveled::new(inner);
         let fwd = LeveledNet::forward(doubled);
         let bwd = LeveledNet::backward(doubled);
-        // Engines are built once here and recycled with `Engine::reset`
-        // for every attempt of every PRAM step: a T-step emulation builds
+        // Engines are built once here and recycled with `reset` for
+        // every attempt of every PRAM step: a T-step emulation builds
         // its per-link state once instead of T times. The reply phase
         // retraces an already-successful pattern, so it never times out.
-        let req_engine = Engine::new(
+        // With `cfg.shards ≥ 2` both phases run on the partitioned
+        // lockstep path, column bands cut by `LevelCut` (bit-identical
+        // outcomes — the lnpram-shard determinism contract).
+        let part = LevelCut::new(width);
+        let req_engine = AnyEngine::with_partitioner(
             &fwd,
             SimConfig {
                 discipline: cfg.discipline,
+                shards: cfg.shards,
                 ..Default::default()
             },
+            &part,
         );
-        let rep_engine = Engine::new(
+        let rep_engine = AnyEngine::with_partitioner(
             &bwd,
             SimConfig {
                 discipline: cfg.discipline,
                 max_steps: u32::MAX,
+                shards: cfg.shards,
                 ..Default::default()
             },
+            &part,
         );
         LeveledPramEmulator {
             inner,

@@ -29,7 +29,8 @@ use lnpram_hash::{HashFamily, PolyHash};
 use lnpram_math::rng::SeedSeq;
 use lnpram_pram::model::{AccessMode, MemOp, PramProgram};
 use lnpram_routing::mesh::{default_block_rows, default_slice_rows, MeshAlgorithm, MeshRouter};
-use lnpram_simnet::{Discipline, Engine, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, RowBlock};
+use lnpram_simnet::{Discipline, Outbox, Packet, Protocol, SimConfig};
 use lnpram_topology::{Mesh, Network};
 use rand::Rng;
 use std::collections::HashMap;
@@ -69,8 +70,9 @@ pub struct MeshPramEmulator {
     hash_epoch: u64,
     report: EmuReport,
     /// One persistent engine serves both routing phases (same mesh, same
-    /// discipline); recycled with `Engine::reset` per phase.
-    engine: Engine,
+    /// discipline); recycled with `reset` per phase. Serial or sharded
+    /// into row bands per [`EmulatorConfig::shards`].
+    engine: AnyEngine,
 }
 
 impl MeshPramEmulator {
@@ -91,12 +93,14 @@ impl MeshPramEmulator {
         };
         let seq = SeedSeq::new(cfg.seed);
         let hash = family.sample(&mut seq.child(0).rng());
-        let engine = Engine::new(
+        let engine = AnyEngine::with_partitioner(
             &mesh,
             SimConfig {
                 discipline: Discipline::FurthestFirst,
+                shards: cfg.shards,
                 ..Default::default()
             },
+            &RowBlock::new(n),
         );
         MeshPramEmulator {
             mesh,

@@ -27,7 +27,8 @@ use crate::memory::{ModuleArray, ModuleRequest};
 use lnpram_hash::{HashFamily, PolyHash};
 use lnpram_math::rng::SeedSeq;
 use lnpram_pram::model::{AccessMode, MemOp, PramProgram};
-use lnpram_simnet::{Engine, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_simnet::{Outbox, Packet, Protocol, SimConfig};
 use lnpram_topology::{Network, StarGraph};
 use rand::Rng;
 use std::collections::HashMap;
@@ -44,8 +45,10 @@ pub struct StarPramEmulator {
     hash_epoch: u64,
     report: EmuReport,
     /// One persistent engine serves both phases (the star is its own
-    /// reply network); recycled with `Engine::reset` per phase.
-    engine: Engine,
+    /// reply network); recycled with `reset` per phase. Serial or
+    /// sharded (greedy edge-cut — the star has no level/row structure)
+    /// per [`EmulatorConfig::shards`].
+    engine: AnyEngine,
 }
 
 impl StarPramEmulator {
@@ -63,12 +66,14 @@ impl StarPramEmulator {
         };
         let seq = SeedSeq::new(cfg.seed);
         let hash = family.sample(&mut seq.child(0).rng());
-        let engine = Engine::new(
+        let engine = AnyEngine::with_partitioner(
             &star,
             SimConfig {
                 discipline: cfg.discipline,
+                shards: cfg.shards,
                 ..Default::default()
             },
+            &GreedyEdgeCut,
         );
         StarPramEmulator {
             star,

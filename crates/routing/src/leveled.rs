@@ -17,7 +17,8 @@
 
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
-use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, LevelCut};
+use lnpram_simnet::{Metrics, Outbox, Packet, Protocol, SimConfig};
 use lnpram_topology::leveled::{Leveled, LeveledNet};
 use rand::Rng;
 
@@ -126,13 +127,16 @@ impl LeveledRunReport {
 /// simulation engine are built **once**, then any number of destination
 /// maps are routed through it. The Lemma 2.1 retry schedule and the trial
 /// sweeps re-route dozens of times per configuration; recycling the
-/// engine with [`Engine::reset`] replaces the per-attempt rebuild of all
-/// per-link queue state with a cheap counter wipe.
+/// engine with `reset` replaces the per-attempt rebuild of all per-link
+/// queue state with a cheap counter wipe. With `cfg.shards ≥ 2` the
+/// session routes on the partitioned lockstep engine (`lnpram-shard`,
+/// column bands cut by `LevelCut`) — outcomes are bit-identical to the
+/// serial engine by the sharded determinism contract.
 pub struct LeveledRoutingSession<L> {
     levels: usize,
     width: usize,
     net: LeveledNet<DoubledLeveled<L>>,
-    engine: Engine,
+    engine: AnyEngine,
 }
 
 impl<L: Leveled + Copy> LeveledRoutingSession<L> {
@@ -141,7 +145,7 @@ impl<L: Leveled + Copy> LeveledRoutingSession<L> {
         let levels = inner.levels();
         let width = inner.width();
         let net = LeveledNet::forward(DoubledLeveled::new(inner));
-        let engine = Engine::new(&net, cfg);
+        let engine = AnyEngine::with_partitioner(&net, cfg, &LevelCut::new(width));
         LeveledRoutingSession {
             levels,
             width,

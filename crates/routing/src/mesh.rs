@@ -22,7 +22,8 @@
 
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
-use lnpram_simnet::{Discipline, Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, RowBlock};
+use lnpram_simnet::{Discipline, Metrics, Outbox, Packet, Protocol, SimConfig};
 use lnpram_topology::mesh::Dir;
 use lnpram_topology::{Mesh, Network};
 use rand::Rng;
@@ -209,7 +210,8 @@ pub fn route_mesh_with_dests(
     cfg: SimConfig,
 ) -> MeshRunReport {
     assert_eq!(dests.len(), mesh.num_nodes());
-    let mut eng = Engine::new(&mesh, cfg);
+    // Serial or sharded (row bands) per `cfg.shards` — same outcome.
+    let mut eng = AnyEngine::with_partitioner(&mesh, cfg, &RowBlock::new(mesh.cols()));
     let mut rng = seq.child(1).rng();
     for (src, &dest) in dests.iter().enumerate() {
         let (r, c) = mesh.coords(src);

@@ -11,6 +11,7 @@
 
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
+use lnpram_shard::{AnyEngine, GreedyEdgeCut};
 use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
 use lnpram_topology::{Network, StarGraph};
 use rand::Rng;
@@ -94,7 +95,9 @@ pub fn route_star_with_dests(
     cfg: SimConfig,
 ) -> StarRunReport {
     assert_eq!(dests.len(), star.num_nodes());
-    let mut eng = Engine::new(&star, cfg);
+    // Serial or sharded (greedy edge-cut — the star has no level/row
+    // structure to align to) per `cfg.shards` — same outcome.
+    let mut eng = AnyEngine::with_partitioner(&star, cfg, &GreedyEdgeCut);
     let mut via_rng = seq.child(1).rng();
     for (src, &dest) in dests.iter().enumerate() {
         let via = via_rng.gen_range(0..star.num_nodes()) as u32;

@@ -62,6 +62,40 @@ pub fn many_one<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
     (0..n).map(|_| rng.gen_range(0..n)).collect()
 }
 
+/// Hot-spot many-one routing on **any** network node count (this used to
+/// exist only as mesh/PRAM-specific helpers): each of the `n` sources
+/// independently targets a uniformly random member of `hot` with
+/// probability `p_hot`, and a uniformly random node otherwise. With
+/// `p_hot = 0` this degrades to [`many_one`]; with `p_hot = 1` all
+/// traffic converges on the hot set — the router-level version of the
+/// CRCW hot-spot stressors.
+pub fn hot_spot<R: Rng + ?Sized>(n: usize, hot: &[usize], p_hot: f64, rng: &mut R) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&p_hot));
+    assert!(
+        !hot.is_empty() || p_hot == 0.0,
+        "hot set empty with p_hot > 0"
+    );
+    assert!(hot.iter().all(|&h| h < n), "hot node out of range");
+    (0..n)
+        .map(|_| {
+            if p_hot > 0.0 && rng.gen_bool(p_hot) {
+                hot[rng.gen_range(0..hot.len())]
+            } else {
+                rng.gen_range(0..n)
+            }
+        })
+        .collect()
+}
+
+/// The full broadcast/gather pattern on any node count: every source
+/// targets `root` (the degenerate hot spot, `p_hot = 1`, one hot node).
+/// This is the routing-layer shape of the paper's footnote-3 combining
+/// stressor — without combining it serialises at `root`'s in-links.
+pub fn broadcast(n: usize, root: usize) -> Vec<usize> {
+    assert!(root < n);
+    vec![root; n]
+}
+
 /// A locality-bounded permutation on a mesh: destinations are a permutation
 /// in which every packet travels Manhattan distance ≤ `d` (Theorem 3.3's
 /// premise). Built by tiling the mesh into `⌈d/2⌉ × ⌈d/2⌉` blocks and
@@ -205,6 +239,57 @@ mod tests {
         let mut rng = SeedSeq::new(4).rng();
         let dests = many_one(50, &mut rng);
         assert!(dests.iter().all(|&d| d < 50));
+    }
+
+    #[test]
+    fn hot_spot_load_shape_follows_p_hot() {
+        // Generic in n: use a star graph's node count (no mesh anywhere).
+        let n = lnpram_topology::StarGraph::new(5).num_nodes(); // 120
+        let hot = [3usize, 7];
+        let mut rng = SeedSeq::new(6).rng();
+        let mut hot_hits = 0usize;
+        let trials = 50usize;
+        for _ in 0..trials {
+            let dests = hot_spot(n, &hot, 0.75, &mut rng);
+            assert_eq!(dests.len(), n);
+            assert!(dests.iter().all(|&d| d < n));
+            hot_hits += dests.iter().filter(|d| hot.contains(d)).count();
+        }
+        // Expected fraction ≈ p_hot + (1 − p_hot)·|hot|/n ≈ 0.754.
+        let frac = hot_hits as f64 / (n * trials) as f64;
+        assert!(
+            (0.70..0.81).contains(&frac),
+            "hot fraction {frac:.3} far from 0.754"
+        );
+    }
+
+    #[test]
+    fn hot_spot_extremes() {
+        let mut rng = SeedSeq::new(7).rng();
+        // p_hot = 1: everything lands on the hot set.
+        let all_hot = hot_spot(64, &[5], 1.0, &mut rng);
+        assert_eq!(all_hot, broadcast(64, 5));
+        assert!(!is_permutation(&all_hot));
+        // p_hot = 0 with an empty hot set is plain many-one.
+        let none = hot_spot(64, &[], 0.0, &mut rng);
+        assert!(none.iter().all(|&d| d < 64));
+    }
+
+    #[test]
+    fn broadcast_is_single_target() {
+        let b = broadcast(10, 9);
+        assert_eq!(b.len(), 10);
+        assert!(b.iter().all(|&d| d == 9));
+        assert!(!is_permutation(&b));
+        // Degenerate single-node network: the identity "permutation".
+        assert!(is_permutation(&broadcast(1, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "hot node out of range")]
+    fn hot_spot_rejects_out_of_range_hot_node() {
+        let mut rng = SeedSeq::new(8).rng();
+        let _ = hot_spot(4, &[4], 0.5, &mut rng);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Runtime dispatch between the serial [`Engine`] and the
+//! [`ShardedEngine`], selected by [`SimConfig::shards`].
+//!
+//! Emulators and routing sessions build an [`AnyEngine`] instead of an
+//! `Engine`; `cfg.shards ≤ 1` keeps the single serial engine (zero
+//! overhead — the enum dispatch is per run, not per step), `≥ 2`
+//! switches to the partitioned lockstep path. Outcomes are
+//! bit-identical either way (the `ShardedEngine` determinism contract).
+
+use crate::partition::{GreedyEdgeCut, Partitioner};
+use crate::ShardedEngine;
+use lnpram_simnet::{Engine, Packet, Protocol, RunOutcome, SimConfig};
+use lnpram_topology::Network;
+
+/// Either a serial [`Engine`] or a [`ShardedEngine`], behind the
+/// inject/run/reset interface both share.
+pub enum AnyEngine {
+    /// The single-address-space engine (`cfg.shards ≤ 1`).
+    Serial(Engine),
+    /// The partitioned lockstep engine (`cfg.shards ≥ 2`).
+    Sharded(ShardedEngine),
+}
+
+impl AnyEngine {
+    /// Build per `cfg.shards` with the topology-agnostic
+    /// [`GreedyEdgeCut`] partitioner. Callers that know their topology
+    /// should prefer [`AnyEngine::with_partitioner`] with a structure-
+    /// aware strategy (`LevelCut`, `RowBlock`).
+    pub fn new<N: Network + ?Sized>(net: &N, cfg: SimConfig) -> Self {
+        Self::with_partitioner(net, cfg, &GreedyEdgeCut)
+    }
+
+    /// Build per `cfg.shards` with an explicit partitioning strategy.
+    pub fn with_partitioner<N, P>(net: &N, cfg: SimConfig, part: &P) -> Self
+    where
+        N: Network + ?Sized,
+        P: Partitioner + ?Sized,
+    {
+        if cfg.shards >= 2 {
+            AnyEngine::Sharded(ShardedEngine::new(net, cfg, part))
+        } else {
+            AnyEngine::Serial(Engine::new(net, cfg))
+        }
+    }
+
+    /// Is this the partitioned path?
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, AnyEngine::Sharded(_))
+    }
+
+    /// See [`Engine::reset`].
+    pub fn reset(&mut self) {
+        match self {
+            AnyEngine::Serial(e) => e.reset(),
+            AnyEngine::Sharded(e) => e.reset(),
+        }
+    }
+
+    /// See [`Engine::set_max_steps`].
+    pub fn set_max_steps(&mut self, max_steps: u32) {
+        match self {
+            AnyEngine::Serial(e) => e.set_max_steps(max_steps),
+            AnyEngine::Sharded(e) => e.set_max_steps(max_steps),
+        }
+    }
+
+    /// See [`Engine::inject`].
+    pub fn inject(&mut self, node: usize, pkt: Packet) {
+        match self {
+            AnyEngine::Serial(e) => e.inject(node, pkt),
+            AnyEngine::Sharded(e) => e.inject(node, pkt),
+        }
+    }
+
+    /// See [`Engine::run`].
+    pub fn run<P: Protocol>(&mut self, proto: &mut P) -> RunOutcome {
+        match self {
+            AnyEngine::Serial(e) => e.run(proto),
+            AnyEngine::Sharded(e) => e.run(proto),
+        }
+    }
+
+    /// See [`Engine::in_flight`].
+    pub fn in_flight(&self) -> usize {
+        match self {
+            AnyEngine::Serial(e) => e.in_flight(),
+            AnyEngine::Sharded(e) => e.in_flight(),
+        }
+    }
+
+    /// See [`Engine::drain_all`].
+    pub fn drain_all(&mut self) -> Vec<Packet> {
+        match self {
+            AnyEngine::Serial(e) => e.drain_all(),
+            AnyEngine::Sharded(e) => e.drain_all(),
+        }
+    }
+
+    /// See [`Engine::link_loads`].
+    pub fn link_loads(&self) -> Vec<u32> {
+        match self {
+            AnyEngine::Serial(e) => e.link_loads(),
+            AnyEngine::Sharded(e) => e.link_loads(),
+        }
+    }
+}

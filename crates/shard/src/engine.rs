@@ -1,0 +1,630 @@
+//! The lockstep sharded engine.
+//!
+//! [`ShardedEngine`] splits one network into `k` shards (a
+//! [`ShardPlan`] from a [`Partitioner`]) and simulates it with one
+//! [`Engine`] per shard, each owning the out-link queues of its nodes
+//! over the induced sub-CSR (remote link heads become out-degree-0
+//! ghost nodes). One **global step** is:
+//!
+//! 1. **Transmit (sharded)** — every shard engine runs its transmit
+//!    phase independently; with `threads > 1` the shards fan out over a
+//!    persistent [`WorkerPool`], one shard per worker. Each shard then
+//!    publishes its extractions in its boundary **mailbox**: the
+//!    engine's arrivals buffer, handed over zero-copy via
+//!    [`Engine::swap_arrivals`]. Mailbox capacity is bounded by the
+//!    shard's link count — at most one packet per link per step — and
+//!    preallocated.
+//! 2. **Exchange + process (central)** — the coordinator merges the `k`
+//!    mailboxes by **global link id** into the exact arrival order of
+//!    the serial engine. Contiguous partitions ([`crate::LevelCut`],
+//!    [`crate::RowBlock`]) own disjoint ascending link-id ranges, so no
+//!    merge is materialized at all: the process phase groups arrivals
+//!    **in place** through packed `(shard, index)` coordinates into the
+//!    mailboxes; only non-contiguous plans pay a k-way cursor merge. It
+//!    then drives the [`Protocol`] over destination nodes in ascending
+//!    id — precisely the serial engine's process phase. Protocol sends
+//!    are enqueued straight into the owning shard.
+//!
+//! # Determinism contract
+//!
+//! `ShardedEngine::run` is **bit-identical** to a single `Engine::run`
+//! over the whole network — same `RunOutcome` (steps, deliveries,
+//! latency histogram, queue high-water, queued-packet-steps, link
+//! loads), for any `Protocol`, any `Discipline`, any partition, and any
+//! `k`. This holds because the protocol is driven centrally in exactly
+//! the serial callback order: protocols keep cross-node state (Ranade
+//! combining tables, module batches) with **no adaptation** — node ids
+//! seen by the protocol are global ids. The property tests in this
+//! crate and `tests/sharded_equivalence.rs` pin the contract on random
+//! butterflies, stars and meshes.
+//!
+//! # Cost model
+//!
+//! Sharding pays a coordination tax — the lockstep rendezvous (when the
+//! pool is on) and the mailbox exchange — to buy transmit-phase
+//! parallelism and per-shard cache locality. The serial-coordinator
+//! path uses no atomics (`Mutex::get_mut`) and contiguous partitions
+//! exchange zero-copy (packets stay in the mailboxes until batch
+//! assembly — the same single copy the serial engine pays), so on one
+//! core the tax is a few percent; with multiple cores the transmit
+//! phase scales with `k`. See the README's sharding section for when
+//! sharding wins and loses.
+
+use crate::partition::{Partitioner, ShardPlan};
+use lnpram_simnet::worker::WorkerPool;
+use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig};
+use lnpram_topology::Network;
+use std::sync::Mutex;
+
+/// Chain terminator for the arrival-grouping scratch.
+const NIL: u32 = u32::MAX;
+
+/// Packed arrival coordinates: shard id in the top 4 bits, index into
+/// that shard's mailbox in the low 28 (shard id [`MERGED`] = index into
+/// the k-way merge output instead). Lets the process phase fetch
+/// packets straight out of the mailboxes — no translation or
+/// concatenation pass for contiguous partitions.
+const COORD_BITS: u32 = 28;
+const COORD_MASK: u32 = (1 << COORD_BITS) - 1;
+/// Pseudo-shard id addressing the `merged` buffer (non-contiguous plans).
+const MERGED: u32 = 15;
+/// Shard-count cap imposed by the packed coordinates.
+pub const MAX_SHARDS: usize = 15;
+
+/// Minimum total in-flight packets (per shard) before the transmit
+/// phase is worth a worker-pool rendezvous; below this the shards are
+/// stepped inline on the coordinator thread (same results either way).
+const PARALLEL_MIN_PER_SHARD: usize = 64;
+
+/// The induced sub-network of one shard in flat CSR form: its owned
+/// nodes keep their global port order; links whose head lives in
+/// another shard point at out-degree-0 ghost nodes appended after the
+/// owned nodes (ghost targets are never enqueued on — they only keep
+/// the shard engine's CSR well-formed).
+struct SubNet {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    label: String,
+}
+
+impl Network for SubNet {
+    fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+    fn out_degree(&self, node: usize) -> usize {
+        (self.offsets[node + 1] - self.offsets[node]) as usize
+    }
+    fn neighbor(&self, node: usize, port: usize) -> usize {
+        self.targets[self.offsets[node] as usize + port] as usize
+    }
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// One shard: its engine over the induced sub-CSR plus the boundary
+/// mailbox buffer. The local → global link tables live on the
+/// coordinator (outside the mutex) so the exchange and process phases
+/// read them without touching shard state.
+struct Shard {
+    engine: Engine,
+    /// Boundary mailbox: this step's extractions as `(local link id,
+    /// packet)`, ascending — the engine's arrivals buffer, swapped out
+    /// zero-copy. Bounded by the shard's link count.
+    buf: Vec<(u32, Packet)>,
+}
+
+impl Shard {
+    /// Transmit phase of one global step: extract packets from this
+    /// shard's active links and publish them in the mailbox. Runs on a
+    /// pool worker in parallel mode.
+    fn transmit(&mut self) {
+        self.engine.step_transmit();
+        self.engine.swap_arrivals(&mut self.buf);
+    }
+}
+
+/// A partitioned simulator: `k` shard engines stepped in lockstep with
+/// deterministic boundary exchange. Drop-in equivalent of [`Engine`]
+/// for the inject/run/reset workflow (see the module docs for the
+/// determinism contract).
+pub struct ShardedEngine {
+    cfg: SimConfig,
+    k: usize,
+    num_nodes: usize,
+    num_links: usize,
+    /// Global node → packed owner: shard id in the top 4 bits, local
+    /// node id within that shard in the low 28 (one cache line touched
+    /// per ownership lookup instead of two).
+    node_owner: Vec<u32>,
+    /// Global link id → global head node (the coordinator's view of the
+    /// whole CSR, used to group merged arrivals by destination).
+    link_head: Vec<u32>,
+    /// Per shard: local link id → global link id (strictly increasing).
+    shard_link_global: Vec<Vec<u32>>,
+    /// Per shard: local link id → global head node.
+    shard_link_head: Vec<Vec<u32>>,
+    /// Shard ids are ascending node ranges (contiguous partition), so
+    /// link-id ranges are disjoint and the mailbox merge is one
+    /// concatenation pass.
+    ordered: bool,
+    shards: Vec<Mutex<Shard>>,
+    workers: Option<WorkerPool>,
+    pending: Vec<(usize, Packet)>,
+    /// Packets currently queued across all shards.
+    in_flight: usize,
+    metrics: Metrics,
+    // --- reusable per-step scratch (mirrors `Engine`'s process phase) ---
+    /// K-way merge output `(global link id, packet)` — only used for
+    /// non-contiguous plans; contiguous ones group straight off the
+    /// mailboxes.
+    merged: Vec<(u32, Packet)>,
+    /// Mailbox cursors of the k-way merge (non-contiguous plans only).
+    cursors: Vec<usize>,
+    /// Per-arrival chain entries `(packed coordinate, next)` bucketed by
+    /// destination node — the sharded analogue of the serial engine's
+    /// `arrival_next` chains, pointing into the mailboxes in place.
+    chain: Vec<(u32, u32)>,
+    node_head: Vec<u32>,
+    node_tail: Vec<u32>,
+    touched: Vec<u32>,
+    batch: Vec<Packet>,
+}
+
+impl ShardedEngine {
+    /// Partition `net` into `cfg.shards` shards with `part` — clamped
+    /// to `1..=`[`MAX_SHARDS`] (the packed-coordinate cap) — and build
+    /// one engine per shard. The per-shard engines always run their own
+    /// transmit serially (shard-level fan-out replaces link-level
+    /// fan-out); `cfg.threads > 1` enables the worker pool across
+    /// shards. Explicit plans via [`ShardedEngine::with_plan`] are not
+    /// clamped and assert the cap instead.
+    pub fn new<N, P>(net: &N, cfg: SimConfig, part: &P) -> Self
+    where
+        N: Network + ?Sized,
+        P: Partitioner + ?Sized,
+    {
+        let k = cfg.shards.clamp(1, MAX_SHARDS);
+        let plan = part.partition(net, k);
+        Self::with_plan(net, cfg, plan)
+    }
+
+    /// Build from an explicit [`ShardPlan`] (must cover `net` exactly).
+    pub fn with_plan<N: Network + ?Sized>(net: &N, cfg: SimConfig, plan: ShardPlan) -> Self {
+        let n = net.num_nodes();
+        assert_eq!(plan.num_nodes(), n, "plan does not cover the network");
+        let k = plan.shards();
+        assert!(
+            k <= MAX_SHARDS,
+            "shard count {k} exceeds MAX_SHARDS ({MAX_SHARDS}) — the packed \
+             arrival coordinates reserve 4 bits for the shard id"
+        );
+        // Global CSR: link-id offsets and head nodes of every link.
+        let mut link_offset = Vec::with_capacity(n + 1);
+        link_offset.push(0u32);
+        let mut link_head = Vec::new();
+        for v in 0..n {
+            for p in 0..net.out_degree(v) {
+                link_head.push(net.neighbor(v, p) as u32);
+            }
+            link_offset.push(link_head.len() as u32);
+        }
+        let num_links = link_head.len();
+        // Local node ids: dense per shard, ascending in global id.
+        let mut node_local = vec![0u32; n];
+        let mut owned_count = vec![0u32; k];
+        let mut shard_links = vec![0u32; k];
+        for v in 0..n {
+            let s = plan.shard_of(v);
+            node_local[v] = owned_count[s];
+            owned_count[s] += 1;
+            shard_links[s] += link_offset[v + 1] - link_offset[v];
+        }
+        // Hard caps, checked once at construction: the packed coordinates
+        // reserve 28 bits for in-shard indices, so silent aliasing in
+        // release builds is impossible past them.
+        for s in 0..k {
+            assert!(
+                owned_count[s] <= COORD_MASK && shard_links[s] <= COORD_MASK,
+                "shard {s} exceeds 2^28 nodes or links — the packed arrival \
+                 coordinates cannot address it"
+            );
+        }
+        let ordered = plan.node_shard().windows(2).all(|w| w[0] <= w[1]);
+        let node_owner: Vec<u32> = (0..n)
+            .map(|v| ((plan.shard_of(v) as u32) << COORD_BITS) | node_local[v])
+            .collect();
+        let shard_cfg = SimConfig {
+            discipline: cfg.discipline,
+            max_steps: u32::MAX,
+            parallel_threshold: usize::MAX,
+            threads: 1,
+            record_link_loads: false,
+            shards: 0,
+        };
+        let mut shards = Vec::with_capacity(k);
+        let mut shard_link_global = Vec::with_capacity(k);
+        let mut shard_link_head = Vec::with_capacity(k);
+        for s in 0..k {
+            let links = shard_links[s] as usize;
+            let mut offsets = Vec::with_capacity(owned_count[s] as usize + 1);
+            offsets.push(0u32);
+            let mut targets = Vec::with_capacity(links);
+            let mut link_global = Vec::with_capacity(links);
+            let mut lheads = Vec::with_capacity(links);
+            // Ghost ids for remote heads, assigned in first-reference
+            // order (NIL = not yet seen).
+            let mut ghost_of = vec![NIL; n];
+            let mut ghosts = 0u32;
+            for v in (0..n).filter(|&v| plan.shard_of(v) == s) {
+                for p in 0..net.out_degree(v) {
+                    let w = net.neighbor(v, p);
+                    let target = if plan.shard_of(w) == s {
+                        node_local[w]
+                    } else if ghost_of[w] != NIL {
+                        ghost_of[w]
+                    } else {
+                        ghosts += 1;
+                        ghost_of[w] = owned_count[s] + ghosts - 1;
+                        ghost_of[w]
+                    };
+                    targets.push(target);
+                    link_global.push(link_offset[v] + p as u32);
+                    lheads.push(w as u32);
+                }
+                offsets.push(targets.len() as u32);
+            }
+            offsets.extend(std::iter::repeat_n(targets.len() as u32, ghosts as usize));
+            let sub = SubNet {
+                offsets,
+                targets,
+                label: format!("{}/shard{}of{}", net.name(), s, k),
+            };
+            shards.push(Mutex::new(Shard {
+                engine: Engine::new(&sub, shard_cfg.clone()),
+                buf: Vec::with_capacity(links),
+            }));
+            shard_link_global.push(link_global);
+            shard_link_head.push(lheads);
+        }
+        ShardedEngine {
+            cfg,
+            k,
+            num_nodes: n,
+            num_links,
+            node_owner,
+            link_head,
+            shard_link_global,
+            shard_link_head,
+            ordered,
+            shards,
+            workers: None,
+            pending: Vec::new(),
+            in_flight: 0,
+            metrics: Metrics::default(),
+            merged: Vec::new(),
+            cursors: vec![0; k],
+            chain: Vec::new(),
+            node_head: vec![NIL; n],
+            node_tail: vec![NIL; n],
+            touched: Vec::new(),
+            batch: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes in the simulated network.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Override the global step budget (mirrors [`Engine::set_max_steps`]).
+    pub fn set_max_steps(&mut self, max_steps: u32) {
+        self.cfg.max_steps = max_steps;
+    }
+
+    /// Exclusive access to shard `s` — no lock traffic; the coordinator
+    /// holds `&mut self` everywhere outside the pool job.
+    fn shard_mut(&mut self, s: usize) -> &mut Shard {
+        self.shards[s].get_mut().expect("shard mutex")
+    }
+
+    /// Restore the just-built state, keeping every allocation (shard
+    /// arenas, mailboxes, scratch, worker pool) warm — the sharded
+    /// counterpart of [`Engine::reset`].
+    pub fn reset(&mut self) {
+        for s in 0..self.k {
+            self.shard_mut(s).engine.reset();
+        }
+        self.pending.clear();
+        self.in_flight = 0;
+        self.metrics = Metrics::default();
+    }
+
+    /// Schedule `pkt` for injection at `node` before the first step.
+    pub fn inject(&mut self, node: usize, pkt: Packet) {
+        debug_assert!(node < self.num_nodes);
+        self.pending.push((node, pkt));
+    }
+
+    /// Packets still queued across all shards.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Per-link traversal counts in **global** link-id order, assembled
+    /// from the shard engines (mirrors [`Engine::link_loads`]).
+    pub fn link_loads(&self) -> Vec<u32> {
+        let mut loads = vec![0u32; self.num_links];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().expect("shard mutex");
+            let shard_loads = shard.engine.link_loads();
+            for (local, &global) in self.shard_link_global[s].iter().enumerate() {
+                loads[global as usize] = shard_loads[local];
+            }
+        }
+        loads
+    }
+
+    /// Drain every shard queue, returning the stranded packets in global
+    /// link order (links ascending, packets of one link in arrival
+    /// order) — exactly the order [`Engine::drain_all`] produces.
+    pub fn drain_all(&mut self) -> Vec<Packet> {
+        let mut tagged: Vec<(u32, usize, Packet)> = Vec::new();
+        for s in 0..self.k {
+            let drained = self.shard_mut(s).engine.drain_all_tagged();
+            for (i, (local, pkt)) in drained.into_iter().enumerate() {
+                tagged.push((self.shard_link_global[s][local as usize], i, pkt));
+            }
+        }
+        // Links are owned by exactly one shard, so sorting by (global
+        // link, within-shard position) reproduces the serial drain order.
+        tagged.sort_unstable_by_key(|&(link, i, _)| (link, i));
+        self.in_flight = 0;
+        tagged.into_iter().map(|(_, _, pkt)| pkt).collect()
+    }
+
+    /// Run the protocol until all queues drain or `max_steps` elapse —
+    /// the lockstep counterpart of [`Engine::run`], bit-identical to it
+    /// on the whole network.
+    pub fn run<P: Protocol>(&mut self, proto: &mut P) -> RunOutcome {
+        let mut out = Outbox::default();
+
+        // Step 0: process injections in order (drained in place).
+        let pending = std::mem::take(&mut self.pending);
+        for &(node, pkt) in &pending {
+            proto.on_packet(node, pkt, 0, &mut out);
+            self.apply_outbox(node, &mut out, 0);
+        }
+        self.pending = pending;
+        self.pending.clear();
+        self.finish_step();
+        proto.on_step_end(0);
+
+        let mut step: u32 = 0;
+        while self.in_flight > 0 {
+            if step >= self.cfg.max_steps {
+                return RunOutcome {
+                    metrics: self.take_metrics(step),
+                    completed: false,
+                };
+            }
+            step += 1;
+            self.transmit_all();
+            if !self.ordered {
+                self.merge_mailboxes();
+            }
+            self.process_arrivals(proto, step, &mut out);
+            proto.on_step_end(step);
+            self.finish_step();
+            self.metrics.queued_packet_steps += self.in_flight as u64;
+        }
+
+        RunOutcome {
+            metrics: self.take_metrics(step),
+            completed: true,
+        }
+    }
+
+    /// Transmit phase across all shards — over the worker pool (one
+    /// shard per worker) when configured and worthwhile, inline
+    /// otherwise. Both paths produce identical mailboxes: shards do not
+    /// interact during transmit.
+    fn transmit_all(&mut self) {
+        let parallel =
+            self.cfg.threads > 1 && self.k > 1 && self.in_flight >= PARALLEL_MIN_PER_SHARD * self.k;
+        if parallel {
+            let pool = self
+                .workers
+                .get_or_insert_with(|| WorkerPool::new(self.k.min(self.cfg.threads)));
+            let shards = &self.shards;
+            let workers = pool.threads();
+            pool.run(&move |w| {
+                // Round-robin shards over workers (k == workers in the
+                // common one-shard-per-worker setup).
+                let mut s = w;
+                while s < shards.len() {
+                    shards[s].lock().expect("shard mutex").transmit();
+                    s += workers;
+                }
+            });
+        } else {
+            for s in 0..self.k {
+                self.shard_mut(s).transmit();
+            }
+        }
+    }
+
+    /// Deterministic boundary exchange for **non-contiguous** plans:
+    /// k-way cursor merge of the shard mailboxes by global link id into
+    /// `merged` — the serial engine's exact arrival order. Contiguous
+    /// plans skip this entirely: their mailboxes already concatenate in
+    /// global order, so [`ShardedEngine::process_arrivals`] groups
+    /// straight off them.
+    fn merge_mailboxes(&mut self) {
+        self.merged.clear();
+        self.cursors.fill(0);
+        let Self {
+            shards,
+            merged,
+            cursors,
+            shard_link_global,
+            ..
+        } = self;
+        loop {
+            let mut best_link = u32::MAX;
+            let mut best_s = usize::MAX;
+            for (s, shard) in shards.iter_mut().enumerate() {
+                let buf = &shard.get_mut().expect("shard mutex").buf;
+                if let Some(&(local, _)) = buf.get(cursors[s]) {
+                    let link = shard_link_global[s][local as usize];
+                    if link < best_link {
+                        best_link = link;
+                        best_s = s;
+                    }
+                }
+            }
+            if best_s == usize::MAX {
+                break;
+            }
+            let (_, pkt) = shards[best_s].get_mut().expect("shard mutex").buf[cursors[best_s]];
+            cursors[best_s] += 1;
+            merged.push((best_link, pkt));
+        }
+    }
+
+    /// Process phase: group this step's arrivals by destination node and
+    /// drive the protocol over nodes in ascending id — the serial
+    /// engine's exact callback sequence. Arrivals are read **in place**:
+    /// the bucket chains store packed `(shard, index)` coordinates into
+    /// the mailboxes (or into `merged` for non-contiguous plans), so the
+    /// contiguous path moves no packet until batch assembly — the same
+    /// single copy the serial engine pays.
+    fn process_arrivals<P: Protocol>(&mut self, proto: &mut P, step: u32, out: &mut Outbox) {
+        // Grouping pass over plain field borrows (no self methods).
+        let mut arrivals = 0usize;
+        {
+            let Self {
+                shards,
+                merged,
+                ordered,
+                link_head,
+                shard_link_head,
+                chain,
+                node_head,
+                node_tail,
+                touched,
+                ..
+            } = self;
+            chain.clear();
+            let mut bucket = |node: usize, packed: u32, chain: &mut Vec<(u32, u32)>| {
+                let e = chain.len() as u32;
+                chain.push((packed, NIL));
+                if node_head[node] == NIL {
+                    node_head[node] = e;
+                    touched.push(node as u32);
+                } else {
+                    chain[node_tail[node] as usize].1 = e;
+                }
+                node_tail[node] = e;
+            };
+            if *ordered {
+                // Shard mailboxes concatenate in global link order.
+                for (s, shard) in shards.iter_mut().enumerate() {
+                    let heads = &shard_link_head[s];
+                    let buf = &shard.get_mut().expect("shard mutex").buf;
+                    debug_assert!(buf.len() <= COORD_MASK as usize);
+                    for (idx, &(local, _)) in buf.iter().enumerate() {
+                        bucket(
+                            heads[local as usize] as usize,
+                            ((s as u32) << COORD_BITS) | idx as u32,
+                            chain,
+                        );
+                    }
+                    arrivals += buf.len();
+                }
+            } else {
+                debug_assert!(merged.len() <= COORD_MASK as usize);
+                for (idx, &(link, _)) in merged.iter().enumerate() {
+                    bucket(
+                        link_head[link as usize] as usize,
+                        (MERGED << COORD_BITS) | idx as u32,
+                        chain,
+                    );
+                }
+                arrivals = merged.len();
+            }
+            touched.sort_unstable();
+        }
+        self.in_flight -= arrivals;
+        for t in 0..self.touched.len() {
+            let node = self.touched[t] as usize;
+            self.batch.clear();
+            let mut e = self.node_head[node];
+            while e != NIL {
+                let (packed, next) = self.chain[e as usize];
+                let s = packed >> COORD_BITS;
+                let idx = (packed & COORD_MASK) as usize;
+                let pkt = if s == MERGED {
+                    self.merged[idx].1
+                } else {
+                    self.shards[s as usize].get_mut().expect("shard mutex").buf[idx].1
+                };
+                self.batch.push(pkt);
+                e = next;
+            }
+            self.node_head[node] = NIL;
+            let batch = std::mem::take(&mut self.batch);
+            proto.on_arrivals(node, &batch, step, out);
+            self.batch = batch;
+            self.apply_outbox(node, out, step);
+        }
+        self.touched.clear();
+    }
+
+    /// Apply one callback's outbox: route every send into the shard
+    /// owning `node` (sends always leave on the processing node's own
+    /// ports) and record deliveries centrally.
+    fn apply_outbox(&mut self, node: usize, out: &mut Outbox, step: u32) {
+        if !out.sends().is_empty() {
+            let owner = self.node_owner[node];
+            let local = (owner & COORD_MASK) as usize;
+            let shard = self.shards[(owner >> COORD_BITS) as usize]
+                .get_mut()
+                .expect("shard mutex");
+            for &(port, pkt) in out.sends() {
+                shard.engine.enqueue_direct(local, port, pkt);
+            }
+            self.in_flight += out.sends().len();
+        }
+        for pkt in out.delivered() {
+            self.metrics.on_delivery(step, pkt.injected_at);
+        }
+        out.clear();
+    }
+
+    /// Close the step on every shard (restore active-link order).
+    fn finish_step(&mut self) {
+        for s in 0..self.k {
+            self.shard_mut(s).engine.step_finish();
+        }
+    }
+
+    /// Finalise and move the accumulated metrics out, assembling the
+    /// cross-shard aggregates exactly like the serial engine does.
+    fn take_metrics(&mut self, steps: u32) -> Metrics {
+        self.metrics.steps = steps;
+        self.metrics.max_queue = (0..self.k)
+            .map(|s| self.shard_mut(s).engine.queue_high_water())
+            .max()
+            .unwrap_or(0);
+        if self.cfg.record_link_loads {
+            self.metrics.link_loads = self.link_loads();
+        }
+        std::mem::take(&mut self.metrics)
+    }
+}

@@ -1,0 +1,608 @@
+//! # lnpram-shard
+//!
+//! The sharded simulation subsystem: split a
+//! [`Network`](lnpram_topology::Network) into `k` partitions, give each
+//! partition its own [`Engine`](lnpram_simnet::Engine) over its induced
+//! sub-CSR, and step all shards in lockstep per global step, exchanging
+//! cross-shard packets through fixed-capacity boundary mailboxes merged
+//! in a deterministic order (global link id, then injection order).
+//!
+//! The subsystem's invariant — pinned by property tests over random
+//! butterflies, stars and meshes — is that [`ShardedEngine::run`] is
+//! **bit-identical** to a single serial `Engine::run` on the whole
+//! network: same metrics, same deliveries, same link loads, for any
+//! protocol and any partition. Sharding is therefore purely a scaling
+//! lever: it trades a small coordination tax (mailbox merge, lockstep
+//! barrier) for transmit-phase parallelism across shards and is the
+//! substrate later scaling work (async shard stepping, cross-process
+//! shards, multi-tenant batching) builds on.
+//!
+//! * [`partition`] — the [`Partitioner`] strategies ([`LevelCut`] for
+//!   leveled networks, [`RowBlock`] for meshes, [`GreedyEdgeCut`] for
+//!   anything) and cut-quality metrics.
+//! * [`engine`] — the [`ShardedEngine`] lockstep coordinator.
+//! * [`any`] — [`AnyEngine`], the serial/sharded dispatch behind
+//!   [`SimConfig::shards`](lnpram_simnet::SimConfig) that the emulators
+//!   and routing sessions construct.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod any;
+pub mod engine;
+pub mod partition;
+
+pub use any::AnyEngine;
+pub use engine::ShardedEngine;
+pub use partition::{CutStats, GreedyEdgeCut, LevelCut, Partitioner, RowBlock, ShardPlan};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnpram_math::rng::splitmix64;
+    use lnpram_simnet::{Discipline, Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+    use lnpram_topology::leveled::{Leveled, LeveledNet, RadixButterfly};
+    use lnpram_topology::{Mesh, Network, StarGraph};
+
+    /// Observable fingerprint of a run: every `RunOutcome` field,
+    /// including the latency histogram buckets and per-link loads.
+    type Fingerprint = (bool, usize, u32, usize, u64, u32, Vec<(u64, u64)>, Vec<u32>);
+
+    fn fingerprint(completed: bool, m: &Metrics) -> Fingerprint {
+        (
+            completed,
+            m.delivered,
+            m.routing_time,
+            m.max_queue,
+            m.queued_packet_steps,
+            m.steps,
+            m.latency.buckets().collect(),
+            m.link_loads.clone(),
+        )
+    }
+
+    fn cfg_serial() -> SimConfig {
+        SimConfig {
+            record_link_loads: true,
+            ..Default::default()
+        }
+    }
+
+    fn cfg_sharded(k: usize) -> SimConfig {
+        SimConfig {
+            record_link_loads: true,
+            shards: k,
+            ..Default::default()
+        }
+    }
+
+    /// Greedy dimension-order mesh router (same as the engine's test
+    /// router — cross-shard traffic in every direction).
+    struct GreedyMesh {
+        mesh: Mesh,
+    }
+
+    impl Protocol for GreedyMesh {
+        fn on_packet(&mut self, node: usize, pkt: Packet, _step: u32, out: &mut Outbox) {
+            if node == pkt.dest as usize {
+                out.deliver(pkt);
+                return;
+            }
+            use lnpram_topology::mesh::Dir;
+            let (r, c) = self.mesh.coords(node);
+            let (dr, dc) = self.mesh.coords(pkt.dest as usize);
+            let dir = if c < dc {
+                Dir::East
+            } else if c > dc {
+                Dir::West
+            } else if r < dr {
+                Dir::South
+            } else {
+                Dir::North
+            };
+            let port = self.mesh.port_of_dir(node, dir).expect("valid dir");
+            out.send(port, pkt);
+        }
+    }
+
+    /// Oblivious butterfly router over the forward `LeveledNet` view:
+    /// follow the unique path to `pkt.dest`, deliver at the last column.
+    struct ButterflyRouter {
+        net: LeveledNet<RadixButterfly>,
+    }
+
+    impl Protocol for ButterflyRouter {
+        fn on_packet(&mut self, node: usize, pkt: Packet, _step: u32, out: &mut Outbox) {
+            let lv = self.net.leveled();
+            let (col, idx) = self.net.split(node);
+            if col == lv.levels() {
+                out.deliver(pkt);
+                return;
+            }
+            out.send(lv.digit_toward(col, idx, pkt.dest as usize), pkt);
+        }
+    }
+
+    /// Canonical-route star router (topology-provided oblivious paths).
+    struct StarRouter {
+        star: StarGraph,
+    }
+
+    impl Protocol for StarRouter {
+        fn on_packet(&mut self, node: usize, pkt: Packet, _step: u32, out: &mut Outbox) {
+            match self.star.canonical_next_port(node, pkt.dest as usize) {
+                None => out.deliver(pkt),
+                Some(port) => out.send(port, pkt),
+            }
+        }
+    }
+
+    fn run_serial<N, P>(
+        net: &N,
+        cfg: SimConfig,
+        inject: &[(usize, Packet)],
+        proto: &mut P,
+    ) -> Fingerprint
+    where
+        N: Network + ?Sized,
+        P: Protocol,
+    {
+        let mut eng = Engine::new(net, cfg);
+        for &(node, pkt) in inject {
+            eng.inject(node, pkt);
+        }
+        let out = eng.run(proto);
+        fingerprint(out.completed, &out.metrics)
+    }
+
+    fn run_sharded<N, P, Q>(
+        net: &N,
+        cfg: SimConfig,
+        part: &Q,
+        inject: &[(usize, Packet)],
+        proto: &mut P,
+    ) -> Fingerprint
+    where
+        N: Network + ?Sized,
+        P: Protocol,
+        Q: Partitioner,
+    {
+        let mut eng = ShardedEngine::new(net, cfg, part);
+        for &(node, pkt) in inject {
+            eng.inject(node, pkt);
+        }
+        let out = eng.run(proto);
+        fingerprint(out.completed, &out.metrics)
+    }
+
+    #[test]
+    fn sharded_equals_serial_on_mesh_all_k() {
+        let mesh = Mesh::new(6, 7);
+        let n = mesh.num_nodes();
+        let mut state = 0xC0FFEE_u64;
+        let inject: Vec<(usize, Packet)> = (0..n)
+            .map(|src| {
+                let dest = (splitmix64(&mut state) as usize) % n;
+                (src, Packet::new(src as u32, src as u32, dest as u32))
+            })
+            .collect();
+        let serial = run_serial(&mesh, cfg_serial(), &inject, &mut GreedyMesh { mesh });
+        for k in [1usize, 2, 4, 7] {
+            let sharded = run_sharded(
+                &mesh,
+                cfg_sharded(k),
+                &RowBlock::new(mesh.cols()),
+                &inject,
+                &mut GreedyMesh { mesh },
+            );
+            assert_eq!(serial, sharded, "K={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_equals_serial_on_star_with_greedy_partition() {
+        let star_n = 4usize;
+        let star = StarGraph::new(star_n); // 24 nodes
+        let n = star.num_nodes();
+        let inject: Vec<(usize, Packet)> = (0..n)
+            .map(|src| {
+                let dest = (src * 7 + 3) % n;
+                (src, Packet::new(src as u32, src as u32, dest as u32))
+            })
+            .collect();
+        let serial = run_serial(
+            &star,
+            cfg_serial(),
+            &inject,
+            &mut StarRouter {
+                star: StarGraph::new(star_n),
+            },
+        );
+        for k in [2usize, 4, 7] {
+            let sharded = run_sharded(
+                &star,
+                cfg_sharded(k),
+                &GreedyEdgeCut,
+                &inject,
+                &mut StarRouter {
+                    star: StarGraph::new(star_n),
+                },
+            );
+            assert_eq!(serial, sharded, "K={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_equals_serial_on_butterfly_h_relation() {
+        let inner = RadixButterfly::new(2, 5); // 32 wide
+        let net = LeveledNet::forward(inner);
+        let width = inner.width();
+        let mut state = 0xFEED_u64;
+        let mut inject = Vec::new();
+        let mut id = 0u32;
+        for src in 0..width {
+            for _ in 0..3 {
+                let dest = (splitmix64(&mut state) as usize) % width;
+                inject.push((
+                    net.node_id(0, src),
+                    Packet::new(id, src as u32, dest as u32),
+                ));
+                id += 1;
+            }
+        }
+        let serial = run_serial(
+            &net,
+            cfg_serial(),
+            &inject,
+            &mut ButterflyRouter {
+                net: LeveledNet::forward(inner),
+            },
+        );
+        for k in [2usize, 4, 7] {
+            let sharded = run_sharded(
+                &net,
+                cfg_sharded(k),
+                &LevelCut::new(width),
+                &inject,
+                &mut ButterflyRouter {
+                    net: LeveledNet::forward(inner),
+                },
+            );
+            assert_eq!(serial, sharded, "K={k}");
+        }
+    }
+
+    #[test]
+    fn incomplete_runs_match_and_drain_in_same_order() {
+        // Tight budget: both paths abort identically and drain the same
+        // stranded packets in the same global link order.
+        let mesh = Mesh::square(6);
+        let n = mesh.num_nodes();
+        let cfg = |shards| SimConfig {
+            max_steps: 3,
+            record_link_loads: true,
+            shards,
+            ..Default::default()
+        };
+        let inject: Vec<(usize, Packet)> = (0..n)
+            .map(|src| {
+                let dest = (src * 29 + 1) % n;
+                (src, Packet::new(src as u32, src as u32, dest as u32))
+            })
+            .collect();
+        let mut serial = Engine::new(&mesh, cfg(0));
+        let mut sharded = ShardedEngine::new(&mesh, cfg(4), &RowBlock::new(6));
+        for &(node, pkt) in &inject {
+            serial.inject(node, pkt);
+            sharded.inject(node, pkt);
+        }
+        let a = serial.run(&mut GreedyMesh { mesh });
+        let b = sharded.run(&mut GreedyMesh { mesh });
+        assert!(!a.completed && !b.completed);
+        assert_eq!(
+            fingerprint(a.completed, &a.metrics),
+            fingerprint(b.completed, &b.metrics)
+        );
+        assert_eq!(serial.in_flight(), sharded.in_flight());
+        assert_eq!(serial.drain_all(), sharded.drain_all());
+        assert_eq!(serial.in_flight(), 0);
+        assert_eq!(sharded.in_flight(), 0);
+    }
+
+    #[test]
+    fn furthest_first_discipline_matches() {
+        let mesh = Mesh::square(5);
+        let n = mesh.num_nodes();
+        let cfg = |shards| SimConfig {
+            discipline: Discipline::FurthestFirst,
+            record_link_loads: true,
+            shards,
+            ..Default::default()
+        };
+        let mut state = 7_u64;
+        let inject: Vec<(usize, Packet)> = (0..n)
+            .flat_map(|src| {
+                let d1 = (splitmix64(&mut state) as usize) % n;
+                let d2 = (splitmix64(&mut state) as usize) % n;
+                [
+                    (
+                        src,
+                        Packet::new((2 * src) as u32, src as u32, d1 as u32)
+                            .with_priority((splitmix64(&mut state) % 5) as u32),
+                    ),
+                    (
+                        src,
+                        Packet::new((2 * src + 1) as u32, src as u32, d2 as u32)
+                            .with_priority((splitmix64(&mut state) % 5) as u32),
+                    ),
+                ]
+            })
+            .collect();
+        let serial = run_serial(&mesh, cfg(0), &inject, &mut GreedyMesh { mesh });
+        let sharded = run_sharded(
+            &mesh,
+            cfg(3),
+            &RowBlock::new(5),
+            &inject,
+            &mut GreedyMesh { mesh },
+        );
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn reset_then_rerun_matches_fresh_sharded_engine() {
+        let mesh = Mesh::square(6);
+        let n = mesh.num_nodes();
+        let part = RowBlock::new(6);
+        let mut reused = ShardedEngine::new(&mesh, cfg_sharded(4), &part);
+        for round in 0..4usize {
+            reused.reset();
+            let mut fresh = ShardedEngine::new(&mesh, cfg_sharded(4), &part);
+            let mut state = round as u64 ^ 0xBEEF;
+            for src in 0..n {
+                let dest = (splitmix64(&mut state) as usize) % n;
+                let pkt = Packet::new(src as u32, src as u32, dest as u32);
+                reused.inject(src, pkt);
+                fresh.inject(src, pkt);
+            }
+            let a = reused.run(&mut GreedyMesh { mesh });
+            let b = fresh.run(&mut GreedyMesh { mesh });
+            assert_eq!(
+                fingerprint(a.completed, &a.metrics),
+                fingerprint(b.completed, &b.metrics),
+                "round {round}"
+            );
+            assert_eq!(reused.link_loads(), fresh.link_loads());
+        }
+    }
+
+    #[test]
+    fn any_engine_dispatches_on_shards_knob() {
+        let mesh = Mesh::square(4);
+        let serial = AnyEngine::new(&mesh, SimConfig::default());
+        assert!(!serial.is_sharded());
+        let sharded = AnyEngine::new(
+            &mesh,
+            SimConfig {
+                shards: 3,
+                ..Default::default()
+            },
+        );
+        assert!(sharded.is_sharded());
+    }
+
+    #[test]
+    fn any_engine_serial_and_sharded_agree() {
+        let mesh = Mesh::square(6);
+        let n = mesh.num_nodes();
+        let run = |shards: usize| {
+            let cfg = SimConfig {
+                record_link_loads: true,
+                shards,
+                ..Default::default()
+            };
+            let mut eng = AnyEngine::with_partitioner(&mesh, cfg, &RowBlock::new(6));
+            for src in 0..n {
+                let dest = (src * 31 + 17) % n;
+                eng.inject(src, Packet::new(src as u32, src as u32, dest as u32));
+            }
+            let out = eng.run(&mut GreedyMesh { mesh });
+            (fingerprint(out.completed, &out.metrics), eng.link_loads())
+        };
+        assert_eq!(run(0), run(4));
+    }
+
+    #[test]
+    fn worker_pool_path_matches_inline_path() {
+        // Force the pool on (threads > 1) vs off (threads = 1): the
+        // transmit fan-out must not change any observable.
+        let mesh = Mesh::square(8);
+        let n = mesh.num_nodes();
+        let run = |threads: usize| {
+            let cfg = SimConfig {
+                threads,
+                record_link_loads: true,
+                shards: 4,
+                ..Default::default()
+            };
+            let mut eng = ShardedEngine::new(&mesh, cfg, &RowBlock::new(8));
+            let mut state = 99u64;
+            for src in 0..n {
+                for j in 0..4 {
+                    let dest = (splitmix64(&mut state) as usize) % n;
+                    eng.inject(
+                        src,
+                        Packet::new((4 * src + j) as u32, src as u32, dest as u32),
+                    );
+                }
+            }
+            let out = eng.run(&mut GreedyMesh { mesh });
+            fingerprint(out.completed, &out.metrics)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn stateful_protocol_sees_serial_callback_order() {
+        // A protocol that hashes its full callback sequence: the sharded
+        // path must replay the serial order exactly (this is what keeps
+        // Ranade-style combining correct with no protocol adaptation).
+        struct Tracing {
+            mesh: Mesh,
+            hash: u64,
+        }
+        impl Protocol for Tracing {
+            fn on_packet(&mut self, node: usize, pkt: Packet, step: u32, out: &mut Outbox) {
+                let mut x = self
+                    .hash
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((node as u64) << 32 | (pkt.id as u64) << 8 | step as u64);
+                self.hash = splitmix64(&mut x);
+                GreedyMesh { mesh: self.mesh }.on_packet(node, pkt, step, out);
+            }
+            fn on_step_end(&mut self, step: u32) {
+                self.hash = self.hash.rotate_left(7) ^ u64::from(step);
+            }
+        }
+        let mesh = Mesh::square(6);
+        let n = mesh.num_nodes();
+        let inject: Vec<(usize, Packet)> = (0..n)
+            .map(|src| {
+                (
+                    src,
+                    Packet::new(src as u32, src as u32, ((src * 13 + 5) % n) as u32),
+                )
+            })
+            .collect();
+        let mut a = Tracing { mesh, hash: 1 };
+        let mut b = Tracing { mesh, hash: 1 };
+        let fa = run_serial(&mesh, cfg_serial(), &inject, &mut a);
+        let fb = run_sharded(&mesh, cfg_sharded(4), &RowBlock::new(6), &inject, &mut b);
+        assert_eq!(fa, fb);
+        assert_eq!(a.hash, b.hash, "callback sequences diverged");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The tentpole pin: sharded(K) == serial for K ∈ {1,2,4,7}
+            /// on random meshes with random many-one workloads.
+            #[test]
+            fn prop_sharded_equals_serial_mesh(
+                seed: u64,
+                rows in 2usize..7,
+                cols in 2usize..7,
+                load in 1usize..3,
+            ) {
+                let mesh = Mesh::new(rows, cols);
+                let n = mesh.num_nodes();
+                let mut state = seed;
+                let mut inject = Vec::new();
+                let mut id = 0u32;
+                for src in 0..n {
+                    for _ in 0..load {
+                        let dest = (splitmix64(&mut state) as usize) % n;
+                        inject.push((src, Packet::new(id, src as u32, dest as u32)));
+                        id += 1;
+                    }
+                }
+                let serial = run_serial(&mesh, cfg_serial(), &inject, &mut GreedyMesh { mesh });
+                for k in [1usize, 2, 4, 7] {
+                    let sharded = run_sharded(
+                        &mesh,
+                        cfg_sharded(k),
+                        &RowBlock::new(mesh.cols()),
+                        &inject,
+                        &mut GreedyMesh { mesh },
+                    );
+                    prop_assert_eq!(&serial, &sharded, "K={}", k);
+                }
+            }
+
+            /// Sharded == serial on random butterflies under random
+            /// h-relations, for both level-cut and greedy partitions.
+            #[test]
+            fn prop_sharded_equals_serial_butterfly(
+                seed: u64,
+                dims in 2usize..5,
+                h in 1usize..4,
+                k in 2usize..6,
+            ) {
+                let inner = RadixButterfly::new(2, dims);
+                let net = LeveledNet::forward(inner);
+                let width = inner.width();
+                let mut state = seed;
+                let mut inject = Vec::new();
+                let mut id = 0u32;
+                for src in 0..width {
+                    for _ in 0..h {
+                        let dest = (splitmix64(&mut state) as usize) % width;
+                        inject.push((net.node_id(0, src), Packet::new(id, src as u32, dest as u32)));
+                        id += 1;
+                    }
+                }
+                let serial = run_serial(&net, cfg_serial(), &inject, &mut ButterflyRouter { net: LeveledNet::forward(inner) });
+                let level = run_sharded(
+                    &net, cfg_sharded(k), &LevelCut::new(width), &inject,
+                    &mut ButterflyRouter { net: LeveledNet::forward(inner) });
+                prop_assert_eq!(&serial, &level);
+                let greedy = run_sharded(
+                    &net, cfg_sharded(k), &GreedyEdgeCut, &inject,
+                    &mut ButterflyRouter { net: LeveledNet::forward(inner) });
+                prop_assert_eq!(&serial, &greedy);
+            }
+
+            /// Sharded == serial on random stars (permutation-ish
+            /// traffic over canonical routes).
+            #[test]
+            fn prop_sharded_equals_serial_star(seed: u64, star_n in 3usize..5, k in 2usize..6) {
+                let star = StarGraph::new(star_n);
+                let nodes = star.num_nodes();
+                let mut state = seed;
+                let inject: Vec<(usize, Packet)> = (0..nodes)
+                    .map(|src| {
+                        let dest = (splitmix64(&mut state) as usize) % nodes;
+                        (src, Packet::new(src as u32, src as u32, dest as u32))
+                    })
+                    .collect();
+                let serial = run_serial(&star, cfg_serial(), &inject, &mut StarRouter { star: StarGraph::new(star_n) });
+                let sharded = run_sharded(
+                    &star, cfg_sharded(k), &GreedyEdgeCut, &inject,
+                    &mut StarRouter { star: StarGraph::new(star_n) });
+                prop_assert_eq!(serial, sharded);
+            }
+
+            /// reset() + rerun on one ShardedEngine equals a fresh
+            /// ShardedEngine, for any workload and K.
+            #[test]
+            fn prop_sharded_reset_equals_fresh(seed: u64, side in 2usize..6, k in 2usize..6) {
+                let mesh = Mesh::square(side);
+                let n = mesh.num_nodes();
+                let part = RowBlock::new(side);
+                let mut reused = ShardedEngine::new(&mesh, cfg_sharded(k), &part);
+                for round in 0..3u64 {
+                    reused.reset();
+                    let mut fresh = ShardedEngine::new(&mesh, cfg_sharded(k), &part);
+                    let mut state = seed ^ round;
+                    for src in 0..n {
+                        let dest = (splitmix64(&mut state) as usize) % n;
+                        let pkt = Packet::new(src as u32, src as u32, dest as u32);
+                        reused.inject(src, pkt);
+                        fresh.inject(src, pkt);
+                    }
+                    let a = reused.run(&mut GreedyMesh { mesh });
+                    let b = fresh.run(&mut GreedyMesh { mesh });
+                    prop_assert_eq!(
+                        fingerprint(a.completed, &a.metrics),
+                        fingerprint(b.completed, &b.metrics)
+                    );
+                    prop_assert_eq!(reused.link_loads(), fresh.link_loads());
+                }
+            }
+        }
+    }
+}

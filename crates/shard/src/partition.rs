@@ -1,0 +1,425 @@
+//! Network partitioning: node → shard assignment strategies and cut
+//! quality metrics.
+//!
+//! A [`ShardPlan`] assigns every node of a [`Network`] to one of `k`
+//! shards. The shard owning a node owns that node's *out-link queues*;
+//! a directed link whose head lives in another shard is a **boundary
+//! link** — its packets cross shards through the mailbox exchange in
+//! [`crate::ShardedEngine`]. The quality of a plan is therefore the
+//! number of boundary (cut) links and the node balance, both reported
+//! by [`ShardPlan::cut_stats`].
+//!
+//! Three strategies cover the repo's topologies:
+//!
+//! * [`LevelCut`] — contiguous bands of columns for leveled networks
+//!   (node id = `column * width + idx`), so cuts fall only between
+//!   consecutive columns. On an ℓ-level network a packet crosses at
+//!   most `k − 1` boundaries over its whole route.
+//! * [`RowBlock`] — contiguous bands of rows for the row-major mesh;
+//!   only the vertical links between adjacent bands are cut.
+//! * [`GreedyEdgeCut`] — topology-agnostic greedy graph growing:
+//!   nodes are visited in BFS order and each joins the non-full shard
+//!   holding most of its already-placed neighbors. The fallback for
+//!   networks with no exploitable index structure (star graphs,
+//!   arbitrary [`Network`] implementations).
+
+use lnpram_topology::Network;
+
+/// A node → shard assignment for one network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    node_shard: Vec<u32>,
+    k: usize,
+}
+
+impl ShardPlan {
+    /// Wrap an explicit assignment. Panics if any entry is `≥ k` or
+    /// `k == 0`.
+    pub fn new(node_shard: Vec<u32>, k: usize) -> Self {
+        assert!(k >= 1, "a plan needs at least one shard");
+        assert!(
+            node_shard.iter().all(|&s| (s as usize) < k),
+            "shard id out of range"
+        );
+        ShardPlan { node_shard, k }
+    }
+
+    /// Balanced contiguous node ranges (no alignment): shard `s` owns
+    /// nodes `[s·n/k, (s+1)·n/k)`.
+    pub fn contiguous(n: usize, k: usize) -> Self {
+        Self::aligned(n, k, 1)
+    }
+
+    /// Contiguous ranges whose boundaries fall on multiples of `align`
+    /// (the last unit may be shorter when `align ∤ n`). Units are dealt
+    /// to shards as evenly as possible while staying contiguous.
+    pub fn aligned(n: usize, k: usize, align: usize) -> Self {
+        assert!(k >= 1 && align >= 1);
+        let units = n.div_ceil(align).max(1);
+        let mut node_shard = Vec::with_capacity(n);
+        for v in 0..n {
+            let unit = v / align;
+            node_shard.push((unit * k / units) as u32);
+        }
+        ShardPlan { node_shard, k }
+    }
+
+    /// Number of shards `k`.
+    pub fn shards(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes covered by the plan.
+    pub fn num_nodes(&self) -> usize {
+        self.node_shard.len()
+    }
+
+    /// Shard owning `node`.
+    pub fn shard_of(&self, node: usize) -> usize {
+        self.node_shard[node] as usize
+    }
+
+    /// The raw assignment, indexed by node id.
+    pub fn node_shard(&self) -> &[u32] {
+        &self.node_shard
+    }
+
+    /// Nodes per shard (empty shards are legal — `k` may exceed the
+    /// node count on tiny networks).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &s in &self.node_shard {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Measure the plan against the network it was built for.
+    pub fn cut_stats<N: Network + ?Sized>(&self, net: &N) -> CutStats {
+        assert_eq!(self.node_shard.len(), net.num_nodes(), "plan/network size");
+        let mut cut_links = 0usize;
+        let mut total_links = 0usize;
+        for v in 0..net.num_nodes() {
+            for p in 0..net.out_degree(v) {
+                total_links += 1;
+                if self.node_shard[net.neighbor(v, p)] != self.node_shard[v] {
+                    cut_links += 1;
+                }
+            }
+        }
+        CutStats {
+            shards: self.k,
+            node_counts: self.shard_sizes(),
+            cut_links,
+            total_links,
+        }
+    }
+}
+
+/// Cut quality of a [`ShardPlan`]: boundary-link count and node balance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Nodes per shard.
+    pub node_counts: Vec<usize>,
+    /// Directed links whose tail and head live in different shards —
+    /// each is a mailbox slot in the boundary exchange.
+    pub cut_links: usize,
+    /// All directed links.
+    pub total_links: usize,
+}
+
+impl CutStats {
+    /// Fraction of links that cross a shard boundary (0 = no exchange
+    /// traffic, 1 = every hop crosses).
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_links == 0 {
+            0.0
+        } else {
+            self.cut_links as f64 / self.total_links as f64
+        }
+    }
+
+    /// Node imbalance: largest shard over the ideal `n/k` share
+    /// (1.0 = perfectly balanced).
+    pub fn balance(&self) -> f64 {
+        let n: usize = self.node_counts.iter().sum();
+        if n == 0 {
+            return 1.0;
+        }
+        let ideal = n as f64 / self.shards as f64;
+        *self.node_counts.iter().max().expect("k >= 1") as f64 / ideal
+    }
+}
+
+/// A strategy producing a [`ShardPlan`] for a network.
+pub trait Partitioner {
+    /// Assign every node of `net` to one of `k` shards.
+    fn partition<N: Network + ?Sized>(&self, net: &N, k: usize) -> ShardPlan;
+
+    /// Short strategy name for reports.
+    fn name(&self) -> String;
+}
+
+/// Column-band partitioner for leveled networks: node id is
+/// `column * width + idx` (the `LeveledNet` layout), so aligning the cut
+/// to multiples of `width` puts every boundary between two consecutive
+/// columns — the minimum-surface cut for forward-only traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelCut {
+    width: usize,
+}
+
+impl LevelCut {
+    /// Partitioner for a leveled network with `width` nodes per column.
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 1);
+        LevelCut { width }
+    }
+}
+
+impl Partitioner for LevelCut {
+    fn partition<N: Network + ?Sized>(&self, net: &N, k: usize) -> ShardPlan {
+        ShardPlan::aligned(net.num_nodes(), k, self.width)
+    }
+
+    fn name(&self) -> String {
+        format!("level-cut(width={})", self.width)
+    }
+}
+
+/// Row-band partitioner for the row-major mesh: cuts aligned to
+/// multiples of `cols` fall between mesh rows, so only the vertical
+/// links between adjacent bands are boundary links.
+#[derive(Debug, Clone, Copy)]
+pub struct RowBlock {
+    cols: usize,
+}
+
+impl RowBlock {
+    /// Partitioner for a mesh with `cols` nodes per row.
+    pub fn new(cols: usize) -> Self {
+        assert!(cols >= 1);
+        RowBlock { cols }
+    }
+}
+
+impl Partitioner for RowBlock {
+    fn partition<N: Network + ?Sized>(&self, net: &N, k: usize) -> ShardPlan {
+        ShardPlan::aligned(net.num_nodes(), k, self.cols)
+    }
+
+    fn name(&self) -> String {
+        format!("row-block(cols={})", self.cols)
+    }
+}
+
+/// Topology-agnostic greedy edge-cut: visit nodes in BFS order (over the
+/// symmetrised adjacency, restarting per component) and put each node in
+/// the shard that already holds most of its neighbors, subject to the
+/// capacity cap `⌈n/k⌉`. Deterministic: ties break toward the lowest
+/// shard id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyEdgeCut;
+
+impl Partitioner for GreedyEdgeCut {
+    fn partition<N: Network + ?Sized>(&self, net: &N, k: usize) -> ShardPlan {
+        let n = net.num_nodes();
+        if n == 0 {
+            return ShardPlan::new(Vec::new(), k.max(1));
+        }
+        // Symmetrised adjacency in flat CSR form (a neighbor on either
+        // side of a directed link counts toward affinity): count
+        // degrees, prefix-sum, fill — no per-node Vec allocations.
+        let mut deg = vec![0u32; n];
+        for v in 0..n {
+            for p in 0..net.out_degree(v) {
+                let w = net.neighbor(v, p);
+                deg[v] += 1;
+                if w != v {
+                    deg[w] += 1;
+                }
+            }
+        }
+        let mut start = vec![0u32; n + 1];
+        for v in 0..n {
+            start[v + 1] = start[v] + deg[v];
+        }
+        let mut flat = vec![0u32; start[n] as usize];
+        let mut cursor = start.clone();
+        for v in 0..n {
+            for p in 0..net.out_degree(v) {
+                let w = net.neighbor(v, p);
+                flat[cursor[v] as usize] = w as u32;
+                cursor[v] += 1;
+                if w != v {
+                    flat[cursor[w] as usize] = v as u32;
+                    cursor[w] += 1;
+                }
+            }
+        }
+        let adj = |v: usize| &flat[start[v] as usize..start[v + 1] as usize];
+        // BFS visit order, restarting at the lowest unvisited node so
+        // disconnected networks are still fully covered.
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            queue.push_back(start as u32);
+            while let Some(v) = queue.pop_front() {
+                order.push(v as usize);
+                for &w in adj(v as usize) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        let cap = n.div_ceil(k);
+        let unassigned = u32::MAX;
+        let mut node_shard = vec![unassigned; n];
+        let mut sizes = vec![0usize; k];
+        let mut affinity = vec![0usize; k];
+        for &v in &order {
+            affinity.fill(0);
+            for &w in adj(v) {
+                let s = node_shard[w as usize];
+                if s != unassigned {
+                    affinity[s as usize] += 1;
+                }
+            }
+            let mut best = usize::MAX;
+            for (s, &score) in affinity.iter().enumerate() {
+                if sizes[s] >= cap {
+                    continue;
+                }
+                if best == usize::MAX || score > affinity[best] {
+                    best = s;
+                }
+            }
+            debug_assert_ne!(best, usize::MAX, "capacity k*ceil(n/k) >= n");
+            node_shard[v] = best as u32;
+            sizes[best] += 1;
+        }
+        ShardPlan::new(node_shard, k)
+    }
+
+    fn name(&self) -> String {
+        "greedy-edge-cut".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnpram_topology::graph::ExplicitNetwork;
+    use lnpram_topology::leveled::{LeveledNet, RadixButterfly};
+    use lnpram_topology::{Mesh, StarGraph};
+
+    #[test]
+    fn aligned_blocks_are_contiguous_and_balanced() {
+        let plan = ShardPlan::aligned(40, 4, 4); // 10 units of 4 nodes
+        assert_eq!(plan.shards(), 4);
+        let sizes = plan.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 40);
+        assert!(sizes.iter().all(|&s| s == 8 || s == 12), "{sizes:?}");
+        // Contiguity and alignment: shard id is non-decreasing in node id
+        // and constant within each 4-node unit.
+        for v in 1..40 {
+            assert!(plan.shard_of(v) >= plan.shard_of(v - 1));
+            if v % 4 != 0 {
+                assert_eq!(plan.shard_of(v), plan.shard_of(v - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_units_leaves_some_empty() {
+        let plan = ShardPlan::aligned(6, 7, 2); // 3 units, 7 shards
+        let sizes = plan.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert_eq!(sizes.iter().filter(|&&s| s > 0).count(), 3);
+    }
+
+    #[test]
+    fn level_cut_only_cuts_between_columns() {
+        let net = LeveledNet::forward(RadixButterfly::new(2, 4)); // 16 wide, 5 cols
+        let plan = LevelCut::new(16).partition(&net, 3);
+        let stats = plan.cut_stats(&net);
+        assert_eq!(stats.total_links, 4 * 16 * 2);
+        // A column band cut severs exactly one column-to-column link layer
+        // per boundary: 2 boundaries × width × degree.
+        assert_eq!(stats.cut_links, 2 * 16 * 2);
+        assert!(stats.balance() <= 1.5, "balance {}", stats.balance());
+    }
+
+    #[test]
+    fn row_block_cuts_only_vertical_mesh_links() {
+        let mesh = Mesh::square(8);
+        let plan = RowBlock::new(8).partition(&mesh, 4);
+        let stats = plan.cut_stats(&mesh);
+        // 3 boundaries, each cutting 8 south links + 8 north links.
+        assert_eq!(stats.cut_links, 3 * 16);
+        assert_eq!(stats.node_counts, vec![16; 4]);
+        assert!((stats.balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_respects_capacity_and_covers_all() {
+        for k in [1usize, 2, 3, 5] {
+            let star = StarGraph::new(4); // 24 nodes, degree 3
+            let plan = GreedyEdgeCut.partition(&star, k);
+            let sizes = plan.shard_sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), 24);
+            let cap = 24usize.div_ceil(k);
+            assert!(sizes.iter().all(|&s| s <= cap), "k={k}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_beats_round_robin_on_mesh_cut() {
+        let mesh = Mesh::square(8);
+        let greedy = GreedyEdgeCut.partition(&mesh, 4).cut_stats(&mesh);
+        // Worst case comparison: striping nodes round-robin cuts almost
+        // every link.
+        let striped = ShardPlan::new((0..64).map(|v| (v % 4) as u32).collect(), 4);
+        let striped = striped.cut_stats(&mesh);
+        assert!(
+            greedy.cut_links < striped.cut_links,
+            "greedy {} vs striped {}",
+            greedy.cut_links,
+            striped.cut_links
+        );
+        assert!(greedy.cut_fraction() < 0.5);
+    }
+
+    #[test]
+    fn greedy_handles_disconnected_networks() {
+        let net = ExplicitNetwork::new(vec![vec![], vec![], vec![]], "isolated3");
+        let plan = GreedyEdgeCut.partition(&net, 2);
+        assert_eq!(plan.shard_sizes().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn cut_stats_fraction_and_balance_math() {
+        let net = ExplicitNetwork::undirected(4, &[(0, 1), (1, 2), (2, 3)], "path4");
+        let plan = ShardPlan::new(vec![0, 0, 1, 1], 2);
+        let stats = plan.cut_stats(&net);
+        assert_eq!(stats.total_links, 6);
+        assert_eq!(stats.cut_links, 2); // 1→2 and 2→1
+        assert!((stats.cut_fraction() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((stats.balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard id out of range")]
+    fn plan_rejects_out_of_range() {
+        let _ = ShardPlan::new(vec![0, 2], 2);
+    }
+}

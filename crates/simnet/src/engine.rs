@@ -70,6 +70,15 @@ pub struct SimConfig {
     /// `u32` per directed link; off by default to keep big-network trials
     /// allocation-free).
     pub record_link_loads: bool,
+    /// Number of partitions for the sharded simulation subsystem
+    /// (`lnpram-shard`). The `Engine` itself ignores this field: it is a
+    /// construction knob consumed by `AnyEngine::new` and the emulators —
+    /// `0` or `1` selects the single serial engine, `k ≥ 2` splits the
+    /// network into `k` shards stepped in lockstep with deterministic
+    /// boundary exchange (bit-identical outcomes, pinned by the
+    /// `lnpram-shard` property tests). Values above `lnpram-shard`'s
+    /// `MAX_SHARDS` (15, the packed-coordinate cap) are clamped.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -80,6 +89,7 @@ impl Default for SimConfig {
             parallel_threshold: usize::MAX,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
             record_link_loads: false,
+            shards: 0,
         }
     }
 }
@@ -119,15 +129,29 @@ pub struct Engine {
     queues: Vec<LinkQueue>,
     pool: PacketPool,
     blocked: Vec<bool>,
+    /// Any link ever blocked since the last reset (skips the `blocked`
+    /// wipe on reset for the common fault-free case).
+    blocked_any: bool,
     /// Link ids with non-empty queues, ascending (deduplicated via
     /// `in_active`, order maintained incrementally).
     active: Vec<u32>,
     in_active: Vec<bool>,
+    /// Links whose queue has been touched since the last reset
+    /// (deduplicated via `ever_active`): [`Engine::reset`] wipes only
+    /// these, making reset O(touched links) instead of O(links).
+    dirty: Vec<u32>,
+    ever_active: Vec<bool>,
     in_flight: usize,
     pending: Vec<(usize, Packet)>,
     metrics: Metrics,
+    /// Length of the sorted prefix of `active` after the last transmit
+    /// phase ([`Engine::step_finish`] restores order from here).
+    sorted_len: usize,
     // --- reusable per-step scratch (never reallocated after warm-up) ---
-    /// This step's arrivals as `(destination node, packet)`, active order.
+    /// This step's arrivals as `(link id, packet)`, active order (the
+    /// destination node is `link_target[link id]`). Keeping the link id
+    /// instead of the target lets external coordinators (`lnpram-shard`)
+    /// merge arrivals across shards by global link id.
     arrivals: Vec<(u32, Packet)>,
     /// Bucket chains over `arrivals` (same length), per destination node.
     arrival_next: Vec<u32>,
@@ -169,11 +193,15 @@ impl Engine {
             queues: vec![LinkQueue::new(); links],
             pool: PacketPool::new(),
             blocked: vec![false; links],
+            blocked_any: false,
             active: Vec::new(),
             in_active: vec![false; links],
+            dirty: Vec::new(),
+            ever_active: vec![false; links],
             in_flight: 0,
             pending: Vec::new(),
             metrics: Metrics::default(),
+            sorted_len: 0,
             arrivals: Vec::new(),
             arrival_next: Vec::new(),
             node_head: vec![NIL; n],
@@ -206,6 +234,7 @@ impl Engine {
     pub fn block_link(&mut self, node: usize, port: usize) {
         let id = self.link_id(node, port);
         self.blocked[id] = true;
+        self.blocked_any = true;
     }
 
     /// Override the step budget (emulators vary it per phase/attempt
@@ -220,15 +249,23 @@ impl Engine {
     /// via `reset` makes a T-step emulation build its per-link state once
     /// instead of T times.
     pub fn reset(&mut self) {
-        for q in &mut self.queues {
-            q.reset();
+        // Only touched queues need wiping (untouched ones are pristine):
+        // reset cost scales with the traffic, not the network size.
+        for &id in &self.dirty {
+            self.queues[id as usize].reset();
+            self.in_active[id as usize] = false;
+            self.ever_active[id as usize] = false;
         }
+        self.dirty.clear();
         self.pool.clear();
-        self.blocked.fill(false);
+        if self.blocked_any {
+            self.blocked.fill(false);
+            self.blocked_any = false;
+        }
         self.active.clear();
-        self.in_active.fill(false);
         self.in_flight = 0;
         self.pending.clear();
+        self.sorted_len = 0;
         self.metrics = Metrics::default();
     }
 
@@ -244,6 +281,10 @@ impl Engine {
         if !self.in_active[id] {
             self.in_active[id] = true;
             self.active.push(id as u32);
+            if !self.ever_active[id] {
+                self.ever_active[id] = true;
+                self.dirty.push(id as u32);
+            }
         }
     }
 
@@ -323,16 +364,7 @@ impl Engine {
             step += 1;
 
             // --- Transmit phase ---
-            self.arrivals.clear();
-            let use_parallel =
-                self.cfg.threads > 1 && self.active.len() >= self.cfg.parallel_threshold;
-            if use_parallel {
-                self.transmit_parallel();
-            } else {
-                self.transmit_serial();
-            }
-            self.in_flight -= self.arrivals.len();
-            let sorted_len = self.active.len();
+            self.step_transmit();
 
             // --- Process phase ---
             // Group same-node arrivals so protocols can apply footnote 3's
@@ -343,7 +375,7 @@ impl Engine {
             self.arrival_next.clear();
             self.arrival_next.resize(self.arrivals.len(), NIL);
             for a in 0..self.arrivals.len() {
-                let node = self.arrivals[a].0 as usize;
+                let node = self.link_target[self.arrivals[a].0 as usize] as usize;
                 if self.node_head[node] == NIL {
                     self.node_head[node] = a as u32;
                     self.touched.push(node as u32);
@@ -369,7 +401,7 @@ impl Engine {
             }
             self.touched.clear();
             proto.on_step_end(step);
-            self.restore_active_order(sorted_len);
+            self.step_finish();
 
             self.metrics.queued_packet_steps += self.in_flight as u64;
         }
@@ -378,6 +410,99 @@ impl Engine {
             metrics: self.take_metrics(step),
             completed: true,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase-level stepping API
+    //
+    // `run` is the whole step loop; the methods below expose its two
+    // halves individually so an external coordinator can interleave
+    // engines. This is the interface the sharded subsystem
+    // (`lnpram-shard`) is built on: each shard engine transmits its own
+    // links, the coordinator merges the arrivals across shards (by
+    // global link id), drives the protocol itself, enqueues the
+    // responses back with [`Engine::enqueue_direct`], and closes the
+    // step with [`Engine::step_finish`]. Driving one engine through
+    // `step_transmit` / `enqueue_direct` / `step_finish` replays
+    // exactly what `run` does internally.
+    // ------------------------------------------------------------------
+
+    /// Run one transmit phase: every active link selects and extracts at
+    /// most one packet under the configured discipline (parallel fan-out
+    /// per [`SimConfig::parallel_threshold`], same as `run`). The
+    /// extracted packets are readable via [`Engine::arrivals`] until the
+    /// next transmit; the in-flight count is decremented here.
+    pub fn step_transmit(&mut self) {
+        self.arrivals.clear();
+        let use_parallel = self.cfg.threads > 1 && self.active.len() >= self.cfg.parallel_threshold;
+        if use_parallel {
+            self.transmit_parallel();
+        } else {
+            self.transmit_serial();
+        }
+        self.in_flight -= self.arrivals.len();
+        self.sorted_len = self.active.len();
+    }
+
+    /// This step's extracted packets as `(link id, packet)` in ascending
+    /// link-id order — the deterministic transmit order. Valid between
+    /// [`Engine::step_transmit`] and the next transmit or reset.
+    pub fn arrivals(&self) -> &[(u32, Packet)] {
+        &self.arrivals
+    }
+
+    /// Swap this step's arrivals buffer with `buf` (zero-copy hand-off
+    /// to an external coordinator). The engine clears whatever buffer it
+    /// holds at the start of the next transmit, so the swapped-in vector
+    /// may contain anything; the caller owns the swapped-out arrivals
+    /// until it hands a buffer back.
+    pub fn swap_arrivals(&mut self, buf: &mut Vec<(u32, Packet)>) {
+        std::mem::swap(&mut self.arrivals, buf);
+    }
+
+    /// Head node of `link` — where its queued packets arrive.
+    pub fn link_target(&self, link: usize) -> usize {
+        self.link_target[link] as usize
+    }
+
+    /// Total number of directed links (valid link ids are `0..num_links`).
+    pub fn num_links(&self) -> usize {
+        self.link_target.len()
+    }
+
+    /// Number of links with a non-empty queue right now.
+    pub fn active_links(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Enqueue `pkt` on `(node, port)` immediately (no protocol callback)
+    /// — the coordinator-side counterpart of a protocol `send` during the
+    /// process phase. The packet becomes eligible to traverse the link
+    /// from the next transmit phase on.
+    pub fn enqueue_direct(&mut self, node: usize, port: usize, pkt: Packet) {
+        assert!(
+            port < self.out_degree(node),
+            "enqueue_direct on invalid port {port} of node {node}"
+        );
+        self.enqueue(node, port, pkt);
+    }
+
+    /// End-of-step bookkeeping for coordinator-driven stepping: restore
+    /// the ascending order of the active-link list after the process
+    /// phase's enqueues (mirrors what `run` does after each step).
+    pub fn step_finish(&mut self) {
+        self.restore_active_order(self.sorted_len);
+    }
+
+    /// Largest length any link queue has reached since construction or
+    /// the last [`Engine::reset`] (the `max_queue` metric). Scans only
+    /// the touched queues — untouched ones never left zero.
+    pub fn queue_high_water(&self) -> usize {
+        self.dirty
+            .iter()
+            .map(|&id| self.queues[id as usize].high_water())
+            .max()
+            .unwrap_or(0)
     }
 
     fn transmit_serial(&mut self) {
@@ -393,7 +518,7 @@ impl Engine {
                 continue;
             }
             if let Some(pkt) = self.queues[idx].pop(&mut self.pool, disc) {
-                self.arrivals.push((self.link_target[idx], pkt));
+                self.arrivals.push((id, pkt));
             }
             if self.queues[idx].is_empty() {
                 self.in_active[idx] = false;
@@ -453,7 +578,7 @@ impl Engine {
                     None => self.scratch.push(id), // blocked
                     Some(sel) => {
                         let pkt = self.queues[idx].commit_pop(&mut self.pool, sel);
-                        self.arrivals.push((self.link_target[idx], pkt));
+                        self.arrivals.push((id, pkt));
                         if self.queues[idx].is_empty() {
                             self.in_active[idx] = false;
                         } else {
@@ -472,12 +597,7 @@ impl Engine {
     /// engine's metrics are left fresh for the next run).
     fn take_metrics(&mut self, steps: u32) -> Metrics {
         self.metrics.steps = steps;
-        self.metrics.max_queue = self
-            .queues
-            .iter()
-            .map(|q| q.high_water())
-            .max()
-            .unwrap_or(0);
+        self.metrics.max_queue = self.queue_high_water();
         if self.cfg.record_link_loads {
             self.metrics.link_loads = self.queues.iter().map(|q| q.pops()).collect();
         }
@@ -504,6 +624,28 @@ impl Engine {
         while i < self.active.len() {
             let idx = self.active[i] as usize;
             self.queues[idx].drain_into(&mut self.pool, &mut out);
+            self.in_active[idx] = false;
+            i += 1;
+        }
+        self.active.clear();
+        self.in_flight = 0;
+        out
+    }
+
+    /// [`Engine::drain_all`] keeping each packet's link id, so external
+    /// coordinators can merge stranded packets across shard engines in
+    /// global link order. Links appear in ascending id, packets of one
+    /// link in arrival order.
+    pub fn drain_all_tagged(&mut self) -> Vec<(u32, Packet)> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            let id = self.active[i];
+            let idx = id as usize;
+            scratch.clear();
+            self.queues[idx].drain_into(&mut self.pool, &mut scratch);
+            out.extend(scratch.iter().map(|&p| (id, p)));
             self.in_active[idx] = false;
             i += 1;
         }

@@ -30,7 +30,7 @@ pub mod metrics;
 pub mod packet;
 pub mod protocol;
 pub mod queue;
-mod worker;
+pub mod worker;
 
 pub use engine::{Engine, RunOutcome, SimConfig};
 pub use metrics::Metrics;

@@ -44,7 +44,9 @@ impl Default for Metrics {
 
 impl Metrics {
     /// Record a delivery at `step` for a packet injected at `injected_at`.
-    pub(crate) fn on_delivery(&mut self, step: u32, injected_at: u32) {
+    /// Public so external engine drivers (the `lnpram-shard` coordinator)
+    /// accumulate deliveries exactly the way `Engine::run` does.
+    pub fn on_delivery(&mut self, step: u32, injected_at: u32) {
         self.delivered += 1;
         self.routing_time = self.routing_time.max(step);
         self.latency

@@ -40,7 +40,22 @@ impl Outbox {
     /// spelled out for readability at call sites.
     pub fn absorb(&mut self, _pkt: Packet) {}
 
-    pub(crate) fn clear(&mut self) {
+    /// The forwards queued by the current callback, as `(port, packet)` —
+    /// read by external engine drivers (the `lnpram-shard` coordinator)
+    /// that apply an outbox themselves instead of through `Engine::run`.
+    pub fn sends(&self) -> &[(usize, Packet)] {
+        &self.sends
+    }
+
+    /// The packets delivered by the current callback.
+    pub fn delivered(&self) -> &[Packet] {
+        &self.delivered
+    }
+
+    /// Reset both buffers, keeping their capacity. External engine
+    /// drivers call this after applying a callback's effects (mirrors
+    /// what `Engine::run` does internally).
+    pub fn clear(&mut self) {
         self.sends.clear();
         self.delivered.clear();
     }

@@ -51,15 +51,17 @@ struct Shared {
     done: Condvar,
 }
 
-/// Persistent transmit workers, parked between steps.
-pub(crate) struct WorkerPool {
+/// Persistent workers, parked between dispatches. Built for the
+/// engine's parallel transmit phase and reused by `lnpram-shard` to
+/// drive one shard per worker in lockstep.
+pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
     /// Spawn `threads` parked workers (at least one).
-    pub(crate) fn new(threads: usize) -> Self {
+    pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -85,13 +87,13 @@ impl WorkerPool {
     }
 
     /// Number of workers (one chunk of the active list each).
-    pub(crate) fn threads(&self) -> usize {
+    pub fn threads(&self) -> usize {
         self.handles.len()
     }
 
     /// Run `job(w)` on every worker `w` and block until all return.
     /// Panics (after the rendezvous) if any worker's job panicked.
-    pub(crate) fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
         // SAFETY: erasing the borrow's lifetime is sound because this
         // function does not return until `pending == 0`, i.e. until every
         // worker has finished calling the closure; the job slot is

@@ -295,7 +295,10 @@ impl<L: Leveled> LeveledNet<L> {
         &self.lv
     }
 
-    /// Flat node id of `(column, idx)`.
+    /// Flat node id of `(column, idx)`. Node ids are **column-major**
+    /// (`column * width + idx`) — a public contract: `lnpram-shard`'s
+    /// `LevelCut` partitioner aligns shard boundaries to multiples of
+    /// `width` so cuts fall between consecutive columns.
     pub fn node_id(&self, column: usize, idx: usize) -> usize {
         debug_assert!(column <= self.lv.levels() && idx < self.lv.width());
         column * self.lv.width() + idx

@@ -70,7 +70,10 @@ impl Mesh {
         self.cols
     }
 
-    /// Node id at `(row, col)`.
+    /// Node id at `(row, col)`. Node ids are **row-major**
+    /// (`row * cols + col`) — a public contract: `lnpram-shard`'s
+    /// `RowBlock` partitioner aligns shard boundaries to multiples of
+    /// `cols` so cuts fall between mesh rows.
     pub fn node_at(&self, row: usize, col: usize) -> usize {
         debug_assert!(row < self.rows && col < self.cols);
         row * self.cols + col

@@ -21,6 +21,10 @@
 //!   (Valiant–Brebner, greedy, shearsort, Batcher bitonic,
 //!   Ranade-style butterfly), the Lemma 2.1 retry wrapper.
 //! * [`pram`] — the PRAM model, reference executor and program library.
+//! * [`shard`] — the sharded simulation subsystem: partitioned engines
+//!   stepped in lockstep with deterministic boundary exchange
+//!   ([`shard::ShardedEngine`], bit-identical to the serial engine),
+//!   selected via [`simnet::SimConfig::shards`].
 //! * [`core`] — the emulators: [`core::LeveledPramEmulator`],
 //!   [`core::StarPramEmulator`], [`core::MeshPramEmulator`], and the
 //!   deterministic [`core::ReplicatedPramEmulator`] baseline.
@@ -54,6 +58,7 @@ pub use lnpram_hash as hash;
 pub use lnpram_math as math;
 pub use lnpram_pram as pram;
 pub use lnpram_routing as routing;
+pub use lnpram_shard as shard;
 pub use lnpram_simnet as simnet;
 pub use lnpram_topology as topology;
 
@@ -75,6 +80,9 @@ pub mod prelude {
     pub use lnpram_routing::{
         route_leveled_permutation, route_mesh_permutation, route_shuffle_permutation,
         route_star_permutation, MeshAlgorithm,
+    };
+    pub use lnpram_shard::{
+        AnyEngine, GreedyEdgeCut, LevelCut, Partitioner, RowBlock, ShardedEngine,
     };
     pub use lnpram_simnet::{Discipline, SimConfig};
     pub use lnpram_topology::leveled::{RadixButterfly, UnrolledShuffle};

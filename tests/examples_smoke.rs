@@ -17,6 +17,7 @@ const EXAMPLES: &[&str] = &[
     "mesh_locality",
     "quickstart",
     "routing_showdown",
+    "sharded_butterfly",
     "star_pram_programs",
 ];
 

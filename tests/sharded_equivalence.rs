@@ -1,0 +1,150 @@
+//! Cross-layer determinism pin for the sharded subsystem: flipping
+//! `shards` on the *public* entry points (routing sessions, mesh/star
+//! routing, the PRAM emulators) must not change a single observable —
+//! the sharded engine's bit-identity contract surfaces unchanged
+//! through every layer built on top of it.
+
+use lnpram::math::rng::SeedSeq;
+use lnpram::prelude::*;
+use lnpram::routing::leveled::LeveledRoutingSession;
+use lnpram::routing::workloads;
+use lnpram::simnet::Metrics;
+
+fn fingerprint(m: &Metrics) -> (usize, u32, usize, u64, u32, Vec<(u64, u64)>) {
+    (
+        m.delivered,
+        m.routing_time,
+        m.max_queue,
+        m.queued_packet_steps,
+        m.steps,
+        m.latency.buckets().collect(),
+    )
+}
+
+fn cfg(shards: usize) -> SimConfig {
+    SimConfig {
+        shards,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn leveled_session_identical_across_shard_counts() {
+    let inner = RadixButterfly::new(2, 6); // 64 wide, doubled to 12 levels
+    let mut serial = LeveledRoutingSession::new(inner, cfg(0));
+    for k in [2usize, 4, 7] {
+        let mut sharded = LeveledRoutingSession::new(inner, cfg(k));
+        for seed in 0..4u64 {
+            let seq = SeedSeq::new(seed);
+            let mut rng = seq.child(0).rng();
+            let dests = workloads::random_permutation(64, &mut rng);
+            let a = serial.route_with_dests(&dests, SeedSeq::new(seed));
+            let b = sharded.route_with_dests(&dests, SeedSeq::new(seed));
+            assert_eq!(a.completed, b.completed, "K={k} seed={seed}");
+            assert_eq!(
+                fingerprint(&a.metrics),
+                fingerprint(&b.metrics),
+                "K={k} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mesh_three_stage_routing_identical_when_sharded() {
+    let alg = MeshAlgorithm::ThreeStage { slice_rows: 4 };
+    for seed in 0..3u64 {
+        let a = route_mesh_permutation(12, alg, seed, cfg(0));
+        let b = route_mesh_permutation(12, alg, seed, cfg(4));
+        assert!(a.completed && b.completed);
+        assert_eq!(fingerprint(&a.metrics), fingerprint(&b.metrics), "{seed}");
+    }
+}
+
+#[test]
+fn star_routing_identical_when_sharded() {
+    for seed in 0..3u64 {
+        let a = route_star_permutation(4, seed, cfg(0));
+        let b = route_star_permutation(4, seed, cfg(3));
+        assert!(a.completed && b.completed);
+        assert_eq!(fingerprint(&a.metrics), fingerprint(&b.metrics), "{seed}");
+    }
+}
+
+#[test]
+fn leveled_emulator_identical_memory_and_timing_when_sharded() {
+    let inner = RadixButterfly::new(2, 4); // 16 processors
+    let run = |shards: usize| {
+        let values: Vec<u64> = (0..32).map(|i| (i * 19 + 3) % 97).collect();
+        let mut prog = ReductionMax::new(values);
+        let space = prog.address_space();
+        let mut emu = LeveledPramEmulator::new(
+            inner,
+            AccessMode::Erew,
+            space,
+            EmulatorConfig {
+                shards,
+                ..Default::default()
+            },
+        );
+        let report = emu.run_program(&mut prog, 10_000);
+        (
+            emu.memory_image(space),
+            report.network_steps(),
+            report.rehashes,
+            report.pram_steps,
+        )
+    };
+    assert_eq!(run(0), run(3));
+}
+
+#[test]
+fn mesh_emulator_identical_memory_and_timing_when_sharded() {
+    let run = |shards: usize| {
+        let values: Vec<u64> = (1..=16).collect();
+        let mut prog = PrefixSum::new(values);
+        let space = prog.address_space();
+        let mut emu = MeshPramEmulator::new(
+            4,
+            AccessMode::Erew,
+            space,
+            EmulatorConfig {
+                shards,
+                ..Default::default()
+            },
+        );
+        let report = emu.run_program(&mut prog, 10_000);
+        (emu.memory_image(space), report.network_steps())
+    };
+    assert_eq!(run(0), run(2));
+}
+
+#[test]
+fn crcw_combining_survives_sharding_bit_for_bit() {
+    // The hot-spot broadcast drives Ranade-style combining through the
+    // pending tables — the stateful-protocol case the centralized
+    // process phase exists for.
+    let inner = RadixButterfly::new(2, 4);
+    let run = |shards: usize| {
+        let mut prog = Broadcast::new(16, 2, 777);
+        let mut emu = LeveledPramEmulator::new(
+            inner,
+            AccessMode::Crew,
+            prog.address_space(),
+            EmulatorConfig {
+                shards,
+                ..Default::default()
+            },
+        );
+        let report = emu.run_program(&mut prog, 1000);
+        assert!(prog.verify(&emu.memory_image(17)));
+        (
+            emu.memory_image(17),
+            report.total_combined(),
+            report.network_steps(),
+        )
+    };
+    let serial = run(0);
+    assert!(serial.1 >= 15, "expected heavy combining");
+    assert_eq!(serial, run(4));
+}
