@@ -1,29 +1,35 @@
-//! Engine step-throughput on the three canonical workloads, **serial
-//! vs. sharded** — the perf trajectory anchor.
+//! Engine step-throughput on the three canonical workloads, **one-shot
+//! vs. cached-session**, on both the serial and the sharded path — the
+//! perf trajectory anchor.
 //!
-//! Routes random permutations on the leveled network (Algorithm 2.1
-//! with a reused [`LeveledRoutingSession`]), the 5-star (Algorithm 2.2)
-//! and the 32×32 mesh (three-stage §3.4), each through the single
-//! serial engine and through the `lnpram-shard` partitioned path at
-//! `K = LNPRAM_SHARDS` (default 4) shards, reporting packets/sec and
-//! steps/sec per path. Outcomes are bit-identical by the sharded
-//! determinism contract (asserted per trial), so the columns measure
-//! pure coordination cost vs. transmit parallelism. Results land as
-//! machine-readable JSON (default `BENCH_3.json`, override with
-//! `LNPRAM_BENCH_OUT`). CI's `bench-smoke` job runs this with
-//! `LNPRAM_TRIALS=2` so every subsequent PR has a baseline to beat; run
-//! it locally with the default trial count for stable numbers.
+//! Routes random permutations on the leveled network (Algorithm 2.1),
+//! the 5-star (Algorithm 2.2) and the 32×32 mesh (three-stage §3.4),
+//! each four ways per seed: serial one-shot, serial session, sharded
+//! one-shot, sharded session (`K = LNPRAM_SHARDS`, default 4). The
+//! one-shot columns rebuild the topology, the partition plan and all
+//! engines per call; the session columns hold a
+//! [`LeveledRoutingSession`] / [`StarRoutingSession`] /
+//! [`MeshRoutingSession`] and serve every seed from one warmed engine
+//! — the construction-vs-routing split the `BENCH_3.json` star
+//! regression exposed (sharded one-shot at 0.57× serial because
+//! per-run construction dominated the tiny network).
+//! All four paths are asserted **bit-identical** per trial, so the
+//! columns measure pure construction and coordination cost. Results
+//! land as machine-readable JSON (default `BENCH_4.json`, override
+//! with `LNPRAM_BENCH_OUT`). CI's `bench-smoke` job runs this with
+//! `LNPRAM_TRIALS=2` so every subsequent PR has a baseline to beat;
+//! run it locally with the default trial count for stable numbers.
 
 use lnpram_bench::{fmt, trial_count, Table};
-use lnpram_math::rng::SeedSeq;
 use lnpram_routing::leveled::LeveledRoutingSession;
-use lnpram_routing::mesh::{default_slice_rows, MeshAlgorithm};
-use lnpram_routing::{route_mesh_permutation, route_star_permutation, workloads};
+use lnpram_routing::mesh::{default_slice_rows, MeshAlgorithm, MeshRoutingSession};
+use lnpram_routing::star::StarRoutingSession;
+use lnpram_routing::{route_leveled_permutation, route_mesh_permutation, route_star_permutation};
 use lnpram_simnet::SimConfig;
 use lnpram_topology::leveled::RadixButterfly;
 use std::time::Instant;
 
-/// One path's (serial or sharded) timing for a workload.
+/// One path's timing for a workload.
 struct PathResult {
     packets: u64,
     steps: u64,
@@ -31,64 +37,58 @@ struct PathResult {
 }
 
 impl PathResult {
+    fn new() -> Self {
+        PathResult {
+            packets: 0,
+            steps: 0,
+            elapsed_s: 0.0,
+        }
+    }
+
     fn packets_per_sec(&self) -> f64 {
-        self.packets as f64 / self.elapsed_s
+        self.packets as f64 / self.elapsed_s.max(1e-9)
     }
 
     fn steps_per_sec(&self) -> f64 {
-        self.steps as f64 / self.elapsed_s
+        self.steps as f64 / self.elapsed_s.max(1e-9)
     }
 }
 
-/// One workload's serial + sharded measurements.
+/// One engine path's (serial or sharded) one-shot + session columns.
+struct PathPair {
+    one_shot: PathResult,
+    session: PathResult,
+}
+
+impl PathPair {
+    /// Session packets/sec over one-shot packets/sec — what holding a
+    /// session instead of re-constructing per call buys.
+    fn session_speedup(&self) -> f64 {
+        self.session.packets_per_sec() / self.one_shot.packets_per_sec()
+    }
+}
+
+/// One workload's four measured paths.
 struct WorkloadResult {
     name: String,
     trials: u64,
-    serial: PathResult,
-    sharded: PathResult,
+    serial: PathPair,
+    sharded: PathPair,
 }
 
-impl WorkloadResult {
-    /// Sharded packets/sec over serial packets/sec.
-    fn speedup(&self) -> f64 {
-        self.sharded.packets_per_sec() / self.serial.packets_per_sec()
+/// Time `trials` runs of each path, **interleaved per seed** so
+/// clock-frequency drift and noisy neighbors hit every path equally
+/// (un-paired timing makes the speedup columns a lottery on busy
+/// hosts). Each closure returns `(packets delivered, engine steps
+/// executed)` for one seed. Paths run one untimed warm-up seed
+/// (`u64::MAX`) first so allocator warm-up is not billed to trial 0.
+fn measure_paths(trials: u64, runs: &mut [&mut dyn FnMut(u64) -> (u64, u64)]) -> Vec<PathResult> {
+    for run in runs.iter_mut() {
+        run(u64::MAX);
     }
-}
-
-/// Time `trials` runs each of `serial` and `sharded`, **interleaved
-/// per seed** so clock-frequency drift and noisy neighbors hit both
-/// paths equally (un-paired timing makes the speedup column a lottery
-/// on busy hosts). Each closure returns `(packets delivered, engine
-/// steps executed)` for one seed.
-fn measure_pair(
-    trials: u64,
-    mut serial: impl FnMut(u64) -> (u64, u64),
-    mut sharded: impl FnMut(u64) -> (u64, u64),
-) -> (PathResult, PathResult) {
-    // One untimed warm-up run each so allocator warm-up and lazy init
-    // are not billed to the first trial.
-    serial(u64::MAX);
-    sharded(u64::MAX);
-    let mut acc = [
-        PathResult {
-            packets: 0,
-            steps: 0,
-            elapsed_s: 0.0,
-        },
-        PathResult {
-            packets: 0,
-            steps: 0,
-            elapsed_s: 0.0,
-        },
-    ];
+    let mut acc: Vec<PathResult> = runs.iter().map(|_| PathResult::new()).collect();
     for seed in 0..trials {
-        for (i, run) in [
-            &mut serial as &mut dyn FnMut(u64) -> (u64, u64),
-            &mut sharded,
-        ]
-        .into_iter()
-        .enumerate()
-        {
+        for (i, run) in runs.iter_mut().enumerate() {
             let start = Instant::now();
             let (p, s) = run(seed);
             acc[i].elapsed_s += start.elapsed().as_secs_f64();
@@ -96,10 +96,7 @@ fn measure_pair(
             acc[i].steps += s;
         }
     }
-    let [mut a, mut b] = acc;
-    a.elapsed_s = a.elapsed_s.max(1e-9);
-    b.elapsed_s = b.elapsed_s.max(1e-9);
-    (a, b)
+    acc
 }
 
 fn json_escape(s: &str) -> String {
@@ -112,6 +109,15 @@ fn path_json(p: &PathResult) -> String {
         p.elapsed_s,
         p.packets_per_sec(),
         p.steps_per_sec()
+    )
+}
+
+fn pair_json(p: &PathPair) -> String {
+    format!(
+        "{{\"one_shot\": {}, \"session\": {}, \"session_speedup\": {:.3}}}",
+        path_json(&p.one_shot),
+        path_json(&p.session),
+        p.session_speedup()
     )
 }
 
@@ -128,15 +134,14 @@ fn write_json(
     out.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"trials\": {}, \"packets\": {}, \"steps\": {}, \
-             \"serial\": {}, \"sharded\": {}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"trials\": {}, \"packets\": {}, \"steps\": {},\n     \
+             \"serial\": {},\n     \"sharded\": {}}}{}\n",
             json_escape(&r.name),
             r.trials,
-            r.serial.packets,
-            r.serial.steps,
-            path_json(&r.serial),
-            path_json(&r.sharded),
-            r.speedup(),
+            r.serial.one_shot.packets,
+            r.serial.one_shot.steps,
+            pair_json(&r.serial),
+            pair_json(&r.sharded),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -144,16 +149,17 @@ fn write_json(
     std::fs::write(path, out)
 }
 
-/// Per-seed outcome signatures recorded by the serial pass and checked
-/// by the sharded pass — the bench enforces the `lnpram-shard`
-/// bit-identity contract on every workload it publishes numbers for.
+/// Per-seed outcome signatures recorded by the first path and checked
+/// by every other — the bench enforces bit-identity across all four
+/// paths (serial/sharded × one-shot/session) on every workload it
+/// publishes numbers for.
 #[derive(Default)]
 struct Reference {
     sigs: std::cell::RefCell<Vec<(u32, u64)>>,
 }
 
 impl Reference {
-    /// Record (serial pass) or verify (sharded pass) one seed's
+    /// Record (first path) or verify (other paths) one seed's
     /// signature; `u64::MAX` is the untimed warm-up seed and is skipped.
     fn observe(&self, seed: u64, check: bool, sig: (u32, u64)) {
         if seed == u64::MAX {
@@ -161,20 +167,63 @@ impl Reference {
         }
         let mut sigs = self.sigs.borrow_mut();
         if check {
-            assert_eq!(sigs[seed as usize], sig, "sharded diverged from serial");
+            assert_eq!(sigs[seed as usize], sig, "paths diverged on seed {seed}");
         } else if seed as usize == sigs.len() {
             sigs.push(sig);
         }
     }
 }
 
-/// Shard count for the sharded column (`LNPRAM_SHARDS`, default 4).
+/// Shard count for the sharded columns (`LNPRAM_SHARDS`, default 4).
 fn shard_count() -> usize {
     std::env::var("LNPRAM_SHARDS")
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&k| k >= 2)
         .unwrap_or(4)
+}
+
+/// Measure one workload's four paths (one-shot vs session × serial vs
+/// sharded), asserting bit-identity against the serial one-shot per
+/// seed. `stats` projects a run report to its identity signature plus
+/// `(packets, steps)` — and asserts the run completed.
+fn run_workload<R>(
+    name: &str,
+    trials: u64,
+    sharded_cfg: impl Fn() -> SimConfig,
+    one_shot: impl Fn(u64, SimConfig) -> R,
+    mut serial_session: impl FnMut(u64) -> R,
+    mut sharded_session: impl FnMut(u64) -> R,
+    stats: impl Fn(&R) -> ((u32, u64), u64, u64),
+) -> WorkloadResult {
+    let reference = Reference::default();
+    let observe = |rep: &R, seed: u64, check: bool| {
+        let (sig, packets, steps) = stats(rep);
+        reference.observe(seed, check, sig);
+        (packets, steps)
+    };
+    let paths = measure_paths(
+        trials,
+        &mut [
+            &mut |seed| observe(&one_shot(seed, SimConfig::default()), seed, false),
+            &mut |seed| observe(&serial_session(seed), seed, true),
+            &mut |seed| observe(&one_shot(seed, sharded_cfg()), seed, true),
+            &mut |seed| observe(&sharded_session(seed), seed, true),
+        ],
+    );
+    let [s1, s2, h1, h2] = <[PathResult; 4]>::try_from(paths).ok().expect("4 paths");
+    WorkloadResult {
+        name: name.to_string(),
+        trials,
+        serial: PathPair {
+            one_shot: s1,
+            session: s2,
+        },
+        sharded: PathPair {
+            one_shot: h1,
+            session: h2,
+        },
+    }
 }
 
 fn main() {
@@ -187,63 +236,51 @@ fn main() {
     let mut results = Vec::new();
 
     // Leveled network: Algorithm 2.1 on butterfly(2,10) — 1024 packets
-    // per run over 20 link stages — through one reused session engine
-    // per path. Per-seed outcomes are asserted identical across paths.
+    // per run over 20 link stages.
     {
         let inner = RadixButterfly::new(2, 10);
         let mut serial_session = LeveledRoutingSession::new(inner, SimConfig::default());
         let mut sharded_session = LeveledRoutingSession::new(inner, sharded_cfg());
-        let reference = Reference::default();
-        let run = |session: &mut LeveledRoutingSession<RadixButterfly>, seed: u64, check: bool| {
-            let seq = SeedSeq::new(seed);
-            let mut rng = seq.child(0).rng();
-            let dests = workloads::random_permutation(1024, &mut rng);
-            let rep = session.route_with_dests(&dests, seq);
-            assert!(rep.completed);
-            reference.observe(
-                seed,
-                check,
-                (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
-            );
-            (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
-        };
-        let (serial, sharded) = measure_pair(
+        results.push(run_workload(
+            "leveled/butterfly(2,10)",
             trials,
-            |seed| run(&mut serial_session, seed, false),
-            |seed| run(&mut sharded_session, seed, true),
-        );
-        results.push(WorkloadResult {
-            name: "leveled/butterfly(2,10)".to_string(),
-            trials,
-            serial,
-            sharded,
-        });
+            sharded_cfg,
+            |seed, cfg| route_leveled_permutation(inner, seed, cfg),
+            |seed| serial_session.route_permutation(seed),
+            |seed| sharded_session.route_permutation(seed),
+            |rep| {
+                assert!(rep.completed);
+                (
+                    (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
+                    rep.metrics.delivered as u64,
+                    u64::from(rep.metrics.steps),
+                )
+            },
+        ));
     }
 
-    // Star graph: Algorithm 2.2 on the 5-star (120 nodes).
+    // Star graph: Algorithm 2.2 on the 5-star (120 nodes) — the
+    // workload whose sharded one-shot ran at 0.57× serial in BENCH_3
+    // (construction-dominated).
     {
-        let reference = Reference::default();
-        let star = |seed: u64, cfg: SimConfig, check: bool| {
-            let rep = route_star_permutation(5, seed, cfg);
-            assert!(rep.completed);
-            reference.observe(
-                seed,
-                check,
-                (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
-            );
-            (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
-        };
-        let (serial, sharded) = measure_pair(
+        let mut serial_session = StarRoutingSession::new(5, SimConfig::default());
+        let mut sharded_session = StarRoutingSession::new(5, sharded_cfg());
+        results.push(run_workload(
+            "star/5-star",
             trials,
-            |seed| star(seed, SimConfig::default(), false),
-            |seed| star(seed, sharded_cfg(), true),
-        );
-        results.push(WorkloadResult {
-            name: "star/5-star".to_string(),
-            trials,
-            serial,
-            sharded,
-        });
+            sharded_cfg,
+            |seed, cfg| route_star_permutation(5, seed, cfg),
+            |seed| serial_session.route_permutation(seed),
+            |seed| sharded_session.route_permutation(seed),
+            |rep| {
+                assert!(rep.completed);
+                (
+                    (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
+                    rep.metrics.delivered as u64,
+                    u64::from(rep.metrics.steps),
+                )
+            },
+        ));
     }
 
     // Mesh: three-stage §3.4 routing on the 32×32 mesh (1024 packets).
@@ -251,54 +288,55 @@ fn main() {
         let alg = MeshAlgorithm::ThreeStage {
             slice_rows: default_slice_rows(32),
         };
-        let reference = Reference::default();
-        let mesh = |seed: u64, cfg: SimConfig, check: bool| {
-            let rep = route_mesh_permutation(32, alg, seed, cfg);
-            assert!(rep.completed);
-            reference.observe(
-                seed,
-                check,
-                (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
-            );
-            (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
-        };
-        let (serial, sharded) = measure_pair(
+        let mut serial_session = MeshRoutingSession::new(32, alg, SimConfig::default());
+        let mut sharded_session = MeshRoutingSession::new(32, alg, sharded_cfg());
+        results.push(run_workload(
+            "mesh/32x32-three-stage",
             trials,
-            |seed| mesh(seed, SimConfig::default(), false),
-            |seed| mesh(seed, sharded_cfg(), true),
-        );
-        results.push(WorkloadResult {
-            name: "mesh/32x32-three-stage".to_string(),
-            trials,
-            serial,
-            sharded,
-        });
+            sharded_cfg,
+            |seed, cfg| route_mesh_permutation(32, alg, seed, cfg),
+            |seed| serial_session.route_permutation(seed),
+            |seed| sharded_session.route_permutation(seed),
+            |rep| {
+                assert!(rep.completed);
+                (
+                    (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
+                    rep.metrics.delivered as u64,
+                    u64::from(rep.metrics.steps),
+                )
+            },
+        ));
     }
 
     let mut t = Table::new(
-        format!("Engine step throughput, serial vs {shards}-sharded ({trials} trials per cell)"),
+        format!(
+            "Routing throughput, one-shot vs cached session, serial vs {shards}-sharded \
+             ({trials} trials per cell, pkt/s)"
+        ),
         &[
             "workload",
-            "serial pkt/s",
-            "sharded pkt/s",
+            "serial one-shot",
+            "serial session",
             "speedup",
-            "serial steps/s",
-            "sharded steps/s",
+            "sharded one-shot",
+            "sharded session",
+            "speedup",
         ],
     );
     for r in &results {
         t.row(&[
             r.name.clone(),
-            fmt::f(r.serial.packets_per_sec(), 0),
-            fmt::f(r.sharded.packets_per_sec(), 0),
-            fmt::f(r.speedup(), 3),
-            fmt::f(r.serial.steps_per_sec(), 0),
-            fmt::f(r.sharded.steps_per_sec(), 0),
+            fmt::f(r.serial.one_shot.packets_per_sec(), 0),
+            fmt::f(r.serial.session.packets_per_sec(), 0),
+            fmt::f(r.serial.session_speedup(), 3),
+            fmt::f(r.sharded.one_shot.packets_per_sec(), 0),
+            fmt::f(r.sharded.session.packets_per_sec(), 0),
+            fmt::f(r.sharded.session_speedup(), 3),
         ]);
     }
     t.print();
 
-    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_3.json".to_string());
+    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_4.json".to_string());
     write_json(&path, trials, shards, &results).expect("write bench json");
     println!("wrote {path}");
 }

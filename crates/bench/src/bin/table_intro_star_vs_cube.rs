@@ -6,10 +6,10 @@
 //! networks route permutations in Õ(diameter), so the star's smaller
 //! diameter wins outright at comparable sizes.
 
-use lnpram_bench::{fmt, trial_count, trials, Table};
+use lnpram_bench::{fmt, serial_trials, trial_count, trials, Table};
 use lnpram_math::perm::factorial;
 use lnpram_routing::hypercube::route_cube_permutation;
-use lnpram_routing::star::route_star_permutation;
+use lnpram_routing::star::StarRoutingSession;
 use lnpram_simnet::SimConfig;
 
 fn main() {
@@ -26,10 +26,11 @@ fn main() {
         ],
     );
     for (star_n, cube_d) in [(5usize, 7usize), (6, 10), (7, 13)] {
-        let s = trials(n_trials, |seed| {
-            route_star_permutation(star_n, seed, SimConfig::default())
-                .metrics
-                .routing_time as f64
+        // One cached session per star size: the trial loop recycles one
+        // engine instead of rebuilding the n!-node star per seed.
+        let mut session = StarRoutingSession::new(star_n, SimConfig::default());
+        let s = serial_trials(n_trials, |seed| {
+            session.route_permutation(seed).metrics.routing_time as f64
         });
         let star_diam = 3 * (star_n - 1) / 2;
         t.row(&[

@@ -28,8 +28,10 @@ use crate::memory::{ModuleArray, ModuleRequest};
 use lnpram_hash::{HashFamily, PolyHash};
 use lnpram_math::rng::SeedSeq;
 use lnpram_pram::model::{AccessMode, MemOp, PramProgram};
-use lnpram_routing::mesh::{default_block_rows, default_slice_rows, MeshAlgorithm, MeshRouter};
-use lnpram_shard::{AnyEngine, RowBlock};
+use lnpram_routing::mesh::{
+    default_block_rows, default_slice_rows, mesh_engine, MeshAlgorithm, MeshRouter,
+};
+use lnpram_shard::AnyEngine;
 use lnpram_simnet::{Discipline, Outbox, Packet, Protocol, SimConfig};
 use lnpram_topology::{Mesh, Network};
 use rand::Rng;
@@ -93,14 +95,15 @@ impl MeshPramEmulator {
         };
         let seq = SeedSeq::new(cfg.seed);
         let hash = family.sample(&mut seq.child(0).rng());
-        let engine = AnyEngine::with_partitioner(
+        // Same construction as `MeshRoutingSession` (row bands on the
+        // sharded path), built once and recycled per phase.
+        let engine = mesh_engine(
             &mesh,
             SimConfig {
                 discipline: Discipline::FurthestFirst,
                 shards: cfg.shards,
                 ..Default::default()
             },
-            &RowBlock::new(n),
         );
         MeshPramEmulator {
             mesh,

@@ -27,7 +27,8 @@ use crate::memory::{ModuleArray, ModuleRequest};
 use lnpram_hash::{HashFamily, PolyHash};
 use lnpram_math::rng::SeedSeq;
 use lnpram_pram::model::{AccessMode, MemOp, PramProgram};
-use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_routing::star::star_engine;
+use lnpram_shard::AnyEngine;
 use lnpram_simnet::{Outbox, Packet, Protocol, SimConfig};
 use lnpram_topology::{Network, StarGraph};
 use rand::Rng;
@@ -66,14 +67,15 @@ impl StarPramEmulator {
         };
         let seq = SeedSeq::new(cfg.seed);
         let hash = family.sample(&mut seq.child(0).rng());
-        let engine = AnyEngine::with_partitioner(
+        // Same construction as `StarRoutingSession` (greedy edge-cut on
+        // the sharded path), built once and recycled per phase.
+        let engine = star_engine(
             &star,
             SimConfig {
                 discipline: cfg.discipline,
                 shards: cfg.shards,
                 ..Default::default()
             },
-            &GreedyEdgeCut,
         );
         StarPramEmulator {
             star,

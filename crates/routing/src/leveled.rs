@@ -174,6 +174,23 @@ impl<L: Leveled + Copy> LeveledRoutingSession<L> {
         self.finish(dests.len())
     }
 
+    /// Route one random permutation drawn from `seed` — the session
+    /// counterpart of [`route_leveled_permutation`], bit-identical to it.
+    pub fn route_permutation(&mut self, seed: u64) -> LeveledRunReport {
+        let seq = SeedSeq::new(seed);
+        let mut rng = seq.child(0).rng();
+        let dests = workloads::random_permutation(self.width, &mut rng);
+        self.route_with_dests(&dests, seq)
+    }
+
+    /// Route one random permutation per seed over the warmed engine —
+    /// the batched entry for request loops (construction is amortised
+    /// across the whole batch; the lockstep overhead is not yet — that
+    /// is the ROADMAP's multi-tenant batching item).
+    pub fn route_many(&mut self, seeds: &[u64]) -> Vec<LeveledRunReport> {
+        seeds.iter().map(|&s| self.route_permutation(s)).collect()
+    }
+
     /// Route with `via = dest` (the derandomized ablation — see
     /// [`route_leveled_direct`]).
     pub fn route_direct(&mut self, dests: &[usize]) -> LeveledRunReport {
@@ -224,10 +241,7 @@ pub fn route_leveled_permutation<L: Leveled + Copy>(
     seed: u64,
     cfg: SimConfig,
 ) -> LeveledRunReport {
-    let seq = SeedSeq::new(seed);
-    let mut rng = seq.child(0).rng();
-    let dests = workloads::random_permutation(inner.width(), &mut rng);
-    LeveledRoutingSession::new(inner, cfg).route_with_dests(&dests, seq)
+    LeveledRoutingSession::new(inner, cfg).route_permutation(seed)
 }
 
 /// Route an explicit destination map (one packet per first-column node).

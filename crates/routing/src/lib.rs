@@ -49,7 +49,9 @@ pub mod shuffle;
 pub mod star;
 pub mod workloads;
 
-pub use leveled::{route_leveled_permutation, route_leveled_relation, DoubledLeveled};
-pub use mesh::{route_mesh_permutation, MeshAlgorithm};
+pub use leveled::{
+    route_leveled_permutation, route_leveled_relation, DoubledLeveled, LeveledRoutingSession,
+};
+pub use mesh::{mesh_engine, route_mesh_permutation, MeshAlgorithm, MeshRoutingSession};
 pub use shuffle::route_shuffle_permutation;
-pub use star::route_star_permutation;
+pub use star::{route_star_permutation, star_engine, StarRoutingSession};

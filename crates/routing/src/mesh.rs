@@ -185,23 +185,141 @@ pub fn canonical_discipline(alg: MeshAlgorithm) -> Discipline {
     }
 }
 
-/// Route one uniformly random permutation on the `n×n` mesh.
+/// Build the mesh's simulation engine — serial or sharded (row bands,
+/// so only vertical links between adjacent bands cross shards) per
+/// [`SimConfig::shards`]. The one construction shared by
+/// [`MeshRoutingSession`] and the mesh PRAM emulator, so every layer
+/// partitions the mesh the same way.
+pub fn mesh_engine(mesh: &Mesh, cfg: SimConfig) -> AnyEngine {
+    AnyEngine::with_partitioner(mesh, cfg, &RowBlock::new(mesh.cols()))
+}
+
+/// A reusable mesh routing session: the mesh, its partition plan and
+/// the [`AnyEngine`] are built **once** for a fixed algorithm, then any
+/// number of permutations / destination maps are routed through it,
+/// recycling the engine with `reset` per run. The one-shot entry points
+/// rebuild all of that per call — construction that dominates routing
+/// on small meshes (the `BENCH_3.json` regression this type closes), so
+/// loops should hold a session. Outcomes are bit-identical to the
+/// one-shots (pinned by property tests).
+pub struct MeshRoutingSession {
+    mesh: Mesh,
+    alg: MeshAlgorithm,
+    router: MeshRouter,
+    engine: AnyEngine,
+}
+
+impl MeshRoutingSession {
+    /// Session on the `n×n` mesh under `alg`'s canonical discipline.
+    pub fn new(n: usize, alg: MeshAlgorithm, mut cfg: SimConfig) -> Self {
+        cfg.discipline = canonical_discipline(alg);
+        Self::from_mesh(Mesh::square(n), alg, cfg)
+    }
+
+    /// Session over an already-built mesh, taking `cfg.discipline` as
+    /// given (the [`route_mesh_with_dests`] contract).
+    pub fn from_mesh(mesh: Mesh, alg: MeshAlgorithm, cfg: SimConfig) -> Self {
+        let engine = mesh_engine(&mesh, cfg);
+        MeshRoutingSession {
+            mesh,
+            alg,
+            router: MeshRouter::new(mesh, alg),
+            engine,
+        }
+    }
+
+    /// The mesh this session routes on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The algorithm this session was built for.
+    pub fn algorithm(&self) -> MeshAlgorithm {
+        self.alg
+    }
+
+    /// Override the per-run step budget while keeping the warmed engine.
+    pub fn set_max_steps(&mut self, max_steps: u32) {
+        self.engine.set_max_steps(max_steps);
+    }
+
+    /// Route one random permutation drawn from `seed` — the session
+    /// counterpart of [`route_mesh_permutation`], bit-identical to it.
+    pub fn route_permutation(&mut self, seed: u64) -> MeshRunReport {
+        let seq = SeedSeq::new(seed);
+        let mut rng = seq.child(0).rng();
+        let dests = workloads::random_permutation(self.mesh.num_nodes(), &mut rng);
+        self.route_with_dests(&dests, seq)
+    }
+
+    /// Route one random permutation per seed over the warmed engine —
+    /// the batched entry for request loops (construction is amortised
+    /// across the whole batch; the lockstep overhead is not yet — that
+    /// is the ROADMAP's multi-tenant batching item).
+    pub fn route_many(&mut self, seeds: &[u64]) -> Vec<MeshRunReport> {
+        seeds.iter().map(|&s| self.route_permutation(s)).collect()
+    }
+
+    /// Route an explicit destination map (one packet per node;
+    /// `dests[i] == i` injects a packet that delivers immediately) with
+    /// fresh stage-1/stage-3 randomness drawn from `seq`.
+    pub fn route_with_dests(&mut self, dests: &[usize], seq: SeedSeq) -> MeshRunReport {
+        assert_eq!(dests.len(), self.mesh.num_nodes());
+        let mesh = self.mesh;
+        self.engine.reset();
+        let mut rng = seq.child(1).rng();
+        for (src, &dest) in dests.iter().enumerate() {
+            let (r, c) = mesh.coords(src);
+            let slice_via = |slice_rows: usize, rng: &mut rand::rngs::StdRng| {
+                // random row within this node's horizontal slice, same col
+                let lo = r - r % slice_rows;
+                let hi = (lo + slice_rows).min(mesh.rows());
+                mesh.node_at(rng.gen_range(lo..hi), c)
+            };
+            let mut pkt = Packet::new(src as u32, src as u32, dest as u32);
+            let via = match self.alg {
+                MeshAlgorithm::ThreeStage { slice_rows } => slice_via(slice_rows, &mut rng),
+                MeshAlgorithm::ThreeStageConstQueue {
+                    slice_rows,
+                    block_rows,
+                } => {
+                    // stage-3 spreading target: random row in the
+                    // destination's block, destination's column
+                    // (Corollary 3.3).
+                    let (dr, dc) = mesh.coords(dest);
+                    let lo = dr - dr % block_rows;
+                    let hi = (lo + block_rows).min(mesh.rows());
+                    pkt = pkt.with_via2(mesh.node_at(rng.gen_range(lo..hi), dc) as u32);
+                    slice_via(slice_rows, &mut rng)
+                }
+                MeshAlgorithm::Greedy => src, // no randomization: phase 0 is a no-op
+                MeshAlgorithm::ValiantBrebner => rng.gen_range(0..mesh.num_nodes()),
+            };
+            self.engine.inject(src, pkt.with_via(via as u32));
+        }
+        let out = self.engine.run(&mut self.router);
+        MeshRunReport {
+            metrics: out.metrics,
+            completed: out.completed,
+            n: mesh.rows(),
+        }
+    }
+}
+
+/// Route one uniformly random permutation on the `n×n` mesh. One-shot
+/// convenience over [`MeshRoutingSession`]; loops should hold a session.
 pub fn route_mesh_permutation(
     n: usize,
     alg: MeshAlgorithm,
     seed: u64,
-    mut cfg: SimConfig,
+    cfg: SimConfig,
 ) -> MeshRunReport {
-    cfg.discipline = canonical_discipline(alg);
-    let mesh = Mesh::square(n);
-    let seq = SeedSeq::new(seed);
-    let mut rng = seq.child(0).rng();
-    let dests = workloads::random_permutation(mesh.num_nodes(), &mut rng);
-    route_mesh_with_dests(mesh, &dests, alg, seq, cfg)
+    MeshRoutingSession::new(n, alg, cfg).route_permutation(seed)
 }
 
 /// Route an explicit destination map (one packet per node; `dests[i] == i`
-/// injects a packet that delivers immediately).
+/// injects a packet that delivers immediately). One-shot convenience over
+/// [`MeshRoutingSession`]; loops should hold a session.
 pub fn route_mesh_with_dests(
     mesh: Mesh,
     dests: &[usize],
@@ -209,45 +327,7 @@ pub fn route_mesh_with_dests(
     seq: SeedSeq,
     cfg: SimConfig,
 ) -> MeshRunReport {
-    assert_eq!(dests.len(), mesh.num_nodes());
-    // Serial or sharded (row bands) per `cfg.shards` — same outcome.
-    let mut eng = AnyEngine::with_partitioner(&mesh, cfg, &RowBlock::new(mesh.cols()));
-    let mut rng = seq.child(1).rng();
-    for (src, &dest) in dests.iter().enumerate() {
-        let (r, c) = mesh.coords(src);
-        let slice_via = |slice_rows: usize, rng: &mut rand::rngs::StdRng| {
-            // random row within this node's horizontal slice, same col
-            let lo = r - r % slice_rows;
-            let hi = (lo + slice_rows).min(mesh.rows());
-            mesh.node_at(rng.gen_range(lo..hi), c)
-        };
-        let mut pkt = Packet::new(src as u32, src as u32, dest as u32);
-        let via = match alg {
-            MeshAlgorithm::ThreeStage { slice_rows } => slice_via(slice_rows, &mut rng),
-            MeshAlgorithm::ThreeStageConstQueue {
-                slice_rows,
-                block_rows,
-            } => {
-                // stage-3 spreading target: random row in the destination's
-                // block, destination's column (Corollary 3.3).
-                let (dr, dc) = mesh.coords(dest);
-                let lo = dr - dr % block_rows;
-                let hi = (lo + block_rows).min(mesh.rows());
-                pkt = pkt.with_via2(mesh.node_at(rng.gen_range(lo..hi), dc) as u32);
-                slice_via(slice_rows, &mut rng)
-            }
-            MeshAlgorithm::Greedy => src, // no randomization: phase 0 is a no-op
-            MeshAlgorithm::ValiantBrebner => rng.gen_range(0..mesh.num_nodes()),
-        };
-        eng.inject(src, pkt.with_via(via as u32));
-    }
-    let mut router = MeshRouter::new(mesh, alg);
-    let out = eng.run(&mut router);
-    MeshRunReport {
-        metrics: out.metrics,
-        completed: out.completed,
-        n: mesh.rows(),
-    }
+    MeshRoutingSession::from_mesh(mesh, alg, cfg).route_with_dests(dests, seq)
 }
 
 /// Theorem 3.3's workload: a permutation in which every packet travels at
@@ -514,6 +594,39 @@ mod tests {
         assert_eq!(a.metrics.max_queue, b.metrics.max_queue);
     }
 
+    #[test]
+    fn session_reuse_matches_one_shot() {
+        let alg = MeshAlgorithm::ThreeStage { slice_rows: 3 };
+        let mut session = MeshRoutingSession::new(8, alg, SimConfig::default());
+        for seed in 0..4u64 {
+            let reused = session.route_permutation(seed);
+            let fresh = route_mesh_permutation(8, alg, seed, SimConfig::default());
+            assert_eq!(reused.completed, fresh.completed);
+            assert_eq!(reused.metrics.routing_time, fresh.metrics.routing_time);
+            assert_eq!(reused.metrics.delivered, fresh.metrics.delivered);
+            assert_eq!(reused.metrics.max_queue, fresh.metrics.max_queue);
+        }
+    }
+
+    #[test]
+    fn route_many_matches_sequential_permutations() {
+        let alg = MeshAlgorithm::ThreeStageConstQueue {
+            slice_rows: 2,
+            block_rows: 2,
+        };
+        let seeds: Vec<u64> = (20..25).collect();
+        let mut batched_session = MeshRoutingSession::new(6, alg, SimConfig::default());
+        let reports = batched_session.route_many(&seeds);
+        assert_eq!(reports.len(), seeds.len());
+        let mut sequential = MeshRoutingSession::new(6, alg, SimConfig::default());
+        for (batched, &seed) in reports.iter().zip(&seeds) {
+            let one = sequential.route_permutation(seed);
+            assert!(batched.completed);
+            assert_eq!(batched.metrics.routing_time, one.metrics.routing_time);
+            assert_eq!(batched.metrics.max_queue, one.metrics.max_queue);
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -565,6 +678,42 @@ mod tests {
                 prop_assert!(rep.completed);
                 prop_assert_eq!(rep.metrics.delivered, total);
                 prop_assert!(rep.metrics.routing_time as usize >= max_dist);
+            }
+
+            /// Session-reuse bit-identity: the N-th call on a warmed
+            /// session equals a fresh one-shot with the same seed, on
+            /// both the serial and the sharded path, including right
+            /// after an incomplete (budget-exhausted) run.
+            #[test]
+            fn prop_mesh_session_reuse_bit_identity(
+                n in 4usize..=8,
+                base_seed: u64,
+                runs in 1usize..4,
+                alg in (4usize..=8).prop_flat_map(any_algorithm),
+                shards in 0usize..=3,
+            ) {
+                let seeds: Vec<u64> =
+                    (0..runs as u64).map(|i| base_seed.wrapping_add(i)).collect();
+                let cfg = SimConfig { shards, ..SimConfig::default() };
+                let mut session = MeshRoutingSession::new(n, alg, cfg.clone());
+                // Poison attempt: exhaust the budget so queues are left
+                // mid-flight, then restore it — reset must still give a
+                // fresh-engine run.
+                session.set_max_steps(0);
+                let _ = session.route_permutation(u64::MAX);
+                session.set_max_steps(cfg.max_steps);
+                for &seed in &seeds {
+                    let reused = session.route_permutation(seed);
+                    let fresh = route_mesh_permutation(n, alg, seed, cfg.clone());
+                    prop_assert_eq!(reused.completed, fresh.completed);
+                    prop_assert_eq!(reused.metrics.routing_time, fresh.metrics.routing_time);
+                    prop_assert_eq!(reused.metrics.delivered, fresh.metrics.delivered);
+                    prop_assert_eq!(reused.metrics.max_queue, fresh.metrics.max_queue);
+                    prop_assert_eq!(
+                        reused.metrics.queued_packet_steps,
+                        fresh.metrics.queued_packet_steps
+                    );
+                }
             }
         }
     }

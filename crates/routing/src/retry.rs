@@ -10,6 +10,15 @@
 //! experiment binary `table_lemma21_retry` instantiates it for the
 //! universal leveled-network algorithm with deliberately tight deadlines
 //! so failures are actually observable.
+//!
+//! Attempt closures should hold a routing session
+//! ([`crate::leveled::LeveledRoutingSession`],
+//! [`crate::star::StarRoutingSession`],
+//! [`crate::mesh::MeshRoutingSession`]) across attempts: every retry
+//! recycles the warmed engine (`set_max_steps` + `reset`) instead of
+//! rebuilding the network, the partition plan and all per-link queue
+//! state per attempt — on small networks that rebuild costs more than
+//! the attempt itself.
 
 /// Retry schedule parameters.
 #[derive(Debug, Clone, Copy)]
@@ -167,6 +176,90 @@ mod tests {
         assert!(rep.succeeded);
         assert_eq!(rep.attempts, 0);
         assert_eq!(rep.total_steps, 0);
+    }
+
+    #[test]
+    fn star_session_threads_through_retry_loop() {
+        // The Lemma 2.1 usage pattern on the star: one session serves
+        // every attempt (tight budgets fail, the relaxed final attempt
+        // succeeds), and the winning attempt is bit-identical to a
+        // fresh one-shot with the same seed.
+        use crate::star::{route_star_permutation, StarRoutingSession};
+        use lnpram_simnet::SimConfig;
+
+        let mut session = StarRoutingSession::new(4, SimConfig::default());
+        let ids: Vec<u32> = (0..24).collect();
+        let mut winning_seed = None;
+        let report = route_with_retry(
+            &ids,
+            RetryPolicy {
+                attempt_budget: 10_000,
+                max_attempts: 5,
+            },
+            |outstanding, budget, attempt| {
+                // First two attempts get a 1-step budget — guaranteed
+                // failures that leave packets mid-flight in the session.
+                session.set_max_steps(if attempt < 2 { 1 } else { budget });
+                let rep = session.route_permutation(attempt as u64);
+                if rep.completed {
+                    winning_seed = Some((attempt as u64, rep.metrics.routing_time));
+                    AttemptResult {
+                        delivered: outstanding.to_vec(),
+                        steps: rep.metrics.routing_time,
+                    }
+                } else {
+                    AttemptResult {
+                        delivered: vec![],
+                        steps: budget,
+                    }
+                }
+            },
+        );
+        assert!(report.succeeded);
+        assert_eq!(report.attempts, 3);
+        let (seed, time) = winning_seed.expect("a successful attempt");
+        let fresh = route_star_permutation(4, seed, SimConfig::default());
+        assert_eq!(
+            time, fresh.metrics.routing_time,
+            "session attempt diverged from a fresh one-shot"
+        );
+    }
+
+    #[test]
+    fn mesh_session_threads_through_retry_loop() {
+        use crate::mesh::{route_mesh_permutation, MeshAlgorithm, MeshRoutingSession};
+        use lnpram_simnet::SimConfig;
+
+        let alg = MeshAlgorithm::ThreeStage { slice_rows: 2 };
+        let mut session = MeshRoutingSession::new(6, alg, SimConfig::default());
+        let ids: Vec<u32> = (0..36).collect();
+        let report = route_with_retry(
+            &ids,
+            RetryPolicy {
+                attempt_budget: 10_000,
+                max_attempts: 4,
+            },
+            |outstanding, budget, attempt| {
+                session.set_max_steps(if attempt == 0 { 1 } else { budget });
+                let rep = session.route_permutation(100 + attempt as u64);
+                if rep.completed {
+                    let fresh =
+                        route_mesh_permutation(6, alg, 100 + attempt as u64, SimConfig::default());
+                    assert_eq!(rep.metrics.routing_time, fresh.metrics.routing_time);
+                    AttemptResult {
+                        delivered: outstanding.to_vec(),
+                        steps: rep.metrics.routing_time,
+                    }
+                } else {
+                    AttemptResult {
+                        delivered: vec![],
+                        steps: budget,
+                    }
+                }
+            },
+        );
+        assert!(report.succeeded);
+        assert_eq!(report.attempts, 2);
     }
 
     #[test]

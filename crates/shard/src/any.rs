@@ -31,6 +31,11 @@ impl AnyEngine {
     }
 
     /// Build per `cfg.shards` with an explicit partitioning strategy.
+    /// Well-defined for any `cfg.shards`: the sharded path clamps the
+    /// shard count to `1..=MAX_SHARDS` **and** to the node count, so
+    /// `shards > n` on a tiny network degrades to one single-node shard
+    /// per node instead of handing the partitioner a `k` it could only
+    /// satisfy with empty shards.
     pub fn with_partitioner<N, P>(net: &N, cfg: SimConfig, part: &P) -> Self
     where
         N: Network + ?Sized,

@@ -173,18 +173,22 @@ pub struct ShardedEngine {
 
 impl ShardedEngine {
     /// Partition `net` into `cfg.shards` shards with `part` — clamped
-    /// to `1..=`[`MAX_SHARDS`] (the packed-coordinate cap) — and build
-    /// one engine per shard. The per-shard engines always run their own
-    /// transmit serially (shard-level fan-out replaces link-level
-    /// fan-out); `cfg.threads > 1` enables the worker pool across
-    /// shards. Explicit plans via [`ShardedEngine::with_plan`] are not
-    /// clamped and assert the cap instead.
+    /// to `1..=`[`MAX_SHARDS`] (the packed-coordinate cap) **and** to
+    /// the node count, so `cfg.shards > n` on a tiny network yields one
+    /// single-node shard per node instead of empty shards (degenerate
+    /// `GreedyEdgeCut` / `LevelCut` bands) — and build one engine per
+    /// shard. The per-shard engines always run their own transmit
+    /// serially (shard-level fan-out replaces link-level fan-out);
+    /// `cfg.threads > 1` enables the worker pool across shards.
+    /// Explicit plans via [`ShardedEngine::with_plan`] are not clamped
+    /// (empty shards in an explicit plan are legal and simulated
+    /// correctly) and assert the cap instead.
     pub fn new<N, P>(net: &N, cfg: SimConfig, part: &P) -> Self
     where
         N: Network + ?Sized,
         P: Partitioner + ?Sized,
     {
-        let k = cfg.shards.clamp(1, MAX_SHARDS);
+        let k = cfg.shards.clamp(1, MAX_SHARDS).min(net.num_nodes().max(1));
         let plan = part.partition(net, k);
         Self::with_plan(net, cfg, plan)
     }

@@ -413,6 +413,84 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_above_node_count_is_clamped_and_equivalent() {
+        // Satellite regression: K > n used to hand GreedyEdgeCut /
+        // LevelCut a shard count they could only satisfy with empty
+        // shards. `ShardedEngine::new` now clamps K to the node count;
+        // outcomes stay bit-identical to serial either way.
+        use lnpram_topology::graph::ExplicitNetwork;
+        let star3 = ExplicitNetwork::undirected(3, &[(0, 1), (0, 2)], "star3");
+        let inject: Vec<(usize, Packet)> = vec![
+            (1, Packet::new(0, 1, 2)),
+            (2, Packet::new(1, 2, 1)),
+            (0, Packet::new(2, 0, 1)),
+        ];
+        // Direct router: hub-and-spoke — port 0 of a leaf is the hub.
+        struct Star3Router;
+        impl Protocol for Star3Router {
+            fn on_packet(&mut self, node: usize, pkt: Packet, _step: u32, out: &mut Outbox) {
+                if node == pkt.dest as usize {
+                    out.deliver(pkt);
+                } else if node == 0 {
+                    out.send(pkt.dest as usize - 1, pkt);
+                } else {
+                    out.send(0, pkt);
+                }
+            }
+        }
+        let serial = run_serial(&star3, cfg_serial(), &inject, &mut Star3Router);
+        let eng = ShardedEngine::new(&star3, cfg_sharded(7), &GreedyEdgeCut);
+        assert_eq!(eng.shards(), 3, "K=7 on 3 nodes must clamp to 3");
+        let greedy = run_sharded(
+            &star3,
+            cfg_sharded(7),
+            &GreedyEdgeCut,
+            &inject,
+            &mut Star3Router,
+        );
+        assert_eq!(serial, greedy, "greedy K>n");
+        let level = run_sharded(
+            &star3,
+            cfg_sharded(9),
+            &LevelCut::new(1),
+            &inject,
+            &mut Star3Router,
+        );
+        assert_eq!(serial, level, "level-cut K>n");
+        // AnyEngine takes the same path.
+        let mut any = AnyEngine::with_partitioner(&star3, cfg_sharded(7), &GreedyEdgeCut);
+        assert!(any.is_sharded());
+        for &(node, pkt) in &inject {
+            any.inject(node, pkt);
+        }
+        let out = any.run(&mut Star3Router);
+        assert_eq!(serial, fingerprint(out.completed, &out.metrics));
+    }
+
+    #[test]
+    fn explicit_plan_with_empty_shard_is_simulated_correctly() {
+        // Explicit plans are not clamped: an empty shard is legal and
+        // must not perturb the determinism contract.
+        let mesh = Mesh::square(4);
+        let n = mesh.num_nodes();
+        let inject: Vec<(usize, Packet)> = (0..n)
+            .map(|src| {
+                let dest = (src * 5 + 2) % n;
+                (src, Packet::new(src as u32, src as u32, dest as u32))
+            })
+            .collect();
+        let serial = run_serial(&mesh, cfg_serial(), &inject, &mut GreedyMesh { mesh });
+        // Shard 1 owns nothing; shards 0 and 2 split the mesh in halves.
+        let plan = ShardPlan::new((0..n).map(|v| if v < n / 2 { 0 } else { 2 }).collect(), 3);
+        let mut eng = ShardedEngine::with_plan(&mesh, cfg_sharded(3), plan);
+        for &(node, pkt) in &inject {
+            eng.inject(node, pkt);
+        }
+        let out = eng.run(&mut GreedyMesh { mesh });
+        assert_eq!(serial, fingerprint(out.completed, &out.metrics));
+    }
+
+    #[test]
     fn worker_pool_path_matches_inline_path() {
         // Force the pool on (threads > 1) vs off (threads = 1): the
         // transmit fan-out must not change any observable.

@@ -77,7 +77,8 @@ pub struct SimConfig {
     /// network into `k` shards stepped in lockstep with deterministic
     /// boundary exchange (bit-identical outcomes, pinned by the
     /// `lnpram-shard` property tests). Values above `lnpram-shard`'s
-    /// `MAX_SHARDS` (15, the packed-coordinate cap) are clamped.
+    /// `MAX_SHARDS` (15, the packed-coordinate cap) or above the node
+    /// count of the network being simulated are clamped.
     pub shards: usize,
 }
 

@@ -1,0 +1,101 @@
+//! Cached routing sessions: serve a request loop from one warmed
+//! engine instead of rebuilding the network per request.
+//!
+//! The one-shot entry points (`route_star_permutation`,
+//! `route_mesh_permutation`) construct the topology, the partition
+//! plan and the simulation engine on **every call** — on small
+//! networks that construction costs more than the routing itself
+//! (the BENCH_3 star regression: the sharded path ran at 0.57× serial
+//! purely on per-run construction). A `StarRoutingSession` /
+//! `MeshRoutingSession` builds all of that once and recycles it with
+//! `reset` per request, with bit-identical outcomes.
+//!
+//! Run with `cargo run --example routing_sessions`.
+
+use lnpram::routing::mesh::{default_slice_rows, MeshAlgorithm, MeshRoutingSession};
+use lnpram::routing::star::StarRoutingSession;
+use lnpram::routing::{route_mesh_permutation, route_star_permutation};
+use lnpram::simnet::SimConfig;
+use std::time::Instant;
+
+fn main() {
+    // `LNPRAM_TRIALS` throttles the request loop (the smoke test sets 2).
+    let requests = lnpram_bench::trial_count(40);
+    let seeds: Vec<u64> = (0..requests).collect();
+    let sharded = SimConfig {
+        shards: 4,
+        ..SimConfig::default()
+    };
+
+    println!("serving {requests} permutation-routing requests per configuration\n");
+
+    // --- Star graph (Algorithm 2.2 on the 5-star, 120 nodes) ---
+    for (label, cfg) in [
+        ("serial", SimConfig::default()),
+        ("4-sharded", sharded.clone()),
+    ] {
+        let start = Instant::now();
+        let mut one_shot_time = 0u64;
+        for &seed in &seeds {
+            let rep = route_star_permutation(5, seed, cfg.clone());
+            assert!(rep.completed);
+            one_shot_time += u64::from(rep.metrics.routing_time);
+        }
+        let t_one_shot = start.elapsed();
+
+        let start = Instant::now();
+        let mut session = StarRoutingSession::new(5, cfg);
+        let reports = session.route_many(&seeds);
+        let t_session = start.elapsed();
+        let session_time: u64 = reports
+            .iter()
+            .map(|r| u64::from(r.metrics.routing_time))
+            .sum();
+
+        // Bit-identity: holding the session changes cost, not outcomes.
+        assert_eq!(one_shot_time, session_time);
+        println!(
+            "star/5-star      {label:>9}: one-shot {:>8.2?}  session {:>8.2?}  ({:.2}x)",
+            t_one_shot,
+            t_session,
+            t_one_shot.as_secs_f64() / t_session.as_secs_f64().max(1e-9)
+        );
+    }
+
+    // --- Mesh (three-stage §3.4 on the 16×16 mesh) ---
+    let alg = MeshAlgorithm::ThreeStage {
+        slice_rows: default_slice_rows(16),
+    };
+    for (label, cfg) in [("serial", SimConfig::default()), ("4-sharded", sharded)] {
+        let start = Instant::now();
+        let mut one_shot_time = 0u64;
+        for &seed in &seeds {
+            let rep = route_mesh_permutation(16, alg, seed, cfg.clone());
+            assert!(rep.completed);
+            one_shot_time += u64::from(rep.metrics.routing_time);
+        }
+        let t_one_shot = start.elapsed();
+
+        let start = Instant::now();
+        let mut session = MeshRoutingSession::new(16, alg, cfg);
+        let reports = session.route_many(&seeds);
+        let t_session = start.elapsed();
+        let session_time: u64 = reports
+            .iter()
+            .map(|r| u64::from(r.metrics.routing_time))
+            .sum();
+
+        assert_eq!(one_shot_time, session_time);
+        println!(
+            "mesh/16x16       {label:>9}: one-shot {:>8.2?}  session {:>8.2?}  ({:.2}x)",
+            t_one_shot,
+            t_session,
+            t_one_shot.as_secs_f64() / t_session.as_secs_f64().max(1e-9)
+        );
+    }
+
+    println!(
+        "\nhold a session in loops: construction (topology + partition + engines)\n\
+         is paid once, every request after that is a cheap reset + route."
+    );
+}

@@ -17,12 +17,10 @@ use lnpram::pram::machine::PramMachine;
 use lnpram::pram::model::{AccessMode, PramProgram, WritePolicy};
 use lnpram::pram::programs::{ConnectedComponents, Histogram, PrefixSum, ReductionMax};
 use lnpram::routing::mesh::{
-    canonical_discipline, default_block_rows, default_slice_rows, route_mesh_permutation,
-    MeshAlgorithm,
+    default_block_rows, default_slice_rows, MeshAlgorithm, MeshRoutingSession,
 };
-use lnpram::routing::{
-    route_leveled_permutation, route_shuffle_permutation, route_star_permutation,
-};
+use lnpram::routing::star::StarRoutingSession;
+use lnpram::routing::{route_leveled_permutation, route_shuffle_permutation};
 use lnpram::simnet::SimConfig;
 use lnpram::topology::graph::audit;
 use lnpram::topology::leveled::{audit_unique_paths, RadixButterfly, UnrolledShuffle};
@@ -157,11 +155,17 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut times = Vec::new();
     let mut queues = Vec::new();
     let mut norm = 1usize;
+    // Cached routing sessions for the topologies with session support:
+    // built on first use, then every trial recycles the warmed engine.
+    let mut star_session: Option<StarRoutingSession> = None;
+    let mut mesh_session: Option<MeshRoutingSession> = None;
     for t in 0..trials {
         let s = seed + t;
         let (time, queue, d) = match topo.as_str() {
             "star" => {
-                let rep = route_star_permutation(n, s, SimConfig::default());
+                let session = star_session
+                    .get_or_insert_with(|| StarRoutingSession::new(n, SimConfig::default()));
+                let rep = session.route_permutation(s);
                 if !rep.completed {
                     return Err("routing did not complete".into());
                 }
@@ -206,11 +210,12 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
                     "valiant" => MeshAlgorithm::ValiantBrebner,
                     other => return Err(format!("unknown mesh algorithm '{other}'")),
                 };
-                let cfg = SimConfig {
-                    discipline: canonical_discipline(alg),
-                    ..Default::default()
-                };
-                let rep = route_mesh_permutation(n, alg, s, cfg);
+                let session = mesh_session
+                    .get_or_insert_with(|| MeshRoutingSession::new(n, alg, SimConfig::default()));
+                let rep = session.route_permutation(s);
+                if !rep.completed {
+                    return Err("routing did not complete".into());
+                }
                 (rep.metrics.routing_time, rep.metrics.max_queue, rep.n)
             }
             other => return Err(format!("unknown topology '{other}'")),

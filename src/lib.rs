@@ -79,7 +79,8 @@ pub mod prelude {
     };
     pub use lnpram_routing::{
         route_leveled_permutation, route_mesh_permutation, route_shuffle_permutation,
-        route_star_permutation, MeshAlgorithm,
+        route_star_permutation, LeveledRoutingSession, MeshAlgorithm, MeshRoutingSession,
+        StarRoutingSession,
     };
     pub use lnpram_shard::{
         AnyEngine, GreedyEdgeCut, LevelCut, Partitioner, RowBlock, ShardedEngine,

@@ -16,6 +16,7 @@ const EXAMPLES: &[&str] = &[
     "fault_injection",
     "mesh_locality",
     "quickstart",
+    "routing_sessions",
     "routing_showdown",
     "sharded_butterfly",
     "star_pram_programs",

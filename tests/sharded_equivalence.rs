@@ -7,6 +7,8 @@
 use lnpram::math::rng::SeedSeq;
 use lnpram::prelude::*;
 use lnpram::routing::leveled::LeveledRoutingSession;
+use lnpram::routing::mesh::MeshRoutingSession;
+use lnpram::routing::star::StarRoutingSession;
 use lnpram::routing::workloads;
 use lnpram::simnet::Metrics;
 
@@ -45,6 +47,71 @@ fn leveled_session_identical_across_shard_counts() {
                 fingerprint(&a.metrics),
                 fingerprint(&b.metrics),
                 "K={k} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn star_session_identical_across_shard_counts() {
+    let mut serial = StarRoutingSession::new(4, cfg(0));
+    for k in [2usize, 3, 7] {
+        let mut sharded = StarRoutingSession::new(4, cfg(k));
+        for seed in 0..4u64 {
+            let a = serial.route_permutation(seed);
+            let b = sharded.route_permutation(seed);
+            assert_eq!(a.completed, b.completed, "K={k} seed={seed}");
+            assert_eq!(
+                fingerprint(&a.metrics),
+                fingerprint(&b.metrics),
+                "K={k} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mesh_session_identical_across_shard_counts() {
+    let alg = MeshAlgorithm::ThreeStage { slice_rows: 3 };
+    let mut serial = MeshRoutingSession::new(9, alg, cfg(0));
+    for k in [2usize, 4, 7] {
+        let mut sharded = MeshRoutingSession::new(9, alg, cfg(k));
+        for seed in 0..3u64 {
+            let a = serial.route_permutation(seed);
+            let b = sharded.route_permutation(seed);
+            assert_eq!(a.completed, b.completed, "K={k} seed={seed}");
+            assert_eq!(
+                fingerprint(&a.metrics),
+                fingerprint(&b.metrics),
+                "K={k} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn route_many_matches_one_shots_serial_and_sharded() {
+    // The batched entry is the one-shot sequence, bit for bit, on both
+    // engine paths.
+    let seeds: Vec<u64> = (0..4).collect();
+    for shards in [0usize, 3] {
+        let star_batch = StarRoutingSession::new(4, cfg(shards)).route_many(&seeds);
+        for (rep, &seed) in star_batch.iter().zip(&seeds) {
+            let one = route_star_permutation(4, seed, cfg(shards));
+            assert_eq!(
+                fingerprint(&rep.metrics),
+                fingerprint(&one.metrics),
+                "star K={shards} seed={seed}"
+            );
+        }
+        let alg = MeshAlgorithm::ThreeStage { slice_rows: 4 };
+        let mesh_batch = MeshRoutingSession::new(8, alg, cfg(shards)).route_many(&seeds);
+        for (rep, &seed) in mesh_batch.iter().zip(&seeds) {
+            let one = route_mesh_permutation(8, alg, seed, cfg(shards));
+            assert_eq!(
+                fingerprint(&rep.metrics),
+                fingerprint(&one.metrics),
+                "mesh K={shards} seed={seed}"
             );
         }
     }

@@ -169,12 +169,13 @@ fn ranade_comparator_constant_is_impractical_on_mesh() {
 
 #[test]
 fn lemma_21_retry_with_real_leveled_routing() {
-    use lnpram::routing::leveled::route_leveled_with_dests;
+    use lnpram::routing::leveled::LeveledRoutingSession;
     use lnpram::routing::retry::{route_with_retry, AttemptResult, RetryPolicy};
 
     // Deliberately tight budget so some attempts fail, then verify the
     // retry wrapper converges. We re-route *all* packets per attempt with
-    // fresh randomness (a conservative variant of the lemma's schedule).
+    // fresh randomness (a conservative variant of the lemma's schedule),
+    // recycling one warmed session engine across every attempt.
     let net = RadixButterfly::new(2, 6);
     let mut rng = SeedSeq::new(11).rng();
     let dests = workloads::random_permutation(64, &mut rng);
@@ -184,12 +185,10 @@ fn lemma_21_retry_with_real_leveled_routing() {
         attempt_budget: budget,
         max_attempts: 20,
     };
+    let mut session = LeveledRoutingSession::new(net, SimConfig::default());
     let report = route_with_retry(&ids, policy, |outstanding, b, k| {
-        let cfg = SimConfig {
-            max_steps: b,
-            ..Default::default()
-        };
-        let rep = route_leveled_with_dests(net, &dests, SeedSeq::new(1000 + k as u64), cfg);
+        session.set_max_steps(b);
+        let rep = session.route_with_dests(&dests, SeedSeq::new(1000 + k as u64));
         if rep.completed {
             AttemptResult {
                 delivered: outstanding.to_vec(),
