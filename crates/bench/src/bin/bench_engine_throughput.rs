@@ -1,30 +1,37 @@
-//! Engine step-throughput on the three canonical workloads, **one-shot
-//! vs. cached-session**, on both the serial and the sharded path — the
-//! perf trajectory anchor.
+//! Engine step-throughput on four workloads — the perf trajectory
+//! anchor, now with **multi-tenant co-routing** columns.
 //!
 //! Routes random permutations on the leveled network (Algorithm 2.1),
 //! the 5-star (Algorithm 2.2) and the 32×32 mesh (three-stage §3.4),
-//! each four ways per seed: serial one-shot, serial session, sharded
-//! one-shot, sharded session (`K = LNPRAM_SHARDS`, default 4). The
-//! one-shot columns rebuild the topology, the partition plan and all
-//! engines per call; the session columns hold a
-//! [`LeveledRoutingSession`] / [`StarRoutingSession`] /
-//! [`MeshRoutingSession`] and serve every seed from one warmed engine
-//! — the construction-vs-routing split the `BENCH_3.json` star
-//! regression exposed (sharded one-shot at 0.57× serial because
-//! per-run construction dominated the tiny network).
-//! All four paths are asserted **bit-identical** per trial, so the
-//! columns measure pure construction and coordination cost. Results
-//! land as machine-readable JSON (default `BENCH_4.json`, override
-//! with `LNPRAM_BENCH_OUT`). CI's `bench-smoke` job runs this with
-//! `LNPRAM_TRIALS=2` so every subsequent PR has a baseline to beat;
-//! run it locally with the default trial count for stable numbers.
+//! plus a sparse long-haul trickle on a 15-way-banded linear array
+//! (the workload where co-routing pays), through the unified
+//! [`Router`] API:
+//!
+//! 1. **one-shot vs. cached-session**, serial and sharded
+//!    (`K = LNPRAM_SHARDS`, default 4) — the construction-vs-routing
+//!    split PR 4 closed; all four paths asserted bit-identical per
+//!    trial.
+//! 2. **batched tenants vs. sequential**: for `T ∈ {1, 4, 16}` tenants,
+//!    one `route_batch` call co-routing all T permutations in ONE
+//!    engine run (packet tag = tenant slot) against a sequential
+//!    `route_many` over the same requests on the same warmed session.
+//!    Per-tenant outcomes are asserted bit-identical to the sequential
+//!    runs (delivered / routing time / latency distribution), so the
+//!    speedup column measures pure amortization of the step loop's
+//!    fixed costs — per-step bookkeeping serially, the lockstep
+//!    barrier on the sharded path.
+//!
+//! Results land as machine-readable JSON (default `BENCH_5.json`,
+//! override with `LNPRAM_BENCH_OUT`). CI's `bench-smoke` job runs this
+//! with `LNPRAM_TRIALS=2` so every subsequent PR has a baseline to
+//! beat; run it locally with the default trial count for stable
+//! numbers.
 
 use lnpram_bench::{fmt, trial_count, Table};
 use lnpram_routing::leveled::LeveledRoutingSession;
 use lnpram_routing::mesh::{default_slice_rows, MeshAlgorithm, MeshRoutingSession};
 use lnpram_routing::star::StarRoutingSession;
-use lnpram_routing::{route_leveled_permutation, route_mesh_permutation, route_star_permutation};
+use lnpram_routing::{RouteRequest, Router};
 use lnpram_simnet::SimConfig;
 use lnpram_topology::leveled::RadixButterfly;
 use std::time::Instant;
@@ -68,12 +75,42 @@ impl PathPair {
     }
 }
 
-/// One workload's four measured paths.
+/// Sequential `route_many` vs co-routed `route_batch` on one engine
+/// path, same requests, same warmed session.
+struct BatchPair {
+    sequential: PathResult,
+    batched: PathResult,
+}
+
+impl BatchPair {
+    fn new() -> Self {
+        BatchPair {
+            sequential: PathResult::new(),
+            batched: PathResult::new(),
+        }
+    }
+
+    /// Batched packets/sec over sequential packets/sec — what one
+    /// engine run for the whole tenant batch buys.
+    fn batch_speedup(&self) -> f64 {
+        self.batched.packets_per_sec() / self.sequential.packets_per_sec()
+    }
+}
+
+/// One tenant count's serial + sharded batch columns.
+struct BatchedResult {
+    tenants: u64,
+    serial: BatchPair,
+    sharded: BatchPair,
+}
+
+/// One workload's measured paths.
 struct WorkloadResult {
     name: String,
     trials: u64,
     serial: PathPair,
     sharded: PathPair,
+    batched: Vec<BatchedResult>,
 }
 
 /// Time `trials` runs of each path, **interleaved per seed** so
@@ -99,6 +136,72 @@ fn measure_paths(trials: u64, runs: &mut [&mut dyn FnMut(u64) -> (u64, u64)]) ->
     acc
 }
 
+/// The tenant batch of one trial: `t` requests with distinct seeds
+/// through the workload's request builder (`u64::MAX` is the untimed
+/// warm-up trial).
+fn tenant_reqs(make_req: &dyn Fn(u64) -> RouteRequest, trial: u64, t: u64) -> Vec<RouteRequest> {
+    let base = if trial == u64::MAX {
+        990_000_000
+    } else {
+        trial * t
+    };
+    (0..t).map(|i| make_req(base + i).with_tenant(i)).collect()
+}
+
+/// Measure sequential-vs-batched on one router, `trials` interleaved
+/// trials, asserting per-tenant bit-identity on every one.
+fn measure_batch(
+    router: &mut dyn Router,
+    make_req: &dyn Fn(u64) -> RouteRequest,
+    trials: u64,
+    t: u64,
+) -> BatchPair {
+    {
+        let reqs = tenant_reqs(make_req, u64::MAX, t);
+        let _ = router.route_many(&reqs);
+        let _ = router.route_batch(&reqs);
+    }
+    let mut pair = BatchPair::new();
+    for trial in 0..trials {
+        let reqs = tenant_reqs(make_req, trial, t);
+
+        // Alternate which path runs first: running second on the same
+        // warmed engine with the same seeds is a systematic cache/branch
+        // advantage that would bias the speedup column.
+        let (seq_reports, batch) = if trial % 2 == 0 {
+            let start = Instant::now();
+            let seq_reports = router.route_many(&reqs);
+            pair.sequential.elapsed_s += start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let batch = router.route_batch(&reqs);
+            pair.batched.elapsed_s += start.elapsed().as_secs_f64();
+            (seq_reports, batch)
+        } else {
+            let start = Instant::now();
+            let batch = router.route_batch(&reqs);
+            pair.batched.elapsed_s += start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let seq_reports = router.route_many(&reqs);
+            pair.sequential.elapsed_s += start.elapsed().as_secs_f64();
+            (seq_reports, batch)
+        };
+
+        for (rep, tr) in seq_reports.iter().zip(&batch.tenants) {
+            assert!(rep.completed && tr.completed, "trial {trial} incomplete");
+            assert!(
+                tr.metrics.matches(&rep.metrics),
+                "tenant {} diverged from its isolated run on trial {trial}",
+                tr.slot
+            );
+            pair.sequential.packets += rep.metrics.delivered as u64;
+            pair.sequential.steps += u64::from(rep.metrics.steps);
+        }
+        pair.batched.packets += batch.metrics.delivered as u64;
+        pair.batched.steps += u64::from(batch.metrics.steps);
+    }
+    pair
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -121,6 +224,15 @@ fn pair_json(p: &PathPair) -> String {
     )
 }
 
+fn batch_pair_json(p: &BatchPair) -> String {
+    format!(
+        "{{\"sequential\": {}, \"batched\": {}, \"batch_speedup\": {:.3}}}",
+        path_json(&p.sequential),
+        path_json(&p.batched),
+        p.batch_speedup()
+    )
+}
+
 fn write_json(
     path: &str,
     trials: u64,
@@ -133,15 +245,28 @@ fn write_json(
     out.push_str(&format!("  \"shards\": {shards},\n"));
     out.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let batched: Vec<String> = r
+            .batched
+            .iter()
+            .map(|b| {
+                format!(
+                    "      {{\"tenants\": {}, \"serial\": {},\n       \"sharded\": {}}}",
+                    b.tenants,
+                    batch_pair_json(&b.serial),
+                    batch_pair_json(&b.sharded)
+                )
+            })
+            .collect();
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"trials\": {}, \"packets\": {}, \"steps\": {},\n     \
-             \"serial\": {},\n     \"sharded\": {}}}{}\n",
+             \"serial\": {},\n     \"sharded\": {},\n     \"batched\": [\n{}\n     ]}}{}\n",
             json_escape(&r.name),
             r.trials,
             r.serial.one_shot.packets,
             r.serial.one_shot.steps,
             pair_json(&r.serial),
             pair_json(&r.sharded),
+            batched.join(",\n"),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -183,35 +308,65 @@ fn shard_count() -> usize {
         .unwrap_or(4)
 }
 
-/// Measure one workload's four paths (one-shot vs session × serial vs
-/// sharded), asserting bit-identity against the serial one-shot per
-/// seed. `stats` projects a run report to its identity signature plus
-/// `(packets, steps)` — and asserts the run completed.
-fn run_workload<R>(
+/// Tenant counts for the batched columns.
+const TENANT_COUNTS: [u64; 3] = [1, 4, 16];
+
+/// Measure one workload: the four one-shot/session paths (bit-identity
+/// asserted against the serial one-shot per seed) plus the
+/// batched-tenants sweep on fresh serial and sharded sessions.
+/// `make_req` is the workload's request shape (permutation for the
+/// canonical workloads, sparse relation for the long-haul one);
+/// `make_session` builds the fresh session a one-shot call implies.
+fn run_workload(
     name: &str,
     trials: u64,
     sharded_cfg: impl Fn() -> SimConfig,
-    one_shot: impl Fn(u64, SimConfig) -> R,
-    mut serial_session: impl FnMut(u64) -> R,
-    mut sharded_session: impl FnMut(u64) -> R,
-    stats: impl Fn(&R) -> ((u32, u64), u64, u64),
+    make_req: impl Fn(u64) -> RouteRequest,
+    make_session: impl Fn(SimConfig) -> Box<dyn Router>,
 ) -> WorkloadResult {
     let reference = Reference::default();
-    let observe = |rep: &R, seed: u64, check: bool| {
-        let (sig, packets, steps) = stats(rep);
-        reference.observe(seed, check, sig);
-        (packets, steps)
+    let observe = |rep: &lnpram_routing::RunReport, seed: u64, check: bool| {
+        assert!(rep.completed);
+        reference.observe(
+            seed,
+            check,
+            (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
+        );
+        (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
     };
+    let mut serial_session = make_session(SimConfig::default());
+    let mut sharded_session = make_session(sharded_cfg());
     let paths = measure_paths(
         trials,
         &mut [
-            &mut |seed| observe(&one_shot(seed, SimConfig::default()), seed, false),
-            &mut |seed| observe(&serial_session(seed), seed, true),
-            &mut |seed| observe(&one_shot(seed, sharded_cfg()), seed, true),
-            &mut |seed| observe(&sharded_session(seed), seed, true),
+            &mut |seed| {
+                // One-shot: construction billed per call, by definition.
+                let rep = make_session(SimConfig::default()).route(&make_req(seed));
+                observe(&rep, seed, false)
+            },
+            &mut |seed| observe(&serial_session.route(&make_req(seed)), seed, true),
+            &mut |seed| {
+                let rep = make_session(sharded_cfg()).route(&make_req(seed));
+                observe(&rep, seed, true)
+            },
+            &mut |seed| observe(&sharded_session.route(&make_req(seed)), seed, true),
         ],
     );
     let [s1, s2, h1, h2] = <[PathResult; 4]>::try_from(paths).ok().expect("4 paths");
+
+    // Batched-tenants sweep: one warmed session per engine path serves
+    // every tenant count (route_batch caches its union engine per T).
+    let mut serial_router = make_session(SimConfig::default());
+    let mut sharded_router = make_session(sharded_cfg());
+    let batched = TENANT_COUNTS
+        .iter()
+        .map(|&t| BatchedResult {
+            tenants: t,
+            serial: measure_batch(serial_router.as_mut(), &make_req, trials, t),
+            sharded: measure_batch(sharded_router.as_mut(), &make_req, trials, t),
+        })
+        .collect();
+
     WorkloadResult {
         name: name.to_string(),
         trials,
@@ -223,6 +378,7 @@ fn run_workload<R>(
             one_shot: h1,
             session: h2,
         },
+        batched,
     }
 }
 
@@ -239,71 +395,76 @@ fn main() {
     // per run over 20 link stages.
     {
         let inner = RadixButterfly::new(2, 10);
-        let mut serial_session = LeveledRoutingSession::new(inner, SimConfig::default());
-        let mut sharded_session = LeveledRoutingSession::new(inner, sharded_cfg());
         results.push(run_workload(
             "leveled/butterfly(2,10)",
             trials,
             sharded_cfg,
-            |seed, cfg| route_leveled_permutation(inner, seed, cfg),
-            |seed| serial_session.route_permutation(seed),
-            |seed| sharded_session.route_permutation(seed),
-            |rep| {
-                assert!(rep.completed);
-                (
-                    (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
-                    rep.metrics.delivered as u64,
-                    u64::from(rep.metrics.steps),
-                )
-            },
+            RouteRequest::permutation,
+            |cfg| Box::new(LeveledRoutingSession::new(inner, cfg)),
         ));
     }
 
     // Star graph: Algorithm 2.2 on the 5-star (120 nodes) — the
     // workload whose sharded one-shot ran at 0.57× serial in BENCH_3
     // (construction-dominated).
-    {
-        let mut serial_session = StarRoutingSession::new(5, SimConfig::default());
-        let mut sharded_session = StarRoutingSession::new(5, sharded_cfg());
-        results.push(run_workload(
-            "star/5-star",
-            trials,
-            sharded_cfg,
-            |seed, cfg| route_star_permutation(5, seed, cfg),
-            |seed| serial_session.route_permutation(seed),
-            |seed| sharded_session.route_permutation(seed),
-            |rep| {
-                assert!(rep.completed);
-                (
-                    (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
-                    rep.metrics.delivered as u64,
-                    u64::from(rep.metrics.steps),
-                )
-            },
-        ));
-    }
+    results.push(run_workload(
+        "star/5-star",
+        trials,
+        sharded_cfg,
+        RouteRequest::permutation,
+        |cfg| Box::new(StarRoutingSession::new(5, cfg)),
+    ));
 
     // Mesh: three-stage §3.4 routing on the 32×32 mesh (1024 packets).
     {
         let alg = MeshAlgorithm::ThreeStage {
             slice_rows: default_slice_rows(32),
         };
-        let mut serial_session = MeshRoutingSession::new(32, alg, SimConfig::default());
-        let mut sharded_session = MeshRoutingSession::new(32, alg, sharded_cfg());
         results.push(run_workload(
             "mesh/32x32-three-stage",
             trials,
             sharded_cfg,
-            |seed, cfg| route_mesh_permutation(32, alg, seed, cfg),
-            |seed| serial_session.route_permutation(seed),
-            |seed| sharded_session.route_permutation(seed),
-            |rep| {
-                assert!(rep.completed);
-                (
-                    (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
-                    rep.metrics.delivered as u64,
-                    u64::from(rep.metrics.steps),
-                )
+            RouteRequest::permutation,
+            |cfg| Box::new(MeshRoutingSession::new(32, alg, cfg)),
+        ));
+    }
+
+    // Sparse long-haul: 2 packets crossing a 128×1 linear array end to
+    // end, on a deliberately fine 15-way sharding — the
+    // lockstep-overhead-bound regime multi-tenant batching targets. A
+    // permutation run keeps every link busy, so the coordinator's
+    // per-step costs vanish in per-packet work; a trickle of long-haul
+    // requests is the opposite: ~127 lockstep rounds of nearly-empty
+    // stepping per request (every round pays the K-shard iteration),
+    // which sequential route_many pays once per tenant and route_batch
+    // pays once for the whole batch. The array is a 128-row × 1-column
+    // mesh so `RowBlock` cuts it into 15 genuine bands (each packet
+    // crosses all 14 boundaries); batched engines partition on tenant
+    // copies, `min(15, T)` shards.
+    {
+        let alg = MeshAlgorithm::Greedy;
+        let n = 128usize;
+        let sparse = move |seed: u64| {
+            let mut relation = vec![Vec::new(); n];
+            let rot = seed as usize % 4;
+            relation[rot] = vec![n - 1 - rot];
+            relation[rot + 4] = vec![n - 5 - rot];
+            RouteRequest::relation_map(relation, seed)
+        };
+        results.push(run_workload(
+            "linear/128x1-sparse-longhaul-K15",
+            trials,
+            || SimConfig {
+                shards: 15,
+                ..Default::default()
+            },
+            sparse,
+            |cfg| {
+                Box::new(MeshRoutingSession::from_mesh(
+                    lnpram_topology::Mesh::new(n, 1),
+                    alg,
+                    cfg,
+                ))
             },
         ));
     }
@@ -336,7 +497,39 @@ fn main() {
     }
     t.print();
 
-    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_4.json".to_string());
+    let mut bt = Table::new(
+        format!(
+            "Multi-tenant co-routing: route_batch (one engine run) vs sequential \
+             route_many, per-tenant outcomes asserted identical ({trials} trials, pkt/s)"
+        ),
+        &[
+            "workload",
+            "tenants",
+            "serial sequential",
+            "serial batched",
+            "speedup",
+            "sharded sequential",
+            "sharded batched",
+            "speedup",
+        ],
+    );
+    for r in &results {
+        for b in &r.batched {
+            bt.row(&[
+                r.name.clone(),
+                b.tenants.to_string(),
+                fmt::f(b.serial.sequential.packets_per_sec(), 0),
+                fmt::f(b.serial.batched.packets_per_sec(), 0),
+                fmt::f(b.serial.batch_speedup(), 3),
+                fmt::f(b.sharded.sequential.packets_per_sec(), 0),
+                fmt::f(b.sharded.batched.packets_per_sec(), 0),
+                fmt::f(b.sharded.batch_speedup(), 3),
+            ]);
+        }
+    }
+    bt.print();
+
+    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_5.json".to_string());
     write_json(&path, trials, shards, &results).expect("write bench json");
     println!("wrote {path}");
 }

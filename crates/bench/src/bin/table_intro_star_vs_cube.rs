@@ -10,6 +10,7 @@ use lnpram_bench::{fmt, serial_trials, trial_count, trials, Table};
 use lnpram_math::perm::factorial;
 use lnpram_routing::hypercube::route_cube_permutation;
 use lnpram_routing::star::StarRoutingSession;
+use lnpram_routing::Router;
 use lnpram_simnet::SimConfig;
 
 fn main() {

@@ -10,6 +10,7 @@ use lnpram_math::rng::SeedSeq;
 use lnpram_routing::leveled::LeveledRoutingSession;
 use lnpram_routing::retry::{route_with_retry, AttemptResult, RetryPolicy};
 use lnpram_routing::workloads;
+use lnpram_routing::Router;
 use lnpram_simnet::SimConfig;
 use lnpram_topology::leveled::RadixButterfly;
 

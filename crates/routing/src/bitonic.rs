@@ -13,18 +13,32 @@
 //! destination `v` at node `v` — permutation routing in exactly
 //! `k(k+1)/2` steps, max queue 1, zero randomness. The trade, measured by
 //! `table_batcher_baseline`: Θ(log² N) vs Valiant's Õ(log N), and no
-//! extension to h-relations or many-one traffic.
+//! extension to h-relations or many-one traffic — a
+//! [`RoutePattern::Relation`] request panics here, exactly the
+//! limitation §2.2.1 criticizes.
 //!
-//! The exchange is simulated on the [`Engine`]: at every stage each node
+//! The exchange is simulated on the engine: at every stage each node
 //! sends a *copy* of its held packet across the scheduled dimension and,
 //! on receiving its partner's copy, keeps the min or max by the bitonic
 //! rule. Both directed channels of a dimension link carry exactly one
 //! packet per stage — the paper's machine model, with every queue at its
 //! floor of 1.
+//!
+//! The public entry point is [`BitonicRoutingSession`] — the
+//! [`Router`](crate::Router) instance for sort-routing. (Historically
+//! the one-shots built a bare serial `Engine` and silently ignored
+//! `cfg.shards`.) The sorting network's per-node state is kept per
+//! *global* node, so batched multi-tenant runs sort each tenant's copy
+//! independently.
 
+use crate::router::{
+    batch_engine, drive_raw, is_relation, pattern_dests, PatternRef, RouteBackend, Router,
+    RoutingSession, RunExtras,
+};
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
-use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::hypercube::Hypercube;
 use lnpram_topology::Network;
 
@@ -46,20 +60,26 @@ pub fn bitonic_schedule(k: usize) -> Vec<(usize, usize)> {
     stages
 }
 
-/// Does `node` keep the smaller of the pair at stage `(p, q)`?
+/// Does position `pos` (a *base-cube* node id) keep the smaller of the
+/// pair at stage `(p, q)`?
 ///
 /// Ascending blocks are those whose bit `p+1` is 0 (the final phase
 /// `p = k − 1` has that bit always 0, i.e. one fully ascending merge);
 /// within a pair the low endpoint of dimension `q` keeps the min in an
 /// ascending block and the max in a descending one.
-fn keeps_min(node: usize, p: usize, q: usize) -> bool {
-    let ascending = node & (1 << (p + 1)) == 0;
-    let low_end = node & (1 << q) == 0;
+fn keeps_min(pos: usize, p: usize, q: usize) -> bool {
+    let ascending = pos & (1 << (p + 1)) == 0;
+    let low_end = pos & (1 << q) == 0;
     ascending == low_end
 }
 
-/// Per-node program of the bitonic exchange.
+/// Per-node program of the bitonic exchange. State (`held`, `stage`) is
+/// indexed by **global** node id, so the same program drives a batched
+/// union of tenant copies: the compare rule uses the node's base-cube
+/// position (`node mod 2^k`), the state its global id.
 struct BitonicRouter {
+    /// Base-cube size `2^k` (position mask is `n − 1`).
+    n: usize,
     schedule: Vec<(usize, usize)>,
     /// The packet each node currently holds.
     held: Vec<Packet>,
@@ -68,12 +88,13 @@ struct BitonicRouter {
 }
 
 impl BitonicRouter {
-    fn new(k: usize, initial: Vec<Packet>) -> Self {
-        let n = initial.len();
+    fn new(k: usize, copies: usize) -> Self {
+        let n = 1usize << k;
         BitonicRouter {
+            n,
             schedule: bitonic_schedule(k),
-            held: initial,
-            stage: vec![0; n],
+            held: vec![Packet::new(0, 0, 0); copies * n],
+            stage: vec![0; copies * n],
         }
     }
 
@@ -86,6 +107,7 @@ impl BitonicRouter {
 
 impl Protocol for BitonicRouter {
     fn on_packet(&mut self, node: usize, pkt: Packet, step: u32, out: &mut Outbox) {
+        let pos = node % self.n;
         if step == 0 {
             // Injection: adopt the initial packet and start stage 0.
             self.held[node] = pkt;
@@ -106,13 +128,13 @@ impl Protocol for BitonicRouter {
             pkt.src
         );
         let mine = self.held[node];
-        let take_min = keeps_min(node, p, q);
+        let take_min = keeps_min(pos, p, q);
         let mine_smaller = mine.dest <= pkt.dest;
         self.held[node] = if take_min == mine_smaller { mine } else { pkt };
         self.stage[node] = s + 1;
         if s + 1 == self.schedule.len() {
             debug_assert_eq!(
-                self.held[node].dest as usize, node,
+                self.held[node].dest as usize, pos,
                 "bitonic sort must place each packet at its destination"
             );
             out.deliver(self.held[node]);
@@ -126,21 +148,101 @@ impl Protocol for BitonicRouter {
     }
 }
 
-/// Report of one bitonic sort-routing run.
-#[derive(Debug, Clone)]
-pub struct BitonicRunReport {
-    /// Engine metrics (routing time = `k(k+1)/2` exactly).
-    pub metrics: Metrics,
-    /// Completed within budget?
-    pub completed: bool,
-    /// Cube dimensions k.
-    pub dims: usize,
+/// [`RouteBackend`] for bitonic sort-routing on the k-cube.
+pub struct BitonicBackend {
+    cube: Hypercube,
+    k: usize,
 }
 
-impl BitonicRunReport {
-    /// The stage count `k(k+1)/2` the run must match.
-    pub fn expected_steps(&self) -> u32 {
-        (self.dims * (self.dims + 1) / 2) as u32
+impl BitonicBackend {
+    /// Backend on the `k`-cube.
+    pub fn new(k: usize) -> Self {
+        BitonicBackend {
+            cube: Hypercube::new(k),
+            k,
+        }
+    }
+}
+
+impl RouteBackend for BitonicBackend {
+    fn sources(&self) -> usize {
+        self.cube.num_nodes()
+    }
+
+    fn stride(&self) -> usize {
+        self.cube.num_nodes()
+    }
+
+    fn name(&self) -> String {
+        format!("bitonic[{}]", self.cube.name())
+    }
+
+    fn extras(&self) -> RunExtras {
+        RunExtras::Bitonic {
+            dims: self.k,
+            stages: (self.k * (self.k + 1) / 2) as u32,
+        }
+    }
+
+    fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine {
+        batch_engine(&self.cube, copies, cfg, |cube, cfg| {
+            AnyEngine::with_partitioner(cube, cfg, &GreedyEdgeCut)
+        })
+    }
+
+    fn inject(
+        &mut self,
+        eng: &mut AnyEngine,
+        copy: usize,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+    ) -> usize {
+        assert!(
+            !is_relation(pattern),
+            "bitonic routing requires a permutation"
+        );
+        let total = self.cube.num_nodes();
+        let offset = copy * total;
+        // Direct and randomized are the same thing here: sorting uses no
+        // random intermediate to begin with.
+        let (dests, _direct) = pattern_dests(pattern, total, seq);
+        assert!(
+            workloads::is_permutation(&dests),
+            "bitonic routing requires a permutation"
+        );
+        assert_eq!(dests.len(), total);
+        for (src, &dest) in dests.iter().enumerate() {
+            let node = offset + src;
+            // `src` carries the *global* sender id (the partner assert
+            // and the exchange protocol work per copy).
+            let pkt = Packet::new(src as u32, node as u32, dest as u32).with_tag(tag);
+            eng.inject(node, pkt);
+        }
+        dests.len()
+    }
+
+    fn run(
+        &mut self,
+        eng: &mut AnyEngine,
+        copies: usize,
+        demux: usize,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        drive_raw(eng, BitonicRouter::new(self.k, copies), demux)
+    }
+}
+
+/// A reusable bitonic sort-routing session: the
+/// [`Router`](crate::Router) instance for Batcher sort-routing on the
+/// k-cube (network + partition + engine built once, `cfg.shards`
+/// honored). Only permutation-shaped requests are legal — relation
+/// requests panic, which is §2.2.1's criticism made executable.
+pub type BitonicRoutingSession = RoutingSession<BitonicBackend>;
+
+impl RoutingSession<BitonicBackend> {
+    /// Session on the `k`-cube (serial or sharded per `cfg.shards`).
+    pub fn new(k: usize, cfg: SimConfig) -> Self {
+        RoutingSession::with_backend(BitonicBackend::new(k), cfg)
     }
 }
 
@@ -154,11 +256,8 @@ impl BitonicRunReport {
 /// assert_eq!(rep.metrics.routing_time, 21); // 6·7/2, input-independent
 /// assert_eq!(rep.metrics.max_queue, 1);     // sorting needs no queues
 /// ```
-pub fn route_cube_bitonic(k: usize, seed: u64, cfg: SimConfig) -> BitonicRunReport {
-    let seq = SeedSeq::new(seed);
-    let mut rng = seq.child(0).rng();
-    let dests = workloads::random_permutation(1 << k, &mut rng);
-    route_cube_bitonic_with_dests(k, &dests, cfg)
+pub fn route_cube_bitonic(k: usize, seed: u64, cfg: SimConfig) -> crate::RunReport {
+    BitonicRoutingSession::new(k, cfg).route_permutation(seed)
 }
 
 /// Route an explicit permutation by bitonic sorting (destinations must be
@@ -168,33 +267,21 @@ pub fn route_cube_bitonic_with_dests(
     k: usize,
     dests: &[usize],
     cfg: SimConfig,
-) -> BitonicRunReport {
-    assert!(
-        workloads::is_permutation(dests),
-        "bitonic routing requires a permutation"
-    );
-    let cube = Hypercube::new(k);
-    assert_eq!(dests.len(), cube.num_nodes());
-    let mut eng = Engine::new(&cube, cfg);
-    let mut initial = Vec::with_capacity(dests.len());
-    for (src, &dest) in dests.iter().enumerate() {
-        let mut pkt = Packet::new(src as u32, src as u32, dest as u32);
-        pkt.src = src as u32;
-        initial.push(pkt);
-        eng.inject(src, pkt);
-    }
-    let mut router = BitonicRouter::new(k, initial);
-    let out = eng.run(&mut router);
-    BitonicRunReport {
-        metrics: out.metrics,
-        completed: out.completed,
-        dims: k,
-    }
+) -> crate::RunReport {
+    BitonicRoutingSession::new(k, cfg).route_direct(dests)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The stage count `k(k+1)/2` a run must match.
+    fn expected_steps(rep: &crate::RunReport) -> u32 {
+        match rep.extras {
+            RunExtras::Bitonic { stages, .. } => stages,
+            _ => unreachable!("bitonic report"),
+        }
+    }
 
     #[test]
     fn schedule_length_is_k_choose() {
@@ -216,7 +303,7 @@ mod tests {
                 assert_eq!(rep.metrics.delivered, 1 << k);
                 assert_eq!(
                     rep.metrics.routing_time,
-                    rep.expected_steps(),
+                    expected_steps(&rep),
                     "k={k}: bitonic time is deterministic"
                 );
                 assert_eq!(rep.metrics.max_queue, 1, "queue-free by design");
@@ -236,7 +323,7 @@ mod tests {
         let rep = route_cube_bitonic_with_dests(k, &reversal, SimConfig::default());
         assert!(rep.completed);
         // Sorting time does not depend on the permutation at all.
-        assert_eq!(rep.metrics.routing_time, rep.expected_steps());
+        assert_eq!(rep.metrics.routing_time, expected_steps(&rep));
     }
 
     #[test]
@@ -244,6 +331,13 @@ mod tests {
     fn many_one_rejected() {
         let dests = vec![0usize; 8];
         let _ = route_cube_bitonic_with_dests(3, &dests, SimConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn relation_rejected() {
+        let mut session = BitonicRoutingSession::new(3, SimConfig::default());
+        let _ = session.route_relation(2, 1);
     }
 
     #[test]
@@ -264,5 +358,25 @@ mod tests {
         // But bitonic's queues sit at the floor.
         assert_eq!(bitonic.metrics.max_queue, 1);
         assert!(valiant.metrics.max_queue > 1);
+    }
+
+    #[test]
+    fn session_honors_shards_and_reuse() {
+        // The satellite bugfix: the bitonic one-shots used to build a
+        // bare serial `Engine`, silently ignoring `cfg.shards`.
+        let sharded = SimConfig {
+            shards: 2,
+            ..SimConfig::default()
+        };
+        let mut session = BitonicRoutingSession::new(4, sharded);
+        assert!(session.is_sharded());
+        for seed in 0..3u64 {
+            let s = session.route_permutation(seed);
+            let fresh = route_cube_bitonic(4, seed, SimConfig::default());
+            assert_eq!(s.completed, fresh.completed);
+            assert_eq!(s.metrics.routing_time, fresh.metrics.routing_time);
+            assert_eq!(s.metrics.delivered, fresh.metrics.delivered);
+            assert_eq!(s.metrics.max_queue, fresh.metrics.max_queue);
+        }
     }
 }

@@ -8,10 +8,20 @@
 //! the destination. Expected: Õ(diameter) = Õ(k) routing — at **fixed
 //! degree 3**, which is the trade CCC makes against the butterfly's
 //! unbounded radix and the cube's log N degree.
+//!
+//! The public entry point is [`CccRoutingSession`] — the
+//! [`Router`](crate::Router) instance for CCC. (Historically
+//! [`route_ccc_permutation`] built a bare serial `Engine` and silently
+//! ignored `cfg.shards`; the session routes through
+//! [`AnyEngine`](lnpram_shard::AnyEngine).)
 
-use crate::workloads;
+use crate::router::{
+    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
+    RunExtras,
+};
 use lnpram_math::rng::SeedSeq;
-use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::{CubeConnectedCycles, Network};
 use rand::Rng;
 
@@ -51,52 +61,119 @@ impl Protocol for CccRouter {
     }
 }
 
-/// Report of one CCC routing run.
-#[derive(Debug, Clone)]
-pub struct CccRunReport {
-    /// Engine metrics.
-    pub metrics: Metrics,
-    /// All delivered within budget?
-    pub completed: bool,
-    /// Cycle length / cube dimension k.
-    pub k: usize,
+/// Diameter of CCC(k): `2k + ⌊k/2⌋ − 2` for `k ≥ 4`, 6 for `k = 3`.
+pub fn ccc_diameter(k: usize) -> usize {
+    if k == 3 {
+        6
+    } else {
+        2 * k + k / 2 - 2
+    }
 }
 
-impl CccRunReport {
-    /// Routing time normalised by the diameter `2k + ⌊k/2⌋ − 2`
-    /// (`k ≥ 4`; 6 for k = 3).
-    pub fn time_per_diameter(&self) -> f64 {
-        let diam = if self.k == 3 {
-            6
-        } else {
-            2 * self.k + self.k / 2 - 2
-        };
-        f64::from(self.metrics.routing_time) / diam as f64
+/// [`RouteBackend`] for two-phase routing on CCC(k).
+pub struct CccBackend {
+    ccc: CubeConnectedCycles,
+    k: usize,
+}
+
+impl CccBackend {
+    /// Backend on CCC(k).
+    pub fn new(k: usize) -> Self {
+        CccBackend {
+            ccc: CubeConnectedCycles::new(k),
+            k,
+        }
+    }
+}
+
+impl RouteBackend for CccBackend {
+    fn sources(&self) -> usize {
+        self.ccc.num_nodes()
+    }
+
+    fn stride(&self) -> usize {
+        self.ccc.num_nodes()
+    }
+
+    fn name(&self) -> String {
+        self.ccc.name()
+    }
+
+    fn extras(&self) -> RunExtras {
+        RunExtras::Ccc {
+            k: self.k,
+            diameter: ccc_diameter(self.k),
+        }
+    }
+
+    fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine {
+        batch_engine(&self.ccc, copies, cfg, |ccc, cfg| {
+            AnyEngine::with_partitioner(ccc, cfg, &GreedyEdgeCut)
+        })
+    }
+
+    fn inject(
+        &mut self,
+        eng: &mut AnyEngine,
+        copy: usize,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+    ) -> usize {
+        let total = self.ccc.num_nodes();
+        let offset = copy * total;
+        inject_per_source(
+            eng,
+            total,
+            pattern,
+            seq,
+            &mut |src| offset + src,
+            &mut |id, src, dest, rng| {
+                let via = rng.gen_range(0..total) as u32;
+                Packet::new(id, src as u32, dest as u32)
+                    .with_via(via)
+                    .with_tag(tag)
+            },
+            &mut |id, src, dest| {
+                // phase 1 from the start: the canonical route only,
+                // no random intermediate.
+                let mut pkt = Packet::new(id, src as u32, dest as u32)
+                    .with_via(src as u32)
+                    .with_tag(tag);
+                pkt.phase = 1;
+                pkt
+            },
+        )
+    }
+
+    fn run(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.ccc.num_nodes();
+        drive(eng, CccRouter::new(self.ccc), stride, demux)
+    }
+}
+
+/// A reusable two-phase routing session on CCC(k): the
+/// [`Router`](crate::Router) instance for cube-connected cycles
+/// (network + partition + engine built once, `cfg.shards` honored).
+pub type CccRoutingSession = RoutingSession<CccBackend>;
+
+impl RoutingSession<CccBackend> {
+    /// Session on CCC(k) (serial or sharded per `cfg.shards`).
+    pub fn new(k: usize, cfg: SimConfig) -> Self {
+        RoutingSession::with_backend(CccBackend::new(k), cfg)
     }
 }
 
 /// Route one random permutation on CCC(k) with the two-phase scheme.
-pub fn route_ccc_permutation(k: usize, seed: u64, cfg: SimConfig) -> CccRunReport {
-    let ccc = CubeConnectedCycles::new(k);
-    let seq = SeedSeq::new(seed);
-    let mut rng = seq.child(0).rng();
-    let dests = workloads::random_permutation(ccc.num_nodes(), &mut rng);
-    let mut eng = Engine::new(&ccc, cfg);
-    let mut via_rng = seq.child(1).rng();
-    for (src, &dest) in dests.iter().enumerate() {
-        let via = via_rng.gen_range(0..ccc.num_nodes()) as u32;
-        eng.inject(
-            src,
-            Packet::new(src as u32, src as u32, dest as u32).with_via(via),
-        );
-    }
-    let mut router = CccRouter::new(ccc);
-    let out = eng.run(&mut router);
-    CccRunReport {
-        metrics: out.metrics,
-        completed: out.completed,
-        k,
-    }
+/// One-shot convenience over [`CccRoutingSession`]; loops should hold a
+/// session.
+pub fn route_ccc_permutation(k: usize, seed: u64, cfg: SimConfig) -> crate::RunReport {
+    CccRoutingSession::new(k, cfg).route_permutation(seed)
 }
 
 #[cfg(test)]
@@ -109,6 +186,7 @@ mod tests {
             let rep = route_ccc_permutation(k, 1, SimConfig::default());
             assert!(rep.completed, "k={k}");
             assert_eq!(rep.metrics.delivered, k << k);
+            assert_eq!(rep.norm(), ccc_diameter(k));
         }
     }
 
@@ -121,9 +199,9 @@ mod tests {
             let rep = route_ccc_permutation(k, 2, SimConfig::default());
             assert!(rep.completed);
             assert!(
-                rep.time_per_diameter() <= cap,
+                rep.time_per_norm() <= cap,
                 "k={k}: {:.2}x diameter",
-                rep.time_per_diameter()
+                rep.time_per_norm()
             );
         }
     }
@@ -146,5 +224,33 @@ mod tests {
         let b = route_ccc_permutation(5, 9, SimConfig::default());
         assert_eq!(a.metrics.routing_time, b.metrics.routing_time);
         assert_eq!(a.metrics.max_queue, b.metrics.max_queue);
+    }
+
+    #[test]
+    fn session_honors_shards_and_reuse() {
+        // The satellite bugfix: `route_ccc_permutation` used to build a
+        // bare serial `Engine`, silently ignoring `cfg.shards`.
+        let sharded = SimConfig {
+            shards: 4,
+            ..SimConfig::default()
+        };
+        let mut session = CccRoutingSession::new(4, sharded);
+        assert!(session.is_sharded());
+        for seed in 0..3u64 {
+            let s = session.route_permutation(seed);
+            let fresh = route_ccc_permutation(4, seed, SimConfig::default());
+            assert_eq!(s.completed, fresh.completed);
+            assert_eq!(s.metrics.routing_time, fresh.metrics.routing_time);
+            assert_eq!(s.metrics.delivered, fresh.metrics.delivered);
+            assert_eq!(s.metrics.max_queue, fresh.metrics.max_queue);
+        }
+    }
+
+    #[test]
+    fn relation_routing_on_ccc() {
+        let mut session = CccRoutingSession::new(3, SimConfig::default());
+        let rep = session.route_relation(2, 5);
+        assert!(rep.completed);
+        assert_eq!(rep.metrics.delivered, 24 * 2);
     }
 }

@@ -8,10 +8,21 @@
 //! the star graph achieves strictly smaller degree and diameter at the
 //! same size — so the star's Õ(diameter) routing beats what any cube
 //! algorithm can do. `table_intro_star_vs_cube` measures the comparison.
+//!
+//! The public entry point is [`CubeRoutingSession`] — the
+//! [`Router`](crate::Router) instance for the hypercube. (Historically
+//! [`route_cube_permutation`] built a bare serial `Engine` and silently
+//! ignored `cfg.shards`; the session routes through
+//! [`AnyEngine`](lnpram_shard::AnyEngine), so sharding works here like
+//! on every other topology.)
 
-use crate::workloads;
+use crate::router::{
+    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
+    RunExtras,
+};
 use lnpram_math::rng::SeedSeq;
-use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::hypercube::Hypercube;
 use lnpram_topology::Network;
 use rand::Rng;
@@ -45,48 +56,112 @@ impl Protocol for CubeRouter {
     }
 }
 
-/// Report of one hypercube routing run.
-#[derive(Debug, Clone)]
-pub struct CubeRunReport {
-    /// Engine metrics.
-    pub metrics: Metrics,
-    /// All delivered within budget?
-    pub completed: bool,
-    /// Dimensions (= degree = diameter).
-    pub dims: usize,
+/// [`RouteBackend`] for Valiant two-phase routing on the k-cube.
+pub struct CubeBackend {
+    cube: Hypercube,
+    dims: usize,
 }
 
-impl CubeRunReport {
-    /// Routing time / diameter.
-    pub fn time_per_diameter(&self) -> f64 {
-        f64::from(self.metrics.routing_time) / self.dims.max(1) as f64
+impl CubeBackend {
+    /// Backend on the `dims`-cube.
+    pub fn new(dims: usize) -> Self {
+        CubeBackend {
+            cube: Hypercube::new(dims),
+            dims,
+        }
+    }
+}
+
+impl RouteBackend for CubeBackend {
+    fn sources(&self) -> usize {
+        self.cube.num_nodes()
+    }
+
+    fn stride(&self) -> usize {
+        self.cube.num_nodes()
+    }
+
+    fn name(&self) -> String {
+        self.cube.name()
+    }
+
+    fn extras(&self) -> RunExtras {
+        RunExtras::Cube { dims: self.dims }
+    }
+
+    fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine {
+        batch_engine(&self.cube, copies, cfg, |cube, cfg| {
+            AnyEngine::with_partitioner(cube, cfg, &GreedyEdgeCut)
+        })
+    }
+
+    fn inject(
+        &mut self,
+        eng: &mut AnyEngine,
+        copy: usize,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+    ) -> usize {
+        let total = self.cube.num_nodes();
+        let offset = copy * total;
+        inject_per_source(
+            eng,
+            total,
+            pattern,
+            seq,
+            &mut |src| offset + src,
+            &mut |id, src, dest, rng| {
+                let via = rng.gen_range(0..total) as u32;
+                let mut pkt = Packet::new(id, src as u32, dest as u32)
+                    .with_via(via)
+                    .with_tag(tag);
+                if pkt.via == src as u32 {
+                    pkt.phase = 1;
+                }
+                pkt
+            },
+            &mut |id, src, dest| {
+                // via = self, phase 1 from the start: pure e-cube
+                // dimension-order routing (the deterministic,
+                // adversary-congestable baseline).
+                let mut pkt = Packet::new(id, src as u32, dest as u32)
+                    .with_via(src as u32)
+                    .with_tag(tag);
+                pkt.phase = 1;
+                pkt
+            },
+        )
+    }
+
+    fn run(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.cube.num_nodes();
+        drive(eng, CubeRouter, stride, demux)
+    }
+}
+
+/// A reusable Valiant-routing session on the k-cube: the
+/// [`Router`](crate::Router) instance for the hypercube (network +
+/// partition + engine built once, `cfg.shards` honored).
+pub type CubeRoutingSession = RoutingSession<CubeBackend>;
+
+impl RoutingSession<CubeBackend> {
+    /// Session on the `dims`-cube (serial or sharded per `cfg.shards`).
+    pub fn new(dims: usize, cfg: SimConfig) -> Self {
+        RoutingSession::with_backend(CubeBackend::new(dims), cfg)
     }
 }
 
 /// Route one random permutation on the n-cube with Valiant's two-phase
-/// randomized e-cube algorithm.
-pub fn route_cube_permutation(dims: usize, seed: u64, cfg: SimConfig) -> CubeRunReport {
-    let cube = Hypercube::new(dims);
-    let seq = SeedSeq::new(seed);
-    let mut rng = seq.child(0).rng();
-    let dests = workloads::random_permutation(cube.num_nodes(), &mut rng);
-    let mut eng = Engine::new(&cube, cfg);
-    let mut via_rng = seq.child(1).rng();
-    for (src, &dest) in dests.iter().enumerate() {
-        let via = via_rng.gen_range(0..cube.num_nodes()) as u32;
-        let mut pkt = Packet::new(src as u32, src as u32, dest as u32).with_via(via);
-        if pkt.via == src as u32 {
-            pkt.phase = 1;
-        }
-        eng.inject(src, pkt);
-    }
-    let mut router = CubeRouter::new(cube);
-    let out = eng.run(&mut router);
-    CubeRunReport {
-        metrics: out.metrics,
-        completed: out.completed,
-        dims,
-    }
+/// randomized e-cube algorithm. One-shot convenience over
+/// [`CubeRoutingSession`]; loops should hold a session.
+pub fn route_cube_permutation(dims: usize, seed: u64, cfg: SimConfig) -> crate::RunReport {
+    CubeRoutingSession::new(dims, cfg).route_permutation(seed)
 }
 
 #[cfg(test)]
@@ -99,14 +174,15 @@ mod tests {
             let rep = route_cube_permutation(dims, 1, SimConfig::default());
             assert!(rep.completed, "dims={dims}");
             assert_eq!(rep.metrics.delivered, 1 << dims);
+            assert_eq!(rep.norm(), dims);
         }
     }
 
     #[test]
     fn time_linear_in_dimension() {
         // Valiant: Õ(log N) = Õ(dims); constant should be small and flat.
-        let c6 = route_cube_permutation(6, 2, SimConfig::default()).time_per_diameter();
-        let c10 = route_cube_permutation(10, 2, SimConfig::default()).time_per_diameter();
+        let c6 = route_cube_permutation(6, 2, SimConfig::default()).time_per_norm();
+        let c10 = route_cube_permutation(10, 2, SimConfig::default()).time_per_norm();
         assert!(c6 < 6.0, "{c6:.2}");
         assert!(c10 < 1.8 * c6, "{c6:.2} -> {c10:.2}");
     }
@@ -133,5 +209,34 @@ mod tests {
         let a = route_cube_permutation(8, 7, SimConfig::default());
         let b = route_cube_permutation(8, 7, SimConfig::default());
         assert_eq!(a.metrics.routing_time, b.metrics.routing_time);
+    }
+
+    #[test]
+    fn session_honors_shards_and_reuse() {
+        // The satellite bugfix: `route_cube_permutation` used to build a
+        // bare serial `Engine`, silently ignoring `cfg.shards`. The
+        // session routes through `AnyEngine`; sharded == serial.
+        let sharded = SimConfig {
+            shards: 3,
+            ..SimConfig::default()
+        };
+        let mut session = CubeRoutingSession::new(5, sharded);
+        assert!(session.is_sharded());
+        for seed in 0..3u64 {
+            let s = session.route_permutation(seed);
+            let fresh = route_cube_permutation(5, seed, SimConfig::default());
+            assert_eq!(s.completed, fresh.completed);
+            assert_eq!(s.metrics.routing_time, fresh.metrics.routing_time);
+            assert_eq!(s.metrics.delivered, fresh.metrics.delivered);
+            assert_eq!(s.metrics.max_queue, fresh.metrics.max_queue);
+        }
+    }
+
+    #[test]
+    fn relation_routing_on_cube() {
+        let mut session = CubeRoutingSession::new(4, SimConfig::default());
+        let rep = session.route_relation(3, 9);
+        assert!(rep.completed);
+        assert_eq!(rep.metrics.delivered, 16 * 3);
     }
 }

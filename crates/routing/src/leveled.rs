@@ -14,11 +14,17 @@
 //!
 //! The wrap-around is expressed with [`DoubledLeveled`], the 2ℓ-level
 //! leveled network whose second half repeats the first.
+//!
+//! The public entry point is [`LeveledRoutingSession`] — the
+//! [`Router`](crate::Router) instance for leveled networks; the
+//! `route_leveled_*` one-shots are thin wrappers over it.
 
-use crate::workloads;
+use crate::router::{
+    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, RoutingSession, RunExtras,
+};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, LevelCut};
-use lnpram_simnet::{Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::leveled::{Leveled, LeveledNet};
 use rand::Rng;
 
@@ -103,144 +109,132 @@ impl<L: Leveled> Protocol for UniversalLeveledRouter<'_, L> {
     }
 }
 
-/// Outcome of one leveled-network routing run.
-#[derive(Debug, Clone)]
-pub struct LeveledRunReport {
-    /// Engine metrics (routing time, max queue, latency distribution).
-    pub metrics: Metrics,
-    /// Whether all packets arrived within the step budget.
-    pub completed: bool,
-    /// ℓ of the *inner* network (path length is `2ℓ` per packet).
-    pub levels: usize,
-    /// Packets injected.
-    pub packets: usize,
-}
-
-impl LeveledRunReport {
-    /// Routing time normalised by the inner ℓ (the theorem's constant).
-    pub fn time_per_level(&self) -> f64 {
-        f64::from(self.metrics.routing_time) / self.levels.max(1) as f64
-    }
-}
-
-/// A reusable Algorithm 2.1 routing session: the doubled network and the
-/// simulation engine are built **once**, then any number of destination
-/// maps are routed through it. The Lemma 2.1 retry schedule and the trial
-/// sweeps re-route dozens of times per configuration; recycling the
-/// engine with `reset` replaces the per-attempt rebuild of all per-link
-/// queue state with a cheap counter wipe. With `cfg.shards ≥ 2` the
-/// session routes on the partitioned lockstep engine (`lnpram-shard`,
-/// column bands cut by `LevelCut`) — outcomes are bit-identical to the
-/// serial engine by the sharded determinism contract.
-pub struct LeveledRoutingSession<L> {
+/// [`RouteBackend`] for Algorithm 2.1: owns the doubled network; the
+/// engine partitions into column bands ([`LevelCut`]).
+pub struct LeveledBackend<L> {
     levels: usize,
     width: usize,
     net: LeveledNet<DoubledLeveled<L>>,
-    engine: AnyEngine,
 }
 
-impl<L: Leveled + Copy> LeveledRoutingSession<L> {
-    /// Build the doubled network and its engine for `inner`.
-    pub fn new(inner: L, cfg: SimConfig) -> Self {
+impl<L: Leveled + Copy> LeveledBackend<L> {
+    /// Backend over the doubled unrolling of `inner`.
+    pub fn new(inner: L) -> Self {
         let levels = inner.levels();
         let width = inner.width();
-        let net = LeveledNet::forward(DoubledLeveled::new(inner));
-        let engine = AnyEngine::with_partitioner(&net, cfg, &LevelCut::new(width));
-        LeveledRoutingSession {
+        LeveledBackend {
             levels,
             width,
-            net,
-            engine,
+            net: LeveledNet::forward(DoubledLeveled::new(inner)),
         }
     }
 
-    /// Override the per-run step budget (Lemma 2.1 retries tighten it to
-    /// observe failures) while keeping the warmed engine.
-    pub fn set_max_steps(&mut self, max_steps: u32) {
-        self.engine.set_max_steps(max_steps);
+    /// ℓ of the inner network.
+    pub fn levels(&self) -> usize {
+        self.levels
     }
 
-    /// Route one destination map (one packet per first-column node) with
-    /// fresh Valiant intermediates drawn from `seq`.
-    pub fn route_with_dests(&mut self, dests: &[usize], seq: SeedSeq) -> LeveledRunReport {
-        assert_eq!(dests.len(), self.width);
-        self.engine.reset();
-        let mut via_rng = seq.child(1).rng();
-        for (src, &dest) in dests.iter().enumerate() {
-            let via = via_rng.gen_range(0..self.width) as u32;
-            let pkt = Packet::new(src as u32, src as u32, dest as u32).with_via(via);
-            self.engine.inject(self.net.node_id(0, src), pkt);
-        }
-        self.finish(dests.len())
+    /// Nodes per column.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl<L: Leveled + Copy> RouteBackend for LeveledBackend<L> {
+    fn sources(&self) -> usize {
+        self.width
     }
 
-    /// Route one random permutation drawn from `seed` — the session
-    /// counterpart of [`route_leveled_permutation`], bit-identical to it.
-    pub fn route_permutation(&mut self, seed: u64) -> LeveledRunReport {
-        let seq = SeedSeq::new(seed);
-        let mut rng = seq.child(0).rng();
-        let dests = workloads::random_permutation(self.width, &mut rng);
-        self.route_with_dests(&dests, seq)
+    fn stride(&self) -> usize {
+        (2 * self.levels + 1) * self.width
     }
 
-    /// Route one random permutation per seed over the warmed engine —
-    /// the batched entry for request loops (construction is amortised
-    /// across the whole batch; the lockstep overhead is not yet — that
-    /// is the ROADMAP's multi-tenant batching item).
-    pub fn route_many(&mut self, seeds: &[u64]) -> Vec<LeveledRunReport> {
-        seeds.iter().map(|&s| self.route_permutation(s)).collect()
+    fn name(&self) -> String {
+        self.net.leveled().inner().name()
     }
 
-    /// Route with `via = dest` (the derandomized ablation — see
-    /// [`route_leveled_direct`]).
-    pub fn route_direct(&mut self, dests: &[usize]) -> LeveledRunReport {
-        assert_eq!(dests.len(), self.width);
-        self.engine.reset();
-        for (src, &dest) in dests.iter().enumerate() {
-            let pkt = Packet::new(src as u32, src as u32, dest as u32).with_via(dest as u32);
-            self.engine.inject(self.net.node_id(0, src), pkt);
-        }
-        self.finish(dests.len())
-    }
-
-    /// Route a multi-packet request map: `relation[src]` lists every
-    /// destination originating at `src` (Theorem 2.4's h-relations).
-    pub fn route_relation(&mut self, relation: &[Vec<usize>], seq: SeedSeq) -> LeveledRunReport {
-        assert_eq!(relation.len(), self.width);
-        self.engine.reset();
-        let mut via_rng = seq.child(1).rng();
-        let mut id = 0u32;
-        for (src, dests) in relation.iter().enumerate() {
-            for &dest in dests {
-                let via = via_rng.gen_range(0..self.width) as u32;
-                let pkt = Packet::new(id, src as u32, dest as u32).with_via(via);
-                self.engine.inject(self.net.node_id(0, src), pkt);
-                id += 1;
-            }
-        }
-        self.finish(id as usize)
-    }
-
-    fn finish(&mut self, packets: usize) -> LeveledRunReport {
-        let mut router = UniversalLeveledRouter::new(&self.net);
-        let out = self.engine.run(&mut router);
-        LeveledRunReport {
-            metrics: out.metrics,
-            completed: out.completed,
+    fn extras(&self) -> RunExtras {
+        RunExtras::Leveled {
             levels: self.levels,
-            packets,
         }
+    }
+
+    fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine {
+        let width = self.width;
+        batch_engine(&self.net, copies, cfg, |net, cfg| {
+            AnyEngine::with_partitioner(net, cfg, &LevelCut::new(width))
+        })
+    }
+
+    fn inject(
+        &mut self,
+        eng: &mut AnyEngine,
+        copy: usize,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+    ) -> usize {
+        let offset = copy * self.stride();
+        let width = self.width;
+        let net = &self.net;
+        inject_per_source(
+            eng,
+            width,
+            pattern,
+            seq,
+            &mut |src| offset + net.node_id(0, src),
+            &mut |id, src, dest, rng| {
+                let via = rng.gen_range(0..width) as u32;
+                Packet::new(id, src as u32, dest as u32)
+                    .with_via(via)
+                    .with_tag(tag)
+            },
+            &mut |id, src, dest| {
+                // via = dest: the derandomized ablation — the packet
+                // follows the unique (deterministic, oblivious) path
+                // twice (the Borodin–Hopcroft-prone variant of §2.2.1).
+                Packet::new(id, src as u32, dest as u32)
+                    .with_via(dest as u32)
+                    .with_tag(tag)
+            },
+        )
+    }
+
+    fn run(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.stride();
+        drive(eng, UniversalLeveledRouter::new(&self.net), stride, demux)
+    }
+}
+
+/// A reusable Algorithm 2.1 routing session: the [`Router`](crate::Router)
+/// instance for leveled networks. The doubled network and the simulation
+/// engine are built **once** (`cfg.shards ≥ 2` selects the partitioned
+/// lockstep engine, column bands cut by [`LevelCut`] — outcomes are
+/// bit-identical to the serial engine by the sharded determinism
+/// contract), then any number of requests are served through it.
+pub type LeveledRoutingSession<L> = RoutingSession<LeveledBackend<L>>;
+
+impl<L: Leveled + Copy> RoutingSession<LeveledBackend<L>> {
+    /// Build the doubled network and its engine for `inner`.
+    pub fn new(inner: L, cfg: SimConfig) -> Self {
+        RoutingSession::with_backend(LeveledBackend::new(inner), cfg)
     }
 }
 
 /// Route one random permutation on `inner` per Algorithm 2.1 and
-/// Theorem 2.1: one packet per first-column node, destinations forming a
-/// permutation of the last column.
+/// Theorem 2.1. One-shot convenience over [`LeveledRoutingSession`];
+/// loops should hold a session.
 pub fn route_leveled_permutation<L: Leveled + Copy>(
     inner: L,
     seed: u64,
     cfg: SimConfig,
-) -> LeveledRunReport {
+) -> crate::RunReport {
+    use crate::router::Router;
     LeveledRoutingSession::new(inner, cfg).route_permutation(seed)
 }
 
@@ -252,7 +246,7 @@ pub fn route_leveled_with_dests<L: Leveled + Copy>(
     dests: &[usize],
     seq: SeedSeq,
     cfg: SimConfig,
-) -> LeveledRunReport {
+) -> crate::RunReport {
     LeveledRoutingSession::new(inner, cfg).route_with_dests(dests, seq)
 }
 
@@ -266,7 +260,7 @@ pub fn route_leveled_direct<L: Leveled + Copy>(
     inner: L,
     dests: &[usize],
     cfg: SimConfig,
-) -> LeveledRunReport {
+) -> crate::RunReport {
     LeveledRoutingSession::new(inner, cfg).route_direct(dests)
 }
 
@@ -278,16 +272,17 @@ pub fn route_leveled_relation<L: Leveled + Copy>(
     h: usize,
     seed: u64,
     cfg: SimConfig,
-) -> LeveledRunReport {
-    let seq = SeedSeq::new(seed);
-    let mut rng = seq.child(0).rng();
-    let relation = workloads::h_relation(inner.width(), h, &mut rng);
-    LeveledRoutingSession::new(inner, cfg).route_relation(&relation, seq)
+) -> crate::RunReport {
+    use crate::router::Router;
+    LeveledRoutingSession::new(inner, cfg).route_relation(h, seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::Router;
+    use crate::workloads;
+    use crate::RunReport;
     use lnpram_topology::leveled::{audit_unique_paths, RadixButterfly, UnrolledShuffle};
 
     #[test]
@@ -324,7 +319,8 @@ mod tests {
         // Path length is exactly 2ℓ = 12; with contention the routing time
         // is 2ℓ + delay. Sanity: it finished and is at least 2ℓ.
         assert!(rep.metrics.routing_time >= 12);
-        assert!(rep.time_per_level() >= 2.0);
+        assert!(rep.time_per_norm() >= 2.0);
+        assert_eq!(rep.norm(), 6);
     }
 
     #[test]
@@ -398,6 +394,7 @@ mod tests {
         let mut rng = seq.child(0).rng();
         let dests = workloads::random_permutation(32, &mut rng);
         session.set_max_steps(3); // below the 2l = 10 path length
+        assert_eq!(session.step_budget(), 3);
         let tight = session.route_with_dests(&dests, SeedSeq::new(3));
         assert!(!tight.completed);
         session.set_max_steps(10_000);
@@ -451,8 +448,7 @@ mod tests {
         let direct = route_leveled_direct(inner, &dests, cfg.clone());
         let random = route_leveled_with_dests(inner, &dests, SeedSeq::new(3), cfg);
         assert!(direct.completed && random.completed);
-        let max_of =
-            |rep: &LeveledRunReport| rep.metrics.link_loads.iter().copied().max().unwrap_or(0);
+        let max_of = |rep: &RunReport| rep.metrics.link_loads.iter().copied().max().unwrap_or(0);
         assert!(
             max_of(&direct) >= 2 * max_of(&random),
             "direct max load {} should far exceed randomized {}",

@@ -32,6 +32,23 @@
 //!   constant number of times to amplify the success probability.
 //! * [`workloads`] — permutations, partial h-relations and
 //!   locality-bounded request patterns used by the experiments.
+//!
+//! # The unified routing API
+//!
+//! All of the above sit behind one topology-generic surface in
+//! [`router`]: a [`Router`] trait (`route`/`route_many`/`route_batch`),
+//! one [`RouteRequest`] builder (permutation / explicit dests / direct /
+//! h-relation, plus a tenant tag) and one [`RunReport`] with typed
+//! per-topology [`RunExtras`]. Each topology contributes a cached
+//! session — [`LeveledRoutingSession`], [`StarRoutingSession`],
+//! [`MeshRoutingSession`], [`CubeRoutingSession`](hypercube::CubeRoutingSession),
+//! [`CccRoutingSession`](ccc::CccRoutingSession),
+//! [`ShuffleRoutingSession`](shuffle::ShuffleRoutingSession),
+//! [`BitonicRoutingSession`](bitonic::BitonicRoutingSession) — that
+//! builds network + partition plan + engine **once** and honors
+//! `cfg.shards` everywhere. [`Router::route_batch`] co-routes several
+//! tenants' requests in one engine run with per-tenant outcomes
+//! bit-identical to isolated runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +62,7 @@ pub mod mesh;
 pub mod mesh_sort;
 pub mod ranade;
 pub mod retry;
+pub mod router;
 pub mod shuffle;
 pub mod star;
 pub mod workloads;
@@ -53,5 +71,9 @@ pub use leveled::{
     route_leveled_permutation, route_leveled_relation, DoubledLeveled, LeveledRoutingSession,
 };
 pub use mesh::{mesh_engine, route_mesh_permutation, MeshAlgorithm, MeshRoutingSession};
+pub use router::{
+    BatchReport, RouteBackend, RoutePattern, RouteRequest, Router, RoutingSession, RunExtras,
+    RunReport, TenantReport,
+};
 pub use shuffle::route_shuffle_permutation;
 pub use star::{route_star_permutation, star_engine, StarRoutingSession};

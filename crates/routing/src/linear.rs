@@ -13,7 +13,8 @@
 //! bound is tight for).
 
 use lnpram_math::rng::SeedSeq;
-use lnpram_simnet::{Discipline, Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, RowBlock};
+use lnpram_simnet::{Discipline, Metrics, Outbox, Packet, Protocol, SimConfig};
 use lnpram_topology::mesh::Dir;
 use lnpram_topology::Mesh;
 use rand::Rng;
@@ -69,6 +70,9 @@ impl LinearRunReport {
 
 /// Run the §3.4.1 experiment: distribute packets per `load`, give each a
 /// uniformly random destination, route with furthest-destination-first.
+/// Routes through [`AnyEngine`], so `cfg.shards` selects the partitioned
+/// lockstep engine (contiguous column bands of the array) — this entry
+/// point used to build a bare serial `Engine` and silently ignore it.
 pub fn route_linear_random_dests(
     n: usize,
     load: LinearLoad,
@@ -78,9 +82,12 @@ pub fn route_linear_random_dests(
     cfg.discipline = Discipline::FurthestFirst;
     let array = Mesh::linear(n);
     let mut rng = SeedSeq::new(seed).rng();
-    let mut eng = Engine::new(&array, cfg);
+    // The linear array is a 1×n mesh: every contiguous node range is a
+    // contiguous sub-array, so plain row-blocking over single columns
+    // gives the minimum-surface cut.
+    let mut eng = AnyEngine::with_partitioner(&array, cfg, &RowBlock::new(1));
     let mut id = 0u32;
-    let mut inject = |eng: &mut Engine, src: usize, rng: &mut rand::rngs::StdRng| {
+    let mut inject = |eng: &mut AnyEngine, src: usize, rng: &mut rand::rngs::StdRng| {
         let dest = rng.gen_range(0..n);
         eng.inject(src, Packet::new(id, src as u32, dest as u32));
         id += 1;
@@ -172,5 +179,31 @@ mod tests {
         let a = route_linear_random_dests(100, LinearLoad::Random(150), 9, SimConfig::default());
         let b = route_linear_random_dests(100, LinearLoad::Random(150), 9, SimConfig::default());
         assert_eq!(a.metrics.routing_time, b.metrics.routing_time);
+    }
+
+    #[test]
+    fn honors_shards() {
+        // The satellite bugfix: this entry point used to ignore
+        // `cfg.shards` via a bare serial `Engine`. Sharded == serial by
+        // the determinism contract.
+        let sharded = SimConfig {
+            shards: 4,
+            ..SimConfig::default()
+        };
+        for load in [
+            LinearLoad::Uniform(2),
+            LinearLoad::OneEnd(40),
+            LinearLoad::Random(50),
+        ] {
+            let serial = route_linear_random_dests(32, load, 7, SimConfig::default());
+            let shard = route_linear_random_dests(32, load, 7, sharded.clone());
+            assert_eq!(serial.metrics.routing_time, shard.metrics.routing_time);
+            assert_eq!(serial.metrics.delivered, shard.metrics.delivered);
+            assert_eq!(serial.metrics.max_queue, shard.metrics.max_queue);
+            assert_eq!(
+                serial.metrics.queued_packet_steps,
+                shard.metrics.queued_packet_steps
+            );
+        }
     }
 }

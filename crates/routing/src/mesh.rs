@@ -19,11 +19,21 @@
 //! folklore algorithm whose worst-case queues are Θ(n)) and
 //! Valiant–Brebner two-phase routing (`3n + o(n)`, the first randomized
 //! mesh result, which stage 1 + the slice idea improve to `2n + o(n)`).
+//!
+//! The public entry point is [`MeshRoutingSession`] — the
+//! [`Router`](crate::Router) instance for the mesh; the `route_mesh_*`
+//! one-shots are thin wrappers over it. A [`RoutePattern::Direct`]
+//! request drops the stage-1 randomization (`via = src`), which
+//! degenerates every variant to deterministic dimension-order routing.
 
+use crate::router::{
+    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
+    RunExtras,
+};
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, RowBlock};
-use lnpram_simnet::{Discipline, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_simnet::{Discipline, Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::mesh::Dir;
 use lnpram_topology::{Mesh, Network};
 use rand::Rng;
@@ -155,24 +165,6 @@ impl Protocol for MeshRouter {
     }
 }
 
-/// Report of one mesh routing run.
-#[derive(Debug, Clone)]
-pub struct MeshRunReport {
-    /// Engine metrics.
-    pub metrics: Metrics,
-    /// All packets arrived within budget?
-    pub completed: bool,
-    /// Side length n of the square mesh.
-    pub n: usize,
-}
-
-impl MeshRunReport {
-    /// Routing time divided by n (the `2n + o(n)` constant).
-    pub fn time_per_n(&self) -> f64 {
-        f64::from(self.metrics.routing_time) / self.n.max(1) as f64
-    }
-}
-
 /// The canonical queueing discipline of each algorithm: the three-stage
 /// algorithm requires furthest-destination-first (§3.4); the baselines use
 /// FIFO as in their original papers.
@@ -194,22 +186,159 @@ pub fn mesh_engine(mesh: &Mesh, cfg: SimConfig) -> AnyEngine {
     AnyEngine::with_partitioner(mesh, cfg, &RowBlock::new(mesh.cols()))
 }
 
-/// A reusable mesh routing session: the mesh, its partition plan and
-/// the [`AnyEngine`] are built **once** for a fixed algorithm, then any
-/// number of permutations / destination maps are routed through it,
-/// recycling the engine with `reset` per run. The one-shot entry points
-/// rebuild all of that per call — construction that dominates routing
-/// on small meshes (the `BENCH_3.json` regression this type closes), so
-/// loops should hold a session. Outcomes are bit-identical to the
-/// one-shots (pinned by property tests).
-pub struct MeshRoutingSession {
+/// [`RouteBackend`] for the mesh algorithms: a fixed mesh + algorithm,
+/// row-band partitioning.
+pub struct MeshBackend {
     mesh: Mesh,
     alg: MeshAlgorithm,
-    router: MeshRouter,
-    engine: AnyEngine,
 }
 
-impl MeshRoutingSession {
+impl MeshBackend {
+    /// Backend for `mesh` under `alg`.
+    pub fn new(mesh: Mesh, alg: MeshAlgorithm) -> Self {
+        MeshBackend { mesh, alg }
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The algorithm.
+    pub fn algorithm(&self) -> MeshAlgorithm {
+        self.alg
+    }
+
+    /// One packet's `via`/`via2` draws — shared by every injection path
+    /// so explicit-map and random-pattern requests randomize
+    /// identically.
+    fn draw_vias(&self, src: usize, dest: usize, rng: &mut rand::rngs::StdRng) -> (usize, u32) {
+        let mesh = self.mesh;
+        let (r, c) = mesh.coords(src);
+        let slice_via = |slice_rows: usize, rng: &mut rand::rngs::StdRng| {
+            // random row within this node's horizontal slice, same col
+            let lo = r - r % slice_rows;
+            let hi = (lo + slice_rows).min(mesh.rows());
+            mesh.node_at(rng.gen_range(lo..hi), c)
+        };
+        match self.alg {
+            MeshAlgorithm::ThreeStage { slice_rows } => {
+                (slice_via(slice_rows, rng), lnpram_simnet::packet::NO_NODE)
+            }
+            MeshAlgorithm::ThreeStageConstQueue {
+                slice_rows,
+                block_rows,
+            } => {
+                // stage-3 spreading target: random row in the
+                // destination's block, destination's column
+                // (Corollary 3.3).
+                let (dr, dc) = mesh.coords(dest);
+                let lo = dr - dr % block_rows;
+                let hi = (lo + block_rows).min(mesh.rows());
+                let via2 = mesh.node_at(rng.gen_range(lo..hi), dc) as u32;
+                (slice_via(slice_rows, rng), via2)
+            }
+            MeshAlgorithm::Greedy => (src, lnpram_simnet::packet::NO_NODE),
+            MeshAlgorithm::ValiantBrebner => (
+                rng.gen_range(0..mesh.num_nodes()),
+                lnpram_simnet::packet::NO_NODE,
+            ),
+        }
+    }
+
+    /// The deterministic (direct) variant of one packet: `via = src`
+    /// skips stage 1; the constant-queue variant also pins `via2` to the
+    /// destination so the in-block walk is empty — dimension-order
+    /// routing for every algorithm.
+    fn direct_vias(&self, src: usize, dest: usize) -> (usize, u32) {
+        match self.alg {
+            MeshAlgorithm::ThreeStageConstQueue { .. } => (src, dest as u32),
+            _ => (src, lnpram_simnet::packet::NO_NODE),
+        }
+    }
+}
+
+impl RouteBackend for MeshBackend {
+    fn sources(&self) -> usize {
+        self.mesh.num_nodes()
+    }
+
+    fn stride(&self) -> usize {
+        self.mesh.num_nodes()
+    }
+
+    fn name(&self) -> String {
+        self.mesh.name()
+    }
+
+    fn extras(&self) -> RunExtras {
+        RunExtras::Mesh {
+            n: self.mesh.rows(),
+        }
+    }
+
+    fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine {
+        batch_engine(&self.mesh, copies, cfg, mesh_engine)
+    }
+
+    fn inject(
+        &mut self,
+        eng: &mut AnyEngine,
+        copy: usize,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+    ) -> usize {
+        let total = self.mesh.num_nodes();
+        let offset = copy * total;
+        let this = &*self;
+        let build = |id: u32, src: usize, dest: usize, via: usize, via2: u32| {
+            let mut pkt = Packet::new(id, src as u32, dest as u32)
+                .with_via(via as u32)
+                .with_tag(tag);
+            pkt.via2 = via2;
+            pkt
+        };
+        inject_per_source(
+            eng,
+            total,
+            pattern,
+            seq,
+            &mut |src| offset + src,
+            &mut |id, src, dest, rng| {
+                let (via, via2) = this.draw_vias(src, dest, rng);
+                build(id, src, dest, via, via2)
+            },
+            &mut |id, src, dest| {
+                let (via, via2) = this.direct_vias(src, dest);
+                build(id, src, dest, via, via2)
+            },
+        )
+    }
+
+    fn run(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.mesh.num_nodes();
+        drive(eng, MeshRouter::new(self.mesh, self.alg), stride, demux)
+    }
+}
+
+/// A reusable mesh routing session: the [`Router`](crate::Router)
+/// instance for the mesh. The mesh, its partition plan and the
+/// [`AnyEngine`] are built **once** for a fixed algorithm, then any
+/// number of requests are routed through it, recycling the engine with
+/// `reset` per run. The one-shot entry points rebuild all of that per
+/// call — construction that dominates routing on small meshes (the
+/// `BENCH_3.json` regression this type closed), so loops should hold a
+/// session. Outcomes are bit-identical to the one-shots (pinned by
+/// property tests).
+pub type MeshRoutingSession = RoutingSession<MeshBackend>;
+
+impl RoutingSession<MeshBackend> {
     /// Session on the `n×n` mesh under `alg`'s canonical discipline.
     pub fn new(n: usize, alg: MeshAlgorithm, mut cfg: SimConfig) -> Self {
         cfg.discipline = canonical_discipline(alg);
@@ -219,90 +348,17 @@ impl MeshRoutingSession {
     /// Session over an already-built mesh, taking `cfg.discipline` as
     /// given (the [`route_mesh_with_dests`] contract).
     pub fn from_mesh(mesh: Mesh, alg: MeshAlgorithm, cfg: SimConfig) -> Self {
-        let engine = mesh_engine(&mesh, cfg);
-        MeshRoutingSession {
-            mesh,
-            alg,
-            router: MeshRouter::new(mesh, alg),
-            engine,
-        }
+        RoutingSession::with_backend(MeshBackend::new(mesh, alg), cfg)
     }
 
     /// The mesh this session routes on.
     pub fn mesh(&self) -> &Mesh {
-        &self.mesh
+        self.backend().mesh()
     }
 
     /// The algorithm this session was built for.
     pub fn algorithm(&self) -> MeshAlgorithm {
-        self.alg
-    }
-
-    /// Override the per-run step budget while keeping the warmed engine.
-    pub fn set_max_steps(&mut self, max_steps: u32) {
-        self.engine.set_max_steps(max_steps);
-    }
-
-    /// Route one random permutation drawn from `seed` — the session
-    /// counterpart of [`route_mesh_permutation`], bit-identical to it.
-    pub fn route_permutation(&mut self, seed: u64) -> MeshRunReport {
-        let seq = SeedSeq::new(seed);
-        let mut rng = seq.child(0).rng();
-        let dests = workloads::random_permutation(self.mesh.num_nodes(), &mut rng);
-        self.route_with_dests(&dests, seq)
-    }
-
-    /// Route one random permutation per seed over the warmed engine —
-    /// the batched entry for request loops (construction is amortised
-    /// across the whole batch; the lockstep overhead is not yet — that
-    /// is the ROADMAP's multi-tenant batching item).
-    pub fn route_many(&mut self, seeds: &[u64]) -> Vec<MeshRunReport> {
-        seeds.iter().map(|&s| self.route_permutation(s)).collect()
-    }
-
-    /// Route an explicit destination map (one packet per node;
-    /// `dests[i] == i` injects a packet that delivers immediately) with
-    /// fresh stage-1/stage-3 randomness drawn from `seq`.
-    pub fn route_with_dests(&mut self, dests: &[usize], seq: SeedSeq) -> MeshRunReport {
-        assert_eq!(dests.len(), self.mesh.num_nodes());
-        let mesh = self.mesh;
-        self.engine.reset();
-        let mut rng = seq.child(1).rng();
-        for (src, &dest) in dests.iter().enumerate() {
-            let (r, c) = mesh.coords(src);
-            let slice_via = |slice_rows: usize, rng: &mut rand::rngs::StdRng| {
-                // random row within this node's horizontal slice, same col
-                let lo = r - r % slice_rows;
-                let hi = (lo + slice_rows).min(mesh.rows());
-                mesh.node_at(rng.gen_range(lo..hi), c)
-            };
-            let mut pkt = Packet::new(src as u32, src as u32, dest as u32);
-            let via = match self.alg {
-                MeshAlgorithm::ThreeStage { slice_rows } => slice_via(slice_rows, &mut rng),
-                MeshAlgorithm::ThreeStageConstQueue {
-                    slice_rows,
-                    block_rows,
-                } => {
-                    // stage-3 spreading target: random row in the
-                    // destination's block, destination's column
-                    // (Corollary 3.3).
-                    let (dr, dc) = mesh.coords(dest);
-                    let lo = dr - dr % block_rows;
-                    let hi = (lo + block_rows).min(mesh.rows());
-                    pkt = pkt.with_via2(mesh.node_at(rng.gen_range(lo..hi), dc) as u32);
-                    slice_via(slice_rows, &mut rng)
-                }
-                MeshAlgorithm::Greedy => src, // no randomization: phase 0 is a no-op
-                MeshAlgorithm::ValiantBrebner => rng.gen_range(0..mesh.num_nodes()),
-            };
-            self.engine.inject(src, pkt.with_via(via as u32));
-        }
-        let out = self.engine.run(&mut self.router);
-        MeshRunReport {
-            metrics: out.metrics,
-            completed: out.completed,
-            n: mesh.rows(),
-        }
+        self.backend().algorithm()
     }
 }
 
@@ -313,7 +369,7 @@ pub fn route_mesh_permutation(
     alg: MeshAlgorithm,
     seed: u64,
     cfg: SimConfig,
-) -> MeshRunReport {
+) -> crate::RunReport {
     MeshRoutingSession::new(n, alg, cfg).route_permutation(seed)
 }
 
@@ -326,14 +382,14 @@ pub fn route_mesh_with_dests(
     alg: MeshAlgorithm,
     seq: SeedSeq,
     cfg: SimConfig,
-) -> MeshRunReport {
+) -> crate::RunReport {
     MeshRoutingSession::from_mesh(mesh, alg, cfg).route_with_dests(dests, seq)
 }
 
 /// Theorem 3.3's workload: a permutation in which every packet travels at
 /// most Manhattan distance `d`, routed with the three-stage algorithm whose
 /// slice height is capped at `O(d)` so stage 1 stays local.
-pub fn route_mesh_local(n: usize, d: usize, seed: u64, mut cfg: SimConfig) -> MeshRunReport {
+pub fn route_mesh_local(n: usize, d: usize, seed: u64, mut cfg: SimConfig) -> crate::RunReport {
     let slice_rows = default_slice_rows(n).min(d.max(1));
     let alg = MeshAlgorithm::ThreeStage { slice_rows };
     cfg.discipline = canonical_discipline(alg);
@@ -347,6 +403,7 @@ pub fn route_mesh_local(n: usize, d: usize, seed: u64, mut cfg: SimConfig) -> Me
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::RouteRequest;
 
     #[test]
     fn three_stage_delivers_all() {
@@ -356,6 +413,7 @@ mod tests {
         let rep = route_mesh_permutation(8, alg, 1, SimConfig::default());
         assert!(rep.completed);
         assert_eq!(rep.metrics.delivered, 64);
+        assert_eq!(rep.norm(), 8);
     }
 
     #[test]
@@ -368,9 +426,9 @@ mod tests {
             let rep = route_mesh_permutation(16, alg, seed, SimConfig::default());
             assert!(rep.completed);
             assert!(
-                rep.time_per_n() <= 4.0,
+                rep.time_per_norm() <= 4.0,
                 "seed {seed}: {:.2}n",
-                rep.time_per_n()
+                rep.time_per_norm()
             );
         }
     }
@@ -455,9 +513,9 @@ mod tests {
             assert_eq!(rep.metrics.delivered, n * n);
             // Same 2n + o(n) bound: the in-block walk adds ≤ 2·log n.
             assert!(
-                rep.time_per_n() <= 4.0,
+                rep.time_per_norm() <= 4.0,
                 "seed {seed}: {:.2}n",
-                rep.time_per_n()
+                rep.time_per_norm()
             );
         }
     }
@@ -520,6 +578,29 @@ mod tests {
         );
         assert!(plain.completed && constq.completed);
         assert_eq!(plain.metrics.delivered, constq.metrics.delivered);
+    }
+
+    #[test]
+    fn direct_request_is_deterministic_dimension_order() {
+        // Direct drops the stage-1 randomization: same outcome as the
+        // greedy baseline on any destination map, for every algorithm.
+        let n = 6;
+        let mesh = Mesh::square(n);
+        let seq = SeedSeq::new(11);
+        let dests = workloads::random_permutation(mesh.num_nodes(), &mut seq.child(0).rng());
+        for alg in [
+            MeshAlgorithm::ThreeStage { slice_rows: 2 },
+            MeshAlgorithm::ThreeStageConstQueue {
+                slice_rows: 2,
+                block_rows: 2,
+            },
+            MeshAlgorithm::ValiantBrebner,
+        ] {
+            let mut session = MeshRoutingSession::new(n, alg, SimConfig::default());
+            let direct = session.route_direct(&dests);
+            assert!(direct.completed);
+            assert_eq!(direct.metrics.delivered, n * n);
+        }
     }
 
     #[test]
@@ -615,8 +696,9 @@ mod tests {
             block_rows: 2,
         };
         let seeds: Vec<u64> = (20..25).collect();
+        let reqs = RouteRequest::permutations(&seeds);
         let mut batched_session = MeshRoutingSession::new(6, alg, SimConfig::default());
-        let reports = batched_session.route_many(&seeds);
+        let reports = batched_session.route_many(&reqs);
         assert_eq!(reports.len(), seeds.len());
         let mut sequential = MeshRoutingSession::new(6, alg, SimConfig::default());
         for (batched, &seed) in reports.iter().zip(&seeds) {

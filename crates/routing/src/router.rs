@@ -1,0 +1,816 @@
+//! The topology-generic routing API: one [`Router`] trait, one
+//! [`RouteRequest`] shape, one [`RunReport`] — served by every topology
+//! in this crate (leveled networks, star, mesh, hypercube, CCC,
+//! shuffle-exchange, bitonic).
+//!
+//! The paper's emulation theorems are topology-parametric: the same
+//! Ranade-style argument instantiates on butterflies, stars, meshes and
+//! hypercubes. The public API mirrors that: a [`RoutingSession`] holds
+//! one warmed engine (network + partition plan + [`AnyEngine`], built
+//! **once**) and serves any number of typed requests through
+//! [`Router::route`]; per-topology behavior lives behind the
+//! [`RouteBackend`] hooks, so adding a topology is one backend, not a
+//! new session type.
+//!
+//! # Multi-tenant batched runs
+//!
+//! [`Router::route_batch`] co-routes several tenants' requests in **one
+//! engine run**: tenant `i`'s packets are injected into copy `i` of a
+//! [`DisjointCopies`] union of the topology, with each packet's
+//! [`Packet::tag`] carrying its batch slot, and per-tenant metrics are
+//! demultiplexed from the tagged deliveries by
+//! [`TagDemux`](lnpram_simnet::TagDemux). Because the copies share no
+//! link, every tenant's outcome (deliveries, routing time, latency
+//! distribution) is **bit-identical to an isolated run** of the same
+//! request — pinned by property tests — while the step loop's fixed
+//! costs (arrival bookkeeping, active-list maintenance, and on the
+//! sharded path the lockstep barrier per global step) are paid once for
+//! the whole batch instead of once per tenant. On the sharded path the
+//! union is partitioned on copy boundaries, so tenants add zero
+//! boundary traffic.
+
+use crate::workloads;
+use lnpram_math::rng::SeedSeq;
+use lnpram_shard::AnyEngine;
+use lnpram_simnet::{
+    Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig, TagDemux, TagMetrics,
+};
+use lnpram_topology::DisjointCopies;
+
+/// What one request asks the router to realize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutePattern {
+    /// A uniformly random permutation drawn from the request seed.
+    Permutation,
+    /// An explicit destination map: one packet per source, `dests[src]`
+    /// its destination (many-one allowed where the topology supports
+    /// it; bitonic sort-routing requires a permutation).
+    Dests(Vec<usize>),
+    /// An explicit destination map routed **deterministically** — no
+    /// random intermediate, every packet follows its canonical
+    /// oblivious path (the derandomized ablation; carries no w.h.p.
+    /// guarantee, see §2.2.1 on the Borodin–Hopcroft phenomenon).
+    Direct(Vec<usize>),
+    /// A random partial h-relation drawn from the request seed: up to
+    /// `h` packets per source and per destination.
+    Relation {
+        /// Packets per source/destination bound.
+        h: usize,
+    },
+    /// An explicit request map: `relation[src]` lists every destination
+    /// originating at `src`.
+    RelationMap(Vec<Vec<usize>>),
+}
+
+impl RoutePattern {
+    /// The borrowed view backends consume (see [`PatternRef`]).
+    pub fn as_ref(&self) -> PatternRef<'_> {
+        match self {
+            RoutePattern::Permutation => PatternRef::Permutation,
+            RoutePattern::Dests(d) => PatternRef::Dests(d),
+            RoutePattern::Direct(d) => PatternRef::Direct(d),
+            RoutePattern::Relation { h } => PatternRef::Relation { h: *h },
+            RoutePattern::RelationMap(r) => PatternRef::RelationMap(r),
+        }
+    }
+}
+
+/// A borrowed [`RoutePattern`]: what [`RouteBackend::inject`] consumes,
+/// so the session's slice-taking entry points (`route_with_dests`,
+/// `route_direct`, `route_relation_map`) inject straight from the
+/// caller's buffers without copying them into an owned pattern.
+#[derive(Debug, Clone, Copy)]
+pub enum PatternRef<'a> {
+    /// See [`RoutePattern::Permutation`].
+    Permutation,
+    /// See [`RoutePattern::Dests`].
+    Dests(&'a [usize]),
+    /// See [`RoutePattern::Direct`].
+    Direct(&'a [usize]),
+    /// See [`RoutePattern::Relation`].
+    Relation {
+        /// Packets per source/destination bound.
+        h: usize,
+    },
+    /// See [`RoutePattern::RelationMap`].
+    RelationMap(&'a [Vec<usize>]),
+}
+
+/// One routing request: a pattern, the randomness seed (destinations
+/// where the pattern draws them, Valiant intermediates always), and a
+/// tenant label for batched runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteRequest {
+    /// What to route.
+    pub pattern: RoutePattern,
+    /// Root seed: `child(0)` draws pattern randomness (permutation /
+    /// relation), `child(1)` draws the per-packet random intermediates.
+    pub seed: u64,
+    /// Tenant label, echoed on the matching [`TenantReport`] of a
+    /// batched run. Purely descriptive — the packet tag carries the
+    /// batch *slot*, which equals this label under the default
+    /// `0..T` numbering.
+    pub tenant: u64,
+}
+
+impl RouteRequest {
+    /// Route a random permutation drawn from `seed`.
+    pub fn permutation(seed: u64) -> Self {
+        RouteRequest {
+            pattern: RoutePattern::Permutation,
+            seed,
+            tenant: 0,
+        }
+    }
+
+    /// Route an explicit destination map with intermediates from `seed`.
+    pub fn dests(dests: Vec<usize>, seed: u64) -> Self {
+        RouteRequest {
+            pattern: RoutePattern::Dests(dests),
+            seed,
+            tenant: 0,
+        }
+    }
+
+    /// Route an explicit destination map deterministically (no random
+    /// intermediate — the seed is unused by this pattern).
+    pub fn direct(dests: Vec<usize>) -> Self {
+        RouteRequest {
+            pattern: RoutePattern::Direct(dests),
+            seed: 0,
+            tenant: 0,
+        }
+    }
+
+    /// Route a random partial h-relation drawn from `seed`.
+    pub fn relation(h: usize, seed: u64) -> Self {
+        RouteRequest {
+            pattern: RoutePattern::Relation { h },
+            seed,
+            tenant: 0,
+        }
+    }
+
+    /// Route an explicit request map with intermediates from `seed`.
+    pub fn relation_map(relation: Vec<Vec<usize>>, seed: u64) -> Self {
+        RouteRequest {
+            pattern: RoutePattern::RelationMap(relation),
+            seed,
+            tenant: 0,
+        }
+    }
+
+    /// Builder-style: label this request with a tenant id.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// One permutation request per seed, tenants numbered `0..`
+    /// (the [`Router::route_many`] / [`Router::route_batch`] shape).
+    pub fn permutations(seeds: &[u64]) -> Vec<RouteRequest> {
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| RouteRequest::permutation(s).with_tenant(i as u64))
+            .collect()
+    }
+}
+
+/// Topology-specific context attached to a [`RunReport`]: what the
+/// routing time should be normalised by (the theorem's parameter) plus
+/// the topology's headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExtras {
+    /// Algorithm 2.1 on a leveled network (Theorem 2.1: Õ(ℓ)).
+    Leveled {
+        /// ℓ of the inner network (path length is `2ℓ` per packet).
+        levels: usize,
+    },
+    /// Algorithm 2.2 on the n-star (Theorem 2.2: Õ(diameter)).
+    Star {
+        /// n of the star graph (N = n!).
+        n: usize,
+        /// Diameter `⌊3(n−1)/2⌋`.
+        diameter: usize,
+    },
+    /// §3.4 mesh routing (Theorem 3.1: `2n + o(n)`).
+    Mesh {
+        /// Side length of the square mesh.
+        n: usize,
+    },
+    /// Valiant two-phase e-cube routing (Õ(log N)).
+    Cube {
+        /// Dimensions (= degree = diameter).
+        dims: usize,
+    },
+    /// Two-phase routing on cube-connected cycles (Õ(k) at degree 3).
+    Ccc {
+        /// Cycle length / cube dimension.
+        k: usize,
+        /// Diameter `2k + ⌊k/2⌋ − 2` (6 for k = 3).
+        diameter: usize,
+    },
+    /// Algorithm 2.3 on the d-way shuffle (Theorem 2.3: Õ(n)).
+    Shuffle {
+        /// Digit count n (= diameter).
+        digits: usize,
+    },
+    /// Batcher bitonic sort-routing (Θ(log² N), queue-free).
+    Bitonic {
+        /// Cube dimensions k.
+        dims: usize,
+        /// The exact stage count `k(k+1)/2` every run takes.
+        stages: u32,
+    },
+}
+
+impl RunExtras {
+    /// The theorem's normalizer: levels for leveled networks, diameter
+    /// for star/cube/CCC/shuffle, side length for the mesh, the exact
+    /// stage count for bitonic.
+    pub fn norm(&self) -> usize {
+        match *self {
+            RunExtras::Leveled { levels } => levels,
+            RunExtras::Star { diameter, .. } => diameter,
+            RunExtras::Mesh { n } => n,
+            RunExtras::Cube { dims } => dims,
+            RunExtras::Ccc { diameter, .. } => diameter,
+            RunExtras::Shuffle { digits } => digits,
+            RunExtras::Bitonic { stages, .. } => stages as usize,
+        }
+    }
+}
+
+/// Outcome of one routed request, topology-independent.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Engine metrics (routing time, queues, latency distribution).
+    pub metrics: Metrics,
+    /// All packets arrived within the step budget?
+    pub completed: bool,
+    /// Packets injected.
+    pub packets: usize,
+    /// Topology-specific context (the normalizer and headline numbers).
+    pub extras: RunExtras,
+}
+
+impl RunReport {
+    /// The topology's normalizer (see [`RunExtras::norm`]).
+    pub fn norm(&self) -> usize {
+        self.extras.norm()
+    }
+
+    /// Routing time divided by the topology's normalizer — the constant
+    /// the paper's theorems bound (time/ℓ, time/diameter, time/n).
+    pub fn time_per_norm(&self) -> f64 {
+        f64::from(self.metrics.routing_time) / self.norm().max(1) as f64
+    }
+}
+
+/// One tenant's slice of a batched run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Batch slot (= packet tag) this report demuxes.
+    pub slot: usize,
+    /// The request's tenant label.
+    pub tenant: u64,
+    /// Packets this tenant injected.
+    pub injected: usize,
+    /// Packets still queued at the end of an incomplete run.
+    pub stranded: usize,
+    /// Did every one of this tenant's packets arrive within budget?
+    pub completed: bool,
+    /// Delivery metrics demuxed from the tagged deliveries: identical
+    /// to what an isolated run of the same request reports.
+    pub metrics: TagMetrics,
+}
+
+/// Outcome of one batched multi-tenant run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Engine-level aggregate over the whole co-routed run. Queue
+    /// residency (`max_queue`, `queued_packet_steps`) lives here only:
+    /// queues are engine state, summed over the whole union network.
+    pub metrics: Metrics,
+    /// Did every tenant's every packet arrive within budget?
+    pub completed: bool,
+    /// Total packets injected across all tenants.
+    pub packets: usize,
+    /// Per-tenant demuxed outcomes, in request order.
+    pub tenants: Vec<TenantReport>,
+    /// Topology-specific context (shared by all tenants).
+    pub extras: RunExtras,
+}
+
+impl BatchReport {
+    /// The tenant report for batch slot `i` (request order).
+    pub fn tenant(&self, i: usize) -> &TenantReport {
+        &self.tenants[i]
+    }
+}
+
+/// A topology-generic router: one warmed engine, many typed requests.
+///
+/// Implemented by [`RoutingSession`] for every topology in this crate.
+/// The trait is object-safe — heterogeneous collections of
+/// `Box<dyn Router>` route the same requests on different topologies
+/// (the CLI's `route --topology …` dispatch).
+pub trait Router {
+    /// Route one request on the warmed engine.
+    fn route(&mut self, req: &RouteRequest) -> RunReport;
+
+    /// Co-route a batch of requests — one tenant per request — in one
+    /// engine run. Per-tenant outcomes are bit-identical to isolated
+    /// [`Router::route`] calls of the same requests; the step loop's
+    /// fixed costs are paid once for the whole batch.
+    fn route_batch(&mut self, reqs: &[RouteRequest]) -> BatchReport;
+
+    /// Override the per-run step budget (retry schedules tighten it to
+    /// observe failures) while keeping the warmed engine.
+    fn set_max_steps(&mut self, max_steps: u32);
+
+    /// The current per-run step budget.
+    fn step_budget(&self) -> u32;
+
+    /// Packet sources: the number of packets a full permutation routes.
+    fn num_sources(&self) -> usize;
+
+    /// Human-readable topology name, e.g. `star(5)`.
+    fn topology(&self) -> String;
+
+    /// Route each request in sequence on the warmed engine (construction
+    /// amortised across the batch; for co-routing in one engine run use
+    /// [`Router::route_batch`]).
+    fn route_many(&mut self, reqs: &[RouteRequest]) -> Vec<RunReport> {
+        reqs.iter().map(|r| self.route(r)).collect()
+    }
+
+    /// Route one random permutation drawn from `seed`.
+    fn route_permutation(&mut self, seed: u64) -> RunReport {
+        self.route(&RouteRequest::permutation(seed))
+    }
+
+    /// Route a random partial h-relation drawn from `seed`.
+    fn route_relation(&mut self, h: usize, seed: u64) -> RunReport {
+        self.route(&RouteRequest::relation(h, seed))
+    }
+}
+
+/// Per-topology hooks the generic [`RoutingSession`] machinery is built
+/// from: how to build the (possibly tenant-replicated) engine, how to
+/// turn a request into injected packets, and how to drive the
+/// per-node protocol. Implementing this for a new topology yields the
+/// full [`Router`] API — single runs, sequential batches and
+/// multi-tenant co-routing — for free.
+pub trait RouteBackend {
+    /// Packet sources (= destination domain size) of one copy.
+    fn sources(&self) -> usize;
+
+    /// Simulated nodes per copy — the node-id stride between tenant
+    /// copies in a batched engine.
+    fn stride(&self) -> usize;
+
+    /// Topology name for reports.
+    fn name(&self) -> String;
+
+    /// Topology context attached to every report.
+    fn extras(&self) -> RunExtras;
+
+    /// Build the engine over `copies` disjoint copies of the topology
+    /// (serial or sharded per `cfg.shards`). `copies == 1` must use the
+    /// topology's canonical partitioner so every layer of the crate
+    /// partitions identically; batched engines partition on copy
+    /// boundaries (see [`batch_engine`]).
+    fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine;
+
+    /// Inject one request's packets into copy `copy` of `eng`, each
+    /// tagged `tag`, drawing randomness from `seq` (`child(0)` for the
+    /// pattern where it is random, `child(1)` for intermediates).
+    /// Returns the packet count. Must be bit-identical, per copy, to
+    /// the topology's historical one-shot injection.
+    fn inject(
+        &mut self,
+        eng: &mut AnyEngine,
+        copy: usize,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+    ) -> usize;
+
+    /// Drive the per-node protocol over the engine. `demux == 0` runs
+    /// plain; `demux == T` wraps the protocol in a
+    /// [`TagDemux`](lnpram_simnet::TagDemux) over tags `0..T` and
+    /// returns the per-tag metrics. Implementations route global node
+    /// ids through [`ReplicatedProtocol`] (or handle the copy offset
+    /// themselves when the protocol keeps per-node state).
+    fn run(
+        &mut self,
+        eng: &mut AnyEngine,
+        copies: usize,
+        demux: usize,
+    ) -> (RunOutcome, Vec<TagMetrics>);
+}
+
+/// Routes global node ids of a [`DisjointCopies`] union to a base-copy
+/// protocol: the inner protocol sees `node % stride`, everything else
+/// passes through. Correct for protocols whose state (if any) is not
+/// per-node; protocols with per-node state handle copies themselves.
+pub struct ReplicatedProtocol<P> {
+    stride: usize,
+    inner: P,
+}
+
+impl<P: Protocol> ReplicatedProtocol<P> {
+    /// Wrap `inner` for a union with `stride` nodes per copy.
+    pub fn new(inner: P, stride: usize) -> Self {
+        ReplicatedProtocol { stride, inner }
+    }
+}
+
+impl<P: Protocol> Protocol for ReplicatedProtocol<P> {
+    fn on_packet(&mut self, node: usize, pkt: Packet, step: u32, out: &mut Outbox) {
+        self.inner.on_packet(node % self.stride, pkt, step, out);
+    }
+
+    fn on_arrivals(&mut self, node: usize, pkts: &[Packet], step: u32, out: &mut Outbox) {
+        self.inner.on_arrivals(node % self.stride, pkts, step, out);
+    }
+
+    fn on_step_end(&mut self, step: u32) {
+        self.inner.on_step_end(step);
+    }
+}
+
+/// Build a backend's engine: the topology's own partitioner for a
+/// single copy, copy-aligned contiguous blocks for a batched union (so
+/// shard boundaries never cross a tenant copy and tenants add zero
+/// boundary traffic).
+pub fn batch_engine<N, P>(base: &N, copies: usize, cfg: &SimConfig, single_copy: P) -> AnyEngine
+where
+    N: lnpram_topology::Network + ?Sized,
+    P: FnOnce(&N, SimConfig) -> AnyEngine,
+{
+    if copies <= 1 {
+        single_copy(base, cfg.clone())
+    } else {
+        let union = DisjointCopies::new(base, copies);
+        // Never more shards than copies: shard boundaries align to copy
+        // boundaries, so extra shards would sit empty while still being
+        // stepped every lockstep round.
+        let cfg = SimConfig {
+            shards: cfg.shards.min(copies),
+            ..cfg.clone()
+        };
+        AnyEngine::with_partitioner(&union, cfg, &lnpram_shard::RowBlock::new(union.stride()))
+    }
+}
+
+/// Drive `proto` (wrapped for the union's node-id space) over `eng`,
+/// optionally demuxing deliveries by tag — the shared tail of every
+/// backend's [`RouteBackend::run`].
+pub fn drive<P: Protocol>(
+    eng: &mut AnyEngine,
+    proto: P,
+    stride: usize,
+    demux: usize,
+) -> (RunOutcome, Vec<TagMetrics>) {
+    drive_raw(eng, ReplicatedProtocol::new(proto, stride), demux)
+}
+
+/// [`drive`] without the node-id wrapper, for protocols that handle
+/// copy offsets themselves (per-node state, e.g. bitonic).
+pub fn drive_raw<P: Protocol>(
+    eng: &mut AnyEngine,
+    proto: P,
+    demux: usize,
+) -> (RunOutcome, Vec<TagMetrics>) {
+    if demux == 0 {
+        let mut proto = proto;
+        (eng.run(&mut proto), Vec::new())
+    } else {
+        let mut tap = TagDemux::new(proto, demux);
+        let out = eng.run(&mut tap);
+        (out, tap.into_metrics())
+    }
+}
+
+/// A reusable routing session over any [`RouteBackend`]: topology,
+/// partition plan and [`AnyEngine`] built **once**, then any number of
+/// requests served through the [`Router`] API, recycling the engine
+/// with `reset` per run. Batched engines (one per tenant count) are
+/// cached the same way. Reuse is a cost optimisation, not a behavior
+/// change: outcomes are bit-identical to fresh one-shot runs, pinned by
+/// property tests on every topology.
+pub struct RoutingSession<B: RouteBackend> {
+    backend: B,
+    cfg: SimConfig,
+    max_steps: u32,
+    engine: AnyEngine,
+    /// Cached batched engine as `(copies, engine)` — rebuilt only when
+    /// the tenant count changes.
+    batch: Option<(usize, AnyEngine)>,
+}
+
+impl<B: RouteBackend> RoutingSession<B> {
+    /// Session over `backend` (serial or sharded per `cfg.shards`).
+    pub fn with_backend(backend: B, cfg: SimConfig) -> Self {
+        let engine = backend.build_engine(1, &cfg);
+        let max_steps = cfg.max_steps;
+        RoutingSession {
+            backend,
+            cfg,
+            max_steps,
+            engine,
+            batch: None,
+        }
+    }
+
+    /// The topology-side backend (accessors like the star graph or the
+    /// mesh algorithm live here).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Is the session on the partitioned (sharded) engine path?
+    pub fn is_sharded(&self) -> bool {
+        self.engine.is_sharded()
+    }
+
+    /// Route an explicit destination map with intermediates drawn from
+    /// an explicit `seq` (the low-level entry the seed-based
+    /// [`Router::route`] wraps; `seq.child(1)` draws the intermediates).
+    pub fn route_with_dests(&mut self, dests: &[usize], seq: SeedSeq) -> RunReport {
+        self.run_single(PatternRef::Dests(dests), seq, 0)
+    }
+
+    /// Route an explicit destination map deterministically (no random
+    /// intermediates) — see [`RoutePattern::Direct`].
+    pub fn route_direct(&mut self, dests: &[usize]) -> RunReport {
+        self.run_single(PatternRef::Direct(dests), SeedSeq::new(0), 0)
+    }
+
+    /// Route an explicit request map with intermediates drawn from an
+    /// explicit `seq`.
+    pub fn route_relation_map(&mut self, relation: &[Vec<usize>], seq: SeedSeq) -> RunReport {
+        self.run_single(PatternRef::RelationMap(relation), seq, 0)
+    }
+
+    fn run_single(&mut self, pattern: PatternRef<'_>, seq: SeedSeq, tag: u64) -> RunReport {
+        self.engine.reset();
+        let packets = self.backend.inject(&mut self.engine, 0, pattern, seq, tag);
+        let (out, _) = self.backend.run(&mut self.engine, 1, 0);
+        RunReport {
+            metrics: out.metrics,
+            completed: out.completed,
+            packets,
+            extras: self.backend.extras(),
+        }
+    }
+}
+
+impl<B: RouteBackend> Router for RoutingSession<B> {
+    fn route(&mut self, req: &RouteRequest) -> RunReport {
+        self.run_single(req.pattern.as_ref(), SeedSeq::new(req.seed), req.tenant)
+    }
+
+    fn route_batch(&mut self, reqs: &[RouteRequest]) -> BatchReport {
+        assert!(!reqs.is_empty(), "route_batch needs at least one request");
+        let copies = reqs.len();
+        if copies == 1 {
+            // One tenant needs no union network and no delivery tap:
+            // route on the single-run engine and project the report.
+            let rep = self.route(&reqs[0]);
+            let stranded = rep.packets - rep.metrics.delivered;
+            return BatchReport {
+                completed: rep.completed,
+                packets: rep.packets,
+                extras: rep.extras,
+                tenants: vec![TenantReport {
+                    slot: 0,
+                    tenant: reqs[0].tenant,
+                    injected: rep.packets,
+                    stranded,
+                    completed: rep.completed,
+                    metrics: TagMetrics {
+                        delivered: rep.metrics.delivered,
+                        routing_time: rep.metrics.routing_time,
+                        latency: rep.metrics.latency.clone(),
+                    },
+                }],
+                metrics: rep.metrics,
+            };
+        }
+        if !matches!(&self.batch, Some((c, _)) if *c == copies) {
+            let mut eng = self.backend.build_engine(copies, &self.cfg);
+            eng.set_max_steps(self.max_steps);
+            self.batch = Some((copies, eng));
+        }
+        let (_, eng) = self.batch.as_mut().expect("batch engine cached above");
+        eng.reset();
+        let mut injected = Vec::with_capacity(copies);
+        for (slot, req) in reqs.iter().enumerate() {
+            injected.push(self.backend.inject(
+                eng,
+                slot,
+                req.pattern.as_ref(),
+                SeedSeq::new(req.seed),
+                slot as u64,
+            ));
+        }
+        let (out, tags) = self.backend.run(eng, copies, copies);
+        let tenants: Vec<TenantReport> = tags
+            .into_iter()
+            .enumerate()
+            .map(|(slot, metrics)| TenantReport {
+                slot,
+                tenant: reqs[slot].tenant,
+                injected: injected[slot],
+                // Every packet of an incomplete run still sits in some
+                // queue, so the tagged-delivery demux determines the
+                // stranded count by conservation.
+                stranded: injected[slot] - metrics.delivered,
+                completed: metrics.delivered == injected[slot],
+                metrics,
+            })
+            .collect();
+        BatchReport {
+            metrics: out.metrics,
+            completed: out.completed,
+            packets: injected.iter().sum(),
+            tenants,
+            extras: self.backend.extras(),
+        }
+    }
+
+    fn set_max_steps(&mut self, max_steps: u32) {
+        self.max_steps = max_steps;
+        self.engine.set_max_steps(max_steps);
+        if let Some((_, eng)) = &mut self.batch {
+            eng.set_max_steps(max_steps);
+        }
+    }
+
+    fn step_budget(&self) -> u32 {
+        self.max_steps
+    }
+
+    fn num_sources(&self) -> usize {
+        self.backend.sources()
+    }
+
+    fn topology(&self) -> String {
+        self.backend.name()
+    }
+}
+
+/// Draw the destination map a pattern's random variants imply, or
+/// borrow the explicit one — the shared head of every backend's
+/// [`RouteBackend::inject`] for single-packet-per-source patterns.
+/// Returns `(dests, direct)`.
+pub fn pattern_dests(
+    pattern: PatternRef<'_>,
+    sources: usize,
+    seq: SeedSeq,
+) -> (std::borrow::Cow<'_, [usize]>, bool) {
+    use std::borrow::Cow;
+    match pattern {
+        PatternRef::Permutation => (
+            Cow::Owned(workloads::random_permutation(
+                sources,
+                &mut seq.child(0).rng(),
+            )),
+            false,
+        ),
+        PatternRef::Dests(d) => (Cow::Borrowed(d), false),
+        PatternRef::Direct(d) => (Cow::Borrowed(d), true),
+        PatternRef::Relation { .. } | PatternRef::RelationMap(_) => {
+            unreachable!("relation patterns are handled by pattern_relation")
+        }
+    }
+}
+
+/// The relation map a relation pattern implies (random `h`-relation
+/// drawn from `seq.child(0)`, or the explicit map).
+pub fn pattern_relation(
+    pattern: PatternRef<'_>,
+    sources: usize,
+    seq: SeedSeq,
+) -> std::borrow::Cow<'_, [Vec<usize>]> {
+    use std::borrow::Cow;
+    match pattern {
+        PatternRef::Relation { h } => {
+            Cow::Owned(workloads::h_relation(sources, h, &mut seq.child(0).rng()))
+        }
+        PatternRef::RelationMap(r) => Cow::Borrowed(r),
+        _ => unreachable!("non-relation patterns are handled by pattern_dests"),
+    }
+}
+
+/// Is this a relation-shaped pattern (multiple packets per source)?
+pub fn is_relation(pattern: PatternRef<'_>) -> bool {
+    matches!(
+        pattern,
+        PatternRef::Relation { .. } | PatternRef::RelationMap(_)
+    )
+}
+
+/// The shared injection scaffolding of every per-source backend — one
+/// packet per `(src, dest)` pair of the pattern, ids `= src` for
+/// single-packet-per-source patterns and sequential for relations,
+/// intermediates drawn from `seq.child(1)` in source order. The
+/// topology plugs in three hooks: `node_of` maps a source index to its
+/// injection node (including the tenant-copy offset), `randomized`
+/// builds one two-phase packet (drawing its intermediate from the
+/// rng), `direct` builds the deterministic-ablation packet. Returns
+/// the packet count.
+pub fn inject_per_source(
+    eng: &mut AnyEngine,
+    sources: usize,
+    pattern: PatternRef<'_>,
+    seq: SeedSeq,
+    node_of: &mut dyn FnMut(usize) -> usize,
+    randomized: &mut dyn FnMut(u32, usize, usize, &mut rand::rngs::StdRng) -> Packet,
+    direct: &mut dyn FnMut(u32, usize, usize) -> Packet,
+) -> usize {
+    if is_relation(pattern) {
+        let relation = pattern_relation(pattern, sources, seq);
+        assert_eq!(relation.len(), sources);
+        let mut rng = seq.child(1).rng();
+        let mut id = 0u32;
+        for (src, ds) in relation.iter().enumerate() {
+            for &dest in ds {
+                let pkt = randomized(id, src, dest, &mut rng);
+                eng.inject(node_of(src), pkt);
+                id += 1;
+            }
+        }
+        id as usize
+    } else {
+        let (dests, is_direct) = pattern_dests(pattern, sources, seq);
+        assert_eq!(dests.len(), sources);
+        if is_direct {
+            for (src, &dest) in dests.iter().enumerate() {
+                let pkt = direct(src as u32, src, dest);
+                eng.inject(node_of(src), pkt);
+            }
+        } else {
+            let mut rng = seq.child(1).rng();
+            for (src, &dest) in dests.iter().enumerate() {
+                let pkt = randomized(src as u32, src, dest, &mut rng);
+                eng.inject(node_of(src), pkt);
+            }
+        }
+        dests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builders() {
+        let r = RouteRequest::permutation(7).with_tenant(3);
+        assert_eq!(r.pattern, RoutePattern::Permutation);
+        assert_eq!(r.seed, 7);
+        assert_eq!(r.tenant, 3);
+        let r = RouteRequest::relation(4, 9);
+        assert_eq!(r.pattern, RoutePattern::Relation { h: 4 });
+        let rs = RouteRequest::permutations(&[5, 6]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1].seed, 6);
+        assert_eq!(rs[1].tenant, 1);
+    }
+
+    #[test]
+    fn extras_norms() {
+        assert_eq!(RunExtras::Leveled { levels: 10 }.norm(), 10);
+        assert_eq!(RunExtras::Star { n: 5, diameter: 6 }.norm(), 6);
+        assert_eq!(RunExtras::Mesh { n: 32 }.norm(), 32);
+        assert_eq!(RunExtras::Cube { dims: 8 }.norm(), 8);
+        assert_eq!(RunExtras::Ccc { k: 4, diameter: 8 }.norm(), 8);
+        assert_eq!(RunExtras::Shuffle { digits: 3 }.norm(), 3);
+        assert_eq!(
+            RunExtras::Bitonic {
+                dims: 6,
+                stages: 21
+            }
+            .norm(),
+            21
+        );
+    }
+
+    #[test]
+    fn pattern_dests_draws_and_borrows() {
+        let (d, direct) = pattern_dests(PatternRef::Permutation, 8, SeedSeq::new(1));
+        assert!(workloads::is_permutation(&d));
+        assert!(!direct);
+        let explicit = vec![2usize, 0, 1];
+        let pattern = RoutePattern::Direct(explicit.clone());
+        let (d, direct) = pattern_dests(pattern.as_ref(), 3, SeedSeq::new(1));
+        assert_eq!(&*d, explicit.as_slice());
+        assert!(direct);
+    }
+}

@@ -11,10 +11,20 @@
 //! dependent*: the digit inserted at hop `s` of a phase is base-d digit
 //! `s−1` of the phase target, so the packet carries a hop counter
 //! ([`Packet::hop`]).
+//!
+//! The public entry point is [`ShuffleRoutingSession`] — the
+//! [`Router`](crate::Router) instance for the shuffle. (Historically the
+//! `route_shuffle_*` one-shots built a bare serial `Engine` and silently
+//! ignored `cfg.shards`; the session routes through
+//! [`AnyEngine`](lnpram_shard::AnyEngine).)
 
-use crate::workloads;
+use crate::router::{
+    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
+    RunExtras,
+};
 use lnpram_math::rng::SeedSeq;
-use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::{DWayShuffle, Network};
 use rand::Rng;
 
@@ -60,89 +70,137 @@ impl Protocol for ShuffleRouter {
     }
 }
 
-/// Report of one shuffle routing run.
-#[derive(Debug, Clone)]
-pub struct ShuffleRunReport {
-    /// Engine metrics.
-    pub metrics: Metrics,
-    /// All packets arrived within budget?
-    pub completed: bool,
-    /// Digit count n (= diameter).
-    pub n: usize,
+/// [`RouteBackend`] for Algorithm 2.3 on the d-way shuffle.
+pub struct ShuffleBackend {
+    shuffle: DWayShuffle,
 }
 
-impl ShuffleRunReport {
-    /// Routing time divided by the diameter n.
-    pub fn time_per_diameter(&self) -> f64 {
-        f64::from(self.metrics.routing_time) / self.n.max(1) as f64
+impl ShuffleBackend {
+    /// Backend on the given shuffle network.
+    pub fn new(shuffle: DWayShuffle) -> Self {
+        ShuffleBackend { shuffle }
+    }
+
+    /// The shuffle network.
+    pub fn shuffle(&self) -> &DWayShuffle {
+        &self.shuffle
+    }
+}
+
+impl RouteBackend for ShuffleBackend {
+    fn sources(&self) -> usize {
+        self.shuffle.num_nodes()
+    }
+
+    fn stride(&self) -> usize {
+        self.shuffle.num_nodes()
+    }
+
+    fn name(&self) -> String {
+        self.shuffle.name()
+    }
+
+    fn extras(&self) -> RunExtras {
+        RunExtras::Shuffle {
+            digits: self.shuffle.digits(),
+        }
+    }
+
+    fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine {
+        batch_engine(&self.shuffle, copies, cfg, |shuffle, cfg| {
+            AnyEngine::with_partitioner(shuffle, cfg, &GreedyEdgeCut)
+        })
+    }
+
+    fn inject(
+        &mut self,
+        eng: &mut AnyEngine,
+        copy: usize,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+    ) -> usize {
+        let total = self.shuffle.num_nodes();
+        let offset = copy * total;
+        inject_per_source(
+            eng,
+            total,
+            pattern,
+            seq,
+            &mut |src| offset + src,
+            &mut |id, src, dest, rng| {
+                let via = rng.gen_range(0..total) as u32;
+                Packet::new(id, src as u32, dest as u32)
+                    .with_via(via)
+                    .with_tag(tag)
+            },
+            &mut |id, src, dest| {
+                // phase 1 from the start: one unique-path traversal
+                // straight to the destination (n hops, no random
+                // intermediate).
+                let mut pkt = Packet::new(id, src as u32, dest as u32)
+                    .with_via(src as u32)
+                    .with_tag(tag);
+                pkt.phase = 1;
+                pkt
+            },
+        )
+    }
+
+    fn run(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.shuffle.num_nodes();
+        drive(eng, ShuffleRouter::new(self.shuffle), stride, demux)
+    }
+}
+
+/// A reusable Algorithm 2.3 routing session: the
+/// [`Router`](crate::Router) instance for the d-way shuffle (network +
+/// partition + engine built once, `cfg.shards` honored).
+pub type ShuffleRoutingSession = RoutingSession<ShuffleBackend>;
+
+impl RoutingSession<ShuffleBackend> {
+    /// Session on the given shuffle (serial or sharded per `cfg.shards`).
+    pub fn new(shuffle: DWayShuffle, cfg: SimConfig) -> Self {
+        RoutingSession::with_backend(ShuffleBackend::new(shuffle), cfg)
     }
 }
 
 /// Route one random permutation on the d-way shuffle (Theorem 2.3).
+/// One-shot convenience over [`ShuffleRoutingSession`]; loops should
+/// hold a session.
 pub fn route_shuffle_permutation(
     shuffle: DWayShuffle,
     seed: u64,
     cfg: SimConfig,
-) -> ShuffleRunReport {
-    let seq = SeedSeq::new(seed);
-    let mut rng = seq.child(0).rng();
-    let dests = workloads::random_permutation(shuffle.num_nodes(), &mut rng);
-    route_shuffle_with_dests(shuffle, &dests, seq, cfg)
+) -> crate::RunReport {
+    ShuffleRoutingSession::new(shuffle, cfg).route_permutation(seed)
 }
 
-/// Route an explicit destination map on the shuffle.
+/// Route an explicit destination map on the shuffle. One-shot
+/// convenience over [`ShuffleRoutingSession`].
 pub fn route_shuffle_with_dests(
     shuffle: DWayShuffle,
     dests: &[usize],
     seq: SeedSeq,
     cfg: SimConfig,
-) -> ShuffleRunReport {
-    assert_eq!(dests.len(), shuffle.num_nodes());
-    let mut eng = Engine::new(&shuffle, cfg);
-    let mut via_rng = seq.child(1).rng();
-    for (src, &dest) in dests.iter().enumerate() {
-        let via = via_rng.gen_range(0..shuffle.num_nodes()) as u32;
-        eng.inject(
-            src,
-            Packet::new(src as u32, src as u32, dest as u32).with_via(via),
-        );
-    }
-    let mut router = ShuffleRouter::new(shuffle);
-    let out = eng.run(&mut router);
-    ShuffleRunReport {
-        metrics: out.metrics,
-        completed: out.completed,
-        n: shuffle.digits(),
-    }
+) -> crate::RunReport {
+    ShuffleRoutingSession::new(shuffle, cfg).route_with_dests(dests, seq)
 }
 
-/// Route a partial n-relation on the shuffle (Corollary 2.2).
+/// Route a partial n-relation on the shuffle (Corollary 2.2). One-shot
+/// convenience over [`ShuffleRoutingSession`].
 pub fn route_shuffle_relation(
     shuffle: DWayShuffle,
     h: usize,
     seed: u64,
     cfg: SimConfig,
-) -> ShuffleRunReport {
-    let seq = SeedSeq::new(seed);
-    let mut rng = seq.child(0).rng();
-    let relation = workloads::h_relation(shuffle.num_nodes(), h, &mut rng);
-    let mut eng = Engine::new(&shuffle, cfg);
-    let mut via_rng = seq.child(1).rng();
-    let mut id = 0u32;
-    for (src, ds) in relation.iter().enumerate() {
-        for &dest in ds {
-            let via = via_rng.gen_range(0..shuffle.num_nodes()) as u32;
-            eng.inject(src, Packet::new(id, src as u32, dest as u32).with_via(via));
-            id += 1;
-        }
-    }
-    let mut router = ShuffleRouter::new(shuffle);
-    let out = eng.run(&mut router);
-    ShuffleRunReport {
-        metrics: out.metrics,
-        completed: out.completed,
-        n: shuffle.digits(),
-    }
+) -> crate::RunReport {
+    ShuffleRoutingSession::new(shuffle, cfg).route_relation(h, seed)
 }
 
 #[cfg(test)]
@@ -189,6 +247,7 @@ mod tests {
         assert_eq!(rep.metrics.delivered, 27);
         // Every packet takes exactly 2n = 6 hops; time >= 6.
         assert!(rep.metrics.routing_time >= 6);
+        assert_eq!(rep.norm(), 3);
     }
 
     #[test]
@@ -198,9 +257,9 @@ mod tests {
             assert!(rep.completed);
             assert_eq!(rep.metrics.delivered, 256);
             assert!(
-                rep.time_per_diameter() <= 10.0,
+                rep.time_per_norm() <= 10.0,
                 "seed {seed}: {:.2}x n",
-                rep.time_per_diameter()
+                rep.time_per_norm()
             );
         }
     }
@@ -245,5 +304,46 @@ mod tests {
         let rep = route_shuffle_with_dests(s, &dests, SeedSeq::new(0), SimConfig::default());
         assert!(rep.completed);
         assert_eq!(rep.metrics.delivered, 8);
+    }
+
+    #[test]
+    fn session_honors_shards_and_reuse() {
+        // The satellite bugfix: the shuffle one-shots used to build a
+        // bare serial `Engine`, silently ignoring `cfg.shards`.
+        let sharded = SimConfig {
+            shards: 3,
+            ..SimConfig::default()
+        };
+        let s = DWayShuffle::new(3, 3);
+        let mut session = ShuffleRoutingSession::new(s, sharded);
+        assert!(session.is_sharded());
+        for seed in 0..3u64 {
+            let got = session.route_permutation(seed);
+            let fresh = route_shuffle_permutation(s, seed, SimConfig::default());
+            assert_eq!(got.completed, fresh.completed);
+            assert_eq!(got.metrics.routing_time, fresh.metrics.routing_time);
+            assert_eq!(got.metrics.delivered, fresh.metrics.delivered);
+            assert_eq!(got.metrics.max_queue, fresh.metrics.max_queue);
+        }
+    }
+
+    #[test]
+    fn direct_routing_is_single_traversal() {
+        let s = DWayShuffle::n_way(3);
+        let mut session = ShuffleRoutingSession::new(s, SimConfig::default());
+        let seq = SeedSeq::new(8);
+        let dests = crate::workloads::random_permutation(s.num_nodes(), &mut seq.child(0).rng());
+        let direct = session.route_direct(&dests);
+        assert!(direct.completed);
+        assert_eq!(direct.metrics.delivered, 27);
+        // One n-hop traversal instead of two: min latency is exactly n.
+        let min_latency = direct
+            .metrics
+            .latency
+            .buckets()
+            .next()
+            .map(|(lo, _)| lo)
+            .unwrap();
+        assert_eq!(min_latency, 3);
     }
 }

@@ -8,11 +8,18 @@
 //! cycle-following route of Akers–Krishnamurthy, which is *memoryless*:
 //! the next hop from `v` toward `t` depends only on `(v, t)`, so the
 //! per-node protocol needs no per-packet route state.
+//!
+//! The public entry point is [`StarRoutingSession`] — the
+//! [`Router`](crate::Router) instance for the star graph; the
+//! `route_star_*` one-shots are thin wrappers over it.
 
-use crate::workloads;
+use crate::router::{
+    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
+    RunExtras,
+};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, GreedyEdgeCut};
-use lnpram_simnet::{Metrics, Outbox, Packet, Protocol, SimConfig};
+use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::{Network, StarGraph};
 use rand::Rng;
 
@@ -57,26 +64,6 @@ impl Protocol for StarRouter {
     }
 }
 
-/// Report of one star-graph routing run.
-#[derive(Debug, Clone)]
-pub struct StarRunReport {
-    /// Engine metrics.
-    pub metrics: Metrics,
-    /// All packets arrived within budget?
-    pub completed: bool,
-    /// n of the star graph.
-    pub n: usize,
-    /// Diameter `⌊3(n−1)/2⌋`.
-    pub diameter: usize,
-}
-
-impl StarRunReport {
-    /// Routing time divided by the diameter (the optimality constant).
-    pub fn time_per_diameter(&self) -> f64 {
-        f64::from(self.metrics.routing_time) / self.diameter.max(1) as f64
-    }
-}
-
 /// Build the star's simulation engine — serial or sharded (greedy
 /// edge-cut: the star has no level/row structure to align a cut to) per
 /// [`SimConfig::shards`]. The one construction shared by
@@ -86,23 +73,105 @@ pub fn star_engine(star: &StarGraph, cfg: SimConfig) -> AnyEngine {
     AnyEngine::with_partitioner(star, cfg, &GreedyEdgeCut)
 }
 
-/// A reusable Algorithm 2.2 routing session: the star graph, its
-/// partition plan and the [`AnyEngine`] are built **once**, then any
-/// number of permutations / destination maps / relations are routed
-/// through it, recycling the engine with `reset` per run. On small
-/// networks the per-run construction (partition + K engines on the
+/// [`RouteBackend`] for Algorithm 2.2 on the n-star.
+pub struct StarBackend {
+    star: StarGraph,
+}
+
+impl StarBackend {
+    /// Backend on the given star graph.
+    pub fn new(star: StarGraph) -> Self {
+        StarBackend { star }
+    }
+
+    /// The star graph.
+    pub fn star(&self) -> &StarGraph {
+        &self.star
+    }
+}
+
+impl RouteBackend for StarBackend {
+    fn sources(&self) -> usize {
+        self.star.num_nodes()
+    }
+
+    fn stride(&self) -> usize {
+        self.star.num_nodes()
+    }
+
+    fn name(&self) -> String {
+        self.star.name()
+    }
+
+    fn extras(&self) -> RunExtras {
+        RunExtras::Star {
+            n: self.star.n(),
+            diameter: self.star.diameter(),
+        }
+    }
+
+    fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine {
+        batch_engine(&self.star, copies, cfg, star_engine)
+    }
+
+    fn inject(
+        &mut self,
+        eng: &mut AnyEngine,
+        copy: usize,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+    ) -> usize {
+        let total = self.star.num_nodes();
+        let offset = copy * total;
+        inject_per_source(
+            eng,
+            total,
+            pattern,
+            seq,
+            &mut |src| offset + src,
+            &mut |id, src, dest, rng| {
+                let via = rng.gen_range(0..total) as u32;
+                Packet::new(id, src as u32, dest as u32)
+                    .with_via(via)
+                    .with_tag(tag)
+            },
+            &mut |id, src, dest| {
+                // phase 1 from the start: via = self, so the router
+                // goes straight to the destination.
+                let mut pkt = Packet::new(id, src as u32, dest as u32)
+                    .with_via(src as u32)
+                    .with_tag(tag);
+                pkt.phase = 1;
+                pkt
+            },
+        )
+    }
+
+    fn run(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.star.num_nodes();
+        drive(eng, StarRouter::new(self.star), stride, demux)
+    }
+}
+
+/// A reusable Algorithm 2.2 routing session: the [`Router`](crate::Router)
+/// instance for the star graph. The graph, its partition plan and the
+/// [`AnyEngine`] are built **once**, then any number of requests are
+/// routed through it, recycling the engine with `reset` per run. On
+/// small networks the per-run construction (partition + K engines on the
 /// sharded path) dominates the routing itself — the `BENCH_3.json` star
 /// row ran at 0.57× serial for exactly this reason — so loops should
 /// hold a session instead of calling the one-shot entry points.
 /// Outcomes are bit-identical to the one-shots (pinned by property
 /// tests): reuse is a cost optimisation, not a behaviour change.
-pub struct StarRoutingSession {
-    star: StarGraph,
-    router: StarRouter,
-    engine: AnyEngine,
-}
+pub type StarRoutingSession = RoutingSession<StarBackend>;
 
-impl StarRoutingSession {
+impl RoutingSession<StarBackend> {
     /// Session on the n-star (serial or sharded per `cfg.shards`).
     pub fn new(n: usize, cfg: SimConfig) -> Self {
         Self::from_graph(StarGraph::new(n), cfg)
@@ -110,106 +179,18 @@ impl StarRoutingSession {
 
     /// Session over an already-built star graph.
     pub fn from_graph(star: StarGraph, cfg: SimConfig) -> Self {
-        let engine = star_engine(&star, cfg);
-        StarRoutingSession {
-            star,
-            router: StarRouter::new(star),
-            engine,
-        }
+        RoutingSession::with_backend(StarBackend::new(star), cfg)
     }
 
     /// The star graph this session routes on.
     pub fn star(&self) -> &StarGraph {
-        &self.star
-    }
-
-    /// Override the per-run step budget (retry schedules tighten it to
-    /// observe failures) while keeping the warmed engine.
-    pub fn set_max_steps(&mut self, max_steps: u32) {
-        self.engine.set_max_steps(max_steps);
-    }
-
-    /// Route one random permutation drawn from `seed` — the session
-    /// counterpart of [`route_star_permutation`], bit-identical to it.
-    pub fn route_permutation(&mut self, seed: u64) -> StarRunReport {
-        let seq = SeedSeq::new(seed);
-        let mut rng = seq.child(0).rng();
-        let dests = workloads::random_permutation(self.star.num_nodes(), &mut rng);
-        self.route_with_dests(&dests, seq)
-    }
-
-    /// Route one random permutation per seed over the warmed engine —
-    /// the batched entry for request loops (construction is amortised
-    /// across the whole batch; the lockstep overhead is not yet — that
-    /// is the ROADMAP's multi-tenant batching item).
-    pub fn route_many(&mut self, seeds: &[u64]) -> Vec<StarRunReport> {
-        seeds.iter().map(|&s| self.route_permutation(s)).collect()
-    }
-
-    /// Route an explicit destination map (one packet per node) with
-    /// fresh random intermediates drawn from `seq`.
-    pub fn route_with_dests(&mut self, dests: &[usize], seq: SeedSeq) -> StarRunReport {
-        assert_eq!(dests.len(), self.star.num_nodes());
-        self.engine.reset();
-        let mut via_rng = seq.child(1).rng();
-        for (src, &dest) in dests.iter().enumerate() {
-            let via = via_rng.gen_range(0..self.star.num_nodes()) as u32;
-            self.engine.inject(
-                src,
-                Packet::new(src as u32, src as u32, dest as u32).with_via(via),
-            );
-        }
-        self.finish()
-    }
-
-    /// Route an explicit destination map *deterministically*: every
-    /// packet follows its canonical path directly (no random
-    /// intermediate) — see [`route_star_deterministic`].
-    pub fn route_direct(&mut self, dests: &[usize]) -> StarRunReport {
-        assert_eq!(dests.len(), self.star.num_nodes());
-        self.engine.reset();
-        for (src, &dest) in dests.iter().enumerate() {
-            // phase 1 from the start: via = self, so the router goes
-            // straight to the destination.
-            let mut pkt = Packet::new(src as u32, src as u32, dest as u32).with_via(src as u32);
-            pkt.phase = 1;
-            self.engine.inject(src, pkt);
-        }
-        self.finish()
-    }
-
-    /// Route a multi-packet request map: `relation[src]` lists every
-    /// destination originating at `src` (Corollary 2.1's h-relations).
-    pub fn route_relation(&mut self, relation: &[Vec<usize>], seq: SeedSeq) -> StarRunReport {
-        assert_eq!(relation.len(), self.star.num_nodes());
-        self.engine.reset();
-        let mut via_rng = seq.child(1).rng();
-        let mut id = 0u32;
-        for (src, ds) in relation.iter().enumerate() {
-            for &dest in ds {
-                let via = via_rng.gen_range(0..self.star.num_nodes()) as u32;
-                self.engine
-                    .inject(src, Packet::new(id, src as u32, dest as u32).with_via(via));
-                id += 1;
-            }
-        }
-        self.finish()
-    }
-
-    fn finish(&mut self) -> StarRunReport {
-        let out = self.engine.run(&mut self.router);
-        StarRunReport {
-            metrics: out.metrics,
-            completed: out.completed,
-            n: self.star.n(),
-            diameter: self.star.diameter(),
-        }
+        self.backend().star()
     }
 }
 
 /// Route one random permutation on the n-star (Theorem 2.2). One-shot
 /// convenience over [`StarRoutingSession`]; loops should hold a session.
-pub fn route_star_permutation(n: usize, seed: u64, cfg: SimConfig) -> StarRunReport {
+pub fn route_star_permutation(n: usize, seed: u64, cfg: SimConfig) -> crate::RunReport {
     StarRoutingSession::new(n, cfg).route_permutation(seed)
 }
 
@@ -220,7 +201,7 @@ pub fn route_star_with_dests(
     dests: &[usize],
     seq: SeedSeq,
     cfg: SimConfig,
-) -> StarRunReport {
+) -> crate::RunReport {
     StarRoutingSession::from_graph(star, cfg).route_with_dests(dests, seq)
 }
 
@@ -230,34 +211,31 @@ pub fn route_star_with_dests(
 /// variant halves the path length but carries no w.h.p. guarantee — an
 /// adversary can congest it, which is what Phase 1's randomization buys
 /// insurance against (Valiant's argument).
-pub fn route_star_deterministic(n: usize, seed: u64, cfg: SimConfig) -> StarRunReport {
+pub fn route_star_deterministic(n: usize, seed: u64, cfg: SimConfig) -> crate::RunReport {
     let mut session = StarRoutingSession::new(n, cfg);
     let seq = SeedSeq::new(seed);
     let mut rng = seq.child(0).rng();
-    let dests = workloads::random_permutation(session.star().num_nodes(), &mut rng);
+    let dests = crate::workloads::random_permutation(session.star().num_nodes(), &mut rng);
     session.route_direct(&dests)
 }
 
 /// Route a partial n-relation on the star graph (Corollary 2.1): up to `h`
 /// packets per source, `h` per destination.
-pub fn route_star_relation(n: usize, h: usize, seed: u64, cfg: SimConfig) -> StarRunReport {
-    let mut session = StarRoutingSession::new(n, cfg);
-    let seq = SeedSeq::new(seed);
-    let mut rng = seq.child(0).rng();
-    let relation = workloads::h_relation(session.star().num_nodes(), h, &mut rng);
-    session.route_relation(&relation, seq)
+pub fn route_star_relation(n: usize, h: usize, seed: u64, cfg: SimConfig) -> crate::RunReport {
+    StarRoutingSession::new(n, cfg).route_relation(h, seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::RouteRequest;
 
     #[test]
     fn permutation_on_4_star_delivers_all() {
         let rep = route_star_permutation(4, 1, SimConfig::default());
         assert!(rep.completed);
         assert_eq!(rep.metrics.delivered, 24);
-        assert_eq!(rep.diameter, 4);
+        assert_eq!(rep.norm(), 4);
     }
 
     #[test]
@@ -269,9 +247,9 @@ mod tests {
             assert!(rep.completed);
             assert_eq!(rep.metrics.delivered, 120);
             assert!(
-                rep.time_per_diameter() <= 8.0,
+                rep.time_per_norm() <= 8.0,
                 "seed {seed}: {:.2}x diameter",
-                rep.time_per_diameter()
+                rep.time_per_norm()
             );
         }
     }
@@ -353,8 +331,9 @@ mod tests {
     #[test]
     fn route_many_matches_sequential_permutations() {
         let seeds: Vec<u64> = (10..16).collect();
+        let reqs = RouteRequest::permutations(&seeds);
         let mut batched_session = StarRoutingSession::new(4, SimConfig::default());
-        let reports = batched_session.route_many(&seeds);
+        let reports = batched_session.route_many(&reqs);
         assert_eq!(reports.len(), seeds.len());
         let mut sequential = StarRoutingSession::new(4, SimConfig::default());
         for (batched, &seed) in reports.iter().zip(&seeds) {
@@ -367,8 +346,8 @@ mod tests {
 
     #[test]
     fn deterministic_and_relation_honor_shards() {
-        // The satellite bugfix: these entry points used to build a bare
-        // serial `Engine`, silently ignoring `cfg.shards`.
+        // The PR-4 satellite bugfix, kept pinned: these entry points used
+        // to build a bare serial `Engine`, silently ignoring `cfg.shards`.
         let sharded = SimConfig {
             shards: 3,
             ..SimConfig::default()

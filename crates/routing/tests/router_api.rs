@@ -1,0 +1,296 @@
+//! Cross-topology pins for the unified `Router` API:
+//!
+//! * **(a)** `route_batch` with ≥ 2 tenants is bit-identical *per
+//!   tenant* to isolated single-tenant runs — on the serial and the
+//!   sharded engine path, K ∈ {1, 2, 4} — for every topology.
+//! * **(b)** the new cached sessions (cube / CCC / shuffle / bitonic)
+//!   are bit-identical to their one-shot wrappers, including on a
+//!   warmed (reused, previously budget-exhausted) session and across
+//!   shard counts.
+//! * **(c)** trait-object (`dyn Router`) use compiles and matches the
+//!   concrete calls.
+
+use lnpram_routing::bitonic::BitonicRoutingSession;
+use lnpram_routing::ccc::{route_ccc_permutation, CccRoutingSession};
+use lnpram_routing::hypercube::{route_cube_permutation, CubeRoutingSession};
+use lnpram_routing::shuffle::ShuffleRoutingSession;
+use lnpram_routing::{
+    route_shuffle_permutation, LeveledRoutingSession, MeshAlgorithm, MeshRoutingSession,
+    RouteRequest, Router, RunReport, StarRoutingSession, TenantReport,
+};
+use lnpram_simnet::{Metrics, SimConfig};
+use lnpram_topology::leveled::RadixButterfly;
+use lnpram_topology::DWayShuffle;
+use proptest::prelude::*;
+
+/// Every topology of the crate behind one constructor, small enough
+/// for proptest sweeps.
+const TOPOLOGIES: usize = 7;
+
+fn make(topo: usize, shards: usize) -> Box<dyn Router> {
+    let cfg = SimConfig {
+        shards,
+        ..SimConfig::default()
+    };
+    match topo {
+        0 => Box::new(StarRoutingSession::new(4, cfg)),
+        1 => Box::new(LeveledRoutingSession::new(RadixButterfly::new(2, 4), cfg)),
+        2 => Box::new(MeshRoutingSession::new(
+            4,
+            MeshAlgorithm::ThreeStage { slice_rows: 2 },
+            cfg,
+        )),
+        3 => Box::new(CubeRoutingSession::new(4, cfg)),
+        4 => Box::new(CccRoutingSession::new(3, cfg)),
+        5 => Box::new(ShuffleRoutingSession::new(DWayShuffle::new(3, 2), cfg)),
+        6 => Box::new(BitonicRoutingSession::new(3, cfg)),
+        _ => unreachable!("{topo}"),
+    }
+}
+
+/// The per-tenant == isolated contract: deliveries, routing time and
+/// the full latency distribution (queue residency is engine-global by
+/// design and excluded).
+fn assert_tenant_matches(tr: &TenantReport, iso: &RunReport, ctx: &str) {
+    assert_eq!(tr.completed, iso.completed, "{ctx}: completed");
+    assert_eq!(tr.injected, iso.packets, "{ctx}: injected");
+    assert_eq!(
+        tr.metrics.delivered, iso.metrics.delivered,
+        "{ctx}: delivered"
+    );
+    assert_eq!(
+        tr.metrics.routing_time, iso.metrics.routing_time,
+        "{ctx}: routing_time"
+    );
+    assert!(
+        tr.metrics
+            .latency
+            .buckets()
+            .eq(iso.metrics.latency.buckets()),
+        "{ctx}: latency distribution"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    /// (a) Batched multi-tenant outcomes == isolated single-tenant runs
+    /// per tenant, on the serial engine and sharded at K ∈ {1, 2, 4} —
+    /// the isolated reference is always the serial path, so this also
+    /// re-pins sharded == serial through the batch machinery.
+    #[test]
+    fn prop_batch_matches_isolated_per_tenant(
+        topo in 0usize..TOPOLOGIES,
+        tenants in 2usize..=4,
+        base_seed: u64,
+        shards in prop_oneof![Just(0usize), Just(1), Just(2), Just(4)],
+    ) {
+        let reqs: Vec<RouteRequest> = (0..tenants as u64)
+            .map(|i| RouteRequest::permutation(base_seed.wrapping_add(i)).with_tenant(i))
+            .collect();
+        let mut router = make(topo, shards);
+        let batch = router.route_batch(&reqs);
+        prop_assert!(batch.completed, "{}", router.topology());
+        prop_assert_eq!(batch.tenants.len(), tenants);
+        let mut total_packets = 0usize;
+        let mut max_time = 0u32;
+        for (i, req) in reqs.iter().enumerate() {
+            let iso = make(topo, 0).route(req);
+            let tr = batch.tenant(i);
+            prop_assert_eq!(tr.slot, i);
+            prop_assert_eq!(tr.tenant, i as u64);
+            prop_assert_eq!(tr.stranded, 0);
+            assert_tenant_matches(tr, &iso, &format!("{} tenant {i}", router.topology()));
+            total_packets += iso.packets;
+            max_time = max_time.max(iso.metrics.routing_time);
+        }
+        // Aggregates: deliveries partition, the run ends with the
+        // slowest tenant.
+        prop_assert_eq!(batch.packets, total_packets);
+        prop_assert_eq!(batch.metrics.delivered, total_packets);
+        prop_assert_eq!(batch.metrics.routing_time, max_time);
+
+        // Batch-engine reuse on the same session (different seeds) must
+        // stay identical to isolated runs too.
+        let reqs2: Vec<RouteRequest> = (0..tenants as u64)
+            .map(|i| {
+                RouteRequest::permutation(base_seed.wrapping_add(1000 + i)).with_tenant(i)
+            })
+            .collect();
+        let batch2 = router.route_batch(&reqs2);
+        prop_assert!(batch2.completed);
+        for (i, req) in reqs2.iter().enumerate() {
+            let iso = make(topo, 0).route(req);
+            assert_tenant_matches(
+                batch2.tenant(i),
+                &iso,
+                &format!("{} reused-batch tenant {i}", router.topology()),
+            );
+        }
+        // And the single-run engine is untouched by batching.
+        let single = router.route(&reqs[0]);
+        let iso = make(topo, 0).route(&reqs[0]);
+        prop_assert_eq!(single.metrics.routing_time, iso.metrics.routing_time);
+        prop_assert_eq!(single.metrics.max_queue, iso.metrics.max_queue);
+    }
+
+    /// (b) The new cube/CCC/shuffle/bitonic sessions are bit-identical
+    /// to their one-shot wrappers — Nth call on a warmed session that
+    /// has already absorbed a budget-exhausted run, serial and sharded.
+    #[test]
+    fn prop_new_sessions_bit_identical_to_one_shots(
+        topo in 3usize..TOPOLOGIES,
+        base_seed: u64,
+        runs in 1usize..4,
+        shards in 0usize..=4,
+    ) {
+        let cfg = SimConfig { shards, ..SimConfig::default() };
+        let mut session = make(topo, shards);
+        // Poison: a budget-exhausted run leaves packets mid-flight;
+        // reset must still give a fresh-engine run. (Bitonic at budget 1
+        // is mid-exchange, equally poisoned.)
+        session.set_max_steps(1);
+        let poisoned = session.route_permutation(u64::MAX);
+        prop_assert!(!poisoned.completed);
+        session.set_max_steps(cfg.max_steps);
+        for i in 0..runs as u64 {
+            let seed = base_seed.wrapping_add(i);
+            let reused = session.route_permutation(seed);
+            let fresh = match topo {
+                3 => route_cube_permutation(4, seed, cfg.clone()),
+                4 => route_ccc_permutation(3, seed, cfg.clone()),
+                5 => route_shuffle_permutation(DWayShuffle::new(3, 2), seed, cfg.clone()),
+                6 => lnpram_routing::bitonic::route_cube_bitonic(3, seed, cfg.clone()),
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(reused.completed, fresh.completed);
+            prop_assert_eq!(reused.metrics.routing_time, fresh.metrics.routing_time);
+            prop_assert_eq!(reused.metrics.delivered, fresh.metrics.delivered);
+            prop_assert_eq!(reused.metrics.max_queue, fresh.metrics.max_queue);
+            prop_assert_eq!(
+                reused.metrics.queued_packet_steps,
+                fresh.metrics.queued_packet_steps
+            );
+        }
+    }
+}
+
+/// (c) `dyn Router` heterogeneous dispatch matches the concrete calls.
+#[test]
+fn dyn_router_matches_concrete_sessions() {
+    let fingerprint = |m: &Metrics| {
+        (
+            m.delivered,
+            m.routing_time,
+            m.max_queue,
+            m.queued_packet_steps,
+        )
+    };
+    for topo in 0..TOPOLOGIES {
+        let mut dynamic: Box<dyn Router> = make(topo, 0);
+        let via_dyn = dynamic.route_permutation(42);
+        let concrete = match topo {
+            0 => StarRoutingSession::new(4, SimConfig::default()).route_permutation(42),
+            1 => LeveledRoutingSession::new(RadixButterfly::new(2, 4), SimConfig::default())
+                .route_permutation(42),
+            2 => MeshRoutingSession::new(
+                4,
+                MeshAlgorithm::ThreeStage { slice_rows: 2 },
+                SimConfig::default(),
+            )
+            .route_permutation(42),
+            3 => CubeRoutingSession::new(4, SimConfig::default()).route_permutation(42),
+            4 => CccRoutingSession::new(3, SimConfig::default()).route_permutation(42),
+            5 => ShuffleRoutingSession::new(DWayShuffle::new(3, 2), SimConfig::default())
+                .route_permutation(42),
+            6 => BitonicRoutingSession::new(3, SimConfig::default()).route_permutation(42),
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            fingerprint(&via_dyn.metrics),
+            fingerprint(&concrete.metrics),
+            "{}",
+            dynamic.topology()
+        );
+        assert_eq!(via_dyn.norm(), concrete.norm());
+        assert!(dynamic.num_sources() > 0);
+    }
+}
+
+/// A heterogeneous batch: different request *patterns* co-routed as
+/// tenants of one engine run, each still identical to its isolated run.
+#[test]
+fn mixed_pattern_batch_matches_isolated() {
+    let n_nodes = 24; // 4-star
+    let reqs = vec![
+        RouteRequest::permutation(7).with_tenant(0),
+        RouteRequest::relation(2, 8).with_tenant(1),
+        RouteRequest::direct((0..n_nodes).rev().collect()).with_tenant(2),
+        RouteRequest::dests(vec![5; n_nodes], 9).with_tenant(3),
+    ];
+    for shards in [0usize, 2] {
+        let mut router = StarRoutingSession::new(
+            4,
+            SimConfig {
+                shards,
+                ..SimConfig::default()
+            },
+        );
+        let batch = router.route_batch(&reqs);
+        assert!(batch.completed);
+        for (i, req) in reqs.iter().enumerate() {
+            let iso = StarRoutingSession::new(4, SimConfig::default()).route(req);
+            assert_tenant_matches(batch.tenant(i), &iso, &format!("K={shards} tenant {i}"));
+        }
+    }
+}
+
+/// Incomplete batched runs demux their stranded packets per tenant from
+/// the tagged drains: delivered + stranded == injected for every tenant.
+#[test]
+fn incomplete_batch_demuxes_stranded_packets() {
+    let mut router = StarRoutingSession::new(4, SimConfig::default());
+    router.set_max_steps(1);
+    let reqs = RouteRequest::permutations(&[3, 4, 5]);
+    let batch = router.route_batch(&reqs);
+    assert!(!batch.completed);
+    let mut stranded_total = 0usize;
+    for tr in &batch.tenants {
+        assert!(!tr.completed);
+        assert_eq!(
+            tr.metrics.delivered + tr.stranded,
+            tr.injected,
+            "tenant {}: every packet is delivered or accounted stranded",
+            tr.slot
+        );
+        stranded_total += tr.stranded;
+    }
+    assert!(stranded_total > 0);
+    // The drained engine is clean: the next batch routes normally.
+    router.set_max_steps(SimConfig::default().max_steps);
+    let ok = router.route_batch(&reqs);
+    assert!(ok.completed);
+    for (i, req) in reqs.iter().enumerate() {
+        let iso = StarRoutingSession::new(4, SimConfig::default()).route(req);
+        assert_tenant_matches(ok.tenant(i), &iso, &format!("post-drain tenant {i}"));
+    }
+}
+
+/// `route_batch` of one request degenerates to `route` (same outcome,
+/// one tenant report).
+#[test]
+fn single_tenant_batch_equals_route() {
+    let req = RouteRequest::permutation(13);
+    for topo in 0..TOPOLOGIES {
+        let mut router = make(topo, 0);
+        let batch = router.route_batch(std::slice::from_ref(&req));
+        let single = make(topo, 0).route(&req);
+        assert_eq!(batch.tenants.len(), 1);
+        assert_tenant_matches(batch.tenant(0), &single, &router.topology());
+        assert_eq!(batch.metrics.max_queue, single.metrics.max_queue);
+        assert_eq!(
+            batch.metrics.queued_packet_steps,
+            single.metrics.queued_packet_steps
+        );
+    }
+}

@@ -25,6 +25,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod demux;
 pub mod engine;
 pub mod metrics;
 pub mod packet;
@@ -32,6 +33,7 @@ pub mod protocol;
 pub mod queue;
 pub mod worker;
 
+pub use demux::{TagDemux, TagMetrics};
 pub use engine::{Engine, RunOutcome, SimConfig};
 pub use metrics::Metrics;
 pub use packet::Packet;

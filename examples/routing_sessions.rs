@@ -1,17 +1,21 @@
-//! Cached routing sessions: serve a request loop from one warmed
-//! engine instead of rebuilding the network per request.
+//! Cached routing sessions and multi-tenant co-routing through the
+//! unified `Router` API.
 //!
 //! The one-shot entry points (`route_star_permutation`,
 //! `route_mesh_permutation`) construct the topology, the partition
 //! plan and the simulation engine on **every call** — on small
 //! networks that construction costs more than the routing itself
 //! (the BENCH_3 star regression: the sharded path ran at 0.57× serial
-//! purely on per-run construction). A `StarRoutingSession` /
-//! `MeshRoutingSession` builds all of that once and recycles it with
-//! `reset` per request, with bit-identical outcomes.
+//! purely on per-run construction). A routing session builds all of
+//! that once and recycles it with `reset` per request, with
+//! bit-identical outcomes. `route_batch` goes one step further: the
+//! whole request batch routes in ONE engine run (one tenant per
+//! disjoint topology copy, packet tag = tenant slot) with per-tenant
+//! outcomes still identical to isolated runs.
 //!
 //! Run with `cargo run --example routing_sessions`.
 
+use lnpram::prelude::{RouteRequest, Router};
 use lnpram::routing::mesh::{default_slice_rows, MeshAlgorithm, MeshRoutingSession};
 use lnpram::routing::star::StarRoutingSession;
 use lnpram::routing::{route_mesh_permutation, route_star_permutation};
@@ -22,6 +26,7 @@ fn main() {
     // `LNPRAM_TRIALS` throttles the request loop (the smoke test sets 2).
     let requests = lnpram_bench::trial_count(40);
     let seeds: Vec<u64> = (0..requests).collect();
+    let reqs = RouteRequest::permutations(&seeds);
     let sharded = SimConfig {
         shards: 4,
         ..SimConfig::default()
@@ -45,7 +50,7 @@ fn main() {
 
         let start = Instant::now();
         let mut session = StarRoutingSession::new(5, cfg);
-        let reports = session.route_many(&seeds);
+        let reports = session.route_many(&reqs);
         let t_session = start.elapsed();
         let session_time: u64 = reports
             .iter()
@@ -54,11 +59,26 @@ fn main() {
 
         // Bit-identity: holding the session changes cost, not outcomes.
         assert_eq!(one_shot_time, session_time);
+
+        // Co-route the same batch in ONE engine run (session reused, so
+        // the union engine is built once and recycled per batch).
+        let start = Instant::now();
+        let batch = session.route_batch(&reqs);
+        let t_batch = start.elapsed();
+        assert!(batch.completed);
+        let batch_time: u64 = batch
+            .tenants
+            .iter()
+            .map(|t| u64::from(t.metrics.routing_time))
+            .sum();
+        // Per-tenant outcomes are identical to the isolated runs.
+        assert_eq!(batch_time, session_time);
+
         println!(
-            "star/5-star      {label:>9}: one-shot {:>8.2?}  session {:>8.2?}  ({:.2}x)",
-            t_one_shot,
-            t_session,
-            t_one_shot.as_secs_f64() / t_session.as_secs_f64().max(1e-9)
+            "star/5-star      {label:>9}: one-shot {t_one_shot:>8.2?}  session {t_session:>8.2?}  \
+             ({:.2}x)  co-routed {t_batch:>8.2?} ({:.2}x)",
+            t_one_shot.as_secs_f64() / t_session.as_secs_f64().max(1e-9),
+            t_session.as_secs_f64() / t_batch.as_secs_f64().max(1e-9),
         );
     }
 
@@ -78,7 +98,7 @@ fn main() {
 
         let start = Instant::now();
         let mut session = MeshRoutingSession::new(16, alg, cfg);
-        let reports = session.route_many(&seeds);
+        let reports = session.route_many(&reqs);
         let t_session = start.elapsed();
         let session_time: u64 = reports
             .iter()
@@ -96,6 +116,7 @@ fn main() {
 
     println!(
         "\nhold a session in loops: construction (topology + partition + engines)\n\
-         is paid once, every request after that is a cheap reset + route."
+         is paid once, every request after that is a cheap reset + route —\n\
+         and route_batch folds a whole tenant batch into one engine run."
     );
 }

@@ -68,9 +68,9 @@ fn main() {
         println!(
             "star({star_n}):   N = {:>5}, diameter {:>2}, routed in {:>3} steps ({:.2}x diameter)",
             lnpram::math::perm::factorial(star_n),
-            rep.diameter,
+            rep.norm(),
             rep.metrics.routing_time,
-            rep.time_per_diameter()
+            rep.time_per_norm()
         );
     }
     for sh_n in [3usize, 4] {
@@ -79,9 +79,9 @@ fn main() {
         println!(
             "shuffle({sh_n}): N = {:>5}, diameter {:>2}, routed in {:>3} steps ({:.2}x diameter)",
             sh.num_nodes(),
-            rep.n,
+            rep.norm(),
             rep.metrics.routing_time,
-            rep.time_per_diameter()
+            rep.time_per_norm()
         );
     }
     println!();

@@ -16,11 +16,14 @@ use lnpram::core::{
 use lnpram::pram::machine::PramMachine;
 use lnpram::pram::model::{AccessMode, PramProgram, WritePolicy};
 use lnpram::pram::programs::{ConnectedComponents, Histogram, PrefixSum, ReductionMax};
+use lnpram::routing::ccc::CccRoutingSession;
+use lnpram::routing::hypercube::CubeRoutingSession;
 use lnpram::routing::mesh::{
     default_block_rows, default_slice_rows, MeshAlgorithm, MeshRoutingSession,
 };
+use lnpram::routing::shuffle::ShuffleRoutingSession;
 use lnpram::routing::star::StarRoutingSession;
-use lnpram::routing::{route_leveled_permutation, route_shuffle_permutation};
+use lnpram::routing::{LeveledRoutingSession, RouteRequest, Router};
 use lnpram::simnet::SimConfig;
 use lnpram::topology::graph::audit;
 use lnpram::topology::leveled::{audit_unique_paths, RadixButterfly, UnrolledShuffle};
@@ -68,12 +71,16 @@ COMMANDS
              --d <radix>      shuffle way / butterfly radix        [= n / 2]
              --k <levels>     butterfly levels                     [4]
 
-  route    Route random permutations and report time/queue statistics.
-             --topology star|shuffle|mesh|butterfly   (required)
-             --n, --d, --k    as for audit
+  route    Route random permutations through the unified Router API and
+           report time/queue statistics.
+             --topology butterfly|star|mesh|cube|ccc|shuffle   (required)
+             --n, --d, --k    as for audit (cube: --k dimensions)
              --algorithm three-stage|const-queue|greedy|valiant  (mesh) [three-stage]
              --seed <s>       base seed                           [0]
              --trials <t>     number of seeds                     [5]
+             --shards <K>     partitioned lockstep engine, K ≥ 2  [0]
+             --tenants <T>    co-route T tenants per trial in ONE
+                              engine run (route_batch)            [1]
 
   emulate  Run a PRAM program through an emulator and verify against the
            reference machine.
@@ -147,88 +154,107 @@ fn print_audit<N: Network>(g: &N) {
     );
 }
 
+/// Build the session the unified `route` command dispatches to — every
+/// topology behind one `dyn Router`.
+fn make_router(
+    topo: &str,
+    flags: &HashMap<String, String>,
+    cfg: SimConfig,
+) -> Result<Box<dyn Router>, String> {
+    let n = get_usize(flags, "n", 4)?;
+    Ok(match topo {
+        "star" => Box::new(StarRoutingSession::new(n, cfg)),
+        "shuffle" => {
+            let d = get_usize(flags, "d", n)?;
+            Box::new(ShuffleRoutingSession::new(DWayShuffle::new(d, n), cfg))
+        }
+        "butterfly" => {
+            let d = get_usize(flags, "d", 2)?;
+            let k = get_usize(flags, "k", 4)?;
+            Box::new(LeveledRoutingSession::new(RadixButterfly::new(d, k), cfg))
+        }
+        "cube" => {
+            let k = get_usize(flags, "k", 8)?;
+            Box::new(CubeRoutingSession::new(k, cfg))
+        }
+        "ccc" => Box::new(CccRoutingSession::new(n.max(3), cfg)),
+        "mesh" => {
+            let alg = match flags
+                .get("algorithm")
+                .map(String::as_str)
+                .unwrap_or("three-stage")
+            {
+                "three-stage" => MeshAlgorithm::ThreeStage {
+                    slice_rows: default_slice_rows(n),
+                },
+                "const-queue" => MeshAlgorithm::ThreeStageConstQueue {
+                    slice_rows: default_slice_rows(n),
+                    block_rows: default_block_rows(n),
+                },
+                "greedy" => MeshAlgorithm::Greedy,
+                "valiant" => MeshAlgorithm::ValiantBrebner,
+                other => return Err(format!("unknown mesh algorithm '{other}'")),
+            };
+            Box::new(MeshRoutingSession::new(n, alg, cfg))
+        }
+        other => return Err(format!("unknown topology '{other}'")),
+    })
+}
+
 fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     let topo = flags.get("topology").ok_or("--topology required")?;
     let seed = get_u64(flags, "seed", 0)?;
     let trials = get_u64(flags, "trials", 5)?.max(1);
-    let n = get_usize(flags, "n", 4)?;
+    let tenants = get_u64(flags, "tenants", 1)?.max(1);
+    let shards = get_usize(flags, "shards", 0)?;
+    let cfg = SimConfig {
+        shards,
+        ..SimConfig::default()
+    };
+    let mut router = make_router(topo, flags, cfg)?;
     let mut times = Vec::new();
     let mut queues = Vec::new();
     let mut norm = 1usize;
-    // Cached routing sessions for the topologies with session support:
-    // built on first use, then every trial recycles the warmed engine.
-    let mut star_session: Option<StarRoutingSession> = None;
-    let mut mesh_session: Option<MeshRoutingSession> = None;
-    for t in 0..trials {
-        let s = seed + t;
-        let (time, queue, d) = match topo.as_str() {
-            "star" => {
-                let session = star_session
-                    .get_or_insert_with(|| StarRoutingSession::new(n, SimConfig::default()));
-                let rep = session.route_permutation(s);
-                if !rep.completed {
-                    return Err("routing did not complete".into());
-                }
-                (
-                    rep.metrics.routing_time,
-                    rep.metrics.max_queue,
-                    rep.diameter,
-                )
+    if tenants > 1 {
+        // Multi-tenant co-routing: each trial is ONE engine run carrying
+        // `tenants` independent permutations (packet tag = tenant slot);
+        // per-tenant outcomes are identical to isolated runs.
+        for t in 0..trials {
+            let reqs: Vec<RouteRequest> = (0..tenants)
+                .map(|i| RouteRequest::permutation(seed + t * tenants + i).with_tenant(i))
+                .collect();
+            let batch = router.route_batch(&reqs);
+            if !batch.completed {
+                return Err("batched routing did not complete".into());
             }
-            "shuffle" => {
-                let d = get_usize(flags, "d", n)?;
-                let rep =
-                    route_shuffle_permutation(DWayShuffle::new(d, n), s, SimConfig::default());
-                (rep.metrics.routing_time, rep.metrics.max_queue, rep.n)
+            for tr in &batch.tenants {
+                times.push(f64::from(tr.metrics.routing_time));
             }
-            "butterfly" => {
-                let d = get_usize(flags, "d", 2)?;
-                let k = get_usize(flags, "k", 4)?;
-                let rep =
-                    route_leveled_permutation(RadixButterfly::new(d, k), s, SimConfig::default());
-                (rep.metrics.routing_time, rep.metrics.max_queue, rep.levels)
+            queues.push(batch.metrics.max_queue as f64);
+            norm = batch.extras.norm().max(1);
+        }
+    } else {
+        for t in 0..trials {
+            let rep = router.route_permutation(seed + t);
+            if !rep.completed {
+                return Err("routing did not complete".into());
             }
-            "ccc" => {
-                let rep = lnpram::routing::ccc::route_ccc_permutation(n, s, SimConfig::default());
-                let diam = if n == 3 { 6 } else { 2 * n + n / 2 - 2 };
-                (rep.metrics.routing_time, rep.metrics.max_queue, diam)
-            }
-            "mesh" => {
-                let alg = match flags
-                    .get("algorithm")
-                    .map(String::as_str)
-                    .unwrap_or("three-stage")
-                {
-                    "three-stage" => MeshAlgorithm::ThreeStage {
-                        slice_rows: default_slice_rows(n),
-                    },
-                    "const-queue" => MeshAlgorithm::ThreeStageConstQueue {
-                        slice_rows: default_slice_rows(n),
-                        block_rows: default_block_rows(n),
-                    },
-                    "greedy" => MeshAlgorithm::Greedy,
-                    "valiant" => MeshAlgorithm::ValiantBrebner,
-                    other => return Err(format!("unknown mesh algorithm '{other}'")),
-                };
-                let session = mesh_session
-                    .get_or_insert_with(|| MeshRoutingSession::new(n, alg, SimConfig::default()));
-                let rep = session.route_permutation(s);
-                if !rep.completed {
-                    return Err("routing did not complete".into());
-                }
-                (rep.metrics.routing_time, rep.metrics.max_queue, rep.n)
-            }
-            other => return Err(format!("unknown topology '{other}'")),
-        };
-        norm = d.max(1);
-        times.push(f64::from(time));
-        queues.push(queue as f64);
+            times.push(f64::from(rep.metrics.routing_time));
+            queues.push(rep.metrics.max_queue as f64);
+            norm = rep.norm().max(1);
+        }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let max = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max);
+    let suffix = if tenants > 1 {
+        format!(" ({tenants} tenants co-routed per run)")
+    } else {
+        String::new()
+    };
     println!(
-        "{topo} permutation routing over {trials} trials: time mean {:.1} max {:.0} \
+        "{} permutation routing over {trials} trials{suffix}: time mean {:.1} max {:.0} \
          (×{:.2} of norm {norm}), max queue mean {:.1}",
+        router.topology(),
         mean(&times),
         max(&times),
         mean(&times) / norm as f64,

@@ -19,7 +19,11 @@
 //! * [`routing`] — Algorithms 2.1/2.2/2.3, the mesh three-stage
 //!   algorithm and its constant-queue refinement, baselines
 //!   (Valiant–Brebner, greedy, shearsort, Batcher bitonic,
-//!   Ranade-style butterfly), the Lemma 2.1 retry wrapper.
+//!   Ranade-style butterfly), the Lemma 2.1 retry wrapper — all
+//!   behind the topology-generic [`routing::Router`] trait
+//!   (`RouteRequest` in, `RunReport` out, multi-tenant
+//!   `route_batch` co-routing with per-tenant outcomes identical
+//!   to isolated runs).
 //! * [`pram`] — the PRAM model, reference executor and program library.
 //! * [`shard`] — the sharded simulation subsystem: partitioned engines
 //!   stepped in lockstep with deterministic boundary exchange
@@ -79,8 +83,9 @@ pub mod prelude {
     };
     pub use lnpram_routing::{
         route_leveled_permutation, route_mesh_permutation, route_shuffle_permutation,
-        route_star_permutation, LeveledRoutingSession, MeshAlgorithm, MeshRoutingSession,
-        StarRoutingSession,
+        route_star_permutation, BatchReport, LeveledRoutingSession, MeshAlgorithm,
+        MeshRoutingSession, RoutePattern, RouteRequest, Router, RoutingSession, RunReport,
+        StarRoutingSession, TenantReport,
     };
     pub use lnpram_shard::{
         AnyEngine, GreedyEdgeCut, LevelCut, Partitioner, RowBlock, ShardedEngine,

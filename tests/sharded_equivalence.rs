@@ -94,8 +94,9 @@ fn route_many_matches_one_shots_serial_and_sharded() {
     // The batched entry is the one-shot sequence, bit for bit, on both
     // engine paths.
     let seeds: Vec<u64> = (0..4).collect();
+    let reqs = RouteRequest::permutations(&seeds);
     for shards in [0usize, 3] {
-        let star_batch = StarRoutingSession::new(4, cfg(shards)).route_many(&seeds);
+        let star_batch = StarRoutingSession::new(4, cfg(shards)).route_many(&reqs);
         for (rep, &seed) in star_batch.iter().zip(&seeds) {
             let one = route_star_permutation(4, seed, cfg(shards));
             assert_eq!(
@@ -105,7 +106,7 @@ fn route_many_matches_one_shots_serial_and_sharded() {
             );
         }
         let alg = MeshAlgorithm::ThreeStage { slice_rows: 4 };
-        let mesh_batch = MeshRoutingSession::new(8, alg, cfg(shards)).route_many(&seeds);
+        let mesh_batch = MeshRoutingSession::new(8, alg, cfg(shards)).route_many(&reqs);
         for (rep, &seed) in mesh_batch.iter().zip(&seeds) {
             let one = route_mesh_permutation(8, alg, seed, cfg(shards));
             assert_eq!(

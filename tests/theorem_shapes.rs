@@ -22,11 +22,11 @@ fn theorem_21_leveled_routing_is_linear_in_levels() {
     // time/ℓ must stay bounded as ℓ doubles (butterfly 2^6 → 2^12 rows).
     let c6 = mean(3, |s| {
         route_leveled_permutation(RadixButterfly::new(2, 6), s, SimConfig::default())
-            .time_per_level()
+            .time_per_norm()
     });
     let c12 = mean(3, |s| {
         route_leveled_permutation(RadixButterfly::new(2, 12), s, SimConfig::default())
-            .time_per_level()
+            .time_per_norm()
     });
     assert!(c6 >= 2.0, "path alone is 2ℓ");
     assert!(
@@ -43,18 +43,18 @@ fn theorem_22_23_sublogarithmic_hosts() {
     assert!(star.completed);
     assert_eq!(star.metrics.delivered, 720);
     assert!(
-        star.time_per_diameter() < 8.0,
+        star.time_per_norm() < 8.0,
         "star(6): {:.2}x diameter",
-        star.time_per_diameter()
+        star.time_per_norm()
     );
 
     let sh = DWayShuffle::n_way(4);
     let rep = route_shuffle_permutation(sh, 3, SimConfig::default());
     assert!(rep.completed);
     assert!(
-        rep.time_per_diameter() < 10.0,
+        rep.time_per_norm() < 10.0,
         "shuffle(4): {:.2}x diameter",
-        rep.time_per_diameter()
+        rep.time_per_norm()
     );
 }
 
