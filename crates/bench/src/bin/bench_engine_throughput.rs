@@ -21,25 +21,46 @@
 //!    fixed costs — per-step bookkeeping serially, the lockstep
 //!    barrier on the sharded path.
 //!
-//! Results land as machine-readable JSON (default `BENCH_5.json`,
+//! 3. **the serve loop**: an open-loop multi-tenant workload admitted
+//!    into ONE long-lived engine (`ServeSession`), serial vs sharded,
+//!    reporting sustained throughput and the admission-to-delivery
+//!    latency distribution (p50/p99, attainment against a fixed SLO).
+//!    Delivery schedules are asserted bit-identical per trial.
+//!
+//! Results land as machine-readable JSON (default `BENCH_6.json`,
 //! override with `LNPRAM_BENCH_OUT`). CI's `bench-smoke` job runs this
 //! with `LNPRAM_TRIALS=2` so every subsequent PR has a baseline to
 //! beat; run it locally with the default trial count for stable
 //! numbers.
 
 use lnpram_bench::{fmt, trial_count, Table};
-use lnpram_routing::leveled::LeveledRoutingSession;
+use lnpram_math::stats::Histogram;
+use lnpram_routing::leveled::{LeveledBackend, LeveledRoutingSession};
 use lnpram_routing::mesh::{default_slice_rows, MeshAlgorithm, MeshRoutingSession};
 use lnpram_routing::star::StarRoutingSession;
-use lnpram_routing::{RouteRequest, Router};
+use lnpram_routing::{OpenLoopWorkload, RouteRequest, Router, Serve, ServeConfig, ServeSession};
 use lnpram_simnet::SimConfig;
 use lnpram_topology::leveled::RadixButterfly;
 use std::time::Instant;
 
 /// One path's timing for a workload.
+///
+/// Step throughput is split into two **comparable** counters (BENCH_5's
+/// single `steps_per_sec` compared one co-routed run's step count
+/// against per-tenant step totals — a ~T× artifact at T tenants, not a
+/// slowdown):
+///
+/// * `engine_steps` — step-loop iterations the engine actually executed
+///   (sequential: summed over the T separate runs; batched: the one
+///   shared run). Engine-steps/sec measures raw loop throughput.
+/// * `work` — tenant-normalized routing work, Σ per-tenant
+///   routing_time. Identical totals on both paths (per-tenant outcomes
+///   are asserted bit-identical), so work/sec is the apples-to-apples
+///   "useful routing per second" column.
 struct PathResult {
     packets: u64,
-    steps: u64,
+    engine_steps: u64,
+    work: u64,
     elapsed_s: f64,
 }
 
@@ -47,7 +68,8 @@ impl PathResult {
     fn new() -> Self {
         PathResult {
             packets: 0,
-            steps: 0,
+            engine_steps: 0,
+            work: 0,
             elapsed_s: 0.0,
         }
     }
@@ -56,8 +78,12 @@ impl PathResult {
         self.packets as f64 / self.elapsed_s.max(1e-9)
     }
 
-    fn steps_per_sec(&self) -> f64 {
-        self.steps as f64 / self.elapsed_s.max(1e-9)
+    fn engine_steps_per_sec(&self) -> f64 {
+        self.engine_steps as f64 / self.elapsed_s.max(1e-9)
+    }
+
+    fn work_per_sec(&self) -> f64 {
+        self.work as f64 / self.elapsed_s.max(1e-9)
     }
 }
 
@@ -113,13 +139,132 @@ struct WorkloadResult {
     batched: Vec<BatchedResult>,
 }
 
+/// One engine path's serve-loop numbers: sustained throughput of the
+/// always-on service plus the admission-to-delivery latency
+/// distribution against a fixed SLO.
+struct ServePath {
+    elapsed_s: f64,
+    packets: u64,
+    steps: u64,
+    latency: Histogram,
+}
+
+impl ServePath {
+    fn new() -> Self {
+        ServePath {
+            elapsed_s: 0.0,
+            packets: 0,
+            steps: 0,
+            latency: Histogram::new(1),
+        }
+    }
+
+    fn packets_per_sec(&self) -> f64 {
+        self.packets as f64 / self.elapsed_s.max(1e-9)
+    }
+
+    /// Sustained throughput in delivered packets per engine step.
+    fn packets_per_step(&self) -> f64 {
+        self.packets as f64 / (self.steps as f64).max(1.0)
+    }
+
+    fn slo_attainment(&self, slo: u64) -> f64 {
+        if self.latency.total() == 0 {
+            return 1.0;
+        }
+        1.0 - self.latency.tail_fraction(slo)
+    }
+}
+
+/// The serve benchmark: a fixed-rate open-loop multi-tenant workload
+/// through one long-lived [`ServeSession`], serial vs sharded, with
+/// the delivery schedules asserted bit-identical per trial.
+struct ServeResult {
+    name: String,
+    tenants: u64,
+    requests: usize,
+    interval: u32,
+    slo: u64,
+    serial: ServePath,
+    sharded: ServePath,
+}
+
+fn measure_serve(trials: u64, shards: usize, slo: u64) -> ServeResult {
+    let tenants = 4u64;
+    let requests = 24usize;
+    let interval = 2u32;
+    let make = |shards: usize| {
+        let sim = SimConfig {
+            shards,
+            ..SimConfig::default()
+        };
+        ServeSession::new(
+            LeveledBackend::new(RadixButterfly::new(2, 10)),
+            &sim,
+            ServeConfig::default(),
+        )
+    };
+    // The serve loop's whole point is the long-lived engine: build each
+    // path's session once and reuse it across trials.
+    let mut serial = make(0);
+    let mut sharded = make(shards);
+    let mut sp = ServePath::new();
+    let mut hp = ServePath::new();
+    for trial in 0..=trials {
+        let workload = OpenLoopWorkload {
+            tenants,
+            requests,
+            interval,
+            packets_per_request: 16,
+            // Trial 0 is the untimed warm-up (skipped below).
+            seed: 0xBEEF ^ trial,
+        };
+        let start = Instant::now();
+        let a = serial.run_open_loop(&workload).expect("leveled serves");
+        let serial_s = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let b = sharded.run_open_loop(&workload).expect("leveled serves");
+        let sharded_s = start.elapsed().as_secs_f64();
+        assert!(a.completed && b.completed, "serve trial {trial} incomplete");
+        assert_eq!(
+            a.schedule(),
+            b.schedule(),
+            "serve schedule diverged serial vs sharded on trial {trial}"
+        );
+        if trial == 0 {
+            continue;
+        }
+        sp.elapsed_s += serial_s;
+        sp.packets += a.metrics.delivered as u64;
+        sp.steps += u64::from(a.steps);
+        sp.latency.absorb(&a.metrics.latency);
+        hp.elapsed_s += sharded_s;
+        hp.packets += b.metrics.delivered as u64;
+        hp.steps += u64::from(b.steps);
+        hp.latency.absorb(&b.metrics.latency);
+    }
+    ServeResult {
+        name: "serve/butterfly(2,10)-open-loop".to_string(),
+        tenants,
+        requests,
+        interval,
+        slo,
+        serial: sp,
+        sharded: hp,
+    }
+}
+
 /// Time `trials` runs of each path, **interleaved per seed** so
 /// clock-frequency drift and noisy neighbors hit every path equally
 /// (un-paired timing makes the speedup columns a lottery on busy
 /// hosts). Each closure returns `(packets delivered, engine steps
-/// executed)` for one seed. Paths run one untimed warm-up seed
-/// (`u64::MAX`) first so allocator warm-up is not billed to trial 0.
-fn measure_paths(trials: u64, runs: &mut [&mut dyn FnMut(u64) -> (u64, u64)]) -> Vec<PathResult> {
+/// executed, tenant-normalized work)` for one seed. Paths run one
+/// untimed warm-up seed (`u64::MAX`) first so allocator warm-up is not
+/// billed to trial 0.
+fn measure_paths(
+    trials: u64,
+    runs: &mut [&mut dyn FnMut(u64) -> (u64, u64, u64)],
+) -> Vec<PathResult> {
     for run in runs.iter_mut() {
         run(u64::MAX);
     }
@@ -127,10 +272,11 @@ fn measure_paths(trials: u64, runs: &mut [&mut dyn FnMut(u64) -> (u64, u64)]) ->
     for seed in 0..trials {
         for (i, run) in runs.iter_mut().enumerate() {
             let start = Instant::now();
-            let (p, s) = run(seed);
+            let (p, s, w) = run(seed);
             acc[i].elapsed_s += start.elapsed().as_secs_f64();
             acc[i].packets += p;
-            acc[i].steps += s;
+            acc[i].engine_steps += s;
+            acc[i].work += w;
         }
     }
     acc
@@ -194,10 +340,19 @@ fn measure_batch(
                 tr.slot
             );
             pair.sequential.packets += rep.metrics.delivered as u64;
-            pair.sequential.steps += u64::from(rep.metrics.steps);
+            // Sequential runs T separate engines: every run's step loop
+            // is real engine work, and each tenant's work is its own
+            // routing time.
+            pair.sequential.engine_steps += u64::from(rep.metrics.steps);
+            pair.sequential.work += u64::from(rep.metrics.routing_time);
+            // The co-routed run executes ONE step loop for the whole
+            // batch; per-tenant work comes from the demuxed tag metrics
+            // (asserted equal to the sequential run's routing time
+            // above, so the work totals match by construction).
+            pair.batched.work += u64::from(tr.metrics.routing_time);
         }
         pair.batched.packets += batch.metrics.delivered as u64;
-        pair.batched.steps += u64::from(batch.metrics.steps);
+        pair.batched.engine_steps += u64::from(batch.metrics.steps);
     }
     pair
 }
@@ -208,10 +363,12 @@ fn json_escape(s: &str) -> String {
 
 fn path_json(p: &PathResult) -> String {
     format!(
-        "{{\"elapsed_s\": {:.6}, \"packets_per_sec\": {:.1}, \"steps_per_sec\": {:.1}}}",
+        "{{\"elapsed_s\": {:.6}, \"packets_per_sec\": {:.1}, \
+         \"engine_steps_per_sec\": {:.1}, \"work_per_sec\": {:.1}}}",
         p.elapsed_s,
         p.packets_per_sec(),
-        p.steps_per_sec()
+        p.engine_steps_per_sec(),
+        p.work_per_sec()
     )
 }
 
@@ -233,11 +390,25 @@ fn batch_pair_json(p: &BatchPair) -> String {
     )
 }
 
+fn serve_path_json(p: &ServePath, slo: u64) -> String {
+    format!(
+        "{{\"elapsed_s\": {:.6}, \"packets_per_sec\": {:.1},          \"packets_per_step\": {:.3}, \"p50_latency\": {}, \"p99_latency\": {},          \"max_latency\": {}, \"slo_attainment\": {:.4}}}",
+        p.elapsed_s,
+        p.packets_per_sec(),
+        p.packets_per_step(),
+        p.latency.percentile(0.50),
+        p.latency.percentile(0.99),
+        p.latency.max(),
+        p.slo_attainment(slo)
+    )
+}
+
 fn write_json(
     path: &str,
     trials: u64,
     shards: usize,
     results: &[WorkloadResult],
+    serve: &ServeResult,
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_throughput\",\n");
@@ -263,14 +434,25 @@ fn write_json(
             json_escape(&r.name),
             r.trials,
             r.serial.one_shot.packets,
-            r.serial.one_shot.steps,
+            r.serial.one_shot.engine_steps,
             pair_json(&r.serial),
             pair_json(&r.sharded),
             batched.join(",\n"),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"serve\": {{\"name\": \"{}\", \"tenants\": {}, \"requests\": {},          \"interval\": {}, \"slo_steps\": {},\n   \"serial\": {},\n   \"sharded\": {}}}\n",
+        json_escape(&serve.name),
+        serve.tenants,
+        serve.requests,
+        serve.interval,
+        serve.slo,
+        serve_path_json(&serve.serial, serve.slo),
+        serve_path_json(&serve.sharded, serve.slo)
+    ));
+    out.push_str("}\n");
     std::fs::write(path, out)
 }
 
@@ -332,7 +514,11 @@ fn run_workload(
             check,
             (rep.metrics.routing_time, rep.metrics.queued_packet_steps),
         );
-        (rep.metrics.delivered as u64, u64::from(rep.metrics.steps))
+        (
+            rep.metrics.delivered as u64,
+            u64::from(rep.metrics.steps),
+            u64::from(rep.metrics.routing_time),
+        )
     };
     let mut serial_session = make_session(SimConfig::default());
     let mut sharded_session = make_session(sharded_cfg());
@@ -529,7 +715,40 @@ fn main() {
     }
     bt.print();
 
-    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_5.json".to_string());
-    write_json(&path, trials, shards, &results).expect("write bench json");
+    // The always-on serve loop: sustained throughput + admission-to-
+    // delivery latency against a fixed SLO, schedules asserted
+    // bit-identical serial vs sharded on every trial.
+    let slo = 64u64;
+    let serve = measure_serve(trials, shards, slo);
+    let mut st = Table::new(
+        format!(
+            "Serve loop: open-loop multi-tenant admission on one long-lived engine              ({} tenants, {} requests / trial, interval {}, SLO {slo} steps)",
+            serve.tenants, serve.requests, serve.interval
+        ),
+        &[
+            "path",
+            "pkt/s",
+            "pkt/step",
+            "p50 lat",
+            "p99 lat",
+            "max lat",
+            "SLO %",
+        ],
+    );
+    for (label, p) in [("serial", &serve.serial), ("sharded", &serve.sharded)] {
+        st.row(&[
+            label.to_string(),
+            fmt::f(p.packets_per_sec(), 0),
+            fmt::f(p.packets_per_step(), 3),
+            p.latency.percentile(0.50).to_string(),
+            p.latency.percentile(0.99).to_string(),
+            p.latency.max().to_string(),
+            fmt::f(p.slo_attainment(slo) * 100.0, 2),
+        ]);
+    }
+    st.print();
+
+    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_6.json".to_string());
+    write_json(&path, trials, shards, &results, &serve).expect("write bench json");
     println!("wrote {path}");
 }

@@ -196,6 +196,45 @@ impl Histogram {
             .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
     }
 
+    /// Lower bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `0.0..=1.0`; nearest-rank over the recorded counts). With
+    /// `bucket_width == 1` this is the exact empirical percentile — the
+    /// p50/p99 latency figures the serve bench reports. Returns 0 on an
+    /// empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        debug_assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return i as u64 * self.bucket_width;
+            }
+        }
+        self.max_seen
+    }
+
+    /// Add every observation of `other` into `self` (bucket-wise; the
+    /// widths must match). Used to merge per-request latency histograms
+    /// into per-tenant ones.
+    pub fn absorb(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "absorb requires equal bucket widths"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
     /// Fraction of observations strictly above `threshold` — the empirical
     /// tail probability compared against Chernoff bounds in the tables.
     pub fn tail_fraction(&self, threshold: u64) -> f64 {
@@ -347,6 +386,34 @@ mod tests {
         let t = h.tail_fraction(89);
         assert!((t - 0.10).abs() < 1e-9, "got {t}");
         assert_eq!(h.tail_fraction(1000), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = Histogram::new(1);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 50);
+        assert_eq!(h.percentile(0.99), 99);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.percentile(0.0), 1); // clamped to rank 1
+        assert_eq!(Histogram::new(1).percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_absorb_merges_counts() {
+        let mut a = Histogram::new(1);
+        let mut b = Histogram::new(1);
+        a.record(1);
+        a.record(2);
+        b.record(2);
+        b.record(9);
+        a.absorb(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.max(), 9);
+        let counts: Vec<(u64, u64)> = a.buckets().collect();
+        assert_eq!(counts, vec![(1, 1), (2, 2), (9, 1)]);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::router::{
     batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
     RunExtras,
 };
+use crate::serve::{ServeDriver, ServeRun};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, GreedyEdgeCut};
 use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
@@ -154,6 +155,11 @@ impl RouteBackend for CccBackend {
     ) -> (RunOutcome, Vec<TagMetrics>) {
         let stride = self.ccc.num_nodes();
         drive(eng, CccRouter::new(self.ccc), stride, demux)
+    }
+
+    fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
+        let stride = self.ccc.num_nodes();
+        Some(driver.drive(eng, CccRouter::new(self.ccc), stride))
     }
 }
 

@@ -20,6 +20,7 @@ use crate::router::{
     batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
     RunExtras,
 };
+use crate::serve::{ServeDriver, ServeRun};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, GreedyEdgeCut};
 use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
@@ -142,6 +143,11 @@ impl RouteBackend for CubeBackend {
     ) -> (RunOutcome, Vec<TagMetrics>) {
         let stride = self.cube.num_nodes();
         drive(eng, CubeRouter, stride, demux)
+    }
+
+    fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
+        let stride = self.cube.num_nodes();
+        Some(driver.drive(eng, CubeRouter, stride))
     }
 }
 

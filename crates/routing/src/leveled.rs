@@ -22,6 +22,7 @@
 use crate::router::{
     batch_engine, drive, inject_per_source, PatternRef, RouteBackend, RoutingSession, RunExtras,
 };
+use crate::serve::{ServeDriver, ServeRun};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, LevelCut};
 use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
@@ -208,6 +209,11 @@ impl<L: Leveled + Copy> RouteBackend for LeveledBackend<L> {
     ) -> (RunOutcome, Vec<TagMetrics>) {
         let stride = self.stride();
         drive(eng, UniversalLeveledRouter::new(&self.net), stride, demux)
+    }
+
+    fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
+        let stride = self.stride();
+        Some(driver.drive(eng, UniversalLeveledRouter::new(&self.net), stride))
     }
 }
 

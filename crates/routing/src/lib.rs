@@ -49,6 +49,12 @@
 //! `cfg.shards` everywhere. [`Router::route_batch`] co-routes several
 //! tenants' requests in one engine run with per-tenant outcomes
 //! bit-identical to isolated runs.
+//!
+//! The [`serve`] module turns any backend into an always-on service:
+//! a [`ServeSession`] keeps one engine stepping continuously, admits
+//! requests at arbitrary global steps with configurable backpressure,
+//! and reports per-request latency plus per-tenant fairness on a
+//! **shared** topology copy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +69,7 @@ pub mod mesh_sort;
 pub mod ranade;
 pub mod retry;
 pub mod router;
+pub mod serve;
 pub mod shuffle;
 pub mod star;
 pub mod workloads;
@@ -74,6 +81,10 @@ pub use mesh::{mesh_engine, route_mesh_permutation, MeshAlgorithm, MeshRoutingSe
 pub use router::{
     BatchReport, RouteBackend, RoutePattern, RouteRequest, Router, RoutingSession, RunExtras,
     RunReport, TenantReport,
+};
+pub use serve::{
+    AdmissionEntry, OpenLoopWorkload, OverloadPolicy, RequestOutcome, RequestStatus, Serve,
+    ServeConfig, ServeError, ServeReport, ServeSession, TenantServeStats,
 };
 pub use shuffle::route_shuffle_permutation;
 pub use star::{route_star_permutation, star_engine, StarRoutingSession};

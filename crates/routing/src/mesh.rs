@@ -30,6 +30,7 @@ use crate::router::{
     batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
     RunExtras,
 };
+use crate::serve::{ServeDriver, ServeRun};
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, RowBlock};
@@ -324,6 +325,11 @@ impl RouteBackend for MeshBackend {
     ) -> (RunOutcome, Vec<TagMetrics>) {
         let stride = self.mesh.num_nodes();
         drive(eng, MeshRouter::new(self.mesh, self.alg), stride, demux)
+    }
+
+    fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
+        let stride = self.mesh.num_nodes();
+        Some(driver.drive(eng, MeshRouter::new(self.mesh, self.alg), stride))
     }
 }
 

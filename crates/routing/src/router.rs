@@ -29,6 +29,7 @@
 //! union is partitioned on copy boundaries, so tenants add zero
 //! boundary traffic.
 
+use crate::serve::{ServeDriver, ServeRun};
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::AnyEngine;
@@ -411,6 +412,16 @@ pub trait RouteBackend {
         copies: usize,
         demux: usize,
     ) -> (RunOutcome, Vec<TagMetrics>);
+
+    /// Drive the streaming-admission serve loop (see
+    /// [`serve`](crate::serve)): hand the topology's protocol to
+    /// `driver` over a single-copy engine. The default declines —
+    /// backends whose protocol fixes its schedule at injection time
+    /// (whole-run sorters) cannot admit mid-run; step-local protocols
+    /// override with one line delegating to [`ServeDriver::drive`].
+    fn serve(&mut self, _eng: &mut AnyEngine, _driver: &mut ServeDriver) -> Option<ServeRun> {
+        None
+    }
 }
 
 /// Routes global node ids of a [`DisjointCopies`] union to a base-copy

@@ -1,0 +1,951 @@
+//! The always-on routing service: streaming admission over one
+//! long-lived engine.
+//!
+//! Everything else in this crate is batch — inject a request, run the
+//! engine to completion, read the report. A [`ServeSession`] instead
+//! keeps **one** engine (serial or sharded, per [`SimConfig::shards`])
+//! stepping continuously and admits requests from many tenants at
+//! arbitrary global steps, the shared-network co-routing mode: tenants
+//! contend on ONE topology copy, so the service reports fairness and
+//! interference per tenant instead of the isolation contract of
+//! [`Router::route_batch`](crate::Router::route_batch).
+//!
+//! # The serve loop
+//!
+//! The loop replays exactly what `Engine::run` does — transmit, process
+//! arrivals, process pending injections, end the step — via the public
+//! phase-stepping API ([`AnyEngine::step_transmit`],
+//! [`AnyEngine::process_arrivals`], [`AnyEngine::process_pending`],
+//! [`AnyEngine::step_finish`]), with one addition: at each step
+//! boundary, requests whose arrival step has come are **admitted** —
+//! their pre-materialized packets injected, stamped `injected_at =
+//! admission step` — so a [`TagDemux`] over request slots measures true
+//! admission-to-delivery latency per request.
+//!
+//! # Admission control and backpressure
+//!
+//! Before a request is admitted, the loop checks the configured
+//! watermarks ([`ServeConfig::high_water_in_flight`],
+//! [`ServeConfig::high_water_queue`]) against the engine's live state.
+//! While a watermark is exceeded, requests wait in a FIFO admission
+//! buffer (head-of-line blocking keeps the admission order — and hence
+//! the whole delivery schedule — deterministic). Under
+//! [`OverloadPolicy::Reject`], arrivals that would grow the buffer past
+//! [`ServeConfig::admission_capacity`] are refused with a typed
+//! [`ServeError::Overloaded`] instead. Once admitted, packets are never
+//! dropped: they stay in the engine until delivered (or until the step
+//! budget expires, in which case they remain queued and the report says
+//! `completed = false`).
+//!
+//! # Determinism contract
+//!
+//! Given a fixed admission trace (a `(step, request)` list), the full
+//! delivery schedule — per-request admission steps, delivered counts,
+//! routing times and latency histograms — is bit-identical across runs
+//! and across serial vs sharded engines for any shard count, because
+//! every admission decision reads only engine state that the sharded
+//! determinism contract already makes identical (`in_flight`, current
+//! queue occupancy). Pinned by the property tests in
+//! `tests/serve_determinism.rs`.
+
+use crate::router::{ReplicatedProtocol, RouteBackend, RouteRequest, RunExtras};
+use lnpram_math::rng::{splitmix64, SeedSeq};
+use lnpram_math::stats::Histogram;
+use lnpram_shard::AnyEngine;
+use lnpram_simnet::{Metrics, Outbox, Packet, Protocol, SimConfig, TagDemux, TagMetrics};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What to do with arrivals that would overflow the admission buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Queue without bound: every request is eventually admitted (the
+    /// buffer is FIFO, so backpressure delays but never reorders).
+    Queue,
+    /// Refuse arrivals while the buffer holds
+    /// [`ServeConfig::admission_capacity`] requests, recording a typed
+    /// [`ServeError::Overloaded`] on the refused request.
+    Reject,
+}
+
+/// Serve-loop configuration: step budget, backpressure watermarks and
+/// overload policy.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Hard cap on total serve steps (the drain budget); hitting it
+    /// reports `completed = false` with the undelivered packets still
+    /// queued in the engine.
+    pub max_steps: u32,
+    /// Admission pauses while the engine's in-flight packet count (plus
+    /// packets admitted earlier in the same step) is at or above this.
+    /// `0` disables the watermark.
+    pub high_water_in_flight: usize,
+    /// Admission pauses while any link queue's current occupancy is at
+    /// or above this. `0` disables the watermark.
+    pub high_water_queue: usize,
+    /// Admission-buffer capacity at which [`OverloadPolicy`] applies
+    /// (`usize::MAX` = unbounded).
+    pub admission_capacity: usize,
+    /// What to do with arrivals past the capacity.
+    pub policy: OverloadPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_steps: 1_000_000,
+            high_water_in_flight: 0,
+            high_water_queue: 0,
+            admission_capacity: usize::MAX,
+            policy: OverloadPolicy::Queue,
+        }
+    }
+}
+
+/// Typed serve errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission buffer was full under [`OverloadPolicy::Reject`]
+    /// when this request arrived.
+    Overloaded {
+        /// Global step of the refused arrival.
+        step: u32,
+        /// Requests waiting in the admission buffer at that moment.
+        backlog: usize,
+        /// The configured [`ServeConfig::admission_capacity`].
+        capacity: usize,
+    },
+    /// The backend's protocol cannot serve mid-run admission (whole-run
+    /// protocols: bitonic sort-routing fixes its comparator schedule at
+    /// injection time).
+    Unsupported {
+        /// The backend's topology name.
+        topology: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                step,
+                backlog,
+                capacity,
+            } => write!(
+                f,
+                "overloaded at step {step}: admission buffer holds {backlog} \
+                 of {capacity} requests"
+            ),
+            ServeError::Unsupported { topology } => {
+                write!(f, "{topology} does not support streaming admission")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One admission-trace entry: `req` arrives at global step `step`.
+/// Traces must be sorted by non-decreasing step.
+#[derive(Debug, Clone)]
+pub struct AdmissionEntry {
+    /// Global step at which the request arrives at the service.
+    pub step: u32,
+    /// The request itself (pattern, seed, tenant label).
+    pub req: RouteRequest,
+}
+
+/// How one served request ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Injected into the engine at the recorded global step (≥ the
+    /// arrival step; the difference is time spent under backpressure).
+    Admitted {
+        /// Admission step.
+        step: u32,
+    },
+    /// Refused with the carried [`ServeError::Overloaded`].
+    Rejected(ServeError),
+    /// Still waiting — buffered or not yet arrived — when the step
+    /// budget expired (only possible on `completed = false` runs).
+    Pending,
+}
+
+/// One request's end-to-end outcome.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Trace slot (= packet tag) of this request.
+    pub slot: usize,
+    /// The request's tenant label.
+    pub tenant: u64,
+    /// Global step at which the request arrived.
+    pub arrival_step: u32,
+    /// Admitted (and when) or rejected.
+    pub status: RequestStatus,
+    /// Packets the request materializes.
+    pub packets: usize,
+    /// Packets actually injected (0 for rejected requests).
+    pub injected: usize,
+    /// Delivery metrics demuxed by tag; the latency histogram measures
+    /// admission step → delivery step per packet.
+    pub metrics: TagMetrics,
+}
+
+impl RequestOutcome {
+    /// Was this request admitted and every packet delivered?
+    pub fn completed(&self) -> bool {
+        matches!(self.status, RequestStatus::Admitted { .. })
+            && self.metrics.delivered == self.injected
+    }
+
+    /// Steps spent waiting in the admission buffer (0 unless
+    /// backpressure deferred the request).
+    pub fn queue_wait(&self) -> u32 {
+        match self.status {
+            RequestStatus::Admitted { step } => step - self.arrival_step,
+            RequestStatus::Rejected(_) | RequestStatus::Pending => 0,
+        }
+    }
+
+    /// Arrival-to-last-delivery time — queue wait plus routing time
+    /// relative to arrival. `None` unless the request completed.
+    pub fn completion_latency(&self) -> Option<u32> {
+        if self.completed() && self.metrics.delivered > 0 {
+            Some(self.metrics.routing_time - self.arrival_step)
+        } else {
+            None
+        }
+    }
+}
+
+/// One tenant's aggregate slice of a serve run — the fairness /
+/// interference view of shared-network co-routing.
+#[derive(Debug, Clone)]
+pub struct TenantServeStats {
+    /// Tenant label.
+    pub tenant: u64,
+    /// Requests this tenant submitted.
+    pub requests: usize,
+    /// Requests fully delivered.
+    pub completed: usize,
+    /// Requests refused under overload.
+    pub rejected: usize,
+    /// Packets injected.
+    pub injected: usize,
+    /// Packets delivered.
+    pub delivered: usize,
+    /// Merged admission-to-delivery latency histogram.
+    pub latency: Histogram,
+}
+
+impl TenantServeStats {
+    /// Mean admission-to-delivery latency of this tenant's packets.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latency.total() == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.latency.buckets().map(|(lo, c)| lo * c).sum();
+        sum as f64 / self.latency.total() as f64
+    }
+}
+
+/// Outcome of one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Global steps executed.
+    pub steps: u32,
+    /// Every admitted packet delivered within the step budget?
+    pub completed: bool,
+    /// Packets injected across all admitted requests.
+    pub packets: usize,
+    /// Engine-level aggregate metrics; the latency histogram is the
+    /// merged admission-to-delivery distribution over all packets.
+    pub metrics: Metrics,
+    /// Per-request outcomes in trace order.
+    pub requests: Vec<RequestOutcome>,
+    /// Requests admitted.
+    pub admitted: usize,
+    /// Requests refused under overload.
+    pub rejected: usize,
+    /// Total request-steps spent waiting in the admission buffer — the
+    /// backpressure-engagement measure (0 = watermarks never bit).
+    pub deferred_request_steps: u64,
+    /// Largest admission-buffer backlog observed.
+    pub max_backlog: usize,
+    /// Topology context (the theorem normalizer).
+    pub extras: RunExtras,
+}
+
+impl ServeReport {
+    /// Admission-to-delivery latency percentile over all delivered
+    /// packets (`q` in `0.0..=1.0`; p50 = `quantile(0.5)`).
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        self.metrics.latency.percentile(q)
+    }
+
+    /// Delivered packets per executed step — the sustained throughput
+    /// the service achieved.
+    pub fn throughput_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.metrics.delivered as f64 / f64::from(self.steps)
+    }
+
+    /// Fraction of delivered packets whose admission-to-delivery latency
+    /// is at most `slo` steps.
+    pub fn slo_attainment(&self, slo: u64) -> f64 {
+        if self.metrics.latency.total() == 0 {
+            return 1.0;
+        }
+        1.0 - self.metrics.latency.tail_fraction(slo)
+    }
+
+    /// Per-tenant aggregates in ascending tenant order.
+    pub fn tenant_stats(&self) -> Vec<TenantServeStats> {
+        let mut stats: Vec<TenantServeStats> = Vec::new();
+        for req in &self.requests {
+            let entry = match stats.iter_mut().find(|s| s.tenant == req.tenant) {
+                Some(s) => s,
+                None => {
+                    stats.push(TenantServeStats {
+                        tenant: req.tenant,
+                        requests: 0,
+                        completed: 0,
+                        rejected: 0,
+                        injected: 0,
+                        delivered: 0,
+                        latency: Histogram::new(1),
+                    });
+                    stats.last_mut().expect("just pushed")
+                }
+            };
+            entry.requests += 1;
+            entry.completed += usize::from(req.completed());
+            entry.rejected += usize::from(matches!(req.status, RequestStatus::Rejected(_)));
+            entry.injected += req.injected;
+            entry.delivered += req.metrics.delivered;
+            entry.latency.absorb(&req.metrics.latency);
+        }
+        stats.sort_by_key(|s| s.tenant);
+        stats
+    }
+
+    /// Jain's fairness index over per-tenant delivered packet counts:
+    /// `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair, `1/n` = one tenant got
+    /// everything. 1.0 on degenerate inputs (≤ 1 tenant, no traffic).
+    pub fn fairness_index(&self) -> f64 {
+        let stats = self.tenant_stats();
+        if stats.len() <= 1 {
+            return 1.0;
+        }
+        let sum: f64 = stats.iter().map(|s| s.delivered as f64).sum();
+        let sum_sq: f64 = stats.iter().map(|s| (s.delivered as f64).powi(2)).sum();
+        if sum_sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (stats.len() as f64 * sum_sq)
+        }
+    }
+
+    /// The full delivery schedule as comparable values — what the
+    /// determinism property tests compare bit-for-bit across serial and
+    /// sharded runs: per request, the admission step (or `None` if
+    /// rejected), delivered count, routing time and the exact latency
+    /// histogram.
+    #[allow(clippy::type_complexity)]
+    pub fn schedule(&self) -> Vec<(usize, Option<u32>, usize, u32, Vec<(u64, u64)>)> {
+        self.requests
+            .iter()
+            .map(|r| {
+                let admitted = match r.status {
+                    RequestStatus::Admitted { step } => Some(step),
+                    RequestStatus::Rejected(_) | RequestStatus::Pending => None,
+                };
+                (
+                    r.slot,
+                    admitted,
+                    r.metrics.delivered,
+                    r.metrics.routing_time,
+                    r.metrics.latency.buckets().collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A synthetic open-loop arrival process: `requests` requests arrive at
+/// a fixed rate (one every `interval` steps), round-robin over
+/// `tenants` tenants, each routing `packets_per_request` random
+/// source→destination pairs (a sparse relation map) drawn
+/// deterministically from `seed`.
+#[derive(Debug, Clone)]
+pub struct OpenLoopWorkload {
+    /// Number of tenants (round-robin request attribution).
+    pub tenants: u64,
+    /// Total requests in the trace.
+    pub requests: usize,
+    /// Steps between consecutive arrivals (0 = all at step 0).
+    pub interval: u32,
+    /// Random source→destination pairs per request.
+    pub packets_per_request: usize,
+    /// Root seed for the whole trace.
+    pub seed: u64,
+}
+
+impl OpenLoopWorkload {
+    /// Materialize the admission trace for a topology with `sources`
+    /// packet sources. Deterministic in `self` and `sources`.
+    pub fn trace(&self, sources: usize) -> Vec<AdmissionEntry> {
+        assert!(sources > 0, "workload needs a non-empty topology");
+        let mut state = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut entries = Vec::with_capacity(self.requests);
+        for j in 0..self.requests {
+            let mut relation = vec![Vec::new(); sources];
+            for _ in 0..self.packets_per_request {
+                let src = (splitmix64(&mut state) as usize) % sources;
+                let dest = (splitmix64(&mut state) as usize) % sources;
+                relation[src].push(dest);
+            }
+            let req_seed = splitmix64(&mut state);
+            entries.push(AdmissionEntry {
+                step: j as u32 * self.interval,
+                req: RouteRequest::relation_map(relation, req_seed)
+                    .with_tenant(j as u64 % self.tenants.max(1)),
+            });
+        }
+        entries
+    }
+}
+
+/// One materialized request waiting for admission.
+struct QueuedRequest {
+    slot: usize,
+    arrival: u32,
+    packets: Vec<(usize, Packet)>,
+}
+
+/// Raw output of one driven serve loop, before the session assembles
+/// the [`ServeReport`].
+pub struct ServeRun {
+    /// Finalized engine metrics.
+    pub metrics: Metrics,
+    /// Per-request (tag) delivery metrics.
+    pub per_request: Vec<TagMetrics>,
+    /// Steps executed.
+    pub steps: u32,
+    /// All admitted packets delivered within the budget?
+    pub completed: bool,
+}
+
+/// The engine-stepping core of a serve run. Built by [`ServeSession`]
+/// with the materialized admission trace; a backend's
+/// [`RouteBackend::serve`] hands it the topology's protocol and the
+/// driver replays the engine's step loop with streaming admission.
+pub struct ServeDriver {
+    cfg: ServeConfig,
+    /// All requests in trace order (arrival steps non-decreasing).
+    queue: Vec<QueuedRequest>,
+    /// Next trace index not yet moved into the admission buffer.
+    next: usize,
+    /// FIFO admission buffer of indices into `queue`.
+    buffer: VecDeque<usize>,
+    /// Per-slot admission step (`None` until admitted).
+    admitted_at: Vec<Option<u32>>,
+    /// Per-slot rejection record.
+    rejected_at: Vec<Option<ServeError>>,
+    deferred_request_steps: u64,
+    max_backlog: usize,
+}
+
+impl ServeDriver {
+    fn new(cfg: ServeConfig, queue: Vec<QueuedRequest>) -> Self {
+        let slots = queue.len();
+        ServeDriver {
+            cfg,
+            queue,
+            next: 0,
+            buffer: VecDeque::new(),
+            admitted_at: vec![None; slots],
+            rejected_at: vec![None; slots],
+            deferred_request_steps: 0,
+            max_backlog: 0,
+        }
+    }
+
+    /// Requests not yet admitted or rejected (buffered or still in the
+    /// future of the trace).
+    fn outstanding(&self) -> bool {
+        self.next < self.queue.len() || !self.buffer.is_empty()
+    }
+
+    /// Step-boundary admission: move due arrivals into the buffer
+    /// (applying the overload policy), then admit from the buffer head
+    /// while the watermarks allow. Runs after the step's arrivals are
+    /// processed, so the watermark reads see the settled engine state —
+    /// identical across serial and sharded engines.
+    fn admit_due(&mut self, eng: &mut AnyEngine, step: u32) {
+        while self.next < self.queue.len() && self.queue[self.next].arrival <= step {
+            if self.cfg.policy == OverloadPolicy::Reject
+                && self.buffer.len() >= self.cfg.admission_capacity
+            {
+                let slot = self.queue[self.next].slot;
+                self.rejected_at[slot] = Some(ServeError::Overloaded {
+                    step,
+                    backlog: self.buffer.len(),
+                    capacity: self.cfg.admission_capacity,
+                });
+            } else {
+                self.buffer.push_back(self.next);
+            }
+            self.next += 1;
+        }
+        // Packets admitted this boundary sit in the engine's pending
+        // list (in_flight does not see them yet), so count them here to
+        // keep the in-flight watermark honest within one step.
+        let mut admitted_now = 0usize;
+        while let Some(&qi) = self.buffer.front() {
+            let hw_flight = self.cfg.high_water_in_flight;
+            let hw_queue = self.cfg.high_water_queue;
+            let over_flight = hw_flight != 0 && eng.in_flight() + admitted_now >= hw_flight;
+            let over_queue = hw_queue != 0 && eng.max_queue_len() >= hw_queue;
+            if over_flight || over_queue {
+                break;
+            }
+            let req = &self.queue[qi];
+            for &(node, pkt) in &req.packets {
+                eng.inject(node, pkt);
+            }
+            admitted_now += req.packets.len();
+            self.admitted_at[req.slot] = Some(step);
+            self.buffer.pop_front();
+        }
+        self.max_backlog = self.max_backlog.max(self.buffer.len());
+        self.deferred_request_steps += self.buffer.len() as u64;
+    }
+
+    /// Drive the serve loop with `proto` wrapped for the union node-id
+    /// space (the serve counterpart of [`crate::router::drive`]; serve
+    /// engines are single-copy, so the wrapper is the identity map, kept
+    /// for callback-parity with the batch path).
+    pub fn drive<P: Protocol>(&mut self, eng: &mut AnyEngine, proto: P, stride: usize) -> ServeRun {
+        self.drive_raw(eng, ReplicatedProtocol::new(proto, stride))
+    }
+
+    /// [`ServeDriver::drive`] without the node-id wrapper. Replays the
+    /// engine's own step loop — same callback order, same bookkeeping —
+    /// with admission interleaved at each step boundary.
+    pub fn drive_raw<P: Protocol>(&mut self, eng: &mut AnyEngine, proto: P) -> ServeRun {
+        let mut demux = TagDemux::new(proto, self.queue.len());
+        let mut out = Outbox::default();
+
+        // Step 0: admissions due at step 0 are processed exactly like
+        // `run`'s initial injections.
+        self.admit_due(eng, 0);
+        eng.process_pending(&mut demux, 0, &mut out);
+        eng.step_finish();
+        demux.on_step_end(0);
+
+        let mut step: u32 = 0;
+        let mut completed = true;
+        while eng.in_flight() > 0 || self.outstanding() {
+            if step >= self.cfg.max_steps {
+                completed = false;
+                break;
+            }
+            step += 1;
+            eng.step_transmit();
+            eng.process_arrivals(&mut demux, step, &mut out);
+            self.admit_due(eng, step);
+            eng.process_pending(&mut demux, step, &mut out);
+            demux.on_step_end(step);
+            eng.step_finish();
+            eng.note_queued_step();
+        }
+
+        ServeRun {
+            metrics: eng.finish_metrics(step),
+            per_request: demux.into_metrics(),
+            steps: step,
+            completed,
+        }
+    }
+}
+
+/// An object-safe serve interface — the serving counterpart of
+/// [`Router`](crate::Router), so the CLI dispatches `Box<dyn Serve>`
+/// over topologies.
+pub trait Serve {
+    /// Serve a fixed admission trace (sorted by non-decreasing step).
+    fn run_trace(&mut self, trace: &[AdmissionEntry]) -> Result<ServeReport, ServeError>;
+
+    /// Packet sources of the served topology.
+    fn num_sources(&self) -> usize;
+
+    /// Human-readable topology name.
+    fn topology(&self) -> String;
+
+    /// Is the long-lived engine sharded?
+    fn is_sharded(&self) -> bool;
+
+    /// Serve a synthetic open-loop workload (its trace materialized for
+    /// this topology's source count).
+    fn run_open_loop(&mut self, workload: &OpenLoopWorkload) -> Result<ServeReport, ServeError> {
+        let trace = workload.trace(self.num_sources());
+        self.run_trace(&trace)
+    }
+}
+
+/// A long-lived serving session over any [`RouteBackend`]: topology,
+/// partition plan and [`AnyEngine`] built **once**, then any number of
+/// admission traces served through [`Serve::run_trace`], recycling the
+/// engine per trace.
+pub struct ServeSession<B: RouteBackend> {
+    backend: B,
+    engine: AnyEngine,
+    cfg: ServeConfig,
+}
+
+impl<B: RouteBackend> ServeSession<B> {
+    /// Session over `backend` (serial or sharded per `sim.shards`).
+    /// `sim.max_steps` is superseded by [`ServeConfig::max_steps`] — the
+    /// serve loop owns the step budget.
+    pub fn new(backend: B, sim: &SimConfig, cfg: ServeConfig) -> Self {
+        let engine = backend.build_engine(1, sim);
+        ServeSession {
+            backend,
+            engine,
+            cfg,
+        }
+    }
+
+    /// The topology-side backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The serve configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Replace the serve configuration (budget, watermarks, policy) for
+    /// subsequent traces; the long-lived engine is kept.
+    pub fn set_config(&mut self, cfg: ServeConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Packets still queued in the engine (non-zero only after an
+    /// incomplete trace: admitted packets are never dropped, they stay
+    /// queued when the step budget expires).
+    pub fn in_flight(&self) -> usize {
+        self.engine.in_flight()
+    }
+}
+
+impl<B: RouteBackend> Serve for ServeSession<B> {
+    fn run_trace(&mut self, trace: &[AdmissionEntry]) -> Result<ServeReport, ServeError> {
+        assert!(
+            trace.windows(2).all(|w| w[0].step <= w[1].step),
+            "admission trace must be sorted by non-decreasing step"
+        );
+        self.engine.reset();
+        // Materialize every request's packets up front: the backend's
+        // injection routine writes into the engine's pending list, which
+        // is immediately taken back — so packets exist before the
+        // protocol (which may borrow the backend) is constructed, and
+        // admission later is a plain re-inject at the admission step.
+        let mut queue = Vec::with_capacity(trace.len());
+        for (slot, entry) in trace.iter().enumerate() {
+            let count = self.backend.inject(
+                &mut self.engine,
+                0,
+                entry.req.pattern.as_ref(),
+                SeedSeq::new(entry.req.seed),
+                slot as u64,
+            );
+            let packets = self.engine.take_pending();
+            debug_assert_eq!(packets.len(), count, "inject count mismatch");
+            queue.push(QueuedRequest {
+                slot,
+                arrival: entry.step,
+                packets,
+            });
+        }
+        let mut driver = ServeDriver::new(self.cfg.clone(), queue);
+        let run =
+            self.backend
+                .serve(&mut self.engine, &mut driver)
+                .ok_or(ServeError::Unsupported {
+                    topology: self.backend.name(),
+                })?;
+
+        let requests: Vec<RequestOutcome> = run
+            .per_request
+            .into_iter()
+            .enumerate()
+            .map(|(slot, metrics)| {
+                let size = driver.queue[slot].packets.len();
+                let status = match (&driver.admitted_at[slot], &driver.rejected_at[slot]) {
+                    (Some(step), _) => RequestStatus::Admitted { step: *step },
+                    (None, Some(err)) => RequestStatus::Rejected(err.clone()),
+                    // Only a budget-exhausted loop leaves a request
+                    // neither admitted nor rejected.
+                    (None, None) => {
+                        debug_assert!(!run.completed);
+                        RequestStatus::Pending
+                    }
+                };
+                let injected = match status {
+                    RequestStatus::Admitted { .. } => size,
+                    RequestStatus::Rejected(_) | RequestStatus::Pending => 0,
+                };
+                RequestOutcome {
+                    slot,
+                    tenant: trace[slot].req.tenant,
+                    arrival_step: trace[slot].step,
+                    status,
+                    packets: size,
+                    injected,
+                    metrics,
+                }
+            })
+            .collect();
+        let admitted = requests
+            .iter()
+            .filter(|r| matches!(r.status, RequestStatus::Admitted { .. }))
+            .count();
+        Ok(ServeReport {
+            steps: run.steps,
+            completed: run.completed,
+            packets: requests.iter().map(|r| r.injected).sum(),
+            metrics: run.metrics,
+            rejected: requests
+                .iter()
+                .filter(|r| matches!(r.status, RequestStatus::Rejected(_)))
+                .count(),
+            admitted,
+            deferred_request_steps: driver.deferred_request_steps,
+            max_backlog: driver.max_backlog,
+            requests,
+            extras: self.backend.extras(),
+        })
+    }
+
+    fn num_sources(&self) -> usize {
+        self.backend.sources()
+    }
+
+    fn topology(&self) -> String {
+        self.backend.name()
+    }
+
+    fn is_sharded(&self) -> bool {
+        self.engine.is_sharded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leveled::LeveledBackend;
+    use crate::router::Router;
+    use lnpram_topology::RadixButterfly;
+
+    fn session(shards: usize, cfg: ServeConfig) -> ServeSession<LeveledBackend<RadixButterfly>> {
+        let sim = SimConfig {
+            shards,
+            ..SimConfig::default()
+        };
+        ServeSession::new(LeveledBackend::new(RadixButterfly::new(2, 6)), &sim, cfg)
+    }
+
+    #[test]
+    fn all_at_step_zero_matches_batch_route() {
+        // A trace with every request at step 0 and no watermarks is the
+        // batch path: the aggregate metrics must match Router::route of
+        // the same single request.
+        let mut serve = session(0, ServeConfig::default());
+        let req = RouteRequest::permutation(42);
+        let report = serve
+            .run_trace(&[AdmissionEntry {
+                step: 0,
+                req: req.clone(),
+            }])
+            .expect("leveled serves");
+        let sim = SimConfig::default();
+        let mut router = crate::LeveledRoutingSession::with_backend(
+            LeveledBackend::new(RadixButterfly::new(2, 6)),
+            sim,
+        );
+        let batch = router.route(&req);
+        assert!(report.completed);
+        assert_eq!(report.metrics.routing_time, batch.metrics.routing_time);
+        assert_eq!(report.metrics.delivered, batch.metrics.delivered);
+        assert_eq!(report.packets, batch.packets);
+        assert!(report
+            .metrics
+            .latency
+            .buckets()
+            .eq(batch.metrics.latency.buckets()));
+    }
+
+    #[test]
+    fn staggered_admission_measures_latency_from_admission() {
+        let mut serve = session(0, ServeConfig::default());
+        let late = 50u32;
+        let report = serve
+            .run_trace(&[
+                AdmissionEntry {
+                    step: 0,
+                    req: RouteRequest::permutation(1).with_tenant(0),
+                },
+                AdmissionEntry {
+                    step: late,
+                    req: RouteRequest::permutation(2).with_tenant(1),
+                },
+            ])
+            .expect("leveled serves");
+        assert!(report.completed);
+        assert_eq!(report.admitted, 2);
+        let second = &report.requests[1];
+        assert_eq!(second.status, RequestStatus::Admitted { step: late });
+        // Latency counts from admission, not from step 0: the late
+        // request's deliveries land after step `late`, yet its latency
+        // histogram must look like an uncongested fresh run (max far
+        // below `late`).
+        assert!(second.metrics.routing_time > late);
+        assert!(second.metrics.latency.max() < u64::from(late));
+    }
+
+    #[test]
+    fn backpressure_defers_but_never_drops() {
+        // Tiny watermark: only a handful of packets may be in flight, so
+        // later requests must wait in the admission buffer; every
+        // admitted packet is still delivered.
+        let cfg = ServeConfig {
+            high_water_in_flight: 8,
+            ..ServeConfig::default()
+        };
+        let mut serve = session(0, cfg);
+        let trace: Vec<AdmissionEntry> = (0..4)
+            .map(|i| AdmissionEntry {
+                step: 0,
+                req: RouteRequest::permutation(100 + i).with_tenant(i),
+            })
+            .collect();
+        let report = serve.run_trace(&trace).expect("leveled serves");
+        assert!(report.completed);
+        assert_eq!(report.rejected, 0);
+        assert!(
+            report.deferred_request_steps > 0,
+            "watermark must defer admissions"
+        );
+        assert!(report.max_backlog > 0);
+        for req in &report.requests {
+            assert!(req.completed(), "admitted packets are never dropped");
+            assert_eq!(req.metrics.delivered, req.injected);
+        }
+        assert_eq!(serve.in_flight(), 0);
+        // Admission order is FIFO: admission steps are non-decreasing
+        // in trace order.
+        let steps: Vec<u32> = report
+            .requests
+            .iter()
+            .map(|r| match r.status {
+                RequestStatus::Admitted { step } => step,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(steps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn reject_policy_returns_typed_overload() {
+        let cfg = ServeConfig {
+            high_water_in_flight: 4,
+            admission_capacity: 1,
+            policy: OverloadPolicy::Reject,
+            ..ServeConfig::default()
+        };
+        let mut serve = session(0, cfg);
+        let trace: Vec<AdmissionEntry> = (0..6)
+            .map(|i| AdmissionEntry {
+                step: 0,
+                req: RouteRequest::permutation(7 + i).with_tenant(i),
+            })
+            .collect();
+        let report = serve.run_trace(&trace).expect("leveled serves");
+        assert!(report.rejected > 0, "capacity 1 must refuse arrivals");
+        assert_eq!(report.admitted + report.rejected, trace.len());
+        let rejected = report
+            .requests
+            .iter()
+            .find(|r| matches!(r.status, RequestStatus::Rejected(_)))
+            .expect("at least one rejection");
+        match &rejected.status {
+            RequestStatus::Rejected(ServeError::Overloaded { capacity, .. }) => {
+                assert_eq!(*capacity, 1usize);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(rejected.injected, 0);
+        assert_eq!(rejected.metrics.delivered, 0);
+        // Admitted requests still complete.
+        for req in &report.requests {
+            if matches!(req.status, RequestStatus::Admitted { .. }) {
+                assert!(req.completed());
+            }
+        }
+    }
+
+    #[test]
+    fn bitonic_reports_unsupported() {
+        let sim = SimConfig::default();
+        let mut serve = ServeSession::new(
+            crate::bitonic::BitonicBackend::new(3),
+            &sim,
+            ServeConfig::default(),
+        );
+        let err = serve
+            .run_trace(&[AdmissionEntry {
+                step: 0,
+                req: RouteRequest::permutation(1),
+            }])
+            .expect_err("bitonic cannot admit mid-run");
+        assert!(matches!(err, ServeError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn open_loop_workload_is_deterministic_and_fair() {
+        let wl = OpenLoopWorkload {
+            tenants: 3,
+            requests: 12,
+            interval: 2,
+            packets_per_request: 4,
+            seed: 9,
+        };
+        let t1 = wl.trace(64);
+        let t2 = wl.trace(64);
+        assert_eq!(t1.len(), 12);
+        for (a, b) in t1.iter().zip(&t2) {
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.req, b.req);
+        }
+        assert_eq!(t1[5].step, 10);
+        assert_eq!(t1[5].req.tenant, 5 % 3);
+
+        let mut serve = session(0, ServeConfig::default());
+        let report = serve.run_open_loop(&wl).expect("leveled serves");
+        assert!(report.completed);
+        assert_eq!(report.admitted, 12);
+        let stats = report.tenant_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(
+            stats.iter().map(|s| s.requests).sum::<usize>(),
+            report.requests.len()
+        );
+        let fairness = report.fairness_index();
+        assert!(fairness > 0.0 && fairness <= 1.0 + 1e-12);
+    }
+}

@@ -22,6 +22,7 @@ use crate::router::{
     batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
     RunExtras,
 };
+use crate::serve::{ServeDriver, ServeRun};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, GreedyEdgeCut};
 use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
@@ -155,6 +156,11 @@ impl RouteBackend for ShuffleBackend {
     ) -> (RunOutcome, Vec<TagMetrics>) {
         let stride = self.shuffle.num_nodes();
         drive(eng, ShuffleRouter::new(self.shuffle), stride, demux)
+    }
+
+    fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
+        let stride = self.shuffle.num_nodes();
+        Some(driver.drive(eng, ShuffleRouter::new(self.shuffle), stride))
     }
 }
 

@@ -17,6 +17,7 @@ use crate::router::{
     batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
     RunExtras,
 };
+use crate::serve::{ServeDriver, ServeRun};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, GreedyEdgeCut};
 use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
@@ -156,6 +157,11 @@ impl RouteBackend for StarBackend {
     ) -> (RunOutcome, Vec<TagMetrics>) {
         let stride = self.star.num_nodes();
         drive(eng, StarRouter::new(self.star), stride, demux)
+    }
+
+    fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
+        let stride = self.star.num_nodes();
+        Some(driver.drive(eng, StarRouter::new(self.star), stride))
     }
 }
 

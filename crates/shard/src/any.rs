@@ -9,7 +9,7 @@
 
 use crate::partition::{GreedyEdgeCut, Partitioner};
 use crate::ShardedEngine;
-use lnpram_simnet::{Engine, Packet, Protocol, RunOutcome, SimConfig};
+use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig};
 use lnpram_topology::Network;
 
 /// Either a serial [`Engine`] or a [`ShardedEngine`], behind the
@@ -90,6 +90,78 @@ impl AnyEngine {
         match self {
             AnyEngine::Serial(e) => e.in_flight(),
             AnyEngine::Sharded(e) => e.in_flight(),
+        }
+    }
+
+    /// See [`Engine::process_pending`] — feed pending injections to the
+    /// protocol at `step`, stamping `injected_at`. With the rest of the
+    /// stepping API below, an external driver (the serve loop) can
+    /// replay exactly what `run` does while admitting packets at
+    /// arbitrary step boundaries, with bit-identical outcomes across
+    /// both variants.
+    pub fn process_pending<P: Protocol>(&mut self, proto: &mut P, step: u32, out: &mut Outbox) {
+        match self {
+            AnyEngine::Serial(e) => e.process_pending(proto, step, out),
+            AnyEngine::Sharded(e) => e.process_pending(proto, step, out),
+        }
+    }
+
+    /// See [`Engine::step_transmit`] (sharded: transmit all shards and
+    /// merge the boundary mailboxes).
+    pub fn step_transmit(&mut self) {
+        match self {
+            AnyEngine::Serial(e) => e.step_transmit(),
+            AnyEngine::Sharded(e) => e.step_transmit(),
+        }
+    }
+
+    /// See [`Engine::process_arrivals`].
+    pub fn process_arrivals<P: Protocol>(&mut self, proto: &mut P, step: u32, out: &mut Outbox) {
+        match self {
+            AnyEngine::Serial(e) => e.process_arrivals(proto, step, out),
+            AnyEngine::Sharded(e) => e.process_arrivals(proto, step, out),
+        }
+    }
+
+    /// See [`Engine::step_finish`].
+    pub fn step_finish(&mut self) {
+        match self {
+            AnyEngine::Serial(e) => e.step_finish(),
+            AnyEngine::Sharded(e) => e.step_finish(),
+        }
+    }
+
+    /// See [`Engine::note_queued_step`].
+    pub fn note_queued_step(&mut self) {
+        match self {
+            AnyEngine::Serial(e) => e.note_queued_step(),
+            AnyEngine::Sharded(e) => e.note_queued_step(),
+        }
+    }
+
+    /// See [`Engine::finish_metrics`].
+    pub fn finish_metrics(&mut self, steps: u32) -> Metrics {
+        match self {
+            AnyEngine::Serial(e) => e.finish_metrics(steps),
+            AnyEngine::Sharded(e) => e.finish_metrics(steps),
+        }
+    }
+
+    /// See [`Engine::take_pending`].
+    pub fn take_pending(&mut self) -> Vec<(usize, Packet)> {
+        match self {
+            AnyEngine::Serial(e) => e.take_pending(),
+            AnyEngine::Sharded(e) => e.take_pending(),
+        }
+    }
+
+    /// See [`Engine::max_queue_len`] — the instantaneous backpressure
+    /// watermark (identical across variants: shard queues partition the
+    /// global queues).
+    pub fn max_queue_len(&self) -> usize {
+        match self {
+            AnyEngine::Serial(e) => e.max_queue_len(),
+            AnyEngine::Sharded(e) => e.max_queue_len(),
         }
     }
 

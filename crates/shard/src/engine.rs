@@ -399,39 +399,82 @@ impl ShardedEngine {
         let mut out = Outbox::default();
 
         // Step 0: process injections in order (drained in place).
-        let pending = std::mem::take(&mut self.pending);
-        for &(node, pkt) in &pending {
-            proto.on_packet(node, pkt, 0, &mut out);
-            self.apply_outbox(node, &mut out, 0);
-        }
-        self.pending = pending;
-        self.pending.clear();
-        self.finish_step();
+        self.process_pending(proto, 0, &mut out);
+        self.step_finish();
         proto.on_step_end(0);
 
         let mut step: u32 = 0;
         while self.in_flight > 0 {
             if step >= self.cfg.max_steps {
                 return RunOutcome {
-                    metrics: self.take_metrics(step),
+                    metrics: self.finish_metrics(step),
                     completed: false,
                 };
             }
             step += 1;
-            self.transmit_all();
-            if !self.ordered {
-                self.merge_mailboxes();
-            }
+            self.step_transmit();
             self.process_arrivals(proto, step, &mut out);
             proto.on_step_end(step);
-            self.finish_step();
-            self.metrics.queued_packet_steps += self.in_flight as u64;
+            self.step_finish();
+            self.note_queued_step();
         }
 
         RunOutcome {
-            metrics: self.take_metrics(step),
+            metrics: self.finish_metrics(step),
             completed: true,
         }
+    }
+
+    /// Feed every pending injection to the protocol at `step`, stamping
+    /// each packet's `injected_at` with the admission step — the sharded
+    /// mirror of [`Engine::process_pending`], callback-for-callback, so
+    /// mid-run admission is bit-identical across serial and sharded
+    /// engines.
+    pub fn process_pending<P: Protocol>(&mut self, proto: &mut P, step: u32, out: &mut Outbox) {
+        let pending = std::mem::take(&mut self.pending);
+        for &(node, pkt) in &pending {
+            let mut pkt = pkt;
+            pkt.injected_at = step;
+            proto.on_packet(node, pkt, step, out);
+            self.apply_outbox(node, out, step);
+        }
+        self.pending = pending;
+        self.pending.clear();
+    }
+
+    /// Global transmit phase: every shard extracts from its own links,
+    /// then (non-contiguous plans only) the mailboxes are merged into
+    /// the serial arrival order. The sharded mirror of
+    /// [`Engine::step_transmit`]; arrivals are consumed by
+    /// [`ShardedEngine::process_arrivals`].
+    pub fn step_transmit(&mut self) {
+        self.transmit_all();
+        if !self.ordered {
+            self.merge_mailboxes();
+        }
+    }
+
+    /// End-of-step occupancy accounting (mirrors
+    /// [`Engine::note_queued_step`]).
+    pub fn note_queued_step(&mut self) {
+        self.metrics.queued_packet_steps += self.in_flight as u64;
+    }
+
+    /// Take back the not-yet-processed injections (mirrors
+    /// [`Engine::take_pending`]).
+    pub fn take_pending(&mut self) -> Vec<(usize, Packet)> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Largest current occupancy over all link queues of all shards
+    /// (mirrors [`Engine::max_queue_len`]; identical to the serial value
+    /// because shard queues partition the global queues).
+    pub fn max_queue_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard mutex").engine.max_queue_len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Transmit phase across all shards — over the worker pool (one
@@ -508,7 +551,7 @@ impl ShardedEngine {
     /// the mailboxes (or into `merged` for non-contiguous plans), so the
     /// contiguous path moves no packet until batch assembly — the same
     /// single copy the serial engine pays.
-    fn process_arrivals<P: Protocol>(&mut self, proto: &mut P, step: u32, out: &mut Outbox) {
+    pub fn process_arrivals<P: Protocol>(&mut self, proto: &mut P, step: u32, out: &mut Outbox) {
         // Grouping pass over plain field borrows (no self methods).
         let mut arrivals = 0usize;
         {
@@ -611,16 +654,18 @@ impl ShardedEngine {
         out.clear();
     }
 
-    /// Close the step on every shard (restore active-link order).
-    fn finish_step(&mut self) {
+    /// Close the step on every shard (restore active-link order) —
+    /// mirrors [`Engine::step_finish`].
+    pub fn step_finish(&mut self) {
         for s in 0..self.k {
             self.shard_mut(s).engine.step_finish();
         }
     }
 
     /// Finalise and move the accumulated metrics out, assembling the
-    /// cross-shard aggregates exactly like the serial engine does.
-    fn take_metrics(&mut self, steps: u32) -> Metrics {
+    /// cross-shard aggregates exactly like the serial engine does
+    /// (mirrors [`Engine::finish_metrics`]).
+    pub fn finish_metrics(&mut self, steps: u32) -> Metrics {
         self.metrics.steps = steps;
         self.metrics.max_queue = (0..self.k)
             .map(|s| self.shard_mut(s).engine.queue_high_water())

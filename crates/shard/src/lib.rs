@@ -33,7 +33,7 @@ pub mod engine;
 pub mod partition;
 
 pub use any::AnyEngine;
-pub use engine::ShardedEngine;
+pub use engine::{ShardedEngine, MAX_SHARDS};
 pub use partition::{CutStats, GreedyEdgeCut, LevelCut, Partitioner, RowBlock, ShardPlan};
 
 #[cfg(test)]

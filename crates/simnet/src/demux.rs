@@ -43,12 +43,19 @@ impl Default for TagMetrics {
 }
 
 impl TagMetrics {
-    /// Record one delivery (mirrors [`Metrics::on_delivery`]).
+    /// Record one delivery (mirrors [`Metrics::on_delivery`], including
+    /// the debug-build panic on a delivery that precedes its injection
+    /// step — a misordered-admission bookkeeping error, not a latency of
+    /// zero).
     pub fn on_delivery(&mut self, step: u32, injected_at: u32) {
         self.delivered += 1;
         self.routing_time = self.routing_time.max(step);
-        self.latency
-            .record(u64::from(step.saturating_sub(injected_at)));
+        let latency = step.checked_sub(injected_at);
+        debug_assert!(
+            latency.is_some(),
+            "delivery at step {step} precedes injection at step {injected_at}"
+        );
+        self.latency.record(u64::from(latency.unwrap_or(0)));
     }
 
     /// Does this tag's slice of the run match `m` delivery-for-delivery?
@@ -155,6 +162,17 @@ mod tests {
         );
         let merged: u64 = tags.iter().map(|t| t.latency.total()).sum();
         assert_eq!(merged, out.metrics.latency.total());
+    }
+
+    /// Mirror of the `Metrics` misordered-injection guard: per-tag
+    /// accounting panics (debug builds) on a delivery that precedes its
+    /// injection step.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "precedes injection")]
+    fn misordered_injection_is_caught_per_tag() {
+        let mut t = TagMetrics::default();
+        t.on_delivery(1, 4);
     }
 
     #[test]

@@ -343,74 +343,96 @@ impl Engine {
         let mut out = Outbox::default();
 
         // Step 0: process injections (drained in place, buffer kept).
-        let mut i = 0;
-        while i < self.pending.len() {
-            let (node, pkt) = self.pending[i];
-            proto.on_packet(node, pkt, 0, &mut out);
-            self.apply_outbox(node, &mut out, 0);
-            i += 1;
-        }
-        self.pending.clear();
-        self.restore_active_order(0);
+        self.process_pending(proto, 0, &mut out);
+        self.step_finish();
         proto.on_step_end(0);
 
         let mut step: u32 = 0;
         while self.in_flight > 0 {
             if step >= self.cfg.max_steps {
                 return RunOutcome {
-                    metrics: self.take_metrics(step),
+                    metrics: self.finish_metrics(step),
                     completed: false,
                 };
             }
             step += 1;
 
-            // --- Transmit phase ---
             self.step_transmit();
-
-            // --- Process phase ---
-            // Group same-node arrivals so protocols can apply footnote 3's
-            // unit-time combining across a step's batch. The bucket chains
-            // keep the deterministic link-id order within each node, and
-            // nodes are visited in ascending id — the same order the old
-            // stable sort produced, without moving any packet.
-            self.arrival_next.clear();
-            self.arrival_next.resize(self.arrivals.len(), NIL);
-            for a in 0..self.arrivals.len() {
-                let node = self.link_target[self.arrivals[a].0 as usize] as usize;
-                if self.node_head[node] == NIL {
-                    self.node_head[node] = a as u32;
-                    self.touched.push(node as u32);
-                } else {
-                    self.arrival_next[self.node_tail[node] as usize] = a as u32;
-                }
-                self.node_tail[node] = a as u32;
-            }
-            self.touched.sort_unstable();
-            for t in 0..self.touched.len() {
-                let node = self.touched[t] as usize;
-                self.batch.clear();
-                let mut a = self.node_head[node];
-                while a != NIL {
-                    self.batch.push(self.arrivals[a as usize].1);
-                    a = self.arrival_next[a as usize];
-                }
-                self.node_head[node] = NIL;
-                let batch = std::mem::take(&mut self.batch);
-                proto.on_arrivals(node, &batch, step, &mut out);
-                self.batch = batch;
-                self.apply_outbox(node, &mut out, step);
-            }
-            self.touched.clear();
+            self.process_arrivals(proto, step, &mut out);
             proto.on_step_end(step);
             self.step_finish();
-
-            self.metrics.queued_packet_steps += self.in_flight as u64;
+            self.note_queued_step();
         }
 
         RunOutcome {
-            metrics: self.take_metrics(step),
+            metrics: self.finish_metrics(step),
             completed: true,
         }
+    }
+
+    /// Feed every pending injection ([`Engine::inject`]) to the protocol
+    /// at `step`, applying the responses. Each packet's `injected_at` is
+    /// stamped with `step` on the way in, so latency histograms measure
+    /// admission-to-delivery time even for packets admitted mid-run (the
+    /// serve loop's streaming admission). `run` calls this once with
+    /// `step = 0`; external drivers may call it at any step boundary —
+    /// enqueued forwards become eligible to traverse links at `step + 1`.
+    pub fn process_pending<P: Protocol>(&mut self, proto: &mut P, step: u32, out: &mut Outbox) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let (node, mut pkt) = self.pending[i];
+            pkt.injected_at = step;
+            proto.on_packet(node, pkt, step, out);
+            self.apply_outbox(node, out, step);
+            i += 1;
+        }
+        self.pending.clear();
+    }
+
+    /// Process this step's arrivals ([`Engine::step_transmit`]'s output)
+    /// through the protocol, applying the responses.
+    ///
+    /// Groups same-node arrivals so protocols can apply footnote 3's
+    /// unit-time combining across a step's batch. The bucket chains
+    /// keep the deterministic link-id order within each node, and
+    /// nodes are visited in ascending id — the same order the old
+    /// stable sort produced, without moving any packet.
+    pub fn process_arrivals<P: Protocol>(&mut self, proto: &mut P, step: u32, out: &mut Outbox) {
+        self.arrival_next.clear();
+        self.arrival_next.resize(self.arrivals.len(), NIL);
+        for a in 0..self.arrivals.len() {
+            let node = self.link_target[self.arrivals[a].0 as usize] as usize;
+            if self.node_head[node] == NIL {
+                self.node_head[node] = a as u32;
+                self.touched.push(node as u32);
+            } else {
+                self.arrival_next[self.node_tail[node] as usize] = a as u32;
+            }
+            self.node_tail[node] = a as u32;
+        }
+        self.touched.sort_unstable();
+        for t in 0..self.touched.len() {
+            let node = self.touched[t] as usize;
+            self.batch.clear();
+            let mut a = self.node_head[node];
+            while a != NIL {
+                self.batch.push(self.arrivals[a as usize].1);
+                a = self.arrival_next[a as usize];
+            }
+            self.node_head[node] = NIL;
+            let batch = std::mem::take(&mut self.batch);
+            proto.on_arrivals(node, &batch, step, out);
+            self.batch = batch;
+            self.apply_outbox(node, out, step);
+        }
+        self.touched.clear();
+    }
+
+    /// End-of-step occupancy accounting: charge every still-queued packet
+    /// one packet-step (`run` does this after each step; external drivers
+    /// replaying the loop call it after [`Engine::step_finish`]).
+    pub fn note_queued_step(&mut self) {
+        self.metrics.queued_packet_steps += self.in_flight as u64;
     }
 
     // ------------------------------------------------------------------
@@ -594,9 +616,33 @@ impl Engine {
         std::mem::swap(&mut self.active, &mut self.scratch);
     }
 
+    /// Largest current occupancy over all link queues (0 when idle).
+    /// Unlike [`Engine::queue_high_water`] — which is monotone since the
+    /// last reset — this reflects the instantaneous state, so a long-lived
+    /// serve loop can use it as a backpressure watermark that clears once
+    /// congestion drains. Scans only the currently active links.
+    pub fn max_queue_len(&self) -> usize {
+        self.active
+            .iter()
+            .map(|&id| self.queues[id as usize].len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Take back the not-yet-processed injections queued by
+    /// [`Engine::inject`] without running any protocol callback. Lets a
+    /// driver use a backend's injection routine as a packet *materialiser*
+    /// (inject → take) and re-inject the packets at a later admission
+    /// step.
+    pub fn take_pending(&mut self) -> Vec<(usize, Packet)> {
+        std::mem::take(&mut self.pending)
+    }
+
     /// Finalise and move the accumulated metrics out (no clone — the
-    /// engine's metrics are left fresh for the next run).
-    fn take_metrics(&mut self, steps: u32) -> Metrics {
+    /// engine's metrics are left fresh for the next run). `run` calls
+    /// this at termination; external drivers replaying the step loop call
+    /// it with the number of steps they executed.
+    pub fn finish_metrics(&mut self, steps: u32) -> Metrics {
         self.metrics.steps = steps;
         self.metrics.max_queue = self.queue_high_water();
         if self.cfg.record_link_loads {
@@ -630,6 +676,7 @@ impl Engine {
         }
         self.active.clear();
         self.in_flight = 0;
+        self.sorted_len = 0;
         out
     }
 
@@ -652,6 +699,7 @@ impl Engine {
         }
         self.active.clear();
         self.in_flight = 0;
+        self.sorted_len = 0;
         out
     }
 }

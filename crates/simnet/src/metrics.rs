@@ -46,11 +46,19 @@ impl Metrics {
     /// Record a delivery at `step` for a packet injected at `injected_at`.
     /// Public so external engine drivers (the `lnpram-shard` coordinator)
     /// accumulate deliveries exactly the way `Engine::run` does.
+    ///
+    /// A delivery before its injection step is a bookkeeping error (e.g. a
+    /// serve driver admitting packets with a stale step counter); debug
+    /// builds panic on it rather than silently clamping the latency to 0.
     pub fn on_delivery(&mut self, step: u32, injected_at: u32) {
         self.delivered += 1;
         self.routing_time = self.routing_time.max(step);
-        self.latency
-            .record(u64::from(step.saturating_sub(injected_at)));
+        let latency = step.checked_sub(injected_at);
+        debug_assert!(
+            latency.is_some(),
+            "delivery at step {step} precedes injection at step {injected_at}"
+        );
+        self.latency.record(u64::from(latency.unwrap_or(0)));
     }
 
     /// Mean queue occupancy per executed step (packet-steps / steps).
@@ -99,6 +107,17 @@ mod tests {
         assert_eq!(m.routing_time, 10);
         assert_eq!(m.latency.total(), 2);
         assert_eq!(m.latency.max(), 10);
+    }
+
+    /// A delivery recorded before its injection step is a bookkeeping
+    /// error (stale step counter in a driver) and must be caught loudly
+    /// in debug builds instead of clamping the latency to 0.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "precedes injection")]
+    fn misordered_injection_is_caught() {
+        let mut m = Metrics::default();
+        m.on_delivery(3, 7);
     }
 
     #[test]

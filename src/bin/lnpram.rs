@@ -3,12 +3,16 @@
 //! ```text
 //! lnpram audit   --topology star --n 4
 //! lnpram route   --topology mesh --n 32 --algorithm three-stage --trials 8
+//! lnpram serve   --topology butterfly --k 5 --tenants 4 --requests 32
 //! lnpram emulate --host butterfly --k 6 --program prefix-sum
 //! lnpram help
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs after a
-//! subcommand) to stay within the approved dependency set.
+//! subcommand) to stay within the approved dependency set. Failures are
+//! typed ([`CliError`]) so argument mistakes (`--tenants 0`, `--shards`
+//! out of range), unknown names and simulation failures are reported
+//! distinctly instead of panicking or silently clamping.
 
 use lnpram::core::{
     EmulatorConfig, LeveledPramEmulator, MeshPramEmulator, ReplicatedPramEmulator, StarPramEmulator,
@@ -16,46 +20,147 @@ use lnpram::core::{
 use lnpram::pram::machine::PramMachine;
 use lnpram::pram::model::{AccessMode, PramProgram, WritePolicy};
 use lnpram::pram::programs::{ConnectedComponents, Histogram, PrefixSum, ReductionMax};
-use lnpram::routing::ccc::CccRoutingSession;
-use lnpram::routing::hypercube::CubeRoutingSession;
+use lnpram::routing::ccc::{CccBackend, CccRoutingSession};
+use lnpram::routing::hypercube::{CubeBackend, CubeRoutingSession};
+use lnpram::routing::leveled::LeveledBackend;
 use lnpram::routing::mesh::{
-    default_block_rows, default_slice_rows, MeshAlgorithm, MeshRoutingSession,
+    default_block_rows, default_slice_rows, MeshAlgorithm, MeshBackend, MeshRoutingSession,
 };
-use lnpram::routing::shuffle::ShuffleRoutingSession;
-use lnpram::routing::star::StarRoutingSession;
-use lnpram::routing::{LeveledRoutingSession, RouteRequest, Router};
+use lnpram::routing::shuffle::{ShuffleBackend, ShuffleRoutingSession};
+use lnpram::routing::star::{StarBackend, StarRoutingSession};
+use lnpram::routing::{
+    LeveledRoutingSession, OpenLoopWorkload, OverloadPolicy, RouteRequest, Router, Serve,
+    ServeConfig, ServeError, ServeSession,
+};
+use lnpram::shard::MAX_SHARDS;
 use lnpram::simnet::SimConfig;
 use lnpram::topology::graph::audit;
 use lnpram::topology::leveled::{audit_unique_paths, RadixButterfly, UnrolledShuffle};
 use lnpram::topology::{DWayShuffle, Mesh, Network, StarGraph};
 use std::collections::HashMap;
+use std::fmt;
 use std::process::ExitCode;
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Every way an `lnpram` invocation can fail, typed so argument
+/// mistakes, unknown names and simulation failures print distinctly
+/// (and tests can match on the class, not the prose).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CliError {
+    /// A required flag was not given.
+    MissingFlag(&'static str),
+    /// A flag's value failed validation (bad number, zero tenants,
+    /// shard count out of range, ...).
+    InvalidFlag {
+        flag: String,
+        value: String,
+        reason: String,
+    },
+    /// An unknown command / topology / algorithm / program name.
+    Unknown { what: &'static str, got: String },
+    /// The simulation itself failed (budget exhausted, divergence).
+    Run(String),
+    /// A typed serve-layer failure ([`ServeError`]).
+    Serve(ServeError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingFlag(flag) => write!(f, "--{flag} required"),
+            CliError::InvalidFlag {
+                flag,
+                value,
+                reason,
+            } => {
+                write!(f, "--{flag} {value}: {reason}")
+            }
+            CliError::Unknown { what, got } => write!(f, "unknown {what} '{got}'"),
+            CliError::Run(msg) => write!(f, "{msg}"),
+            CliError::Serve(err) => write!(f, "serve: {err}"),
+        }
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(err: ServeError) -> Self {
+        CliError::Serve(err)
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let key = key
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got '{key}'"))?;
-        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            .ok_or_else(|| CliError::InvalidFlag {
+                flag: key.clone(),
+                value: String::new(),
+                reason: "expected --flag".into(),
+            })?;
+        let value = it.next().ok_or_else(|| CliError::InvalidFlag {
+            flag: key.to_string(),
+            value: String::new(),
+            reason: "needs a value".into(),
+        })?;
         flags.insert(key.to_string(), value.clone());
     }
     Ok(flags)
 }
 
-fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+fn get_usize(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, CliError> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+        Some(v) => v.parse().map_err(|_| CliError::InvalidFlag {
+            flag: key.to_string(),
+            value: v.clone(),
+            reason: "not a number".into(),
+        }),
     }
 }
 
-fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, CliError> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+        Some(v) => v.parse().map_err(|_| CliError::InvalidFlag {
+            flag: key.to_string(),
+            value: v.clone(),
+            reason: "not a number".into(),
+        }),
     }
+}
+
+/// `--tenants` must be ≥ 1: zero tenants is a request for no work and
+/// was historically clamped to 1 silently.
+fn get_tenants(flags: &HashMap<String, String>, default: u64) -> Result<u64, CliError> {
+    let tenants = get_u64(flags, "tenants", default)?;
+    if tenants == 0 {
+        return Err(CliError::InvalidFlag {
+            flag: "tenants".into(),
+            value: "0".into(),
+            reason: "must be ≥ 1".into(),
+        });
+    }
+    Ok(tenants)
+}
+
+/// `--shards` is 0/1 (serial engine) or 2..=MAX_SHARDS (partitioned
+/// lockstep). Larger values used to be clamped deep inside the engine;
+/// the CLI now refuses them up front.
+fn get_shards(flags: &HashMap<String, String>) -> Result<usize, CliError> {
+    let shards = get_usize(flags, "shards", 0)?;
+    if shards > MAX_SHARDS {
+        return Err(CliError::InvalidFlag {
+            flag: "shards".into(),
+            value: shards.to_string(),
+            reason: format!("must be 0/1 (serial) or 2..={MAX_SHARDS}"),
+        });
+    }
+    Ok(shards)
 }
 
 const HELP: &str = "\
@@ -78,9 +183,30 @@ COMMANDS
              --algorithm three-stage|const-queue|greedy|valiant  (mesh) [three-stage]
              --seed <s>       base seed                           [0]
              --trials <t>     number of seeds                     [5]
-             --shards <K>     partitioned lockstep engine, K ≥ 2  [0]
+             --shards <K>     partitioned lockstep engine, 2..=15 [0]
              --tenants <T>    co-route T tenants per trial in ONE
-                              engine run (route_batch)            [1]
+                              engine run (route_batch), T ≥ 1     [1]
+
+  serve    Always-on routing service: one long-lived engine, requests
+           admitted mid-run from an open-loop arrival process; tenants
+           share ONE topology copy (contention, fairness) instead of
+           the isolated copies of route --tenants.
+             --topology butterfly|star|mesh|cube|ccc|shuffle   (required)
+             --n, --d, --k    as for route
+             --tenants <T>    tenants, round-robin over requests  [2]
+             --requests <R>   total requests in the trace         [32]
+             --interval <I>   steps between arrivals (0 = burst)  [4]
+             --packets <P>    packets per request                 [8]
+             --seed <s>       workload seed                       [0]
+             --shards <K>     partitioned lockstep engine, 2..=15 [0]
+             --max-inflight <W>  admission high-water mark on the
+                              in-flight packet count (0 = off)    [0]
+             --max-queue <W>  admission high-water mark on any
+                              link queue's occupancy (0 = off)    [0]
+             --capacity <C>   admission-buffer capacity           [unbounded]
+             --policy queue|reject  behavior at capacity          [queue]
+             --slo <L>        latency SLO in steps (for the
+                              attainment column)                  [64]
 
   emulate  Run a PRAM program through an emulator and verify against the
            reference machine.
@@ -93,8 +219,10 @@ COMMANDS
   help     This message.
 ";
 
-fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
-    let topo = flags.get("topology").ok_or("--topology required")?;
+fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let topo = flags
+        .get("topology")
+        .ok_or(CliError::MissingFlag("topology"))?;
     let n = get_usize(flags, "n", 4)?;
     match topo.as_str() {
         "star" => {
@@ -111,7 +239,8 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
             let g = DWayShuffle::new(d, n);
             print_audit(&g);
             let lv = UnrolledShuffle::new(d, n);
-            audit_unique_paths(&lv).map_err(|e| format!("delta audit failed: {e}"))?;
+            audit_unique_paths(&lv)
+                .map_err(|e| CliError::Run(format!("delta audit failed: {e}")))?;
             println!("unique-path (delta) property: ok on the unrolled form");
         }
         "mesh" => {
@@ -128,14 +257,20 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
             let d = get_usize(flags, "d", 2)?;
             let k = get_usize(flags, "k", 4)?;
             let lv = RadixButterfly::new(d, k);
-            audit_unique_paths(&lv).map_err(|e| format!("delta audit failed: {e}"))?;
+            audit_unique_paths(&lv)
+                .map_err(|e| CliError::Run(format!("delta audit failed: {e}")))?;
             use lnpram::topology::leveled::Leveled;
             println!(
                 "butterfly(r={d}, k={k}): width {} levels {k}, unique-path: ok",
                 Leveled::width(&lv)
             );
         }
-        other => return Err(format!("unknown topology '{other}'")),
+        other => {
+            return Err(CliError::Unknown {
+                what: "topology",
+                got: other.into(),
+            })
+        }
     }
     Ok(())
 }
@@ -154,13 +289,36 @@ fn print_audit<N: Network>(g: &N) {
     );
 }
 
+/// The mesh algorithm named by `--algorithm`.
+fn mesh_algorithm(flags: &HashMap<String, String>, n: usize) -> Result<MeshAlgorithm, CliError> {
+    match flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("three-stage")
+    {
+        "three-stage" => Ok(MeshAlgorithm::ThreeStage {
+            slice_rows: default_slice_rows(n),
+        }),
+        "const-queue" => Ok(MeshAlgorithm::ThreeStageConstQueue {
+            slice_rows: default_slice_rows(n),
+            block_rows: default_block_rows(n),
+        }),
+        "greedy" => Ok(MeshAlgorithm::Greedy),
+        "valiant" => Ok(MeshAlgorithm::ValiantBrebner),
+        other => Err(CliError::Unknown {
+            what: "mesh algorithm",
+            got: other.into(),
+        }),
+    }
+}
+
 /// Build the session the unified `route` command dispatches to — every
 /// topology behind one `dyn Router`.
 fn make_router(
     topo: &str,
     flags: &HashMap<String, String>,
     cfg: SimConfig,
-) -> Result<Box<dyn Router>, String> {
+) -> Result<Box<dyn Router>, CliError> {
     let n = get_usize(flags, "n", 4)?;
     Ok(match topo {
         "star" => Box::new(StarRoutingSession::new(n, cfg)),
@@ -179,34 +337,80 @@ fn make_router(
         }
         "ccc" => Box::new(CccRoutingSession::new(n.max(3), cfg)),
         "mesh" => {
-            let alg = match flags
-                .get("algorithm")
-                .map(String::as_str)
-                .unwrap_or("three-stage")
-            {
-                "three-stage" => MeshAlgorithm::ThreeStage {
-                    slice_rows: default_slice_rows(n),
-                },
-                "const-queue" => MeshAlgorithm::ThreeStageConstQueue {
-                    slice_rows: default_slice_rows(n),
-                    block_rows: default_block_rows(n),
-                },
-                "greedy" => MeshAlgorithm::Greedy,
-                "valiant" => MeshAlgorithm::ValiantBrebner,
-                other => return Err(format!("unknown mesh algorithm '{other}'")),
-            };
+            let alg = mesh_algorithm(flags, n)?;
             Box::new(MeshRoutingSession::new(n, alg, cfg))
         }
-        other => return Err(format!("unknown topology '{other}'")),
+        other => {
+            return Err(CliError::Unknown {
+                what: "topology",
+                got: other.into(),
+            })
+        }
     })
 }
 
-fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
-    let topo = flags.get("topology").ok_or("--topology required")?;
+/// Build the serving session `serve` dispatches to — the serve-capable
+/// topologies behind one `dyn Serve`.
+fn make_serve(
+    topo: &str,
+    flags: &HashMap<String, String>,
+    sim: SimConfig,
+    cfg: ServeConfig,
+) -> Result<Box<dyn Serve>, CliError> {
+    let n = get_usize(flags, "n", 4)?;
+    Ok(match topo {
+        "star" => Box::new(ServeSession::new(
+            StarBackend::new(StarGraph::new(n)),
+            &sim,
+            cfg,
+        )),
+        "shuffle" => {
+            let d = get_usize(flags, "d", n)?;
+            Box::new(ServeSession::new(
+                ShuffleBackend::new(DWayShuffle::new(d, n)),
+                &sim,
+                cfg,
+            ))
+        }
+        "butterfly" => {
+            let d = get_usize(flags, "d", 2)?;
+            let k = get_usize(flags, "k", 4)?;
+            Box::new(ServeSession::new(
+                LeveledBackend::new(RadixButterfly::new(d, k)),
+                &sim,
+                cfg,
+            ))
+        }
+        "cube" => {
+            let k = get_usize(flags, "k", 8)?;
+            Box::new(ServeSession::new(CubeBackend::new(k), &sim, cfg))
+        }
+        "ccc" => Box::new(ServeSession::new(CccBackend::new(n.max(3)), &sim, cfg)),
+        "mesh" => {
+            let alg = mesh_algorithm(flags, n)?;
+            Box::new(ServeSession::new(
+                MeshBackend::new(Mesh::square(n), alg),
+                &sim,
+                cfg,
+            ))
+        }
+        other => {
+            return Err(CliError::Unknown {
+                what: "topology",
+                got: other.into(),
+            })
+        }
+    })
+}
+
+fn cmd_route(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let topo = flags
+        .get("topology")
+        .ok_or(CliError::MissingFlag("topology"))?;
     let seed = get_u64(flags, "seed", 0)?;
     let trials = get_u64(flags, "trials", 5)?.max(1);
-    let tenants = get_u64(flags, "tenants", 1)?.max(1);
-    let shards = get_usize(flags, "shards", 0)?;
+    let tenants = get_tenants(flags, 1)?;
+    let shards = get_shards(flags)?;
     let cfg = SimConfig {
         shards,
         ..SimConfig::default()
@@ -225,7 +429,7 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
                 .collect();
             let batch = router.route_batch(&reqs);
             if !batch.completed {
-                return Err("batched routing did not complete".into());
+                return Err(CliError::Run("batched routing did not complete".into()));
             }
             for tr in &batch.tenants {
                 times.push(f64::from(tr.metrics.routing_time));
@@ -237,7 +441,7 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
         for t in 0..trials {
             let rep = router.route_permutation(seed + t);
             if !rep.completed {
-                return Err("routing did not complete".into());
+                return Err(CliError::Run("routing did not complete".into()));
             }
             times.push(f64::from(rep.metrics.routing_time));
             queues.push(rep.metrics.max_queue as f64);
@@ -263,12 +467,103 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let topo = flags
+        .get("topology")
+        .ok_or(CliError::MissingFlag("topology"))?;
+    let tenants = get_tenants(flags, 2)?;
+    let requests = get_usize(flags, "requests", 32)?.max(1);
+    let interval = get_u64(flags, "interval", 4)? as u32;
+    let packets = get_usize(flags, "packets", 8)?.max(1);
+    let seed = get_u64(flags, "seed", 0)?;
+    let shards = get_shards(flags)?;
+    let slo = get_u64(flags, "slo", 64)?;
+    let policy = match flags.get("policy").map(String::as_str).unwrap_or("queue") {
+        "queue" => OverloadPolicy::Queue,
+        "reject" => OverloadPolicy::Reject,
+        other => {
+            return Err(CliError::Unknown {
+                what: "overload policy",
+                got: other.into(),
+            })
+        }
+    };
+    let cfg = ServeConfig {
+        high_water_in_flight: get_usize(flags, "max-inflight", 0)?,
+        high_water_queue: get_usize(flags, "max-queue", 0)?,
+        admission_capacity: get_usize(flags, "capacity", usize::MAX)?,
+        policy,
+        ..ServeConfig::default()
+    };
+    let sim = SimConfig {
+        shards,
+        ..SimConfig::default()
+    };
+    let mut serve = make_serve(topo, flags, sim, cfg)?;
+    let workload = OpenLoopWorkload {
+        tenants,
+        requests,
+        interval,
+        packets_per_request: packets,
+        seed,
+    };
+    let report = serve.run_open_loop(&workload)?;
+    let engine = if serve.is_sharded() {
+        format!("sharded×{shards}")
+    } else {
+        "serial".into()
+    };
+    println!(
+        "{} serve ({engine}): {} requests over {} steps ({} admitted, {} rejected, {} pending)",
+        serve.topology(),
+        report.requests.len(),
+        report.steps,
+        report.admitted,
+        report.rejected,
+        report.requests.len() - report.admitted - report.rejected,
+    );
+    println!(
+        "throughput {:.2} pkts/step, latency p50 {} p99 {} max {}, SLO≤{slo}: {:.1}%",
+        report.throughput_per_step(),
+        report.latency_quantile(0.5),
+        report.latency_quantile(0.99),
+        report.metrics.latency.max(),
+        100.0 * report.slo_attainment(slo),
+    );
+    println!(
+        "backpressure: max backlog {}, deferred request-steps {}; fairness (Jain) {:.3}",
+        report.max_backlog,
+        report.deferred_request_steps,
+        report.fairness_index(),
+    );
+    for ts in report.tenant_stats() {
+        println!(
+            "  tenant {}: {} requests ({} completed, {} rejected), {}/{} pkts delivered, \
+             mean latency {:.1}",
+            ts.tenant,
+            ts.requests,
+            ts.completed,
+            ts.rejected,
+            ts.delivered,
+            ts.injected,
+            ts.mean_latency(),
+        );
+    }
+    if !report.completed {
+        return Err(CliError::Run(format!(
+            "serve stopped at the {}-step budget with packets still in flight",
+            report.steps
+        )));
+    }
+    Ok(())
+}
+
 fn run_and_verify<P, F>(
     make: F,
     mode: AccessMode,
     host: &str,
     mut run_emu: impl FnMut(&mut P) -> (Vec<u64>, f64),
-) -> Result<(), String>
+) -> Result<(), CliError>
 where
     P: PramProgram,
     F: Fn() -> P,
@@ -279,17 +574,20 @@ where
     let mut oracle = PramMachine::new(space, mode);
     oracle.run(&mut make(), 1_000_000);
     if image != oracle.memory() {
-        return Err(format!(
+        return Err(CliError::Run(format!(
             "{host}: emulated memory diverged from the reference PRAM"
-        ));
+        )));
     }
     println!("{host}: memory image matches the reference PRAM ({space} cells)");
     println!("mean network steps per PRAM step: {mean_step:.1}");
     Ok(())
 }
 
-fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
-    let host = flags.get("host").ok_or("--host required")?.clone();
+fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let host = flags
+        .get("host")
+        .ok_or(CliError::MissingFlag("host"))?
+        .clone();
     let seed = get_u64(flags, "seed", 0)?;
     let program = flags
         .get("program")
@@ -367,7 +665,10 @@ fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
                         (emu.memory_image(p.address_space()), rep.mean_step_time())
                     })
                 }
-                other => Err(format!("unknown host '{other}'")),
+                other => Err(CliError::Unknown {
+                    what: "host",
+                    got: other.into(),
+                }),
             }
         }};
     }
@@ -405,7 +706,10 @@ fn cmd_emulate(flags: &HashMap<String, String>) -> Result<(), String> {
                 AccessMode::Crcw(WritePolicy::Max)
             )
         }
-        other => Err(format!("unknown program '{other}'")),
+        other => Err(CliError::Unknown {
+            what: "program",
+            got: other.into(),
+        }),
     }
 }
 
@@ -420,20 +724,33 @@ fn main() -> ExitCode {
             print!("{HELP}");
             Ok(())
         }
-        "audit" | "route" | "emulate" => match parse_flags(rest) {
+        "audit" | "route" | "serve" | "emulate" => match parse_flags(rest) {
             Err(e) => Err(e),
             Ok(flags) => match cmd.as_str() {
                 "audit" => cmd_audit(&flags),
                 "route" => cmd_route(&flags),
+                "serve" => cmd_serve(&flags),
                 _ => cmd_emulate(&flags),
             },
         },
-        other => Err(format!("unknown command '{other}' (try: lnpram help)")),
+        other => Err(CliError::Unknown {
+            what: "command",
+            got: other.to_string(),
+        }),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            if matches!(
+                e,
+                CliError::Unknown {
+                    what: "command",
+                    ..
+                }
+            ) {
+                eprintln!("try: lnpram help");
+            }
             ExitCode::FAILURE
         }
     }
