@@ -1,0 +1,258 @@
+//! Degraded-mode serve: the always-on routing service under permanent
+//! link failures at 0% / 2% / 10% of links.
+//!
+//! An open-loop multi-tenant workload is admitted into one long-lived
+//! engine (`ServeSession` over the 2^8-row butterfly) whose trace
+//! scripts [`AdmissionEntry::Fault`] link failures at step 1. The dead
+//! links are never repaired, so the service runs in degraded mode for
+//! the whole trace: packets whose unique path crosses a dead link stay
+//! queued (never silently dropped) until the bounded step budget
+//! expires, everything else keeps flowing. Columns report what
+//! degradation does to the service — delivered fraction, sustained
+//! throughput, and the admission-to-delivery latency distribution
+//! (p50/p99) of the packets that do get through.
+//!
+//! Every trial runs serial AND sharded (`K = LNPRAM_SHARDS`, default 4)
+//! and asserts the full delivery schedule bit-identical — the
+//! fixed-trace determinism contract extended to faulted traces.
+//!
+//! Results land as machine-readable JSON (default `BENCH_7.json`,
+//! override with `LNPRAM_BENCH_OUT`). CI's `chaos-smoke` job runs this
+//! with `LNPRAM_TRIALS=2`; run locally with the defaults for stable
+//! numbers.
+
+use lnpram_bench::{fmt, trial_count, Table};
+use lnpram_math::rng::splitmix64;
+use lnpram_routing::leveled::LeveledBackend;
+use lnpram_routing::{
+    AdmissionEntry, OpenLoopWorkload, Serve, ServeConfig, ServeReport, ServeSession,
+};
+use lnpram_simnet::{Fault, SimConfig};
+use lnpram_topology::leveled::RadixButterfly;
+use std::time::Instant;
+
+const LEVELS: usize = 8;
+/// Bounded drain budget: degraded runs cannot complete (dead links hold
+/// packets forever), so the budget is the run length.
+const MAX_STEPS: u32 = 2_000;
+
+fn session(shards: usize) -> ServeSession<LeveledBackend<RadixButterfly>> {
+    let sim = SimConfig {
+        shards,
+        ..SimConfig::default()
+    };
+    let cfg = ServeConfig {
+        max_steps: MAX_STEPS,
+        ..ServeConfig::default()
+    };
+    ServeSession::new(
+        LeveledBackend::new(RadixButterfly::new(2, LEVELS)),
+        &sim,
+        cfg,
+    )
+}
+
+/// `count` distinct link ids drawn deterministically from `state`.
+fn pick_links(state: &mut u64, links: usize, count: usize) -> Vec<usize> {
+    let mut picked = Vec::with_capacity(count);
+    while picked.len() < count {
+        let link = (splitmix64(state) as usize) % links;
+        if !picked.contains(&link) {
+            picked.push(link);
+        }
+    }
+    picked
+}
+
+/// Build the faulted admission trace: permanent link failures at step 1
+/// merged into the open-loop request trace (entries sorted by step).
+fn faulted_trace(
+    wl: &OpenLoopWorkload,
+    sources: usize,
+    dead_links: &[usize],
+) -> Vec<AdmissionEntry> {
+    let mut entries: Vec<AdmissionEntry> = dead_links
+        .iter()
+        .map(|&link| AdmissionEntry::fault(1, Fault::LinkFail { link }))
+        .collect();
+    entries.extend(wl.trace(sources));
+    entries.sort_by_key(|e| e.step());
+    entries
+}
+
+fn assert_same_schedule(a: &ServeReport, b: &ServeReport, ctx: &str) {
+    assert_eq!(a.steps, b.steps, "{ctx}: steps");
+    assert_eq!(a.completed, b.completed, "{ctx}: completed");
+    assert_eq!(a.admitted, b.admitted, "{ctx}: admitted");
+    assert_eq!(a.schedule(), b.schedule(), "{ctx}: delivery schedule");
+    assert_eq!(a.metrics.delivered, b.metrics.delivered, "{ctx}: delivered");
+    assert!(
+        a.metrics.latency.buckets().eq(b.metrics.latency.buckets()),
+        "{ctx}: latency distribution"
+    );
+}
+
+#[derive(Default)]
+struct FractionStats {
+    failed_links: usize,
+    injected: u64,
+    delivered: u64,
+    p50: f64,
+    p99: f64,
+    steps: f64,
+    completed_runs: u64,
+    runs: u64,
+    serial_ms: f64,
+    sharded_ms: f64,
+}
+
+impl FractionStats {
+    fn delivered_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.injected as f64
+    }
+
+    fn per_run(&self, x: f64) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        x / self.runs as f64
+    }
+}
+
+fn main() {
+    let trials = trial_count(3);
+    let shards: usize = std::env::var("LNPRAM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k >= 2)
+        .unwrap_or(4);
+    let fractions = [0.0f64, 0.02, 0.10];
+
+    let links = session(0).num_links();
+    println!(
+        "degraded serve on butterfly(2,{LEVELS}): {links} links, budget {MAX_STEPS} steps, \
+         {trials} trials, serial vs K={shards}"
+    );
+
+    let mut stats: Vec<FractionStats> = Vec::new();
+    for &frac in &fractions {
+        let failed_links = (links as f64 * frac).round() as usize;
+        let mut agg = FractionStats {
+            failed_links,
+            ..FractionStats::default()
+        };
+        for trial in 0..trials {
+            let wl = OpenLoopWorkload {
+                tenants: 4,
+                requests: 32,
+                interval: 4,
+                packets_per_request: 64,
+                seed: 0xD15EA5E ^ trial,
+            };
+            let mut state = 0x5EED_0000 | trial.wrapping_mul(2).wrapping_add(1);
+            let dead = pick_links(&mut state, links, failed_links);
+            let mut serial = session(0);
+            let trace = faulted_trace(&wl, serial.num_sources(), &dead);
+
+            let t0 = Instant::now();
+            let rep = serial.run_trace(&trace).expect("leveled serves faults");
+            let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let mut sharded = session(shards);
+            let t1 = Instant::now();
+            let srep = sharded.run_trace(&trace).expect("leveled serves faults");
+            let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
+            assert_same_schedule(
+                &rep,
+                &srep,
+                &format!("frac {frac} trial {trial} serial vs K={shards}"),
+            );
+
+            agg.injected += rep.packets as u64;
+            agg.delivered += rep.metrics.delivered as u64;
+            agg.p50 += rep.latency_quantile(0.5) as f64;
+            agg.p99 += rep.latency_quantile(0.99) as f64;
+            agg.steps += f64::from(rep.steps);
+            agg.completed_runs += u64::from(rep.completed);
+            agg.runs += 1;
+            agg.serial_ms += serial_ms;
+            agg.sharded_ms += sharded_ms;
+        }
+        stats.push(agg);
+    }
+
+    let mut table = Table::new(
+        "Degraded-mode serve (butterfly 2^8 rows, permanent link failures)",
+        &[
+            "failed links",
+            "delivered",
+            "p50 lat",
+            "p99 lat",
+            "steps",
+            "complete",
+            "serial ms",
+            &format!("K={shards} ms"),
+        ],
+    );
+    for (frac, s) in fractions.iter().zip(&stats) {
+        table.row(&[
+            format!("{:.0}% ({})", frac * 100.0, s.failed_links),
+            format!("{:.3}", s.delivered_fraction()),
+            fmt::f(s.per_run(s.p50), 1),
+            fmt::f(s.per_run(s.p99), 1),
+            fmt::f(s.per_run(s.steps), 0),
+            format!("{}/{}", s.completed_runs, s.runs),
+            fmt::f(s.per_run(s.serial_ms), 1),
+            fmt::f(s.per_run(s.sharded_ms), 1),
+        ]);
+    }
+    table.print();
+
+    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_7.json".to_string());
+    write_json(&path, trials, shards, links, &fractions, &stats).expect("write bench json");
+    println!("wrote {path}");
+}
+
+fn write_json(
+    path: &str,
+    trials: u64,
+    shards: usize,
+    links: usize,
+    fractions: &[f64],
+    stats: &[FractionStats],
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"degraded_serve\",\n");
+    out.push_str(&format!("  \"topology\": \"butterfly(2,{LEVELS})\",\n"));
+    out.push_str(&format!("  \"trials\": {trials},\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
+    out.push_str(&format!("  \"links\": {links},\n"));
+    out.push_str(&format!("  \"serve_max_steps\": {MAX_STEPS},\n"));
+    out.push_str("  \"fractions\": [\n");
+    for (i, (frac, s)) in fractions.iter().zip(stats).enumerate() {
+        out.push_str(&format!(
+            "    {{\"failed_fraction\": {frac}, \"failed_links\": {}, \
+             \"injected\": {}, \"delivered\": {}, \"delivered_fraction\": {:.6}, \
+             \"p50_latency\": {:.2}, \"p99_latency\": {:.2}, \"steps\": {:.1}, \
+             \"completed_runs\": {}, \"runs\": {}, \
+             \"serial_ms\": {:.3}, \"sharded_ms\": {:.3}}}{}\n",
+            s.failed_links,
+            s.injected,
+            s.delivered,
+            s.delivered_fraction(),
+            s.per_run(s.p50),
+            s.per_run(s.p99),
+            s.per_run(s.steps),
+            s.completed_runs,
+            s.runs,
+            s.per_run(s.serial_ms),
+            s.per_run(s.sharded_ms),
+            if i + 1 < fractions.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}

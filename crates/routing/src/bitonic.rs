@@ -184,6 +184,13 @@ impl RouteBackend for BitonicBackend {
         }
     }
 
+    fn supports_faults(&self) -> bool {
+        // The comparator schedule is fixed at injection time: packets
+        // cannot be re-injected mid-schedule, so fault recovery would
+        // silently misroute. Decline with a typed error instead.
+        false
+    }
+
     fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine {
         batch_engine(&self.cube, copies, cfg, |cube, cfg| {
             AnyEngine::with_partitioner(cube, cfg, &GreedyEdgeCut)

@@ -1,0 +1,115 @@
+//! Deterministic fault recovery over the [`Router`](crate::Router) API.
+//!
+//! The paper's whole robustness story is Lemma 2.1: a routing that
+//! misses its deadline retries the missed packets with **fresh random
+//! intermediates**, amplifying the per-attempt success probability.
+//! [`Router::route_with_faults`](crate::Router::route_with_faults)
+//! runs that schedule against a real adversity model — a
+//! [`FaultPlan`](lnpram_simnet::FaultPlan) of link/node failures
+//! installed on the engine and replayed identically on every attempt:
+//!
+//! 1. Attempt 0 routes the request under the plan with the request's
+//!    own randomness (bit-identical to `route` on a fault-free plan).
+//! 2. Stranded packets are drained from the engine and **classified**:
+//!    a packet whose destination node is down at the end of the plan
+//!    ([`FaultPlan::dead_nodes`](lnpram_simnet::FaultPlan::dead_nodes))
+//!    can never be delivered — it is reported [`LostPacket`], never
+//!    silently dropped and never pointlessly retried.
+//! 3. Survivable packets re-inject as an explicit relation map with
+//!    fresh per-attempt intermediates (seed `req.seed + k`), under the
+//!    same plan, until all deliver or attempts are exhausted.
+//!
+//! Cost accounting follows the lemma: a failed attempt is charged
+//! `2 × budget` (deadline + trace-back), the final successful attempt
+//! its own routing time. The whole schedule is deterministic in
+//! `(request, plan, policy)` — bit-identical across repeats and across
+//! serial vs sharded engines, chaos-property-pinned in
+//! `tests/fault_chaos.rs`.
+
+use crate::router::RunReport;
+
+/// The original identity of one injected packet — `(id, src, dest)` in
+/// **attempt-0 numbering** (ids are assigned by injection order, so
+/// they are stable across the whole recovery schedule even though
+/// retry attempts renumber their re-injections internally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LostPacket {
+    /// Attempt-0 injection id.
+    pub id: u32,
+    /// Source coordinate (`0..sources`).
+    pub src: u32,
+    /// Destination coordinate — for a `LostPacket` in
+    /// [`FaultReport::lost`], one whose delivery node is dead.
+    pub dest: u32,
+}
+
+/// What a fault-recovery schedule delivered, recovered and lost.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Packets injected by attempt 0.
+    pub injected: usize,
+    /// Packets delivered within attempt 0 (despite the faults).
+    pub delivered_first: usize,
+    /// Packets delivered by retry attempts (stranded once, then
+    /// re-routed with fresh intermediates).
+    pub recovered: usize,
+    /// Packets whose destination node is dead at the end of the plan —
+    /// undeliverable by any schedule, reported instead of retried.
+    /// Ascending by attempt-0 id.
+    pub lost: Vec<LostPacket>,
+    /// Survivable packets still undelivered when `max_attempts` ran
+    /// out (0 whenever `completed`).
+    pub stranded: usize,
+    /// Attempts executed (≥ 1).
+    pub attempts: usize,
+    /// Every survivable packet was delivered (`delivered_first +
+    /// recovered + lost.len() == injected`).
+    pub completed: bool,
+    /// Degraded-mode routing time under Lemma 2.1 accounting: each
+    /// failed attempt charges `2 × attempt_budget`, the final
+    /// successful attempt its own routing time.
+    pub total_steps: u64,
+    /// Attempt 0's full report (its metrics describe the degraded
+    /// first pass; `first.completed` is false whenever recovery ran).
+    pub first: RunReport,
+}
+
+impl FaultReport {
+    /// Total packets delivered across all attempts.
+    pub fn delivered(&self) -> usize {
+        self.delivered_first + self.recovered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RunExtras;
+    use lnpram_simnet::Metrics;
+
+    #[test]
+    fn delivered_sums_first_and_recovered() {
+        let rep = FaultReport {
+            injected: 10,
+            delivered_first: 6,
+            recovered: 3,
+            lost: vec![LostPacket {
+                id: 7,
+                src: 7,
+                dest: 2,
+            }],
+            stranded: 0,
+            attempts: 2,
+            completed: true,
+            total_steps: 42,
+            first: RunReport {
+                metrics: Metrics::default(),
+                completed: false,
+                packets: 10,
+                extras: RunExtras::Mesh { n: 4 },
+            },
+        };
+        assert_eq!(rep.delivered(), 9);
+        assert_eq!(rep.delivered() + rep.lost.len(), rep.injected);
+    }
+}

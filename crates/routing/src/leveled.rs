@@ -215,6 +215,11 @@ impl<L: Leveled + Copy> RouteBackend for LeveledBackend<L> {
         let stride = self.stride();
         Some(driver.drive(eng, UniversalLeveledRouter::new(&self.net), stride))
     }
+
+    fn dest_node(&self, dest: usize) -> usize {
+        // Delivery happens at the last column of the doubled network.
+        self.net.node_id(2 * self.levels, dest)
+    }
 }
 
 /// A reusable Algorithm 2.1 routing session: the [`Router`](crate::Router)

@@ -61,6 +61,7 @@
 
 pub mod bitonic;
 pub mod ccc;
+pub mod fault;
 pub mod hypercube;
 pub mod leveled;
 pub mod linear;
@@ -74,6 +75,7 @@ pub mod shuffle;
 pub mod star;
 pub mod workloads;
 
+pub use fault::{FaultReport, LostPacket};
 pub use leveled::{
     route_leveled_permutation, route_leveled_relation, DoubledLeveled, LeveledRoutingSession,
 };

@@ -287,6 +287,88 @@ mod tests {
     }
 
     #[test]
+    fn fault_recovery_reports_typed_lost_instead_of_burning_attempts() {
+        // Lemma 2.1 retrying amplifies the success probability only of
+        // packets that CAN succeed. With a destination's delivery node
+        // dead, a naive retry loop re-routes the doomed packet on every
+        // attempt and still fails; `route_with_faults` classifies it
+        // against `FaultPlan::dead_nodes` after the first miss and
+        // terminates with a typed lost set.
+        use crate::leveled::LeveledRoutingSession;
+        use crate::router::{RouteBackend, RouteRequest, Router};
+        use lnpram_simnet::{Fault, FaultEvent, FaultPlan, SimConfig};
+        use lnpram_topology::leveled::RadixButterfly;
+
+        let mut session =
+            LeveledRoutingSession::new(RadixButterfly::new(2, 3), SimConfig::default());
+        let node = session.backend().dest_node(0);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 0,
+            fault: Fault::NodeFail { node },
+        }]);
+        let policy = RetryPolicy {
+            attempt_budget: 400,
+            max_attempts: 9,
+        };
+        let rep = session
+            .route_with_faults(&RouteRequest::permutation(3), &plan, policy)
+            .expect("leveled supports faults");
+        assert!(rep.completed, "survivable packets all deliver");
+        assert_eq!(rep.lost.len(), 1);
+        assert_eq!(rep.lost[0].dest, 0);
+        assert_eq!(rep.stranded, 0);
+        assert!(
+            rep.attempts <= 2,
+            "dead destination must not burn the 9-attempt cap, took {}",
+            rep.attempts
+        );
+    }
+
+    #[test]
+    fn partial_fault_retry_recovers_survivors_with_fresh_intermediates() {
+        // A permanently dead first-phase link strands only the packets
+        // whose random via routes across it; each retry redraws the
+        // intermediates (seed + k), so survivors route around the dead
+        // link and recover — the partial-retry path of the recovery
+        // schedule, exercised end to end.
+        use crate::leveled::LeveledRoutingSession;
+        use crate::router::{RouteRequest, Router};
+        use lnpram_simnet::{Fault, FaultEvent, FaultPlan, SimConfig};
+        use lnpram_topology::leveled::RadixButterfly;
+
+        let mut session =
+            LeveledRoutingSession::new(RadixButterfly::new(2, 3), SimConfig::default());
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 0,
+            fault: Fault::LinkFail { link: 0 },
+        }]);
+        let policy = RetryPolicy {
+            attempt_budget: 60,
+            max_attempts: 10,
+        };
+        // Fixed seed chosen so attempt 0 strands at least one packet on
+        // the dead link (everything below is deterministic in it).
+        let rep = session
+            .route_with_faults(&RouteRequest::permutation(6), &plan, policy)
+            .expect("leveled supports faults");
+        assert!(rep.completed, "a dead link is survivable via retries");
+        assert!(rep.lost.is_empty(), "no destination died");
+        assert!(
+            rep.attempts >= 2 && rep.recovered >= 1,
+            "seed 6 must exercise the partial-retry path \
+             (attempts {}, recovered {})",
+            rep.attempts,
+            rep.recovered
+        );
+        assert_eq!(rep.delivered(), rep.injected);
+        // Lemma accounting: failed attempts charge 2× budget, the
+        // final success its own routing time.
+        let failed = (rep.attempts - 1) as u64;
+        assert!(rep.total_steps > failed * 2 * 60);
+        assert!(rep.total_steps <= failed * 2 * 60 + 60);
+    }
+
+    #[test]
     fn star_session_threads_through_retry_loop() {
         // The Lemma 2.1 usage pattern on the star: one session serves
         // every attempt (tight budgets fail, the relaxed final attempt

@@ -29,10 +29,13 @@
 //! union is partitioned on copy boundaries, so tenants add zero
 //! boundary traffic.
 
+use crate::fault::{FaultReport, LostPacket};
+use crate::retry::RetryPolicy;
 use crate::serve::{ServeDriver, ServeRun};
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::AnyEngine;
+use lnpram_simnet::fault::{FaultError, FaultPlan};
 use lnpram_simnet::{
     Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig, TagDemux, TagMetrics,
 };
@@ -357,6 +360,29 @@ pub trait Router {
     fn route_relation(&mut self, h: usize, seed: u64) -> RunReport {
         self.route(&RouteRequest::relation(h, seed))
     }
+
+    /// Route `req` while the engine executes the fault `plan`, then
+    /// deterministically recover: stranded packets are drained,
+    /// classified survivable vs dead (destination node down at the end
+    /// of the plan — reported [`LostPacket`], never silently dropped),
+    /// and survivors retry with fresh per-attempt intermediates under
+    /// the same plan (the Lemma 2.1 schedule of
+    /// [`retry_route`](crate::retry::retry_route), see
+    /// [`crate::fault`]). The default declines: backends whose
+    /// protocol cannot re-inject arbitrary sub-patterns (bitonic
+    /// sort-routing) return [`FaultError::Unsupported`] instead of
+    /// silently ignoring the plan.
+    fn route_with_faults(
+        &mut self,
+        req: &RouteRequest,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> Result<FaultReport, FaultError> {
+        let _ = (req, plan, policy);
+        Err(FaultError::Unsupported {
+            what: self.topology(),
+        })
+    }
 }
 
 /// Per-topology hooks the generic [`RoutingSession`] machinery is built
@@ -421,6 +447,24 @@ pub trait RouteBackend {
     /// override with one line delegating to [`ServeDriver::drive`].
     fn serve(&mut self, _eng: &mut AnyEngine, _driver: &mut ServeDriver) -> Option<ServeRun> {
         None
+    }
+
+    /// Can this backend honor [`FaultPlan`]s with deterministic
+    /// recovery? Requires packets to carry source-coordinate identity
+    /// and the protocol to accept arbitrary relation re-injections.
+    /// Backends whose schedule is fixed at injection time (bitonic
+    /// sort-routing) override to `false` and get a typed
+    /// [`FaultError::Unsupported`] instead of silent misbehavior.
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    /// The engine node at which a packet destined for coordinate
+    /// `dest` is delivered — where a node failure makes that
+    /// destination unreachable. Identity for flat topologies (node id
+    /// == coordinate); leveled networks deliver at the last column.
+    fn dest_node(&self, dest: usize) -> usize {
+        dest
     }
 }
 
@@ -549,6 +593,18 @@ impl<B: RouteBackend> RoutingSession<B> {
         self.engine.is_sharded()
     }
 
+    /// Nodes of the single-copy engine — valid node ids for
+    /// [`FaultPlan`]s are `0..num_nodes`.
+    pub fn num_nodes(&self) -> usize {
+        self.engine.num_nodes()
+    }
+
+    /// Links of the single-copy engine — valid link ids for
+    /// [`FaultPlan`]s are `0..num_links`.
+    pub fn num_links(&self) -> usize {
+        self.engine.num_links()
+    }
+
     /// Route an explicit destination map with intermediates drawn from
     /// an explicit `seq` (the low-level entry the seed-based
     /// [`Router::route`] wraps; `seq.child(1)` draws the intermediates).
@@ -653,6 +709,170 @@ impl<B: RouteBackend> Router for RoutingSession<B> {
             tenants,
             extras: self.backend.extras(),
         }
+    }
+
+    fn route_with_faults(
+        &mut self,
+        req: &RouteRequest,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> Result<FaultReport, FaultError> {
+        assert!(policy.max_attempts >= 1);
+        if !self.backend.supports_faults() {
+            return Err(FaultError::Unsupported {
+                what: self.backend.name(),
+            });
+        }
+        // Pin the workload exactly as `retry_route` does: random
+        // patterns materialize from `child(0)` of the base seed, so
+        // attempts only refresh the intermediates.
+        let sources = self.backend.sources();
+        let pattern = match &req.pattern {
+            RoutePattern::Permutation => RoutePattern::Dests(workloads::random_permutation(
+                sources,
+                &mut SeedSeq::new(req.seed).child(0).rng(),
+            )),
+            RoutePattern::Relation { h } => RoutePattern::RelationMap(workloads::h_relation(
+                sources,
+                *h,
+                &mut SeedSeq::new(req.seed).child(0).rng(),
+            )),
+            p => p.clone(),
+        };
+        // Attempt-0 identity by injection id: `inject_per_source`
+        // numbers single-per-source patterns by source and relations
+        // sequentially in (src asc, list order) — reproduce that
+        // numbering so drained packets map back to their identity.
+        let originals: Vec<LostPacket> = match pattern.as_ref() {
+            PatternRef::Dests(d) | PatternRef::Direct(d) => d
+                .iter()
+                .enumerate()
+                .map(|(src, &dest)| LostPacket {
+                    id: src as u32,
+                    src: src as u32,
+                    dest: dest as u32,
+                })
+                .collect(),
+            PatternRef::RelationMap(r) => {
+                let mut v = Vec::new();
+                for (src, dests) in r.iter().enumerate() {
+                    for &dest in dests {
+                        v.push(LostPacket {
+                            id: v.len() as u32,
+                            src: src as u32,
+                            dest: dest as u32,
+                        });
+                    }
+                }
+                v
+            }
+            _ => unreachable!("random patterns materialized above"),
+        };
+        let injected = originals.len();
+        // Destinations whose delivery node is down at the end of the
+        // plan can never complete: classified lost, never retried.
+        let dead = plan.dead_nodes();
+
+        let restore = self.max_steps;
+        let mut lost: Vec<LostPacket> = Vec::new();
+        let mut outstanding: Vec<LostPacket> = Vec::new();
+        let mut relation: Vec<Vec<usize>> = vec![Vec::new(); sources];
+        let mut slots: Vec<LostPacket> = Vec::new();
+        let mut total_steps = 0u64;
+        let mut attempts = 0usize;
+        let mut first: Option<RunReport> = None;
+        let mut delivered_first = 0usize;
+        let mut recovered = 0usize;
+
+        loop {
+            self.engine.reset();
+            // The plan replays from step 0 on every attempt — the
+            // lemma's model: fresh randomness, same adversity.
+            if let Err(e) = self.engine.set_fault_plan(plan) {
+                self.engine.set_max_steps(restore);
+                return Err(e);
+            }
+            self.engine.set_max_steps(policy.attempt_budget);
+            let seq = SeedSeq::new(req.seed.wrapping_add(attempts as u64));
+            let count = if attempts == 0 {
+                self.backend
+                    .inject(&mut self.engine, 0, pattern.as_ref(), seq, req.tenant)
+            } else {
+                // Survivors as an explicit relation map, grouped by
+                // source ascending so the attempt's sequential ids
+                // index `slots` directly.
+                outstanding.sort_unstable_by_key(|p| (p.src, p.id));
+                slots.clear();
+                slots.extend(outstanding.iter().copied());
+                for v in &mut relation {
+                    v.clear();
+                }
+                for p in &outstanding {
+                    relation[p.src as usize].push(p.dest as usize);
+                }
+                self.backend.inject(
+                    &mut self.engine,
+                    0,
+                    PatternRef::RelationMap(&relation),
+                    seq,
+                    req.tenant,
+                )
+            };
+            let (out, _) = self.backend.run(&mut self.engine, 1, 0);
+            attempts += 1;
+            if out.completed {
+                total_steps += u64::from(out.metrics.routing_time);
+            } else {
+                total_steps += 2 * u64::from(policy.attempt_budget);
+            }
+            let drained = if out.completed {
+                Vec::new()
+            } else {
+                self.engine.drain_all()
+            };
+            let delivered_now = count - drained.len();
+            if attempts == 1 {
+                delivered_first = delivered_now;
+                first = Some(RunReport {
+                    metrics: out.metrics,
+                    completed: out.completed,
+                    packets: count,
+                    extras: self.backend.extras(),
+                });
+            } else {
+                recovered += delivered_now;
+            }
+            // Map this attempt's injection ids back to attempt-0
+            // identity and classify survivable vs dead.
+            let current: &[LostPacket] = if attempts == 1 { &originals } else { &slots };
+            outstanding.clear();
+            for pkt in &drained {
+                let orig = current[pkt.id as usize];
+                let node = self.backend.dest_node(orig.dest as usize);
+                if dead.binary_search(&node).is_ok() {
+                    lost.push(orig);
+                } else {
+                    outstanding.push(orig);
+                }
+            }
+            if outstanding.is_empty() || attempts >= policy.max_attempts {
+                break;
+            }
+        }
+        self.engine.set_max_steps(restore);
+        lost.sort_unstable_by_key(|p| p.id);
+        let stranded = outstanding.len();
+        Ok(FaultReport {
+            injected,
+            delivered_first,
+            recovered,
+            lost,
+            stranded,
+            attempts,
+            completed: stranded == 0,
+            total_steps,
+            first: first.expect("at least one attempt ran"),
+        })
     }
 
     fn set_max_steps(&mut self, max_steps: u32) {

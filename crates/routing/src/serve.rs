@@ -52,7 +52,11 @@ use crate::router::{ReplicatedProtocol, RouteBackend, RouteRequest, RunExtras};
 use lnpram_math::rng::{splitmix64, SeedSeq};
 use lnpram_math::stats::Histogram;
 use lnpram_shard::AnyEngine;
-use lnpram_simnet::{Metrics, Outbox, Packet, Protocol, SimConfig, TagDemux, TagMetrics};
+use lnpram_simnet::fault::FaultError;
+use lnpram_simnet::Fault as SimFault;
+use lnpram_simnet::{
+    FaultEvent, FaultPlan, Metrics, Outbox, Packet, Protocol, SimConfig, TagDemux, TagMetrics,
+};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -122,6 +126,19 @@ pub enum ServeError {
         /// The backend's topology name.
         topology: String,
     },
+    /// The request's tenant had left the service (an
+    /// [`AdmissionEntry::TenantLeave`] without a later rejoin) when the
+    /// request arrived.
+    TenantInactive {
+        /// The inactive tenant.
+        tenant: u64,
+        /// Global step of the refused arrival.
+        step: u32,
+    },
+    /// The trace's fault entries could not be installed on the engine
+    /// (out-of-range link/node id, zero degrade period, or a backend
+    /// that cannot honor fault plans).
+    Fault(FaultError),
 }
 
 impl fmt::Display for ServeError {
@@ -139,20 +156,95 @@ impl fmt::Display for ServeError {
             ServeError::Unsupported { topology } => {
                 write!(f, "{topology} does not support streaming admission")
             }
+            ServeError::TenantInactive { tenant, step } => {
+                write!(f, "tenant {tenant} was inactive at step {step}")
+            }
+            ServeError::Fault(err) => write!(f, "fault plan rejected: {err}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// One admission-trace entry: `req` arrives at global step `step`.
-/// Traces must be sorted by non-decreasing step.
+/// One admission-trace entry. Traces must be sorted by non-decreasing
+/// [`AdmissionEntry::step`]; same-step entries apply in trace order.
+///
+/// Beyond request arrivals, a trace scripts **tenant churn** (join /
+/// leave) and **mid-trace faults** — the elasticity surface: tenants
+/// come and go and links fail while the engine keeps stepping, and the
+/// fixed-trace ⇒ bit-identical-schedule contract covers all of it.
 #[derive(Debug, Clone)]
-pub struct AdmissionEntry {
-    /// Global step at which the request arrives at the service.
-    pub step: u32,
-    /// The request itself (pattern, seed, tenant label).
-    pub req: RouteRequest,
+pub enum AdmissionEntry {
+    /// `req` arrives at global step `step`.
+    Request {
+        /// Global step at which the request arrives at the service.
+        step: u32,
+        /// The request itself (pattern, seed, tenant label).
+        req: RouteRequest,
+    },
+    /// Tenant `tenant` (re)joins at `step`: its arrivals are admissible
+    /// from this step on. Tenants are active by default — a join is
+    /// only needed after a [`AdmissionEntry::TenantLeave`].
+    TenantJoin {
+        /// Step from which the tenant's arrivals are admissible again.
+        step: u32,
+        /// The tenant label.
+        tenant: u64,
+    },
+    /// Tenant `tenant` leaves at `step`: arrivals from it at or after
+    /// this step are rejected with [`ServeError::TenantInactive`].
+    /// Packets the tenant already has in flight (or waiting in the
+    /// admission buffer) are **still delivered** — leaving stops new
+    /// work, it never drops admitted work.
+    TenantLeave {
+        /// First step whose arrivals from this tenant are refused.
+        step: u32,
+        /// The tenant label.
+        tenant: u64,
+    },
+    /// Inject `fault` at `step` (it gates the transmit phase of that
+    /// step onwards). All fault entries of a trace form one
+    /// [`FaultPlan`](lnpram_simnet::FaultPlan) installed on the engine
+    /// for the run; an engine that cannot honor it yields a typed
+    /// [`ServeError::Fault`].
+    Fault {
+        /// First step whose transmit phase observes the fault.
+        step: u32,
+        /// The link/node failure or repair.
+        fault: SimFault,
+    },
+}
+
+impl AdmissionEntry {
+    /// A request arrival (the plain pre-elasticity trace entry).
+    pub fn request(step: u32, req: RouteRequest) -> Self {
+        AdmissionEntry::Request { step, req }
+    }
+
+    /// A tenant join.
+    pub fn join(step: u32, tenant: u64) -> Self {
+        AdmissionEntry::TenantJoin { step, tenant }
+    }
+
+    /// A tenant leave.
+    pub fn leave(step: u32, tenant: u64) -> Self {
+        AdmissionEntry::TenantLeave { step, tenant }
+    }
+
+    /// A mid-trace fault injection.
+    pub fn fault(step: u32, fault: SimFault) -> Self {
+        AdmissionEntry::Fault { step, fault }
+    }
+
+    /// The global step this entry takes effect at.
+    pub fn step(&self) -> u32 {
+        match self {
+            AdmissionEntry::Request { step, .. }
+            | AdmissionEntry::TenantJoin { step, .. }
+            | AdmissionEntry::TenantLeave { step, .. }
+            | AdmissionEntry::Fault { step, .. } => *step,
+        }
+    }
 }
 
 /// How one served request ended.
@@ -408,11 +500,11 @@ impl OpenLoopWorkload {
                 relation[src].push(dest);
             }
             let req_seed = splitmix64(&mut state);
-            entries.push(AdmissionEntry {
-                step: j as u32 * self.interval,
-                req: RouteRequest::relation_map(relation, req_seed)
+            entries.push(AdmissionEntry::request(
+                j as u32 * self.interval,
+                RouteRequest::relation_map(relation, req_seed)
                     .with_tenant(j as u64 % self.tenants.max(1)),
-            });
+            ));
         }
         entries
     }
@@ -421,8 +513,22 @@ impl OpenLoopWorkload {
 /// One materialized request waiting for admission.
 struct QueuedRequest {
     slot: usize,
+    tenant: u64,
     arrival: u32,
     packets: Vec<(usize, Packet)>,
+}
+
+/// One step-boundary trace operation, kept in trace order (request
+/// arrivals interleaved with tenant churn at the same granularity the
+/// trace scripts them).
+enum TraceOp {
+    /// Process the arrival of `queue[i]` (tenant-activity check, then
+    /// the overload policy).
+    Arrive(usize),
+    /// Reactivate a tenant.
+    Join(u64),
+    /// Deactivate a tenant.
+    Leave(u64),
 }
 
 /// Raw output of one driven serve loop, before the session assembles
@@ -444,10 +550,18 @@ pub struct ServeRun {
 /// driver replays the engine's step loop with streaming admission.
 pub struct ServeDriver {
     cfg: ServeConfig,
-    /// All requests in trace order (arrival steps non-decreasing).
+    /// All materialized requests, slot order.
     queue: Vec<QueuedRequest>,
-    /// Next trace index not yet moved into the admission buffer.
+    /// Arrivals and tenant churn in trace order (steps non-decreasing).
+    ops: Vec<(u32, TraceOp)>,
+    /// Next op not yet processed.
     next: usize,
+    /// Arrivals not yet processed (trailing churn ops never extend the
+    /// run on their own).
+    remaining_arrivals: usize,
+    /// Tenants currently inactive (left and not rejoined). Tenants are
+    /// active by default.
+    inactive: Vec<u64>,
     /// FIFO admission buffer of indices into `queue`.
     buffer: VecDeque<usize>,
     /// Per-slot admission step (`None` until admitted).
@@ -459,12 +573,19 @@ pub struct ServeDriver {
 }
 
 impl ServeDriver {
-    fn new(cfg: ServeConfig, queue: Vec<QueuedRequest>) -> Self {
+    fn new(cfg: ServeConfig, queue: Vec<QueuedRequest>, ops: Vec<(u32, TraceOp)>) -> Self {
         let slots = queue.len();
+        let remaining_arrivals = ops
+            .iter()
+            .filter(|(_, op)| matches!(op, TraceOp::Arrive(_)))
+            .count();
         ServeDriver {
             cfg,
             queue,
+            ops,
             next: 0,
+            remaining_arrivals,
+            inactive: Vec::new(),
             buffer: VecDeque::new(),
             admitted_at: vec![None; slots],
             rejected_at: vec![None; slots],
@@ -476,27 +597,47 @@ impl ServeDriver {
     /// Requests not yet admitted or rejected (buffered or still in the
     /// future of the trace).
     fn outstanding(&self) -> bool {
-        self.next < self.queue.len() || !self.buffer.is_empty()
+        self.remaining_arrivals > 0 || !self.buffer.is_empty()
     }
 
-    /// Step-boundary admission: move due arrivals into the buffer
-    /// (applying the overload policy), then admit from the buffer head
-    /// while the watermarks allow. Runs after the step's arrivals are
-    /// processed, so the watermark reads see the settled engine state —
-    /// identical across serial and sharded engines.
+    /// Step-boundary admission: process due trace ops in order —
+    /// tenant churn takes effect, arrivals from inactive tenants are
+    /// refused, the rest enter the buffer under the overload policy —
+    /// then admit from the buffer head while the watermarks allow.
+    /// Runs after the step's arrivals are processed, so the watermark
+    /// reads see the settled engine state — identical across serial
+    /// and sharded engines.
     fn admit_due(&mut self, eng: &mut AnyEngine, step: u32) {
-        while self.next < self.queue.len() && self.queue[self.next].arrival <= step {
-            if self.cfg.policy == OverloadPolicy::Reject
-                && self.buffer.len() >= self.cfg.admission_capacity
-            {
-                let slot = self.queue[self.next].slot;
-                self.rejected_at[slot] = Some(ServeError::Overloaded {
-                    step,
-                    backlog: self.buffer.len(),
-                    capacity: self.cfg.admission_capacity,
-                });
-            } else {
-                self.buffer.push_back(self.next);
+        while self.next < self.ops.len() && self.ops[self.next].0 <= step {
+            match self.ops[self.next].1 {
+                TraceOp::Join(t) => self.inactive.retain(|&x| x != t),
+                TraceOp::Leave(t) => {
+                    if !self.inactive.contains(&t) {
+                        self.inactive.push(t);
+                    }
+                }
+                TraceOp::Arrive(qi) => {
+                    self.remaining_arrivals -= 1;
+                    let req = &self.queue[qi];
+                    if self.inactive.contains(&req.tenant) {
+                        self.rejected_at[req.slot] = Some(ServeError::TenantInactive {
+                            tenant: req.tenant,
+                            step,
+                        });
+                    } else if self.cfg.policy == OverloadPolicy::Reject
+                        && self.buffer.len() >= self.cfg.admission_capacity
+                    {
+                        self.rejected_at[req.slot] = Some(ServeError::Overloaded {
+                            step,
+                            backlog: self.buffer.len(),
+                            capacity: self.cfg.admission_capacity,
+                        });
+                    } else {
+                        // Once buffered, the request is owed service:
+                        // a later leave stops new arrivals only.
+                        self.buffer.push_back(qi);
+                    }
+                }
             }
             self.next += 1;
         }
@@ -641,12 +782,24 @@ impl<B: RouteBackend> ServeSession<B> {
     pub fn in_flight(&self) -> usize {
         self.engine.in_flight()
     }
+
+    /// Nodes of the served engine — valid node ids for
+    /// [`AdmissionEntry::Fault`] entries are `0..num_nodes`.
+    pub fn num_nodes(&self) -> usize {
+        self.engine.num_nodes()
+    }
+
+    /// Links of the served engine — valid link ids for
+    /// [`AdmissionEntry::Fault`] entries are `0..num_links`.
+    pub fn num_links(&self) -> usize {
+        self.engine.num_links()
+    }
 }
 
 impl<B: RouteBackend> Serve for ServeSession<B> {
     fn run_trace(&mut self, trace: &[AdmissionEntry]) -> Result<ServeReport, ServeError> {
         assert!(
-            trace.windows(2).all(|w| w[0].step <= w[1].step),
+            trace.windows(2).all(|w| w[0].step() <= w[1].step()),
             "admission trace must be sorted by non-decreasing step"
         );
         self.engine.reset();
@@ -655,24 +808,56 @@ impl<B: RouteBackend> Serve for ServeSession<B> {
         // is immediately taken back — so packets exist before the
         // protocol (which may borrow the backend) is constructed, and
         // admission later is a plain re-inject at the admission step.
-        let mut queue = Vec::with_capacity(trace.len());
-        for (slot, entry) in trace.iter().enumerate() {
-            let count = self.backend.inject(
-                &mut self.engine,
-                0,
-                entry.req.pattern.as_ref(),
-                SeedSeq::new(entry.req.seed),
-                slot as u64,
-            );
-            let packets = self.engine.take_pending();
-            debug_assert_eq!(packets.len(), count, "inject count mismatch");
-            queue.push(QueuedRequest {
-                slot,
-                arrival: entry.step,
-                packets,
-            });
+        // Churn entries become driver ops, fault entries one FaultPlan
+        // installed for the whole run.
+        let mut queue = Vec::new();
+        let mut ops = Vec::with_capacity(trace.len());
+        let mut fault_events = Vec::new();
+        for entry in trace {
+            match entry {
+                AdmissionEntry::Request { step, req } => {
+                    let slot = queue.len();
+                    let count = self.backend.inject(
+                        &mut self.engine,
+                        0,
+                        req.pattern.as_ref(),
+                        SeedSeq::new(req.seed),
+                        slot as u64,
+                    );
+                    let packets = self.engine.take_pending();
+                    debug_assert_eq!(packets.len(), count, "inject count mismatch");
+                    ops.push((*step, TraceOp::Arrive(slot)));
+                    queue.push(QueuedRequest {
+                        slot,
+                        tenant: req.tenant,
+                        arrival: *step,
+                        packets,
+                    });
+                }
+                AdmissionEntry::TenantJoin { step, tenant } => {
+                    ops.push((*step, TraceOp::Join(*tenant)));
+                }
+                AdmissionEntry::TenantLeave { step, tenant } => {
+                    ops.push((*step, TraceOp::Leave(*tenant)));
+                }
+                AdmissionEntry::Fault { step, fault } => {
+                    fault_events.push(FaultEvent {
+                        step: *step,
+                        fault: *fault,
+                    });
+                }
+            }
         }
-        let mut driver = ServeDriver::new(self.cfg.clone(), queue);
+        if !fault_events.is_empty() {
+            // The engine clock counts transmit phases since reset(),
+            // which in the serve loop is exactly the global step — a
+            // fault at trace step s gates the transmit of serve step s.
+            let plan = FaultPlan::new(fault_events);
+            self.engine
+                .set_fault_plan(&plan)
+                .map_err(ServeError::Fault)?;
+        }
+        let mut driver = ServeDriver::new(self.cfg.clone(), queue, ops);
         let run =
             self.backend
                 .serve(&mut self.engine, &mut driver)
@@ -702,8 +887,8 @@ impl<B: RouteBackend> Serve for ServeSession<B> {
                 };
                 RequestOutcome {
                     slot,
-                    tenant: trace[slot].req.tenant,
-                    arrival_step: trace[slot].step,
+                    tenant: driver.queue[slot].tenant,
+                    arrival_step: driver.queue[slot].arrival,
                     status,
                     packets: size,
                     injected,
@@ -768,10 +953,7 @@ mod tests {
         let mut serve = session(0, ServeConfig::default());
         let req = RouteRequest::permutation(42);
         let report = serve
-            .run_trace(&[AdmissionEntry {
-                step: 0,
-                req: req.clone(),
-            }])
+            .run_trace(&[AdmissionEntry::request(0, req.clone())])
             .expect("leveled serves");
         let sim = SimConfig::default();
         let mut router = crate::LeveledRoutingSession::with_backend(
@@ -796,14 +978,8 @@ mod tests {
         let late = 50u32;
         let report = serve
             .run_trace(&[
-                AdmissionEntry {
-                    step: 0,
-                    req: RouteRequest::permutation(1).with_tenant(0),
-                },
-                AdmissionEntry {
-                    step: late,
-                    req: RouteRequest::permutation(2).with_tenant(1),
-                },
+                AdmissionEntry::request(0, RouteRequest::permutation(1).with_tenant(0)),
+                AdmissionEntry::request(late, RouteRequest::permutation(2).with_tenant(1)),
             ])
             .expect("leveled serves");
         assert!(report.completed);
@@ -829,10 +1005,7 @@ mod tests {
         };
         let mut serve = session(0, cfg);
         let trace: Vec<AdmissionEntry> = (0..4)
-            .map(|i| AdmissionEntry {
-                step: 0,
-                req: RouteRequest::permutation(100 + i).with_tenant(i),
-            })
+            .map(|i| AdmissionEntry::request(0, RouteRequest::permutation(100 + i).with_tenant(i)))
             .collect();
         let report = serve.run_trace(&trace).expect("leveled serves");
         assert!(report.completed);
@@ -870,10 +1043,7 @@ mod tests {
         };
         let mut serve = session(0, cfg);
         let trace: Vec<AdmissionEntry> = (0..6)
-            .map(|i| AdmissionEntry {
-                step: 0,
-                req: RouteRequest::permutation(7 + i).with_tenant(i),
-            })
+            .map(|i| AdmissionEntry::request(0, RouteRequest::permutation(7 + i).with_tenant(i)))
             .collect();
         let report = serve.run_trace(&trace).expect("leveled serves");
         assert!(report.rejected > 0, "capacity 1 must refuse arrivals");
@@ -908,10 +1078,7 @@ mod tests {
             ServeConfig::default(),
         );
         let err = serve
-            .run_trace(&[AdmissionEntry {
-                step: 0,
-                req: RouteRequest::permutation(1),
-            }])
+            .run_trace(&[AdmissionEntry::request(0, RouteRequest::permutation(1))])
             .expect_err("bitonic cannot admit mid-run");
         assert!(matches!(err, ServeError::Unsupported { .. }));
     }
@@ -929,11 +1096,21 @@ mod tests {
         let t2 = wl.trace(64);
         assert_eq!(t1.len(), 12);
         for (a, b) in t1.iter().zip(&t2) {
-            assert_eq!(a.step, b.step);
-            assert_eq!(a.req, b.req);
+            let (
+                AdmissionEntry::Request { step: s1, req: r1 },
+                AdmissionEntry::Request { step: s2, req: r2 },
+            ) = (a, b)
+            else {
+                panic!("open-loop traces hold only request entries");
+            };
+            assert_eq!(s1, s2);
+            assert_eq!(r1, r2);
         }
-        assert_eq!(t1[5].step, 10);
-        assert_eq!(t1[5].req.tenant, 5 % 3);
+        assert_eq!(t1[5].step(), 10);
+        let AdmissionEntry::Request { req, .. } = &t1[5] else {
+            unreachable!()
+        };
+        assert_eq!(req.tenant, 5 % 3);
 
         let mut serve = session(0, ServeConfig::default());
         let report = serve.run_open_loop(&wl).expect("leveled serves");

@@ -54,10 +54,7 @@ fn trace(n: usize, gap: u32, base_seed: u64, tenants: u64) -> Vec<AdmissionEntry
             } else {
                 RouteRequest::permutation(seed)
             };
-            AdmissionEntry {
-                step,
-                req: req.with_tenant(j as u64 % tenants),
-            }
+            AdmissionEntry::request(step, req.with_tenant(j as u64 % tenants))
         })
         .collect()
 }
@@ -135,9 +132,11 @@ proptest! {
         };
         // All requests at step 0: maximal contention for admission.
         let t: Vec<AdmissionEntry> = (0..4u64)
-            .map(|i| AdmissionEntry {
-                step: 0,
-                req: RouteRequest::permutation(base_seed.wrapping_add(i)).with_tenant(i),
+            .map(|i| {
+                AdmissionEntry::request(
+                    0,
+                    RouteRequest::permutation(base_seed.wrapping_add(i)).with_tenant(i),
+                )
             })
             .collect();
         let reference = make(topo, 0, cfg.clone())
@@ -171,10 +170,7 @@ fn budget_exhausted_serve_keeps_admitted_packets() {
         ..ServeConfig::default()
     };
     let mut serve = ServeSession::new(LeveledBackend::new(RadixButterfly::new(2, 4)), &sim, cfg);
-    let t = vec![AdmissionEntry {
-        step: 0,
-        req: RouteRequest::permutation(5),
-    }];
+    let t = vec![AdmissionEntry::request(0, RouteRequest::permutation(5))];
     let report = serve.run_trace(&t).expect("leveled serves");
     assert!(!report.completed);
     assert!(report.metrics.delivered < report.packets);

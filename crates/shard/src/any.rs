@@ -9,6 +9,7 @@
 
 use crate::partition::{GreedyEdgeCut, Partitioner};
 use crate::ShardedEngine;
+use lnpram_simnet::fault::{FaultError, FaultPlan};
 use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig};
 use lnpram_topology::Network;
 
@@ -66,6 +67,42 @@ impl AnyEngine {
         match self {
             AnyEngine::Serial(e) => e.set_max_steps(max_steps),
             AnyEngine::Sharded(e) => e.set_max_steps(max_steps),
+        }
+    }
+
+    /// See [`Engine::set_fault_plan`] — identical semantics on both
+    /// variants (the sharded coordinator forwards per-link updates to
+    /// the owning shards), so faulted runs stay bit-identical across
+    /// serial and sharded stepping. Cleared by [`AnyEngine::reset`].
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), FaultError> {
+        match self {
+            AnyEngine::Serial(e) => e.set_fault_plan(plan),
+            AnyEngine::Sharded(e) => e.set_fault_plan(plan),
+        }
+    }
+
+    /// See [`Engine::block_link`].
+    pub fn block_link(&mut self, node: usize, port: usize) {
+        match self {
+            AnyEngine::Serial(e) => e.block_link(node, port),
+            AnyEngine::Sharded(e) => e.block_link(node, port),
+        }
+    }
+
+    /// See [`Engine::num_nodes`].
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            AnyEngine::Serial(e) => e.num_nodes(),
+            AnyEngine::Sharded(e) => e.num_nodes(),
+        }
+    }
+
+    /// See [`Engine::num_links`] — valid global link ids for fault
+    /// plans are `0..num_links`.
+    pub fn num_links(&self) -> usize {
+        match self {
+            AnyEngine::Serial(e) => e.num_links(),
+            AnyEngine::Sharded(e) => e.num_links(),
         }
     }
 

@@ -51,6 +51,7 @@
 //! sharding wins and loses.
 
 use crate::partition::{Partitioner, ShardPlan};
+use lnpram_simnet::fault::{FaultError, FaultPlan, FaultSchedule};
 use lnpram_simnet::worker::WorkerPool;
 use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig};
 use lnpram_topology::Network;
@@ -140,6 +141,23 @@ pub struct ShardedEngine {
     /// Global link id → global head node (the coordinator's view of the
     /// whole CSR, used to group merged arrivals by destination).
     link_head: Vec<u32>,
+    /// Global CSR offsets (links of node `v` are
+    /// `link_offset[v] .. link_offset[v+1]`) — with `link_head` this is
+    /// the full global CSR, so fault schedules validate and bind here
+    /// exactly as they do on a serial [`Engine`].
+    link_offset: Vec<u32>,
+    /// Global link id → packed owner (shard id in the top 4 bits, local
+    /// link id in the low 28). Built lazily on the first fault-surface
+    /// call; empty until then.
+    link_owner: Vec<u32>,
+    /// Installed fault schedule over the **global** CSR; per-link
+    /// blocked updates are forwarded to the owning shard at the start
+    /// of each transmit phase, so every shard observes the same link
+    /// state a serial engine would. Cleared by reset.
+    faults: Option<Box<FaultSchedule>>,
+    /// Global transmit phases since the last reset (the step the fault
+    /// schedule is keyed on, mirroring the serial engine's clock).
+    clock: u32,
     /// Per shard: local link id → global link id (strictly increasing).
     shard_link_global: Vec<Vec<u32>>,
     /// Per shard: local link id → global head node.
@@ -298,6 +316,10 @@ impl ShardedEngine {
             num_links,
             node_owner,
             link_head,
+            link_offset,
+            link_owner: Vec::new(),
+            faults: None,
+            clock: 0,
             shard_link_global,
             shard_link_head,
             ordered,
@@ -326,6 +348,73 @@ impl ShardedEngine {
         self.num_nodes
     }
 
+    /// Total number of directed links, in **global** link-id order
+    /// (mirrors [`Engine::num_links`]).
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Build the global-link → (shard, local link) inverse of
+    /// `shard_link_global` on first use. Every link is owned by exactly
+    /// one shard (the shard of its tail node), so the map is total.
+    fn ensure_link_owner(&mut self) {
+        if !self.link_owner.is_empty() || self.num_links == 0 {
+            return;
+        }
+        let mut owner = vec![NIL; self.num_links];
+        for (s, globals) in self.shard_link_global.iter().enumerate() {
+            for (local, &global) in globals.iter().enumerate() {
+                owner[global as usize] = ((s as u32) << COORD_BITS) | local as u32;
+            }
+        }
+        self.link_owner = owner;
+    }
+
+    /// Forward a blocked-state update for a global link to the shard
+    /// engine that owns it. `link_owner` must be built.
+    fn apply_link_blocked(
+        link_owner: &[u32],
+        shards: &mut [Mutex<Shard>],
+        link: usize,
+        blocked: bool,
+    ) {
+        let packed = link_owner[link];
+        let s = (packed >> COORD_BITS) as usize;
+        let local = (packed & COORD_MASK) as usize;
+        shards[s]
+            .get_mut()
+            .expect("shard mutex")
+            .engine
+            .set_link_blocked(local, blocked);
+    }
+
+    /// Mark the link `(node, port)` as failed: packets queue on it but
+    /// never traverse — the sharded mirror of [`Engine::block_link`]
+    /// (the update lands on whichever shard owns the link).
+    pub fn block_link(&mut self, node: usize, port: usize) {
+        let link = self.link_offset[node] as usize + port;
+        assert!(
+            link < self.link_offset[node + 1] as usize,
+            "block_link on invalid port {port} of node {node}"
+        );
+        self.ensure_link_owner();
+        Self::apply_link_blocked(&self.link_owner, &mut self.shards, link, true);
+    }
+
+    /// Install a deterministic fault schedule, validated against the
+    /// **global** topology — the sharded mirror of
+    /// [`Engine::set_fault_plan`]. The schedule is advanced by the
+    /// coordinator at the start of every global transmit phase and its
+    /// per-link updates are forwarded to the owning shards, so for any
+    /// plan the sharded run observes exactly the link state of the
+    /// serial run at every step. `reset` clears the plan.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), FaultError> {
+        let sched = FaultSchedule::build(plan, &self.link_offset, &self.link_head)?;
+        self.ensure_link_owner();
+        self.faults = Some(Box::new(sched));
+        Ok(())
+    }
+
     /// Override the global step budget (mirrors [`Engine::set_max_steps`]).
     pub fn set_max_steps(&mut self, max_steps: u32) {
         self.cfg.max_steps = max_steps;
@@ -347,6 +436,8 @@ impl ShardedEngine {
         self.pending.clear();
         self.in_flight = 0;
         self.metrics = Metrics::default();
+        self.faults = None;
+        self.clock = 0;
     }
 
     /// Schedule `pkt` for injection at `node` before the first step.
@@ -448,6 +539,20 @@ impl ShardedEngine {
     /// [`Engine::step_transmit`]; arrivals are consumed by
     /// [`ShardedEngine::process_arrivals`].
     pub fn step_transmit(&mut self) {
+        self.clock += 1;
+        if self.faults.is_some() {
+            let Self {
+                faults,
+                link_owner,
+                shards,
+                clock,
+                ..
+            } = self;
+            let sched = faults.as_mut().expect("checked above");
+            sched.advance(*clock, |link, blocked| {
+                Self::apply_link_blocked(link_owner, shards, link, blocked);
+            });
+        }
         self.transmit_all();
         if !self.ordered {
             self.merge_mailboxes();

@@ -175,6 +175,106 @@ mod tests {
         fingerprint(out.completed, &out.metrics)
     }
 
+    /// Serial run under a fault plan: fingerprint plus the stranded
+    /// packets in drain order (both must match the sharded run).
+    fn run_serial_faulted<N, P>(
+        net: &N,
+        cfg: SimConfig,
+        plan: &lnpram_simnet::FaultPlan,
+        inject: &[(usize, Packet)],
+        proto: &mut P,
+    ) -> (Fingerprint, Vec<Packet>)
+    where
+        N: Network + ?Sized,
+        P: Protocol,
+    {
+        let mut eng = Engine::new(net, cfg);
+        eng.set_fault_plan(plan).expect("valid plan");
+        for &(node, pkt) in inject {
+            eng.inject(node, pkt);
+        }
+        let out = eng.run(proto);
+        let stranded = eng.drain_all();
+        (fingerprint(out.completed, &out.metrics), stranded)
+    }
+
+    /// Sharded counterpart of [`run_serial_faulted`].
+    fn run_sharded_faulted<N, P, Q>(
+        net: &N,
+        cfg: SimConfig,
+        part: &Q,
+        plan: &lnpram_simnet::FaultPlan,
+        inject: &[(usize, Packet)],
+        proto: &mut P,
+    ) -> (Fingerprint, Vec<Packet>)
+    where
+        N: Network + ?Sized,
+        P: Protocol,
+        Q: Partitioner,
+    {
+        let mut eng = ShardedEngine::new(net, cfg, part);
+        eng.set_fault_plan(plan).expect("valid plan");
+        for &(node, pkt) in inject {
+            eng.inject(node, pkt);
+        }
+        let out = eng.run(proto);
+        let stranded = eng.drain_all();
+        (fingerprint(out.completed, &out.metrics), stranded)
+    }
+
+    /// Deterministic random fault plan over a network with `nodes`
+    /// nodes and `links` links: a few link fail/recover pairs, a
+    /// degrade, and possibly a node failure, all within `horizon`.
+    fn random_fault_plan(
+        state: &mut u64,
+        nodes: usize,
+        links: usize,
+        horizon: u32,
+    ) -> lnpram_simnet::FaultPlan {
+        use lnpram_simnet::{Fault, FaultEvent};
+        let mut events = Vec::new();
+        let link_faults = (splitmix64(state) % 4) as usize;
+        for _ in 0..link_faults {
+            let link = (splitmix64(state) as usize) % links;
+            let at = 1 + (splitmix64(state) as u32) % horizon;
+            events.push(FaultEvent {
+                step: at,
+                fault: Fault::LinkFail { link },
+            });
+            if splitmix64(state).is_multiple_of(2) {
+                events.push(FaultEvent {
+                    step: at + 1 + (splitmix64(state) as u32) % horizon,
+                    fault: Fault::LinkRecover { link },
+                });
+            }
+        }
+        if splitmix64(state).is_multiple_of(2) {
+            let link = (splitmix64(state) as usize) % links;
+            events.push(FaultEvent {
+                step: 1 + (splitmix64(state) as u32) % horizon,
+                fault: Fault::LinkDegrade {
+                    link,
+                    period: 2 + (splitmix64(state) % 3) as u32,
+                },
+            });
+        }
+        if splitmix64(state).is_multiple_of(3) {
+            let node = (splitmix64(state) as usize) % nodes;
+            let at = 1 + (splitmix64(state) as u32) % horizon;
+            events.push(FaultEvent {
+                step: at,
+                fault: Fault::NodeFail { node },
+            });
+            if splitmix64(state).is_multiple_of(2) {
+                events.push(FaultEvent {
+                    step: at + 1 + (splitmix64(state) as u32) % horizon,
+                    fault: Fault::NodeRecover { node },
+                });
+            }
+        }
+        lnpram_simnet::FaultPlan::new(events)
+    }
+
     #[test]
     fn sharded_equals_serial_on_mesh_all_k() {
         let mesh = Mesh::new(6, 7);
@@ -598,6 +698,47 @@ mod tests {
                         &mut GreedyMesh { mesh },
                     );
                     prop_assert_eq!(&serial, &sharded, "K={}", k);
+                }
+            }
+
+            /// The fault-subsystem pin: for ANY random `FaultPlan` —
+            /// link fail/degrade/recover, node failures, recoveries —
+            /// sharded(K) == serial at K ∈ {1,2,4,7}: identical
+            /// fingerprint (even when the run aborts incomplete with
+            /// stranded packets) and identical drain order.
+            #[test]
+            fn prop_sharded_equals_serial_under_fault_plans(
+                seed: u64,
+                rows in 2usize..7,
+                cols in 2usize..7,
+            ) {
+                let mesh = Mesh::new(rows, cols);
+                let n = mesh.num_nodes();
+                let mut state = seed;
+                let inject: Vec<(usize, Packet)> = (0..n)
+                    .map(|src| {
+                        let dest = (splitmix64(&mut state) as usize) % n;
+                        (src, Packet::new(src as u32, src as u32, dest as u32))
+                    })
+                    .collect();
+                let links = Engine::new(&mesh, cfg_serial()).num_links();
+                let plan = random_fault_plan(&mut state, n, links, 12);
+                // Permanent faults can strand packets: bound the run so
+                // the incomplete outcome itself is part of the pin.
+                let bounded = |cfg: SimConfig| SimConfig { max_steps: 200, ..cfg };
+                let serial = run_serial_faulted(
+                    &mesh, bounded(cfg_serial()), &plan, &inject, &mut GreedyMesh { mesh });
+                for k in [1usize, 2, 4, 7] {
+                    let sharded = run_sharded_faulted(
+                        &mesh,
+                        bounded(cfg_sharded(k)),
+                        &RowBlock::new(mesh.cols()),
+                        &plan,
+                        &inject,
+                        &mut GreedyMesh { mesh },
+                    );
+                    prop_assert_eq!(&serial.0, &sharded.0, "fingerprint K={}", k);
+                    prop_assert_eq!(&serial.1, &sharded.1, "drain order K={}", k);
                 }
             }
 

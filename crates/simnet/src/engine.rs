@@ -44,6 +44,7 @@
 //! sequence is bit-identical to the serial path (the determinism
 //! contract `prop_parallel_equals_serial` pins).
 
+use crate::fault::{FaultError, FaultPlan, FaultSchedule};
 use crate::metrics::Metrics;
 use crate::packet::Packet;
 use crate::protocol::{Outbox, Protocol};
@@ -133,6 +134,12 @@ pub struct Engine {
     /// Any link ever blocked since the last reset (skips the `blocked`
     /// wipe on reset for the common fault-free case).
     blocked_any: bool,
+    /// Installed fault schedule, advanced at the start of every
+    /// transmit phase; cleared by [`Engine::reset`].
+    faults: Option<Box<FaultSchedule>>,
+    /// Transmit phases since the last reset — the global step the fault
+    /// schedule is keyed on (transmit of step `s` runs at clock `s`).
+    clock: u32,
     /// Link ids with non-empty queues, ascending (deduplicated via
     /// `in_active`, order maintained incrementally).
     active: Vec<u32>,
@@ -195,6 +202,8 @@ impl Engine {
             pool: PacketPool::new(),
             blocked: vec![false; links],
             blocked_any: false,
+            faults: None,
+            clock: 0,
             active: Vec::new(),
             in_active: vec![false; links],
             dirty: Vec::new(),
@@ -238,6 +247,28 @@ impl Engine {
         self.blocked_any = true;
     }
 
+    /// Set the blocked state of a link by id. This is the raw knob the
+    /// sharded coordinator uses to forward fault-schedule updates onto
+    /// the shard that owns the link; [`Engine::block_link`] is the
+    /// `(node, port)` convenience over it.
+    pub fn set_link_blocked(&mut self, link: usize, blocked: bool) {
+        self.blocked[link] = blocked;
+        self.blocked_any |= blocked;
+    }
+
+    /// Install a deterministic fault schedule (validated against this
+    /// engine's topology). The schedule's events are applied at the
+    /// start of each transmit phase, keyed on the step count since the
+    /// last [`Engine::reset`]; `reset` clears the plan, so a recycled
+    /// engine always starts fault-free.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), FaultError> {
+        let sched = FaultSchedule::build(plan, &self.link_offset, &self.link_target)?;
+        self.faults = Some(Box::new(sched));
+        // Whatever the schedule blocks must be wiped on reset.
+        self.blocked_any = true;
+        Ok(())
+    }
+
     /// Override the step budget (emulators vary it per phase/attempt
     /// while reusing one engine).
     pub fn set_max_steps(&mut self, max_steps: u32) {
@@ -268,6 +299,8 @@ impl Engine {
         self.pending.clear();
         self.sorted_len = 0;
         self.metrics = Metrics::default();
+        self.faults = None;
+        self.clock = 0;
     }
 
     /// Schedule `pkt` for injection at `node` before the first step.
@@ -456,6 +489,11 @@ impl Engine {
     /// extracted packets are readable via [`Engine::arrivals`] until the
     /// next transmit; the in-flight count is decremented here.
     pub fn step_transmit(&mut self) {
+        self.clock += 1;
+        if let Some(faults) = &mut self.faults {
+            let blocked = &mut self.blocked;
+            faults.advance(self.clock, |l, b| blocked[l] = b);
+        }
         self.arrivals.clear();
         let use_parallel = self.cfg.threads > 1 && self.active.len() >= self.cfg.parallel_threshold;
         if use_parallel {
@@ -831,6 +869,124 @@ mod tests {
         let out = eng.run(&mut GreedyMesh { mesh });
         assert!(!out.completed);
         assert_eq!(out.metrics.delivered, 0);
+    }
+
+    #[test]
+    fn fault_plan_delays_then_delivers() {
+        use crate::fault::{Fault, FaultEvent, FaultPlan};
+        let mesh = Mesh::linear(3);
+        let mut eng = Engine::new(&mesh, SimConfig::default());
+        let port = mesh
+            .port_of_dir(0, lnpram_topology::mesh::Dir::East)
+            .unwrap();
+        let link = eng.link_id(0, port);
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                step: 1,
+                fault: Fault::LinkFail { link },
+            },
+            FaultEvent {
+                step: 5,
+                fault: Fault::LinkRecover { link },
+            },
+        ]);
+        eng.set_fault_plan(&plan).unwrap();
+        eng.inject(0, Packet::new(0, 0, 2));
+        let out = eng.run(&mut GreedyMesh { mesh });
+        assert!(out.completed);
+        assert_eq!(out.metrics.delivered, 1);
+        // Link 0->1 is down for transmits 1..=4: first hop lands at step
+        // 5, second at step 6 (2 steps unfaulted).
+        assert_eq!(out.metrics.routing_time, 6);
+    }
+
+    #[test]
+    fn fault_plan_node_fail_makes_destination_unreachable() {
+        use crate::fault::{Fault, FaultEvent, FaultPlan};
+        let mesh = Mesh::linear(3);
+        let mut eng = Engine::new(
+            &mesh,
+            SimConfig {
+                max_steps: 20,
+                ..Default::default()
+            },
+        );
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 1,
+            fault: Fault::NodeFail { node: 2 },
+        }]);
+        assert_eq!(plan.dead_nodes(), vec![2]);
+        eng.set_fault_plan(&plan).unwrap();
+        eng.inject(0, Packet::new(0, 0, 2));
+        let out = eng.run(&mut GreedyMesh { mesh });
+        assert!(!out.completed);
+        assert_eq!(out.metrics.delivered, 0);
+        let stranded = eng.drain_all();
+        assert_eq!(stranded.len(), 1);
+        assert_eq!(stranded[0].dest, 2);
+    }
+
+    #[test]
+    fn degraded_link_runs_at_duty_cycle() {
+        use crate::fault::{Fault, FaultEvent, FaultPlan};
+        let mesh = Mesh::linear(3);
+        let run = |period: Option<u32>| {
+            let mut eng = Engine::new(&mesh, SimConfig::default());
+            if let Some(period) = period {
+                let port = mesh
+                    .port_of_dir(0, lnpram_topology::mesh::Dir::East)
+                    .unwrap();
+                let link = eng.link_id(0, port);
+                let plan = FaultPlan::new(vec![FaultEvent {
+                    step: 1,
+                    fault: Fault::LinkDegrade { link, period },
+                }]);
+                eng.set_fault_plan(&plan).unwrap();
+            }
+            for i in 0..4u32 {
+                eng.inject(0, Packet::new(i, 0, 2));
+            }
+            let out = eng.run(&mut GreedyMesh { mesh });
+            assert!(out.completed);
+            assert_eq!(out.metrics.delivered, 4);
+            out.metrics.routing_time
+        };
+        // 4 packets share link 0->1: last arrives at node 1 at step 4,
+        // delivers at 5. At period 2 the link fires on steps 2,4,6,8
+        // only, so the last delivery slips to step 9.
+        assert_eq!(run(None), 5);
+        assert_eq!(run(Some(2)), 9);
+    }
+
+    #[test]
+    fn reset_clears_fault_plan() {
+        use crate::fault::{Fault, FaultEvent, FaultPlan};
+        let mesh = Mesh::linear(3);
+        let mut eng = Engine::new(
+            &mesh,
+            SimConfig {
+                max_steps: 10,
+                ..Default::default()
+            },
+        );
+        let port = mesh
+            .port_of_dir(0, lnpram_topology::mesh::Dir::East)
+            .unwrap();
+        let link = eng.link_id(0, port);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 1,
+            fault: Fault::LinkFail { link },
+        }]);
+        eng.set_fault_plan(&plan).unwrap();
+        eng.inject(0, Packet::new(0, 0, 2));
+        let out = eng.run(&mut GreedyMesh { mesh });
+        assert!(!out.completed, "permanent link fault strands the packet");
+
+        eng.reset();
+        eng.inject(0, Packet::new(0, 0, 2));
+        let out = eng.run(&mut GreedyMesh { mesh });
+        assert!(out.completed, "reset must clear the installed fault plan");
+        assert_eq!(out.metrics.routing_time, 2);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod demux;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod packet;
 pub mod protocol;
@@ -35,6 +36,7 @@ pub mod worker;
 
 pub use demux::{TagDemux, TagMetrics};
 pub use engine::{Engine, RunOutcome, SimConfig};
+pub use fault::{Fault, FaultError, FaultEvent, FaultPlan, FaultSchedule};
 pub use metrics::Metrics;
 pub use packet::Packet;
 pub use protocol::{Outbox, Protocol};

@@ -7,24 +7,25 @@
 //!
 //! 1. **Tight deadlines** — budget below the typical routing time, so
 //!    some attempts genuinely miss;
-//! 2. **Blocked links** — a mesh with failed links, routed with retries
-//!    around re-randomised stage-1 choices.
+//! 2. **Fault plans** — a scripted schedule of link and node failures
+//!    installed on the engine, with `route_with_faults` running the
+//!    deterministic recovery loop: survivors are re-routed with fresh
+//!    intermediates, packets whose destination died are reported as a
+//!    typed lost set.
 //!
 //! ```sh
 //! cargo run --example fault_injection
 //! ```
 
-use lnpram::math::rng::SeedSeq;
 use lnpram::routing::leveled::route_leveled_permutation;
 use lnpram::routing::retry::{route_with_retry, AttemptResult, RetryPolicy};
-use lnpram::routing::workloads;
-use lnpram::simnet::{Engine, Outbox, Packet, Protocol, SimConfig};
+use lnpram::routing::{LeveledRoutingSession, RouteBackend, RouteRequest, Router};
+use lnpram::simnet::{Fault, FaultEvent, FaultPlan, SimConfig};
 use lnpram::topology::leveled::RadixButterfly;
-use lnpram::topology::{Mesh, Network};
 
 fn main() {
     tight_deadline_retries();
-    blocked_link_mesh();
+    fault_plan_recovery();
 }
 
 /// Part 1: the leveled network under a deliberately tight deadline.
@@ -78,87 +79,64 @@ fn tight_deadline_retries() {
     );
 }
 
-/// Greedy dimension-order mesh router that detours around a blocked link
-/// by re-randomising through a random intermediate row.
-struct DetourRouter {
-    mesh: Mesh,
-}
-
-impl Protocol for DetourRouter {
-    fn on_packet(&mut self, node: usize, pkt: Packet, _step: u32, out: &mut Outbox) {
-        use lnpram::topology::mesh::Dir;
-        if node == pkt.dest as usize {
-            out.deliver(pkt);
-            return;
-        }
-        let (r, c) = self.mesh.coords(node);
-        let (dr, dc) = self.mesh.coords(pkt.dest as usize);
-        let dir = if r != dr {
-            if r < dr {
-                Dir::South
-            } else {
-                Dir::North
-            }
-        } else if c < dc {
-            Dir::East
-        } else {
-            Dir::West
-        };
-        let port = self.mesh.port_of_dir(node, dir).expect("interior move");
-        out.send(port, pkt);
-    }
-}
-
-/// Part 2: a mesh with a blocked link. Packets that would cross it are
-/// stranded; draining and re-injecting them from a different start row
-/// (fresh randomness) routes around the fault.
-fn blocked_link_mesh() {
-    let n = 8usize;
-    let mesh = Mesh::square(n);
-    let seq = SeedSeq::new(42);
-    let dests = workloads::random_permutation(mesh.num_nodes(), &mut seq.child(0).rng());
-
-    let mut eng = Engine::new(
-        &mesh,
-        SimConfig {
-            max_steps: 200,
-            ..Default::default()
+/// Part 2: a scripted failure plan — a transient link outage plus a
+/// permanently dead delivery node — routed with deterministic recovery.
+/// Survivable packets stranded by the faults are drained, re-injected
+/// with fresh random intermediates (the lemma's retry, per packet), and
+/// packets destined to the dead node come back as a typed lost set
+/// instead of being silently dropped or retried forever.
+fn fault_plan_recovery() {
+    let mut session = LeveledRoutingSession::new(RadixButterfly::new(2, 5), SimConfig::default());
+    // Row 3's delivery node dies at step 0; link 1 fails at step 2 and
+    // is repaired at step 9. The plan replays identically on every
+    // recovery attempt (same adversity, fresh routing randomness).
+    let dead_row = 3u32;
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            step: 0,
+            fault: Fault::NodeFail {
+                node: session.backend().dest_node(dead_row as usize),
+            },
         },
-    );
-    // Fail the southbound link out of (3, 4): column-first packets through
-    // column 4 pile up behind it.
-    let blocked_node = mesh.node_at(3, 4);
-    let port = mesh
-        .port_of_dir(blocked_node, lnpram::topology::mesh::Dir::South)
-        .expect("interior link");
-    eng.block_link(blocked_node, port);
+        FaultEvent {
+            step: 2,
+            fault: Fault::LinkFail { link: 1 },
+        },
+        FaultEvent {
+            step: 9,
+            fault: Fault::LinkRecover { link: 1 },
+        },
+    ]);
+    let report = session
+        .route_with_faults(
+            &RouteRequest::permutation(42),
+            &plan,
+            RetryPolicy {
+                attempt_budget: 300,
+                max_attempts: 6,
+            },
+        )
+        .expect("leveled networks support fault plans");
 
-    for (src, &dest) in dests.iter().enumerate() {
-        eng.inject(src, Packet::new(src as u32, src as u32, dest as u32));
-    }
-    let out = eng.run(&mut DetourRouter { mesh });
-    let stranded = eng.drain_all();
-    println!(
-        "mesh with a blocked link: {} delivered, {} stranded behind the fault",
-        out.metrics.delivered,
-        stranded.len()
+    assert!(report.completed, "every survivable packet is delivered");
+    assert!(
+        report.lost.iter().all(|l| l.dest == dead_row),
+        "only the dead destination loses packets"
     );
-
-    // Recovery: re-inject the stranded packets from a neighbouring column
-    // (a 1-hop detour) — the retry idea with a topology-aware restart.
-    let mut eng2 = Engine::new(&mesh, SimConfig::default());
-    let count = stranded.len();
-    for (i, pkt) in stranded.into_iter().enumerate() {
-        let (r, c) = mesh.coords(blocked_node);
-        let detour = mesh.node_at(r, if c + 1 < n { c + 1 } else { c - 1 });
-        let _ = (r, c);
-        eng2.inject(detour, Packet::new(i as u32, pkt.src, pkt.dest));
-    }
-    let out2 = eng2.run(&mut DetourRouter { mesh });
-    assert!(out2.completed);
-    assert_eq!(out2.metrics.delivered, count);
+    assert_eq!(
+        report.delivered() + report.lost.len(),
+        report.injected,
+        "every packet is accounted for: delivered or typed lost"
+    );
     println!(
-        "detour relaunch: all {} stranded packets delivered in {} extra steps",
-        count, out2.metrics.routing_time
+        "fault plan on butterfly(2,5): {} injected, {} delivered in the degraded \
+         first pass, {} recovered by retry, {} lost to the dead node \
+         ({} attempts, {} charged steps)",
+        report.injected,
+        report.delivered_first,
+        report.recovered,
+        report.lost.len(),
+        report.attempts,
+        report.total_steps,
     );
 }
