@@ -21,13 +21,13 @@
 //! with `LNPRAM_TRIALS=2`; run locally with the defaults for stable
 //! numbers.
 
-use lnpram_bench::{fmt, trial_count, Table};
+use lnpram_bench::{fmt, json, trial_count, Table};
 use lnpram_math::rng::splitmix64;
 use lnpram_routing::leveled::LeveledBackend;
 use lnpram_routing::{
     AdmissionEntry, OpenLoopWorkload, Serve, ServeConfig, ServeReport, ServeSession,
 };
-use lnpram_simnet::{Fault, SimConfig};
+use lnpram_simnet::{Fanout, Fault, FlightRecorder, PhaseProfiler, SimConfig};
 use lnpram_topology::leveled::RadixButterfly;
 use std::time::Instant;
 
@@ -214,6 +214,10 @@ fn main() {
     let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_7.json".to_string());
     write_json(&path, trials, shards, links, &fractions, &stats).expect("write bench json");
     println!("wrote {path}");
+
+    if let Ok(series_path) = std::env::var("LNPRAM_TRACE_SERIES") {
+        emit_trace_series(&series_path, shards, links);
+    }
 }
 
 fn write_json(
@@ -224,35 +228,59 @@ fn write_json(
     fractions: &[f64],
     stats: &[FractionStats],
 ) -> std::io::Result<()> {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"degraded_serve\",\n");
-    out.push_str(&format!("  \"topology\": \"butterfly(2,{LEVELS})\",\n"));
-    out.push_str(&format!("  \"trials\": {trials},\n"));
-    out.push_str(&format!("  \"shards\": {shards},\n"));
-    out.push_str(&format!("  \"links\": {links},\n"));
-    out.push_str(&format!("  \"serve_max_steps\": {MAX_STEPS},\n"));
-    out.push_str("  \"fractions\": [\n");
-    for (i, (frac, s)) in fractions.iter().zip(stats).enumerate() {
-        out.push_str(&format!(
-            "    {{\"failed_fraction\": {frac}, \"failed_links\": {}, \
-             \"injected\": {}, \"delivered\": {}, \"delivered_fraction\": {:.6}, \
-             \"p50_latency\": {:.2}, \"p99_latency\": {:.2}, \"steps\": {:.1}, \
-             \"completed_runs\": {}, \"runs\": {}, \
-             \"serial_ms\": {:.3}, \"sharded_ms\": {:.3}}}{}\n",
-            s.failed_links,
-            s.injected,
-            s.delivered,
-            s.delivered_fraction(),
-            s.per_run(s.p50),
-            s.per_run(s.p99),
-            s.per_run(s.steps),
-            s.completed_runs,
-            s.runs,
-            s.per_run(s.serial_ms),
-            s.per_run(s.sharded_ms),
-            if i + 1 < fractions.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out)
+    let rows: Vec<String> = fractions
+        .iter()
+        .zip(stats)
+        .map(|(frac, s)| {
+            json::Obj::new()
+                .field("failed_fraction", frac)
+                .field("failed_links", s.failed_links)
+                .field("injected", s.injected)
+                .field("delivered", s.delivered)
+                .fixed_field("delivered_fraction", s.delivered_fraction(), 6)
+                .fixed_field("p50_latency", s.per_run(s.p50), 2)
+                .fixed_field("p99_latency", s.per_run(s.p99), 2)
+                .fixed_field("steps", s.per_run(s.steps), 1)
+                .field("completed_runs", s.completed_runs)
+                .field("runs", s.runs)
+                .fixed_field("serial_ms", s.per_run(s.serial_ms), 3)
+                .fixed_field("sharded_ms", s.per_run(s.sharded_ms), 3)
+                .render()
+        })
+        .collect();
+    let doc = json::Obj::new()
+        .str_field("bench", "degraded_serve")
+        .str_field("topology", &format!("butterfly(2,{LEVELS})"))
+        .field("trials", trials)
+        .field("shards", shards)
+        .field("links", links)
+        .field("serve_max_steps", MAX_STEPS)
+        .field("fractions", json::array_lines(&rows, 4))
+        .render_lines(2);
+    std::fs::write(path, doc + "\n")
+}
+
+/// `LNPRAM_TRACE_SERIES=<path>`: run one 2%-degraded sharded trace with
+/// a [`FlightRecorder`] + [`PhaseProfiler`] tee, write the per-step
+/// series JSON and print the per-phase wall-clock breakdown (shows
+/// where the degraded sharded run's time goes, per shard).
+fn emit_trace_series(path: &str, shards: usize, links: usize) {
+    let wl = OpenLoopWorkload {
+        tenants: 4,
+        requests: 32,
+        interval: 4,
+        packets_per_request: 64,
+        seed: 0xD15EA5E,
+    };
+    let mut state = 0x5EED_0001u64;
+    let dead = pick_links(&mut state, links, (links as f64 * 0.02).round() as usize);
+    let mut sharded = session(shards);
+    let trace = faulted_trace(&wl, sharded.num_sources(), &dead);
+    let mut sink = Fanout::new(FlightRecorder::new(1, 4096), PhaseProfiler::new());
+    sharded
+        .run_trace_traced(&trace, &mut sink)
+        .expect("leveled serves faults");
+    std::fs::write(path, sink.a.to_json()).expect("write trace series");
+    print!("{}", sink.b.report());
+    println!("wrote per-step series to {path}");
 }

@@ -33,13 +33,13 @@
 //! beat; run it locally with the default trial count for stable
 //! numbers.
 
-use lnpram_bench::{fmt, trial_count, Table};
+use lnpram_bench::{fmt, json, trial_count, Table};
 use lnpram_math::stats::Histogram;
 use lnpram_routing::leveled::{LeveledBackend, LeveledRoutingSession};
 use lnpram_routing::mesh::{default_slice_rows, MeshAlgorithm, MeshRoutingSession};
 use lnpram_routing::star::StarRoutingSession;
 use lnpram_routing::{OpenLoopWorkload, RouteRequest, Router, Serve, ServeConfig, ServeSession};
-use lnpram_simnet::SimConfig;
+use lnpram_simnet::{Fanout, FlightRecorder, PhaseProfiler, SimConfig};
 use lnpram_topology::leveled::RadixButterfly;
 use std::time::Instant;
 
@@ -357,50 +357,41 @@ fn measure_batch(
     pair
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn path_json(p: &PathResult) -> String {
-    format!(
-        "{{\"elapsed_s\": {:.6}, \"packets_per_sec\": {:.1}, \
-         \"engine_steps_per_sec\": {:.1}, \"work_per_sec\": {:.1}}}",
-        p.elapsed_s,
-        p.packets_per_sec(),
-        p.engine_steps_per_sec(),
-        p.work_per_sec()
-    )
+    json::Obj::new()
+        .fixed_field("elapsed_s", p.elapsed_s, 6)
+        .fixed_field("packets_per_sec", p.packets_per_sec(), 1)
+        .fixed_field("engine_steps_per_sec", p.engine_steps_per_sec(), 1)
+        .fixed_field("work_per_sec", p.work_per_sec(), 1)
+        .render()
 }
 
 fn pair_json(p: &PathPair) -> String {
-    format!(
-        "{{\"one_shot\": {}, \"session\": {}, \"session_speedup\": {:.3}}}",
-        path_json(&p.one_shot),
-        path_json(&p.session),
-        p.session_speedup()
-    )
+    json::Obj::new()
+        .field("one_shot", path_json(&p.one_shot))
+        .field("session", path_json(&p.session))
+        .fixed_field("session_speedup", p.session_speedup(), 3)
+        .render()
 }
 
 fn batch_pair_json(p: &BatchPair) -> String {
-    format!(
-        "{{\"sequential\": {}, \"batched\": {}, \"batch_speedup\": {:.3}}}",
-        path_json(&p.sequential),
-        path_json(&p.batched),
-        p.batch_speedup()
-    )
+    json::Obj::new()
+        .field("sequential", path_json(&p.sequential))
+        .field("batched", path_json(&p.batched))
+        .fixed_field("batch_speedup", p.batch_speedup(), 3)
+        .render()
 }
 
 fn serve_path_json(p: &ServePath, slo: u64) -> String {
-    format!(
-        "{{\"elapsed_s\": {:.6}, \"packets_per_sec\": {:.1},          \"packets_per_step\": {:.3}, \"p50_latency\": {}, \"p99_latency\": {},          \"max_latency\": {}, \"slo_attainment\": {:.4}}}",
-        p.elapsed_s,
-        p.packets_per_sec(),
-        p.packets_per_step(),
-        p.latency.percentile(0.50),
-        p.latency.percentile(0.99),
-        p.latency.max(),
-        p.slo_attainment(slo)
-    )
+    json::Obj::new()
+        .fixed_field("elapsed_s", p.elapsed_s, 6)
+        .fixed_field("packets_per_sec", p.packets_per_sec(), 1)
+        .fixed_field("packets_per_step", p.packets_per_step(), 3)
+        .field("p50_latency", p.latency.percentile(0.50))
+        .field("p99_latency", p.latency.percentile(0.99))
+        .field("max_latency", p.latency.max())
+        .fixed_field("slo_attainment", p.slo_attainment(slo), 4)
+        .render()
 }
 
 fn write_json(
@@ -410,50 +401,81 @@ fn write_json(
     results: &[WorkloadResult],
     serve: &ServeResult,
 ) -> std::io::Result<()> {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"engine_throughput\",\n");
-    out.push_str(&format!("  \"trials\": {trials},\n"));
-    out.push_str(&format!("  \"shards\": {shards},\n"));
-    out.push_str("  \"workloads\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let batched: Vec<String> = r
-            .batched
-            .iter()
-            .map(|b| {
-                format!(
-                    "      {{\"tenants\": {}, \"serial\": {},\n       \"sharded\": {}}}",
-                    b.tenants,
-                    batch_pair_json(&b.serial),
-                    batch_pair_json(&b.sharded)
-                )
-            })
-            .collect();
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"trials\": {}, \"packets\": {}, \"steps\": {},\n     \
-             \"serial\": {},\n     \"sharded\": {},\n     \"batched\": [\n{}\n     ]}}{}\n",
-            json_escape(&r.name),
-            r.trials,
-            r.serial.one_shot.packets,
-            r.serial.one_shot.engine_steps,
-            pair_json(&r.serial),
-            pair_json(&r.sharded),
-            batched.join(",\n"),
-            if i + 1 < results.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ],\n");
-    out.push_str(&format!(
-        "  \"serve\": {{\"name\": \"{}\", \"tenants\": {}, \"requests\": {},          \"interval\": {}, \"slo_steps\": {},\n   \"serial\": {},\n   \"sharded\": {}}}\n",
-        json_escape(&serve.name),
-        serve.tenants,
-        serve.requests,
-        serve.interval,
-        serve.slo,
-        serve_path_json(&serve.serial, serve.slo),
-        serve_path_json(&serve.sharded, serve.slo)
-    ));
-    out.push_str("}\n");
-    std::fs::write(path, out)
+    let workloads: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let batched: Vec<String> = r
+                .batched
+                .iter()
+                .map(|b| {
+                    json::Obj::new()
+                        .field("tenants", b.tenants)
+                        .field("serial", batch_pair_json(&b.serial))
+                        .field("sharded", batch_pair_json(&b.sharded))
+                        .render()
+                })
+                .collect();
+            json::Obj::new()
+                .str_field("name", &r.name)
+                .field("trials", r.trials)
+                .field("packets", r.serial.one_shot.packets)
+                .field("steps", r.serial.one_shot.engine_steps)
+                .field("serial", pair_json(&r.serial))
+                .field("sharded", pair_json(&r.sharded))
+                .field("batched", json::array_lines(&batched, 6))
+                .render()
+        })
+        .collect();
+    let serve_obj = json::Obj::new()
+        .str_field("name", &serve.name)
+        .field("tenants", serve.tenants)
+        .field("requests", serve.requests)
+        .field("interval", serve.interval)
+        .field("slo_steps", serve.slo)
+        .field("serial", serve_path_json(&serve.serial, serve.slo))
+        .field("sharded", serve_path_json(&serve.sharded, serve.slo))
+        .render();
+    let doc = json::Obj::new()
+        .str_field("bench", "engine_throughput")
+        .field("trials", trials)
+        .field("shards", shards)
+        .field("workloads", json::array_lines(&workloads, 4))
+        .field("serve", serve_obj)
+        .render_lines(2);
+    std::fs::write(path, doc + "\n")
+}
+
+/// `LNPRAM_TRACE_SERIES=<path>`: re-run the sharded serve workload once
+/// with a [`FlightRecorder`] + [`PhaseProfiler`] tee attached, write
+/// the per-step series JSON next to the `BENCH_*.json` artifact and
+/// print the per-phase wall-clock breakdown (the tool for localizing
+/// the sharded path's overhead — which phase, which shard).
+fn emit_trace_series(path: &str, shards: usize) {
+    let sim = SimConfig {
+        shards,
+        ..SimConfig::default()
+    };
+    let mut session = ServeSession::new(
+        LeveledBackend::new(RadixButterfly::new(2, 10)),
+        &sim,
+        ServeConfig::default(),
+    );
+    let workload = OpenLoopWorkload {
+        tenants: 4,
+        requests: 24,
+        interval: 2,
+        packets_per_request: 16,
+        seed: 0xBEEF,
+    };
+    let trace = workload.trace(session.num_sources());
+    let mut sink = Fanout::new(FlightRecorder::new(1, 4096), PhaseProfiler::new());
+    let rep = session
+        .run_trace_traced(&trace, &mut sink)
+        .expect("leveled serves");
+    assert!(rep.completed, "trace-series serve run incomplete");
+    std::fs::write(path, sink.a.to_json()).expect("write trace series");
+    print!("{}", sink.b.report());
+    println!("wrote per-step series to {path}");
 }
 
 /// Per-seed outcome signatures recorded by the first path and checked
@@ -751,4 +773,8 @@ fn main() {
     let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_6.json".to_string());
     write_json(&path, trials, shards, &results, &serve).expect("write bench json");
     println!("wrote {path}");
+
+    if let Ok(series_path) = std::env::var("LNPRAM_TRACE_SERIES") {
+        emit_trace_series(&series_path, shards);
+    }
 }

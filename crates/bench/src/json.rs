@@ -1,0 +1,130 @@
+//! Minimal hand-rolled JSON emission shared by the bench binaries.
+//!
+//! The workspace keeps serde out of the dependency budget, and every
+//! bench artifact (`BENCH_*.json`, `bench_results.json`) is flat enough
+//! that a string builder suffices. Before this module each binary
+//! hand-rolled its own `format!` escaping and brace bookkeeping; now
+//! the escaping rules and object/array layout live in one place.
+//!
+//! Values are **pre-rendered strings**: numbers format themselves via
+//! `Display`, nested objects/arrays are built first and passed in as
+//! raw JSON. Only [`string`]/[`Obj::str_field`] apply escaping.
+
+/// Escape `\` and `"` for embedding inside a JSON string literal. Bench
+/// strings are experiment ids and workload labels we control (no
+/// control characters), so the two-character escape set is complete.
+pub fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A quoted, escaped JSON string value.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// A float rendered with fixed precision, as a JSON number.
+pub fn fixed(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Join pre-rendered values into a multi-line JSON array: one element
+/// per line at `indent` spaces, closing bracket two spaces back (the
+/// layout of the `BENCH_*.json` artifacts).
+pub fn array_lines(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = " ".repeat(indent);
+    let close = " ".repeat(indent.saturating_sub(2));
+    format!("[\n{pad}{}\n{close}]", items.join(&format!(",\n{pad}")))
+}
+
+/// An ordered JSON object builder over pre-rendered values.
+#[derive(Debug, Clone, Default)]
+pub struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `key` with an already-rendered JSON `value` — a number,
+    /// a rendered [`Obj`], an [`array_lines`] block, anything whose
+    /// `Display` form is valid JSON.
+    pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Append `key` with a quoted, escaped string value.
+    pub fn str_field(self, key: &str, value: &str) -> Self {
+        self.field(key, string(value))
+    }
+
+    /// Append `key` with a fixed-precision float value.
+    pub fn fixed_field(self, key: &str, x: f64, prec: usize) -> Self {
+        self.field(key, fixed(x, prec))
+    }
+
+    /// Render single-line: `{"a": 1, "b": "x"}`.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// Render one field per line at `indent` spaces, closing brace two
+    /// spaces back — the top-level layout of the bench artifacts.
+    pub fn render_lines(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let close = " ".repeat(indent.saturating_sub(2));
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{pad}\"{}\": {v}", escape(k)))
+            .collect();
+        format!("{{\n{}\n{close}}}", body.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(string("x\"y"), "\"x\\\"y\"");
+    }
+
+    #[test]
+    fn obj_renders_ordered_fields() {
+        let o = Obj::new()
+            .str_field("name", "star \"quoted\"")
+            .field("count", 3)
+            .fixed_field("ratio", 0.5, 3);
+        assert_eq!(
+            o.render(),
+            "{\"name\": \"star \\\"quoted\\\"\", \"count\": 3, \"ratio\": 0.500}"
+        );
+    }
+
+    #[test]
+    fn render_lines_layout() {
+        let o = Obj::new().field("a", 1).field("b", 2);
+        assert_eq!(o.render_lines(2), "{\n  \"a\": 1,\n  \"b\": 2\n}");
+    }
+
+    #[test]
+    fn array_lines_layout() {
+        assert_eq!(array_lines(&[], 4), "[]");
+        let items = vec!["1".to_string(), "2".to_string()];
+        assert_eq!(array_lines(&items, 4), "[\n    1,\n    2\n  ]");
+    }
+}

@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use lnpram_math::stats::{par_summary, Summary};
 
 /// Number of trials to actually run: `default`, unless the
@@ -103,22 +105,21 @@ impl ExperimentRecord {
 }
 
 /// Serialise records to a JSON file. The record shape is flat, so the
-/// writer is hand-rolled (no serde_json in the dependency budget); string
-/// fields are experiment ids and labels we control — escaped anyway for
-/// robustness.
+/// writer is the hand-rolled [`json`] builder (no serde_json in the
+/// dependency budget); string fields are experiment ids and labels we
+/// control — escaped anyway for robustness.
 pub fn save_records(path: &str, records: &[ExperimentRecord]) -> std::io::Result<()> {
-    fn esc(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
-    }
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        let obj = json::Obj::new()
+            .str_field("id", &r.id)
+            .str_field("label", &r.label)
+            .str_field("metric", &r.metric)
+            .field("mean", r.mean)
+            .field("max", r.max)
+            .render();
         out.push_str(&format!(
-            "  {{\"id\": \"{}\", \"label\": \"{}\", \"metric\": \"{}\", \"mean\": {}, \"max\": {}}}{}\n",
-            esc(&r.id),
-            esc(&r.label),
-            esc(&r.metric),
-            r.mean,
-            r.max,
+            "  {obj}{}\n",
             if i + 1 < records.len() { "," } else { "" }
         ));
     }

@@ -32,12 +32,13 @@
 //! independently.
 
 use crate::router::{
-    batch_engine, drive_raw, is_relation, pattern_dests, PatternRef, RouteBackend, Router,
-    RoutingSession, RunExtras,
+    batch_engine, drive_raw, drive_raw_traced, is_relation, pattern_dests, PatternRef,
+    RouteBackend, Router, RoutingSession, RunExtras,
 };
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_simnet::trace::TraceSink;
 use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::hypercube::Hypercube;
 use lnpram_topology::Network;
@@ -236,6 +237,16 @@ impl RouteBackend for BitonicBackend {
         demux: usize,
     ) -> (RunOutcome, Vec<TagMetrics>) {
         drive_raw(eng, BitonicRouter::new(self.k, copies), demux)
+    }
+
+    fn run_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        copies: usize,
+        demux: usize,
+        sink: &mut dyn TraceSink,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        drive_raw_traced(eng, BitonicRouter::new(self.k, copies), demux, sink)
     }
 }
 

@@ -16,12 +16,13 @@
 //! [`AnyEngine`](lnpram_shard::AnyEngine).)
 
 use crate::router::{
-    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
-    RunExtras,
+    batch_engine, drive, drive_traced, inject_per_source, PatternRef, RouteBackend, Router,
+    RoutingSession, RunExtras,
 };
 use crate::serve::{ServeDriver, ServeRun};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_simnet::trace::TraceSink;
 use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::{CubeConnectedCycles, Network};
 use rand::Rng;
@@ -157,9 +158,30 @@ impl RouteBackend for CccBackend {
         drive(eng, CccRouter::new(self.ccc), stride, demux)
     }
 
+    fn run_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+        sink: &mut dyn TraceSink,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.ccc.num_nodes();
+        drive_traced(eng, CccRouter::new(self.ccc), stride, demux, sink)
+    }
+
     fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
         let stride = self.ccc.num_nodes();
         Some(driver.drive(eng, CccRouter::new(self.ccc), stride))
+    }
+
+    fn serve_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        driver: &mut ServeDriver,
+        sink: &mut dyn TraceSink,
+    ) -> Option<ServeRun> {
+        let stride = self.ccc.num_nodes();
+        Some(driver.drive_traced(eng, CccRouter::new(self.ccc), stride, sink))
     }
 }
 

@@ -17,12 +17,13 @@
 //! on every other topology.)
 
 use crate::router::{
-    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
-    RunExtras,
+    batch_engine, drive, drive_traced, inject_per_source, PatternRef, RouteBackend, Router,
+    RoutingSession, RunExtras,
 };
 use crate::serve::{ServeDriver, ServeRun};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_simnet::trace::TraceSink;
 use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::hypercube::Hypercube;
 use lnpram_topology::Network;
@@ -145,9 +146,30 @@ impl RouteBackend for CubeBackend {
         drive(eng, CubeRouter, stride, demux)
     }
 
+    fn run_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+        sink: &mut dyn TraceSink,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.cube.num_nodes();
+        drive_traced(eng, CubeRouter, stride, demux, sink)
+    }
+
     fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
         let stride = self.cube.num_nodes();
         Some(driver.drive(eng, CubeRouter, stride))
+    }
+
+    fn serve_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        driver: &mut ServeDriver,
+        sink: &mut dyn TraceSink,
+    ) -> Option<ServeRun> {
+        let stride = self.cube.num_nodes();
+        Some(driver.drive_traced(eng, CubeRouter, stride, sink))
     }
 }
 

@@ -27,13 +27,14 @@
 //! degenerates every variant to deterministic dimension-order routing.
 
 use crate::router::{
-    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
-    RunExtras,
+    batch_engine, drive, drive_traced, inject_per_source, PatternRef, RouteBackend, Router,
+    RoutingSession, RunExtras,
 };
 use crate::serve::{ServeDriver, ServeRun};
 use crate::workloads;
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, RowBlock};
+use lnpram_simnet::trace::TraceSink;
 use lnpram_simnet::{Discipline, Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::mesh::Dir;
 use lnpram_topology::{Mesh, Network};
@@ -327,9 +328,36 @@ impl RouteBackend for MeshBackend {
         drive(eng, MeshRouter::new(self.mesh, self.alg), stride, demux)
     }
 
+    fn run_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+        sink: &mut dyn TraceSink,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.mesh.num_nodes();
+        drive_traced(
+            eng,
+            MeshRouter::new(self.mesh, self.alg),
+            stride,
+            demux,
+            sink,
+        )
+    }
+
     fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
         let stride = self.mesh.num_nodes();
         Some(driver.drive(eng, MeshRouter::new(self.mesh, self.alg), stride))
+    }
+
+    fn serve_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        driver: &mut ServeDriver,
+        sink: &mut dyn TraceSink,
+    ) -> Option<ServeRun> {
+        let stride = self.mesh.num_nodes();
+        Some(driver.drive_traced(eng, MeshRouter::new(self.mesh, self.alg), stride, sink))
     }
 }
 

@@ -36,6 +36,7 @@ use crate::workloads;
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::AnyEngine;
 use lnpram_simnet::fault::{FaultError, FaultPlan};
+use lnpram_simnet::trace::TraceSink;
 use lnpram_simnet::{
     Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig, TagDemux, TagMetrics,
 };
@@ -325,6 +326,14 @@ pub trait Router {
     /// Route one request on the warmed engine.
     fn route(&mut self, req: &RouteRequest) -> RunReport;
 
+    /// [`Router::route`] with per-step observation reported to `sink`
+    /// — same report, same delivery schedule. The default falls back to
+    /// the untraced `route` (the sink sees nothing); [`RoutingSession`]
+    /// overrides it for every backend.
+    fn route_traced(&mut self, req: &RouteRequest, _sink: &mut dyn TraceSink) -> RunReport {
+        self.route(req)
+    }
+
     /// Co-route a batch of requests — one tenant per request — in one
     /// engine run. Per-tenant outcomes are bit-identical to isolated
     /// [`Router::route`] calls of the same requests; the step loop's
@@ -439,6 +448,22 @@ pub trait RouteBackend {
         demux: usize,
     ) -> (RunOutcome, Vec<TagMetrics>);
 
+    /// [`RouteBackend::run`] with per-step observation reported to
+    /// `sink` — must produce the same `(RunOutcome, Vec<TagMetrics>)`.
+    /// The default falls back to the **untraced** `run` (the sink sees
+    /// nothing); backends built on [`drive`]/[`drive_raw`] override
+    /// with one line delegating to [`drive_traced`]/
+    /// [`drive_raw_traced`].
+    fn run_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        copies: usize,
+        demux: usize,
+        _sink: &mut dyn TraceSink,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        self.run(eng, copies, demux)
+    }
+
     /// Drive the streaming-admission serve loop (see
     /// [`serve`](crate::serve)): hand the topology's protocol to
     /// `driver` over a single-copy engine. The default declines —
@@ -447,6 +472,21 @@ pub trait RouteBackend {
     /// override with one line delegating to [`ServeDriver::drive`].
     fn serve(&mut self, _eng: &mut AnyEngine, _driver: &mut ServeDriver) -> Option<ServeRun> {
         None
+    }
+
+    /// [`RouteBackend::serve`] with serve events, phase windows, and
+    /// per-step samples reported to `sink` — must produce the same
+    /// `ServeRun`. The default falls back to the **untraced** `serve`
+    /// (the sink sees nothing); backends that override `serve` should
+    /// also override this with one line delegating to
+    /// [`ServeDriver::drive_traced`].
+    fn serve_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        driver: &mut ServeDriver,
+        _sink: &mut dyn TraceSink,
+    ) -> Option<ServeRun> {
+        self.serve(eng, driver)
     }
 
     /// Can this backend honor [`FaultPlan`]s with deterministic
@@ -541,12 +581,34 @@ pub fn drive_raw<P: Protocol>(
     proto: P,
     demux: usize,
 ) -> (RunOutcome, Vec<TagMetrics>) {
+    drive_raw_traced(eng, proto, demux, &mut lnpram_simnet::NoopSink)
+}
+
+/// [`drive`] with per-step observation reported to `sink` — same
+/// delivery schedule, same return value.
+pub fn drive_traced<P: Protocol, S: TraceSink + ?Sized>(
+    eng: &mut AnyEngine,
+    proto: P,
+    stride: usize,
+    demux: usize,
+    sink: &mut S,
+) -> (RunOutcome, Vec<TagMetrics>) {
+    drive_raw_traced(eng, ReplicatedProtocol::new(proto, stride), demux, sink)
+}
+
+/// [`drive_raw`] with per-step observation reported to `sink`.
+pub fn drive_raw_traced<P: Protocol, S: TraceSink + ?Sized>(
+    eng: &mut AnyEngine,
+    proto: P,
+    demux: usize,
+    sink: &mut S,
+) -> (RunOutcome, Vec<TagMetrics>) {
     if demux == 0 {
         let mut proto = proto;
-        (eng.run(&mut proto), Vec::new())
+        (eng.run_traced(&mut proto, sink), Vec::new())
     } else {
         let mut tap = TagDemux::new(proto, demux);
-        let out = eng.run(&mut tap);
+        let out = eng.run_traced(&mut tap, sink);
         (out, tap.into_metrics())
     }
 }
@@ -625,9 +687,19 @@ impl<B: RouteBackend> RoutingSession<B> {
     }
 
     fn run_single(&mut self, pattern: PatternRef<'_>, seq: SeedSeq, tag: u64) -> RunReport {
+        self.run_single_traced(pattern, seq, tag, &mut lnpram_simnet::NoopSink)
+    }
+
+    fn run_single_traced(
+        &mut self,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+        sink: &mut dyn TraceSink,
+    ) -> RunReport {
         self.engine.reset();
         let packets = self.backend.inject(&mut self.engine, 0, pattern, seq, tag);
-        let (out, _) = self.backend.run(&mut self.engine, 1, 0);
+        let (out, _) = self.backend.run_traced(&mut self.engine, 1, 0, sink);
         RunReport {
             metrics: out.metrics,
             completed: out.completed,
@@ -640,6 +712,15 @@ impl<B: RouteBackend> RoutingSession<B> {
 impl<B: RouteBackend> Router for RoutingSession<B> {
     fn route(&mut self, req: &RouteRequest) -> RunReport {
         self.run_single(req.pattern.as_ref(), SeedSeq::new(req.seed), req.tenant)
+    }
+
+    fn route_traced(&mut self, req: &RouteRequest, sink: &mut dyn TraceSink) -> RunReport {
+        self.run_single_traced(
+            req.pattern.as_ref(),
+            SeedSeq::new(req.seed),
+            req.tenant,
+            sink,
+        )
     }
 
     fn route_batch(&mut self, reqs: &[RouteRequest]) -> BatchReport {

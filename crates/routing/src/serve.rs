@@ -53,9 +53,11 @@ use lnpram_math::rng::{splitmix64, SeedSeq};
 use lnpram_math::stats::Histogram;
 use lnpram_shard::AnyEngine;
 use lnpram_simnet::fault::FaultError;
+use lnpram_simnet::trace::{Phase, ServeEvent, StepSample, TraceSink};
 use lnpram_simnet::Fault as SimFault;
 use lnpram_simnet::{
-    FaultEvent, FaultPlan, Metrics, Outbox, Packet, Protocol, SimConfig, TagDemux, TagMetrics,
+    FaultEvent, FaultPlan, Metrics, NoopSink, Outbox, Packet, Protocol, SimConfig, TagDemux,
+    TagMetrics,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -607,13 +609,33 @@ impl ServeDriver {
     /// Runs after the step's arrivals are processed, so the watermark
     /// reads see the settled engine state — identical across serial
     /// and sharded engines.
-    fn admit_due(&mut self, eng: &mut AnyEngine, step: u32) {
+    ///
+    /// Every admission decision is reported to `sink`: tenant churn,
+    /// typed rejections, admissions with their packet counts, and one
+    /// [`ServeEvent::Defer`] per request left in the buffer at this
+    /// boundary (the event-level counterpart of
+    /// `deferred_request_steps`). Untraced runs pass [`NoopSink`].
+    fn admit_due_traced<S: TraceSink + ?Sized>(
+        &mut self,
+        eng: &mut AnyEngine,
+        step: u32,
+        sink: &mut S,
+    ) {
+        sink.on_phase_start(Phase::Admit);
         while self.next < self.ops.len() && self.ops[self.next].0 <= step {
             match self.ops[self.next].1 {
-                TraceOp::Join(t) => self.inactive.retain(|&x| x != t),
+                TraceOp::Join(t) => {
+                    self.inactive.retain(|&x| x != t);
+                    if sink.enabled() {
+                        sink.on_serve_event(&ServeEvent::TenantJoin { step, tenant: t });
+                    }
+                }
                 TraceOp::Leave(t) => {
                     if !self.inactive.contains(&t) {
                         self.inactive.push(t);
+                    }
+                    if sink.enabled() {
+                        sink.on_serve_event(&ServeEvent::TenantLeave { step, tenant: t });
                     }
                 }
                 TraceOp::Arrive(qi) => {
@@ -624,6 +646,14 @@ impl ServeDriver {
                             tenant: req.tenant,
                             step,
                         });
+                        if sink.enabled() {
+                            sink.on_serve_event(&ServeEvent::Reject {
+                                step,
+                                slot: req.slot,
+                                tenant: req.tenant,
+                                reason: "tenant_inactive",
+                            });
+                        }
                     } else if self.cfg.policy == OverloadPolicy::Reject
                         && self.buffer.len() >= self.cfg.admission_capacity
                     {
@@ -632,6 +662,14 @@ impl ServeDriver {
                             backlog: self.buffer.len(),
                             capacity: self.cfg.admission_capacity,
                         });
+                        if sink.enabled() {
+                            sink.on_serve_event(&ServeEvent::Reject {
+                                step,
+                                slot: req.slot,
+                                tenant: req.tenant,
+                                reason: "overloaded",
+                            });
+                        }
                     } else {
                         // Once buffered, the request is owed service:
                         // a later leave stops new arrivals only.
@@ -659,10 +697,29 @@ impl ServeDriver {
             }
             admitted_now += req.packets.len();
             self.admitted_at[req.slot] = Some(step);
+            if sink.enabled() {
+                sink.on_serve_event(&ServeEvent::Admit {
+                    step,
+                    slot: req.slot,
+                    tenant: req.tenant,
+                    packets: req.packets.len(),
+                });
+            }
             self.buffer.pop_front();
         }
         self.max_backlog = self.max_backlog.max(self.buffer.len());
         self.deferred_request_steps += self.buffer.len() as u64;
+        if sink.enabled() {
+            for &qi in &self.buffer {
+                let req = &self.queue[qi];
+                sink.on_serve_event(&ServeEvent::Defer {
+                    step,
+                    slot: req.slot,
+                    tenant: req.tenant,
+                });
+            }
+        }
+        sink.on_phase_end(Phase::Admit);
     }
 
     /// Drive the serve loop with `proto` wrapped for the union node-id
@@ -673,19 +730,57 @@ impl ServeDriver {
         self.drive_raw(eng, ReplicatedProtocol::new(proto, stride))
     }
 
+    /// [`ServeDriver::drive`] reporting phase windows, serve events and
+    /// per-step samples to `sink` — same `ServeRun`, same schedule.
+    pub fn drive_traced<P: Protocol, S: TraceSink + ?Sized>(
+        &mut self,
+        eng: &mut AnyEngine,
+        proto: P,
+        stride: usize,
+        sink: &mut S,
+    ) -> ServeRun {
+        self.drive_raw_traced(eng, ReplicatedProtocol::new(proto, stride), sink)
+    }
+
     /// [`ServeDriver::drive`] without the node-id wrapper. Replays the
     /// engine's own step loop — same callback order, same bookkeeping —
     /// with admission interleaved at each step boundary.
     pub fn drive_raw<P: Protocol>(&mut self, eng: &mut AnyEngine, proto: P) -> ServeRun {
+        self.drive_raw_traced(eng, proto, &mut NoopSink)
+    }
+
+    /// [`ServeDriver::drive_raw`] reporting to `sink`. Observation only:
+    /// the delivery schedule is bit-identical with any sink installed.
+    pub fn drive_raw_traced<P: Protocol, S: TraceSink + ?Sized>(
+        &mut self,
+        eng: &mut AnyEngine,
+        proto: P,
+        sink: &mut S,
+    ) -> ServeRun {
         let mut demux = TagDemux::new(proto, self.queue.len());
         let mut out = Outbox::default();
+        let mut last_delivered = eng.delivered();
 
         // Step 0: admissions due at step 0 are processed exactly like
         // `run`'s initial injections.
-        self.admit_due(eng, 0);
+        self.admit_due_traced(eng, 0, sink);
+        sink.on_phase_start(Phase::Process);
         eng.process_pending(&mut demux, 0, &mut out);
+        sink.on_phase_end(Phase::Process);
         eng.step_finish();
         demux.on_step_end(0);
+        if sink.enabled() {
+            let delivered = eng.delivered();
+            sink.on_step_end(&StepSample {
+                step: 0,
+                in_flight: eng.in_flight(),
+                arrivals: 0,
+                deliveries: delivered - last_delivered,
+                max_queue_len: eng.max_queue_len(),
+                backlog: self.buffer.len(),
+            });
+            last_delivered = delivered;
+        }
 
         let mut step: u32 = 0;
         let mut completed = true;
@@ -695,13 +790,30 @@ impl ServeDriver {
                 break;
             }
             step += 1;
-            eng.step_transmit();
+            sink.on_step_begin(step);
+            eng.step_transmit_traced(sink);
+            sink.on_phase_start(Phase::Process);
             eng.process_arrivals(&mut demux, step, &mut out);
-            self.admit_due(eng, step);
+            sink.on_phase_end(Phase::Process);
+            self.admit_due_traced(eng, step, sink);
+            sink.on_phase_start(Phase::Process);
             eng.process_pending(&mut demux, step, &mut out);
+            sink.on_phase_end(Phase::Process);
             demux.on_step_end(step);
             eng.step_finish();
             eng.note_queued_step();
+            if sink.enabled() {
+                let delivered = eng.delivered();
+                sink.on_step_end(&StepSample {
+                    step,
+                    in_flight: eng.in_flight(),
+                    arrivals: eng.arrivals_len(),
+                    deliveries: delivered - last_delivered,
+                    max_queue_len: eng.max_queue_len(),
+                    backlog: self.buffer.len(),
+                });
+                last_delivered = delivered;
+            }
         }
 
         ServeRun {
@@ -719,6 +831,20 @@ impl ServeDriver {
 pub trait Serve {
     /// Serve a fixed admission trace (sorted by non-decreasing step).
     fn run_trace(&mut self, trace: &[AdmissionEntry]) -> Result<ServeReport, ServeError>;
+
+    /// [`Serve::run_trace`] reporting serve events (admissions,
+    /// deferrals, typed rejections, tenant churn, scripted faults,
+    /// per-request completions), phase windows and per-step samples to
+    /// `sink` — same report, same schedule. The default falls back to
+    /// the **untraced** `run_trace` (the sink sees nothing);
+    /// [`ServeSession`] overrides it for every backend.
+    fn run_trace_traced(
+        &mut self,
+        trace: &[AdmissionEntry],
+        _sink: &mut dyn TraceSink,
+    ) -> Result<ServeReport, ServeError> {
+        self.run_trace(trace)
+    }
 
     /// Packet sources of the served topology.
     fn num_sources(&self) -> usize;
@@ -798,6 +924,14 @@ impl<B: RouteBackend> ServeSession<B> {
 
 impl<B: RouteBackend> Serve for ServeSession<B> {
     fn run_trace(&mut self, trace: &[AdmissionEntry]) -> Result<ServeReport, ServeError> {
+        self.run_trace_traced(trace, &mut NoopSink)
+    }
+
+    fn run_trace_traced(
+        &mut self,
+        trace: &[AdmissionEntry],
+        sink: &mut dyn TraceSink,
+    ) -> Result<ServeReport, ServeError> {
         assert!(
             trace.windows(2).all(|w| w[0].step() <= w[1].step()),
             "admission trace must be sorted by non-decreasing step"
@@ -841,6 +975,9 @@ impl<B: RouteBackend> Serve for ServeSession<B> {
                     ops.push((*step, TraceOp::Leave(*tenant)));
                 }
                 AdmissionEntry::Fault { step, fault } => {
+                    if sink.enabled() {
+                        sink.on_serve_event(&ServeEvent::fault(*step, fault));
+                    }
                     fault_events.push(FaultEvent {
                         step: *step,
                         fault: *fault,
@@ -858,12 +995,12 @@ impl<B: RouteBackend> Serve for ServeSession<B> {
                 .map_err(ServeError::Fault)?;
         }
         let mut driver = ServeDriver::new(self.cfg.clone(), queue, ops);
-        let run =
-            self.backend
-                .serve(&mut self.engine, &mut driver)
-                .ok_or(ServeError::Unsupported {
-                    topology: self.backend.name(),
-                })?;
+        let run = self
+            .backend
+            .serve_traced(&mut self.engine, &mut driver, sink)
+            .ok_or(ServeError::Unsupported {
+                topology: self.backend.name(),
+            })?;
 
         let requests: Vec<RequestOutcome> = run
             .per_request
@@ -896,6 +1033,21 @@ impl<B: RouteBackend> Serve for ServeSession<B> {
                 }
             })
             .collect();
+        if sink.enabled() {
+            // Completions are known only once the demuxed metrics are
+            // in; appended post-run in slot order, each stamped with its
+            // last-delivery step.
+            for req in &requests {
+                if let Some(latency) = req.completion_latency() {
+                    sink.on_serve_event(&ServeEvent::Complete {
+                        step: req.metrics.routing_time,
+                        slot: req.slot,
+                        tenant: req.tenant,
+                        latency,
+                    });
+                }
+            }
+        }
         let admitted = requests
             .iter()
             .filter(|r| matches!(r.status, RequestStatus::Admitted { .. }))

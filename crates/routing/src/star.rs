@@ -14,12 +14,13 @@
 //! `route_star_*` one-shots are thin wrappers over it.
 
 use crate::router::{
-    batch_engine, drive, inject_per_source, PatternRef, RouteBackend, Router, RoutingSession,
-    RunExtras,
+    batch_engine, drive, drive_traced, inject_per_source, PatternRef, RouteBackend, Router,
+    RoutingSession, RunExtras,
 };
 use crate::serve::{ServeDriver, ServeRun};
 use lnpram_math::rng::SeedSeq;
 use lnpram_shard::{AnyEngine, GreedyEdgeCut};
+use lnpram_simnet::trace::TraceSink;
 use lnpram_simnet::{Outbox, Packet, Protocol, RunOutcome, SimConfig, TagMetrics};
 use lnpram_topology::{Network, StarGraph};
 use rand::Rng;
@@ -159,9 +160,30 @@ impl RouteBackend for StarBackend {
         drive(eng, StarRouter::new(self.star), stride, demux)
     }
 
+    fn run_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+        sink: &mut dyn TraceSink,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.star.num_nodes();
+        drive_traced(eng, StarRouter::new(self.star), stride, demux, sink)
+    }
+
     fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
         let stride = self.star.num_nodes();
         Some(driver.drive(eng, StarRouter::new(self.star), stride))
+    }
+
+    fn serve_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        driver: &mut ServeDriver,
+        sink: &mut dyn TraceSink,
+    ) -> Option<ServeRun> {
+        let stride = self.star.num_nodes();
+        Some(driver.drive_traced(eng, StarRouter::new(self.star), stride, sink))
     }
 }
 

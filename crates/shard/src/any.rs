@@ -10,6 +10,7 @@
 use crate::partition::{GreedyEdgeCut, Partitioner};
 use crate::ShardedEngine;
 use lnpram_simnet::fault::{FaultError, FaultPlan};
+use lnpram_simnet::trace::TraceSink;
 use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig};
 use lnpram_topology::Network;
 
@@ -122,11 +123,40 @@ impl AnyEngine {
         }
     }
 
+    /// See [`Engine::run_traced`] — identical delivery schedule to
+    /// [`AnyEngine::run`] on both variants; only observation differs.
+    pub fn run_traced<P: Protocol, S: TraceSink + ?Sized>(
+        &mut self,
+        proto: &mut P,
+        sink: &mut S,
+    ) -> RunOutcome {
+        match self {
+            AnyEngine::Serial(e) => e.run_traced(proto, sink),
+            AnyEngine::Sharded(e) => e.run_traced(proto, sink),
+        }
+    }
+
     /// See [`Engine::in_flight`].
     pub fn in_flight(&self) -> usize {
         match self {
             AnyEngine::Serial(e) => e.in_flight(),
             AnyEngine::Sharded(e) => e.in_flight(),
+        }
+    }
+
+    /// See [`Engine::delivered`] — live mid-run on both variants.
+    pub fn delivered(&self) -> usize {
+        match self {
+            AnyEngine::Serial(e) => e.delivered(),
+            AnyEngine::Sharded(e) => e.delivered(),
+        }
+    }
+
+    /// See [`Engine::arrivals_len`].
+    pub fn arrivals_len(&self) -> usize {
+        match self {
+            AnyEngine::Serial(e) => e.arrivals_len(),
+            AnyEngine::Sharded(e) => e.arrivals_len(),
         }
     }
 
@@ -149,6 +179,16 @@ impl AnyEngine {
         match self {
             AnyEngine::Serial(e) => e.step_transmit(),
             AnyEngine::Sharded(e) => e.step_transmit(),
+        }
+    }
+
+    /// See [`Engine::step_transmit_traced`] — same transition as
+    /// [`AnyEngine::step_transmit`], reporting phase windows, fault
+    /// applications, and (sharded) boundary traffic to `sink`.
+    pub fn step_transmit_traced<S: TraceSink + ?Sized>(&mut self, sink: &mut S) {
+        match self {
+            AnyEngine::Serial(e) => e.step_transmit_traced(sink),
+            AnyEngine::Sharded(e) => e.step_transmit_traced(sink),
         }
     }
 

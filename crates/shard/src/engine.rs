@@ -52,6 +52,7 @@
 
 use crate::partition::{Partitioner, ShardPlan};
 use lnpram_simnet::fault::{FaultError, FaultPlan, FaultSchedule};
+use lnpram_simnet::trace::{NoopSink, Phase, StepSample, TraceSink};
 use lnpram_simnet::worker::WorkerPool;
 use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig};
 use lnpram_topology::Network;
@@ -451,6 +452,26 @@ impl ShardedEngine {
         self.in_flight
     }
 
+    /// Packets delivered since the last reset — live mid-run (see
+    /// [`Engine::delivered`]).
+    pub fn delivered(&self) -> usize {
+        self.metrics.delivered
+    }
+
+    /// Packets the last transmit phase moved (see
+    /// [`Engine::arrivals_len`]; mailboxes stay intact until the next
+    /// transmit).
+    pub fn arrivals_len(&self) -> usize {
+        if self.ordered {
+            self.shards
+                .iter()
+                .map(|s| s.lock().expect("shard mutex").buf.len())
+                .sum()
+        } else {
+            self.merged.len()
+        }
+    }
+
     /// Per-link traversal counts in **global** link-id order, assembled
     /// from the shard engines (mirrors [`Engine::link_loads`]).
     pub fn link_loads(&self) -> Vec<u32> {
@@ -487,12 +508,39 @@ impl ShardedEngine {
     /// the lockstep counterpart of [`Engine::run`], bit-identical to it
     /// on the whole network.
     pub fn run<P: Protocol>(&mut self, proto: &mut P) -> RunOutcome {
+        self.run_traced(proto, &mut NoopSink)
+    }
+
+    /// [`ShardedEngine::run`] reporting to a [`TraceSink`] — phase
+    /// windows, per-shard transmit splits and boundary-crossing counts,
+    /// fault applications and per-step samples. With [`NoopSink`] this
+    /// monomorphizes to exactly the untraced loop; the observed run is
+    /// bit-identical either way (sinks cannot mutate the engines).
+    pub fn run_traced<P: Protocol, S: TraceSink + ?Sized>(
+        &mut self,
+        proto: &mut P,
+        sink: &mut S,
+    ) -> RunOutcome {
         let mut out = Outbox::default();
+        let before = self.metrics.delivered;
 
         // Step 0: process injections in order (drained in place).
+        sink.on_phase_start(Phase::Process);
         self.process_pending(proto, 0, &mut out);
+        sink.on_phase_end(Phase::Process);
         self.step_finish();
         proto.on_step_end(0);
+        let mut last_delivered = self.metrics.delivered;
+        if sink.enabled() {
+            sink.on_step_end(&StepSample {
+                step: 0,
+                in_flight: self.in_flight,
+                arrivals: 0,
+                deliveries: last_delivered - before,
+                max_queue_len: self.max_queue_len(),
+                backlog: 0,
+            });
+        }
 
         let mut step: u32 = 0;
         while self.in_flight > 0 {
@@ -503,11 +551,31 @@ impl ShardedEngine {
                 };
             }
             step += 1;
-            self.step_transmit();
+            sink.on_step_begin(step);
+            self.step_transmit_traced(sink);
+            sink.on_phase_start(Phase::Process);
             self.process_arrivals(proto, step, &mut out);
+            sink.on_phase_end(Phase::Process);
             proto.on_step_end(step);
             self.step_finish();
             self.note_queued_step();
+            if sink.enabled() {
+                let arrivals = if self.ordered {
+                    (0..self.k).map(|s| self.shard_mut(s).buf.len()).sum()
+                } else {
+                    self.merged.len()
+                };
+                let delivered = self.metrics.delivered;
+                sink.on_step_end(&StepSample {
+                    step,
+                    in_flight: self.in_flight,
+                    arrivals,
+                    deliveries: delivered - last_delivered,
+                    max_queue_len: self.max_queue_len(),
+                    backlog: 0,
+                });
+                last_delivered = delivered;
+            }
         }
 
         RunOutcome {
@@ -539,6 +607,13 @@ impl ShardedEngine {
     /// [`Engine::step_transmit`]; arrivals are consumed by
     /// [`ShardedEngine::process_arrivals`].
     pub fn step_transmit(&mut self) {
+        self.step_transmit_traced(&mut NoopSink);
+    }
+
+    /// [`ShardedEngine::step_transmit`] reporting fault applications,
+    /// the transmit/exchange phase windows and per-shard splits to a
+    /// [`TraceSink`] (compiles to the untraced phase under [`NoopSink`]).
+    pub fn step_transmit_traced<S: TraceSink + ?Sized>(&mut self, sink: &mut S) {
         self.clock += 1;
         if self.faults.is_some() {
             let Self {
@@ -549,13 +624,25 @@ impl ShardedEngine {
                 ..
             } = self;
             let sched = faults.as_mut().expect("checked above");
-            sched.advance(*clock, |link, blocked| {
-                Self::apply_link_blocked(link_owner, shards, link, blocked);
-            });
+            let clock = *clock;
+            if sink.enabled() {
+                sched.advance(clock, |link, blocked| {
+                    Self::apply_link_blocked(link_owner, shards, link, blocked);
+                    sink.on_fault(clock, link, blocked);
+                });
+            } else {
+                sched.advance(clock, |link, blocked| {
+                    Self::apply_link_blocked(link_owner, shards, link, blocked);
+                });
+            }
         }
-        self.transmit_all();
+        sink.on_phase_start(Phase::Transmit);
+        self.transmit_all(sink);
+        sink.on_phase_end(Phase::Transmit);
         if !self.ordered {
+            sink.on_phase_start(Phase::Exchange);
             self.merge_mailboxes();
+            sink.on_phase_end(Phase::Exchange);
         }
     }
 
@@ -585,8 +672,11 @@ impl ShardedEngine {
     /// Transmit phase across all shards — over the worker pool (one
     /// shard per worker) when configured and worthwhile, inline
     /// otherwise. Both paths produce identical mailboxes: shards do not
-    /// interact during transmit.
-    fn transmit_all(&mut self) {
+    /// interact during transmit. Per-shard phase windows and
+    /// boundary-crossing counts are reported only on the inline path
+    /// (sinks are not `Sync`); the pooled path still gets the
+    /// whole-phase window from the caller.
+    fn transmit_all<S: TraceSink + ?Sized>(&mut self, sink: &mut S) {
         let parallel =
             self.cfg.threads > 1 && self.k > 1 && self.in_flight >= PARALLEL_MIN_PER_SHARD * self.k;
         if parallel {
@@ -604,6 +694,32 @@ impl ShardedEngine {
                     s += workers;
                 }
             });
+        } else if sink.enabled() {
+            for s in 0..self.k {
+                sink.on_shard_phase_start(s, Phase::Transmit);
+                self.shard_mut(s).transmit();
+                sink.on_shard_phase_end(s, Phase::Transmit);
+                // Boundary-crossing volume: mailbox packets whose head
+                // node is owned by another shard (the traffic the
+                // exchange actually moves across the partition).
+                let Self {
+                    shards,
+                    shard_link_head,
+                    node_owner,
+                    ..
+                } = self;
+                let heads = &shard_link_head[s];
+                let crossing = shards[s]
+                    .get_mut()
+                    .expect("shard mutex")
+                    .buf
+                    .iter()
+                    .filter(|&&(local, _)| {
+                        (node_owner[heads[local as usize] as usize] >> COORD_BITS) as usize != s
+                    })
+                    .count();
+                sink.on_boundary(s, crossing);
+            }
         } else {
             for s in 0..self.k {
                 self.shard_mut(s).transmit();

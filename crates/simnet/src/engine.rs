@@ -49,6 +49,7 @@ use crate::metrics::Metrics;
 use crate::packet::Packet;
 use crate::protocol::{Outbox, Protocol};
 use crate::queue::{Discipline, LinkQueue, PacketPool, Selection, NIL};
+use crate::trace::{NoopSink, Phase, StepSample, TraceSink};
 use crate::worker::WorkerPool;
 use lnpram_topology::Network;
 use std::sync::Mutex;
@@ -373,12 +374,38 @@ impl Engine {
 
     /// Run the protocol until all queues drain or `max_steps` elapse.
     pub fn run<P: Protocol>(&mut self, proto: &mut P) -> RunOutcome {
+        self.run_traced(proto, &mut NoopSink)
+    }
+
+    /// [`Engine::run`] reporting to a [`TraceSink`]. With [`NoopSink`]
+    /// this monomorphizes to exactly the untraced loop (every callback
+    /// is an empty `#[inline]` body and the sample-assembly block is
+    /// gated on a compile-time-`false` `enabled()`).
+    pub fn run_traced<P: Protocol, S: TraceSink + ?Sized>(
+        &mut self,
+        proto: &mut P,
+        sink: &mut S,
+    ) -> RunOutcome {
         let mut out = Outbox::default();
+        let before = self.metrics.delivered;
 
         // Step 0: process injections (drained in place, buffer kept).
+        sink.on_phase_start(Phase::Process);
         self.process_pending(proto, 0, &mut out);
+        sink.on_phase_end(Phase::Process);
         self.step_finish();
         proto.on_step_end(0);
+        let mut last_delivered = self.metrics.delivered;
+        if sink.enabled() {
+            sink.on_step_end(&StepSample {
+                step: 0,
+                in_flight: self.in_flight,
+                arrivals: 0,
+                deliveries: last_delivered - before,
+                max_queue_len: self.max_queue_len(),
+                backlog: 0,
+            });
+        }
 
         let mut step: u32 = 0;
         while self.in_flight > 0 {
@@ -389,12 +416,27 @@ impl Engine {
                 };
             }
             step += 1;
+            sink.on_step_begin(step);
 
-            self.step_transmit();
+            self.step_transmit_traced(sink);
+            sink.on_phase_start(Phase::Process);
             self.process_arrivals(proto, step, &mut out);
+            sink.on_phase_end(Phase::Process);
             proto.on_step_end(step);
             self.step_finish();
             self.note_queued_step();
+            if sink.enabled() {
+                let delivered = self.metrics.delivered;
+                sink.on_step_end(&StepSample {
+                    step,
+                    in_flight: self.in_flight,
+                    arrivals: self.arrivals.len(),
+                    deliveries: delivered - last_delivered,
+                    max_queue_len: self.max_queue_len(),
+                    backlog: 0,
+                });
+                last_delivered = delivered;
+            }
         }
 
         RunOutcome {
@@ -489,11 +531,27 @@ impl Engine {
     /// extracted packets are readable via [`Engine::arrivals`] until the
     /// next transmit; the in-flight count is decremented here.
     pub fn step_transmit(&mut self) {
+        self.step_transmit_traced(&mut NoopSink);
+    }
+
+    /// [`Engine::step_transmit`] reporting fault applications, the
+    /// transmit phase window and the arrival count to a [`TraceSink`]
+    /// (compiles to the untraced phase under [`NoopSink`]).
+    pub fn step_transmit_traced<S: TraceSink + ?Sized>(&mut self, sink: &mut S) {
         self.clock += 1;
         if let Some(faults) = &mut self.faults {
             let blocked = &mut self.blocked;
-            faults.advance(self.clock, |l, b| blocked[l] = b);
+            let clock = self.clock;
+            if sink.enabled() {
+                faults.advance(clock, |l, b| {
+                    blocked[l] = b;
+                    sink.on_fault(clock, l, b);
+                });
+            } else {
+                faults.advance(clock, |l, b| blocked[l] = b);
+            }
         }
+        sink.on_phase_start(Phase::Transmit);
         self.arrivals.clear();
         let use_parallel = self.cfg.threads > 1 && self.active.len() >= self.cfg.parallel_threshold;
         if use_parallel {
@@ -503,6 +561,8 @@ impl Engine {
         }
         self.in_flight -= self.arrivals.len();
         self.sorted_len = self.active.len();
+        sink.on_phase_end(Phase::Transmit);
+        sink.on_transmit(self.clock, self.arrivals.len());
     }
 
     /// This step's extracted packets as `(link id, packet)` in ascending
@@ -699,6 +759,20 @@ impl Engine {
     /// Packets still queued (useful after an incomplete run).
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Packets delivered since the last reset — live mid-run, so
+    /// external step drivers (the serve loop) can sample per-step
+    /// delivery counts from the delta between boundaries.
+    pub fn delivered(&self) -> usize {
+        self.metrics.delivered
+    }
+
+    /// Packets the last transmit phase moved (the arrival buffer stays
+    /// intact until the next transmit, so external step drivers can
+    /// sample it after [`Engine::process_arrivals`]).
+    pub fn arrivals_len(&self) -> usize {
+        self.arrivals.len()
     }
 
     /// Drain every queue, returning the stranded packets (used by the

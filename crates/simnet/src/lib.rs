@@ -32,6 +32,7 @@ pub mod metrics;
 pub mod packet;
 pub mod protocol;
 pub mod queue;
+pub mod trace;
 pub mod worker;
 
 pub use demux::{TagDemux, TagMetrics};
@@ -41,3 +42,7 @@ pub use metrics::Metrics;
 pub use packet::Packet;
 pub use protocol::{Outbox, Protocol};
 pub use queue::Discipline;
+pub use trace::{
+    Fanout, FlightRecorder, NoopSink, Phase, PhaseProfiler, ServeEvent, ServeEventLog, StepSample,
+    TraceSink,
+};

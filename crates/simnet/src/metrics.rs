@@ -83,14 +83,13 @@ impl Metrics {
         max / mean
     }
 
-    /// Latency digest (panics if nothing was delivered).
+    /// Latency digest, computed in O(buckets) straight from the latency
+    /// histogram (no per-packet materialization — the old implementation
+    /// allocated one `f64` per delivered packet, O(total) at bench
+    /// scale). Returns the documented all-zero [`Summary::empty`] when
+    /// nothing was delivered instead of panicking.
     pub fn latency_summary(&self) -> Summary {
-        let values: Vec<f64> = self
-            .latency
-            .buckets()
-            .flat_map(|(lo, c)| std::iter::repeat_n(lo as f64, c as usize))
-            .collect();
-        Summary::of(&values)
+        Summary::from_histogram(&self.latency)
     }
 }
 
@@ -152,5 +151,15 @@ mod tests {
         assert_eq!(sum.count, 3);
         assert_eq!(sum.min, 5.0);
         assert_eq!(sum.max, 7.0);
+    }
+
+    /// No deliveries must yield the documented zero-count digest, not a
+    /// panic (serve runs with a zero-packet trace hit this path).
+    #[test]
+    fn latency_summary_empty_is_zero_count() {
+        let m = Metrics::default();
+        let sum = m.latency_summary();
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum, Summary::empty());
     }
 }

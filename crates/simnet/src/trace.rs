@@ -1,0 +1,852 @@
+//! Deterministic telemetry: the [`TraceSink`] hook and its built-in
+//! sinks.
+//!
+//! The engine's step loop reports what it does — phase boundaries,
+//! transmitted arrivals, fault applications, per-step state samples —
+//! to a [`TraceSink`]. Three properties make this safe to leave wired
+//! into the hot path:
+//!
+//! * **Zero cost when off.** Every instrumented entry point is generic
+//!   over `S: TraceSink`; the untraced methods delegate with
+//!   [`NoopSink`], whose [`enabled`](TraceSink::enabled) returns a
+//!   compile-time `false`. After monomorphization the no-op calls and
+//!   every `sink.enabled()`-gated block constant-fold away, so the
+//!   untraced loop compiles to exactly the uninstrumented code.
+//! * **Observation only.** A sink receives copies of counters and
+//!   samples; it cannot mutate engine state, so any run is bit-identical
+//!   with any sink installed (property-pinned in
+//!   `tests/trace_neutrality.rs` of `lnpram-routing`).
+//! * **Sinks own their clocks.** Wall-clock reads happen inside the
+//!   [`PhaseProfiler`]'s callbacks, not in the engine, so sinks that
+//!   don't profile never touch `Instant`.
+//!
+//! Built-in sinks: [`FlightRecorder`] (bounded ring buffer of per-step
+//! [`StepSample`]s + per-shard boundary counts, JSON export),
+//! [`PhaseProfiler`] (wall-clock per [`Phase`], total and per shard),
+//! and [`ServeEventLog`] (JSONL log of [`ServeEvent`]s from the serve
+//! layer). [`Fanout`] tees one run into two sinks.
+
+use crate::fault::Fault;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// The engine phases a [`TraceSink`] can time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Link transmit: every active link pops ≤ 1 packet.
+    Transmit,
+    /// Sharded-only: merging boundary mailboxes across shards.
+    Exchange,
+    /// Protocol callbacks over this step's arrivals (and injections).
+    Process,
+    /// Serve-only: the admission boundary (due ops + buffered requests).
+    Admit,
+}
+
+impl Phase {
+    /// All phases, in [`Phase::index`] order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Transmit,
+        Phase::Exchange,
+        Phase::Process,
+        Phase::Admit,
+    ];
+
+    /// Dense index (for per-phase accumulator arrays).
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Transmit => 0,
+            Phase::Exchange => 1,
+            Phase::Process => 2,
+            Phase::Admit => 3,
+        }
+    }
+
+    /// Stable lowercase name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Transmit => "transmit",
+            Phase::Exchange => "exchange",
+            Phase::Process => "process",
+            Phase::Admit => "admit",
+        }
+    }
+}
+
+/// One step's state snapshot, emitted at the end of every step by the
+/// traced run loops (and sampled by the [`FlightRecorder`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepSample {
+    /// Global step number (0 = the injection step).
+    pub step: u32,
+    /// Packets still queued after this step.
+    pub in_flight: usize,
+    /// Packets that traversed a link this step.
+    pub arrivals: usize,
+    /// Packets delivered this step.
+    pub deliveries: usize,
+    /// Longest link queue after this step.
+    pub max_queue_len: usize,
+    /// Serve-only: requests waiting in the admission buffer (0 outside
+    /// the serve loop).
+    pub backlog: usize,
+}
+
+/// One serve-layer event (see [`ServeEventLog`] for the JSONL schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// Request `slot` of `tenant` was admitted: `packets` packets
+    /// injected at `step`.
+    Admit {
+        /// Admission step.
+        step: u32,
+        /// Request slot (index into the trace's requests).
+        slot: usize,
+        /// Owning tenant.
+        tenant: u64,
+        /// Packets the request injected.
+        packets: usize,
+    },
+    /// Request `slot` stayed in the admission buffer at `step`'s
+    /// boundary (backpressure deferral; emitted once per deferred step).
+    Defer {
+        /// Step whose admission boundary deferred the request.
+        step: u32,
+        /// Request slot.
+        slot: usize,
+        /// Owning tenant.
+        tenant: u64,
+    },
+    /// Request `slot` was rejected with a typed reason.
+    Reject {
+        /// Rejection step.
+        step: u32,
+        /// Request slot.
+        slot: usize,
+        /// Owning tenant.
+        tenant: u64,
+        /// `"tenant_inactive"` or `"overloaded"`.
+        reason: &'static str,
+    },
+    /// Tenant joined (became admissible) at `step`.
+    TenantJoin {
+        /// Join step.
+        step: u32,
+        /// Tenant id.
+        tenant: u64,
+    },
+    /// Tenant left at `step` (in-flight work still delivers).
+    TenantLeave {
+        /// Leave step.
+        step: u32,
+        /// Tenant id.
+        tenant: u64,
+    },
+    /// A scripted fault entry (scheduled at `step`; `kind` names the
+    /// [`Fault`] variant, `target` the link or node id, `period` the
+    /// degrade duty cycle — 0 for non-degrade faults).
+    Fault {
+        /// Scheduled step.
+        step: u32,
+        /// Fault variant name.
+        kind: &'static str,
+        /// Link or node id the fault targets.
+        target: usize,
+        /// Degrade period (0 unless `kind == "link_degrade"`).
+        period: u32,
+    },
+    /// All of request `slot`'s packets delivered; `latency` is the
+    /// admission-to-last-delivery step count.
+    Complete {
+        /// Step of the request's last delivery.
+        step: u32,
+        /// Request slot.
+        slot: usize,
+        /// Owning tenant.
+        tenant: u64,
+        /// Admission-to-delivery latency in steps.
+        latency: u32,
+    },
+}
+
+impl ServeEvent {
+    /// The [`ServeEvent::Fault`] record for a scripted `fault` at `step`.
+    pub fn fault(step: u32, fault: &Fault) -> Self {
+        let (kind, target, period) = match *fault {
+            Fault::LinkFail { link } => ("link_fail", link, 0),
+            Fault::LinkDegrade { link, period } => ("link_degrade", link, period),
+            Fault::LinkRecover { link } => ("link_recover", link, 0),
+            Fault::NodeFail { node } => ("node_fail", node, 0),
+            Fault::NodeRecover { node } => ("node_recover", node, 0),
+        };
+        ServeEvent::Fault {
+            step,
+            kind,
+            target,
+            period,
+        }
+    }
+
+    /// Stable lowercase event name (the JSONL `"event"` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeEvent::Admit { .. } => "admit",
+            ServeEvent::Defer { .. } => "defer",
+            ServeEvent::Reject { .. } => "reject",
+            ServeEvent::TenantJoin { .. } => "tenant_join",
+            ServeEvent::TenantLeave { .. } => "tenant_leave",
+            ServeEvent::Fault { .. } => "fault",
+            ServeEvent::Complete { .. } => "complete",
+        }
+    }
+
+    /// The event's step field.
+    pub fn step(&self) -> u32 {
+        match *self {
+            ServeEvent::Admit { step, .. }
+            | ServeEvent::Defer { step, .. }
+            | ServeEvent::Reject { step, .. }
+            | ServeEvent::TenantJoin { step, .. }
+            | ServeEvent::TenantLeave { step, .. }
+            | ServeEvent::Fault { step, .. }
+            | ServeEvent::Complete { step, .. } => step,
+        }
+    }
+
+    /// One JSONL line (no trailing newline). Every value is a number or
+    /// a fixed identifier, so no string escaping is needed.
+    pub fn to_json_line(&self) -> String {
+        match *self {
+            ServeEvent::Admit {
+                step,
+                slot,
+                tenant,
+                packets,
+            } => format!(
+                "{{\"event\": \"admit\", \"step\": {step}, \"slot\": {slot}, \
+                 \"tenant\": {tenant}, \"packets\": {packets}}}"
+            ),
+            ServeEvent::Defer { step, slot, tenant } => format!(
+                "{{\"event\": \"defer\", \"step\": {step}, \"slot\": {slot}, \
+                 \"tenant\": {tenant}}}"
+            ),
+            ServeEvent::Reject {
+                step,
+                slot,
+                tenant,
+                reason,
+            } => format!(
+                "{{\"event\": \"reject\", \"step\": {step}, \"slot\": {slot}, \
+                 \"tenant\": {tenant}, \"reason\": \"{reason}\"}}"
+            ),
+            ServeEvent::TenantJoin { step, tenant } => {
+                format!("{{\"event\": \"tenant_join\", \"step\": {step}, \"tenant\": {tenant}}}")
+            }
+            ServeEvent::TenantLeave { step, tenant } => {
+                format!("{{\"event\": \"tenant_leave\", \"step\": {step}, \"tenant\": {tenant}}}")
+            }
+            ServeEvent::Fault {
+                step,
+                kind,
+                target,
+                period,
+            } => format!(
+                "{{\"event\": \"fault\", \"step\": {step}, \"kind\": \"{kind}\", \
+                 \"target\": {target}, \"period\": {period}}}"
+            ),
+            ServeEvent::Complete {
+                step,
+                slot,
+                tenant,
+                latency,
+            } => format!(
+                "{{\"event\": \"complete\", \"step\": {step}, \"slot\": {slot}, \
+                 \"tenant\": {tenant}, \"latency\": {latency}}}"
+            ),
+        }
+    }
+}
+
+/// Observer of a traced run. Every method has an empty default, so a
+/// sink implements only what it consumes; all callbacks are
+/// observation-only (no way to mutate the run).
+///
+/// The trait is object-safe — `&mut dyn TraceSink` flows through the
+/// object-safe `Router`/`Serve` traits into the generic engine methods
+/// via the blanket `impl TraceSink for &mut T`.
+pub trait TraceSink {
+    /// `false` lets the instrumented loop skip sample assembly entirely
+    /// ([`NoopSink`] returns a compile-time `false`, so the gated blocks
+    /// constant-fold away under monomorphization). Default: `true`.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A new step is starting (called before its transmit phase).
+    #[inline]
+    fn on_step_begin(&mut self, step: u32) {
+        let _ = step;
+    }
+
+    /// `phase` is starting (whole-engine scope).
+    #[inline]
+    fn on_phase_start(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// `phase` finished (whole-engine scope).
+    #[inline]
+    fn on_phase_end(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// `phase` is starting on one shard (sharded inline transmit only).
+    #[inline]
+    fn on_shard_phase_start(&mut self, shard: usize, phase: Phase) {
+        let _ = (shard, phase);
+    }
+
+    /// `phase` finished on one shard.
+    #[inline]
+    fn on_shard_phase_end(&mut self, shard: usize, phase: Phase) {
+        let _ = (shard, phase);
+    }
+
+    /// The transmit phase of `step` moved `arrivals` packets.
+    #[inline]
+    fn on_transmit(&mut self, step: u32, arrivals: usize) {
+        let _ = (step, arrivals);
+    }
+
+    /// A fault schedule flipped `link` to `blocked` at `step`.
+    #[inline]
+    fn on_fault(&mut self, step: u32, link: usize, blocked: bool) {
+        let _ = (step, link, blocked);
+    }
+
+    /// Shard `shard` published `packets` boundary packets this step.
+    #[inline]
+    fn on_boundary(&mut self, shard: usize, packets: usize) {
+        let _ = (shard, packets);
+    }
+
+    /// End-of-step snapshot (only emitted when [`enabled`](Self::enabled)
+    /// — assembling the sample costs a queue scan).
+    #[inline]
+    fn on_step_end(&mut self, sample: &StepSample) {
+        let _ = sample;
+    }
+
+    /// A serve-layer event (admissions, deferrals, faults, completions).
+    #[inline]
+    fn on_serve_event(&mut self, event: &ServeEvent) {
+        let _ = event;
+    }
+}
+
+/// The disabled sink: every callback is empty and
+/// [`enabled`](TraceSink::enabled) is a compile-time `false`, so the
+/// untraced entry points (which delegate to the traced ones with this
+/// sink) compile to exactly the uninstrumented loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Forward through mutable references, so `&mut dyn TraceSink` (and
+/// `&mut ConcreteSink`) can be passed anywhere an `S: TraceSink` is
+/// expected.
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    #[inline]
+    fn on_step_begin(&mut self, step: u32) {
+        (**self).on_step_begin(step);
+    }
+    #[inline]
+    fn on_phase_start(&mut self, phase: Phase) {
+        (**self).on_phase_start(phase);
+    }
+    #[inline]
+    fn on_phase_end(&mut self, phase: Phase) {
+        (**self).on_phase_end(phase);
+    }
+    #[inline]
+    fn on_shard_phase_start(&mut self, shard: usize, phase: Phase) {
+        (**self).on_shard_phase_start(shard, phase);
+    }
+    #[inline]
+    fn on_shard_phase_end(&mut self, shard: usize, phase: Phase) {
+        (**self).on_shard_phase_end(shard, phase);
+    }
+    #[inline]
+    fn on_transmit(&mut self, step: u32, arrivals: usize) {
+        (**self).on_transmit(step, arrivals);
+    }
+    #[inline]
+    fn on_fault(&mut self, step: u32, link: usize, blocked: bool) {
+        (**self).on_fault(step, link, blocked);
+    }
+    #[inline]
+    fn on_boundary(&mut self, shard: usize, packets: usize) {
+        (**self).on_boundary(shard, packets);
+    }
+    #[inline]
+    fn on_step_end(&mut self, sample: &StepSample) {
+        (**self).on_step_end(sample);
+    }
+    #[inline]
+    fn on_serve_event(&mut self, event: &ServeEvent) {
+        (**self).on_serve_event(event);
+    }
+}
+
+/// Tee: forwards every callback to both sinks (e.g. a
+/// [`FlightRecorder`] and a [`PhaseProfiler`] over one run).
+#[derive(Debug, Default)]
+pub struct Fanout<A, B> {
+    /// First sink.
+    pub a: A,
+    /// Second sink.
+    pub b: B,
+}
+
+impl<A: TraceSink, B: TraceSink> Fanout<A, B> {
+    /// Tee `a` and `b`.
+    pub fn new(a: A, b: B) -> Self {
+        Fanout { a, b }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Fanout<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+    #[inline]
+    fn on_step_begin(&mut self, step: u32) {
+        self.a.on_step_begin(step);
+        self.b.on_step_begin(step);
+    }
+    #[inline]
+    fn on_phase_start(&mut self, phase: Phase) {
+        self.a.on_phase_start(phase);
+        self.b.on_phase_start(phase);
+    }
+    #[inline]
+    fn on_phase_end(&mut self, phase: Phase) {
+        self.a.on_phase_end(phase);
+        self.b.on_phase_end(phase);
+    }
+    #[inline]
+    fn on_shard_phase_start(&mut self, shard: usize, phase: Phase) {
+        self.a.on_shard_phase_start(shard, phase);
+        self.b.on_shard_phase_start(shard, phase);
+    }
+    #[inline]
+    fn on_shard_phase_end(&mut self, shard: usize, phase: Phase) {
+        self.a.on_shard_phase_end(shard, phase);
+        self.b.on_shard_phase_end(shard, phase);
+    }
+    #[inline]
+    fn on_transmit(&mut self, step: u32, arrivals: usize) {
+        self.a.on_transmit(step, arrivals);
+        self.b.on_transmit(step, arrivals);
+    }
+    #[inline]
+    fn on_fault(&mut self, step: u32, link: usize, blocked: bool) {
+        self.a.on_fault(step, link, blocked);
+        self.b.on_fault(step, link, blocked);
+    }
+    #[inline]
+    fn on_boundary(&mut self, shard: usize, packets: usize) {
+        self.a.on_boundary(shard, packets);
+        self.b.on_boundary(shard, packets);
+    }
+    #[inline]
+    fn on_step_end(&mut self, sample: &StepSample) {
+        self.a.on_step_end(sample);
+        self.b.on_step_end(sample);
+    }
+    #[inline]
+    fn on_serve_event(&mut self, event: &ServeEvent) {
+        self.a.on_serve_event(event);
+        self.b.on_serve_event(event);
+    }
+}
+
+/// Bounded ring-buffer flight recorder: keeps the last `capacity`
+/// sampled [`StepSample`]s (every `stride`-th step), cumulative
+/// per-shard boundary-packet counts and the fault-application count.
+/// [`to_json`](FlightRecorder::to_json) exports the whole recording.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    stride: u32,
+    capacity: usize,
+    samples: VecDeque<StepSample>,
+    /// Samples dropped off the front of the ring (so exports are honest
+    /// about truncation).
+    dropped: u64,
+    /// Cumulative boundary packets per shard (index = shard id).
+    boundary: Vec<u64>,
+    faults: u64,
+}
+
+impl FlightRecorder {
+    /// Recorder sampling every `stride`-th step (`stride >= 1`), keeping
+    /// the most recent `capacity` samples (`capacity >= 1`).
+    pub fn new(stride: u32, capacity: usize) -> Self {
+        FlightRecorder {
+            stride: stride.max(1),
+            capacity: capacity.max(1),
+            samples: VecDeque::new(),
+            dropped: 0,
+            boundary: Vec::new(),
+            faults: 0,
+        }
+    }
+
+    /// The recorded samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &StepSample> {
+        self.samples.iter()
+    }
+
+    /// Cumulative boundary packets per shard (empty for serial runs).
+    pub fn boundary_packets(&self) -> &[u64] {
+        &self.boundary
+    }
+
+    /// Fault applications observed.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    /// Samples evicted from the ring (recording ran longer than
+    /// `capacity × stride` steps).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Reset the recording (stride/capacity kept) for reuse across runs.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.dropped = 0;
+        self.boundary.clear();
+        self.faults = 0;
+    }
+
+    /// Export the recording as one JSON object: sampling parameters,
+    /// the per-step series (arrays per field, index-aligned), per-shard
+    /// boundary totals and the fault count. All values are numbers.
+    pub fn to_json(&self) -> String {
+        let col = |f: &dyn Fn(&StepSample) -> u64| {
+            let vals: Vec<String> = self.samples.iter().map(|s| f(s).to_string()).collect();
+            vals.join(", ")
+        };
+        let boundary: Vec<String> = self.boundary.iter().map(|b| b.to_string()).collect();
+        format!(
+            "{{\n  \"stride\": {},\n  \"capacity\": {},\n  \"dropped\": {},\n  \
+             \"steps\": [{}],\n  \"in_flight\": [{}],\n  \"arrivals\": [{}],\n  \
+             \"deliveries\": [{}],\n  \"max_queue_len\": [{}],\n  \"backlog\": [{}],\n  \
+             \"boundary_packets\": [{}],\n  \"faults\": {}\n}}\n",
+            self.stride,
+            self.capacity,
+            self.dropped,
+            col(&|s| u64::from(s.step)),
+            col(&|s| s.in_flight as u64),
+            col(&|s| s.arrivals as u64),
+            col(&|s| s.deliveries as u64),
+            col(&|s| s.max_queue_len as u64),
+            col(&|s| s.backlog as u64),
+            boundary.join(", "),
+            self.faults
+        )
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn on_step_end(&mut self, sample: &StepSample) {
+        if !sample.step.is_multiple_of(self.stride) {
+            return;
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(*sample);
+    }
+
+    fn on_boundary(&mut self, shard: usize, packets: usize) {
+        if shard >= self.boundary.len() {
+            self.boundary.resize(shard + 1, 0);
+        }
+        self.boundary[shard] += packets as u64;
+    }
+
+    fn on_fault(&mut self, _step: u32, _link: usize, _blocked: bool) {
+        self.faults += 1;
+    }
+}
+
+/// Wall-clock profile of the engine phases, total and per shard — the
+/// tool for localizing where a sharded run's time goes (transmit vs
+/// exchange vs process; which shard's transmit dominates).
+///
+/// The profiler reads `Instant::now()` inside its own callbacks, so
+/// unprofiled runs never touch the clock. Phase windows nest per scope
+/// (whole-engine vs per-shard), not across scopes.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfiler {
+    phase_ns: [u64; 4],
+    open: [Option<Instant>; 4],
+    shard_ns: Vec<[u64; 4]>,
+    shard_open: Vec<[Option<Instant>; 4]>,
+    steps: u64,
+}
+
+impl PhaseProfiler {
+    /// Fresh profiler (all accumulators zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated nanoseconds in `phase` (whole-engine scope).
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase.index()]
+    }
+
+    /// Accumulated nanoseconds of `phase` on `shard` (0 if never seen).
+    pub fn shard_nanos(&self, shard: usize, phase: Phase) -> u64 {
+        self.shard_ns.get(shard).map_or(0, |ns| ns[phase.index()])
+    }
+
+    /// Shards observed (0 for serial runs).
+    pub fn num_shards(&self) -> usize {
+        self.shard_ns.len()
+    }
+
+    /// Steps observed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Human-readable per-phase breakdown (and per-shard transmit split
+    /// when shards were observed).
+    pub fn report(&self) -> String {
+        let total: u64 = self.phase_ns.iter().sum();
+        let mut out = format!("phase profile over {} steps:\n", self.steps);
+        for phase in Phase::ALL {
+            let ns = self.phase_ns[phase.index()];
+            if ns == 0 {
+                continue;
+            }
+            let pct = if total > 0 {
+                ns as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<9} {:>10.3} ms  {:>5.1}%\n",
+                phase.name(),
+                ns as f64 / 1e6,
+                pct
+            ));
+        }
+        for (shard, ns) in self.shard_ns.iter().enumerate() {
+            let shard_total: u64 = ns.iter().sum();
+            if shard_total == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  shard {:<3} {:>10.3} ms\n",
+                shard,
+                shard_total as f64 / 1e6
+            ));
+        }
+        out
+    }
+}
+
+impl TraceSink for PhaseProfiler {
+    fn on_step_begin(&mut self, _step: u32) {
+        self.steps += 1;
+    }
+
+    fn on_phase_start(&mut self, phase: Phase) {
+        self.open[phase.index()] = Some(Instant::now());
+    }
+
+    fn on_phase_end(&mut self, phase: Phase) {
+        if let Some(start) = self.open[phase.index()].take() {
+            self.phase_ns[phase.index()] += start.elapsed().as_nanos() as u64;
+        }
+    }
+
+    fn on_shard_phase_start(&mut self, shard: usize, phase: Phase) {
+        if shard >= self.shard_open.len() {
+            self.shard_open.resize(shard + 1, [None; 4]);
+            self.shard_ns.resize(shard + 1, [0; 4]);
+        }
+        self.shard_open[shard][phase.index()] = Some(Instant::now());
+    }
+
+    fn on_shard_phase_end(&mut self, shard: usize, phase: Phase) {
+        if let Some(start) = self
+            .shard_open
+            .get_mut(shard)
+            .and_then(|o| o[phase.index()].take())
+        {
+            self.shard_ns[shard][phase.index()] += start.elapsed().as_nanos() as u64;
+        }
+    }
+}
+
+/// In-memory serve event log: collects every [`ServeEvent`] of a run
+/// and exports the documented JSONL schema (one object per line, fixed
+/// `"event"` discriminator — see [`ServeEvent::to_json_line`]).
+#[derive(Debug, Clone, Default)]
+pub struct ServeEventLog {
+    events: Vec<ServeEvent>,
+}
+
+impl ServeEventLog {
+    /// Fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected events, in emission order.
+    pub fn events(&self) -> &[ServeEvent] {
+        &self.events
+    }
+
+    /// Drop all collected events (for reuse across runs).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// The whole log as JSONL (one event per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for ServeEventLog {
+    fn on_serve_event(&mut self, event: &ServeEvent) {
+        self.events.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        assert!(!NoopSink.enabled());
+        // The blanket &mut impl forwards `enabled`.
+        let mut sink = NoopSink;
+        let via_ref: &mut dyn TraceSink = &mut sink;
+        assert!(!via_ref.enabled());
+        assert!(FlightRecorder::new(1, 4).enabled());
+    }
+
+    #[test]
+    fn flight_recorder_ring_and_stride() {
+        let mut rec = FlightRecorder::new(2, 3);
+        for step in 0..10u32 {
+            rec.on_step_end(&StepSample {
+                step,
+                in_flight: step as usize,
+                ..StepSample::default()
+            });
+        }
+        // Steps 0,2,4,6,8 sampled; ring keeps the last 3 (4,6,8).
+        let steps: Vec<u32> = rec.samples().map(|s| s.step).collect();
+        assert_eq!(steps, vec![4, 6, 8]);
+        assert_eq!(rec.dropped(), 2);
+        rec.on_boundary(1, 5);
+        rec.on_boundary(1, 2);
+        rec.on_fault(3, 0, true);
+        assert_eq!(rec.boundary_packets(), &[0, 7]);
+        assert_eq!(rec.fault_count(), 1);
+        let json = rec.to_json();
+        assert!(json.contains("\"steps\": [4, 6, 8]"));
+        assert!(json.contains("\"boundary_packets\": [0, 7]"));
+        rec.clear();
+        assert_eq!(rec.samples().count(), 0);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn profiler_accumulates_phase_windows() {
+        let mut prof = PhaseProfiler::new();
+        prof.on_step_begin(1);
+        prof.on_phase_start(Phase::Transmit);
+        prof.on_phase_end(Phase::Transmit);
+        prof.on_shard_phase_start(2, Phase::Transmit);
+        prof.on_shard_phase_end(2, Phase::Transmit);
+        // Unmatched end is ignored, not a panic.
+        prof.on_phase_end(Phase::Process);
+        assert_eq!(prof.steps(), 1);
+        assert_eq!(prof.num_shards(), 3);
+        assert_eq!(prof.phase_nanos(Phase::Process), 0);
+        assert!(prof.report().contains("phase profile over 1 steps"));
+    }
+
+    #[test]
+    fn serve_event_jsonl_schema() {
+        let mut log = ServeEventLog::new();
+        log.on_serve_event(&ServeEvent::Admit {
+            step: 3,
+            slot: 0,
+            tenant: 7,
+            packets: 16,
+        });
+        log.on_serve_event(&ServeEvent::fault(
+            1,
+            &Fault::LinkDegrade { link: 9, period: 2 },
+        ));
+        log.on_serve_event(&ServeEvent::Complete {
+            step: 20,
+            slot: 0,
+            tenant: 7,
+            latency: 17,
+        });
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"event\": \"admit\""));
+        assert!(lines[1].contains("\"kind\": \"link_degrade\""));
+        assert!(lines[1].contains("\"period\": 2"));
+        assert!(lines[2].contains("\"latency\": 17"));
+        assert_eq!(log.events()[1].name(), "fault");
+        assert_eq!(log.events()[1].step(), 1);
+    }
+
+    #[test]
+    fn fanout_tees_both_sinks() {
+        let mut tee = Fanout::new(FlightRecorder::new(1, 8), ServeEventLog::new());
+        tee.on_step_end(&StepSample {
+            step: 1,
+            ..StepSample::default()
+        });
+        tee.on_serve_event(&ServeEvent::TenantJoin { step: 0, tenant: 1 });
+        assert_eq!(tee.a.samples().count(), 1);
+        assert_eq!(tee.b.events().len(), 1);
+        assert!(tee.enabled());
+    }
+}

@@ -1,0 +1,102 @@
+//! Observability: tracing a serve run with the built-in sinks.
+//!
+//! One faulted multi-tenant serve run on the butterfly, observed three
+//! ways at once through a single [`TraceSink`] stack:
+//!
+//! 1. **Flight recorder** — per-step series (in-flight, arrivals,
+//!    deliveries, queue watermark, admission backlog) in a bounded
+//!    ring buffer, exportable as JSON;
+//! 2. **Phase profiler** — wall-clock per engine phase (transmit /
+//!    exchange / process / admit), per shard on the sharded engine;
+//! 3. **Serve event log** — every admission, deferral, typed
+//!    rejection, scripted fault and per-request completion as JSONL.
+//!
+//! Tracing is observation-only: the traced run's report is asserted
+//! bit-identical to the untraced run on the same trace.
+//!
+//! ```sh
+//! cargo run --example trace_serve
+//! ```
+
+use lnpram::routing::leveled::LeveledBackend;
+use lnpram::routing::{AdmissionEntry, OpenLoopWorkload, Serve, ServeConfig, ServeSession};
+use lnpram::simnet::{Fanout, Fault, FlightRecorder, PhaseProfiler, ServeEventLog, SimConfig};
+use lnpram::topology::leveled::RadixButterfly;
+
+fn main() {
+    let sim = SimConfig {
+        shards: 4,
+        ..SimConfig::default()
+    };
+    let make = || {
+        ServeSession::new(
+            LeveledBackend::new(RadixButterfly::new(2, 6)),
+            &sim,
+            ServeConfig::default(),
+        )
+    };
+
+    // A faulted admission trace: open-loop arrivals from 3 tenants plus
+    // a link failure at step 2 and its recovery at step 10.
+    let workload = OpenLoopWorkload {
+        tenants: 3,
+        requests: 12,
+        interval: 3,
+        packets_per_request: 8,
+        seed: 42,
+    };
+    let mut session = make();
+    let mut trace = workload.trace(session.num_sources());
+    trace.push(AdmissionEntry::fault(2, Fault::LinkFail { link: 7 }));
+    trace.push(AdmissionEntry::fault(10, Fault::LinkRecover { link: 7 }));
+    trace.sort_by_key(|e| e.step());
+
+    // All three sinks teed into one run.
+    let mut sink = Fanout::new(
+        FlightRecorder::new(1, 256),
+        Fanout::new(PhaseProfiler::new(), ServeEventLog::new()),
+    );
+    let traced = session.run_trace_traced(&trace, &mut sink).expect("serves");
+
+    // Tracing never changes the run: the untraced report is identical.
+    let untraced = make().run_trace(&trace).expect("serves");
+    assert_eq!(traced.schedule(), untraced.schedule());
+    assert_eq!(traced.steps, untraced.steps);
+
+    println!(
+        "serve on {} (sharded ×4): {} requests, {} steps, {} packets delivered\n",
+        session.topology(),
+        traced.requests.len(),
+        traced.steps,
+        traced.metrics.delivered
+    );
+
+    // 1. Flight recorder: the per-step series around the fault window.
+    let recorder = &sink.a;
+    println!("flight recorder ({} samples):", recorder.samples().count());
+    println!("  step  in-flight  arrivals  deliveries  max-queue  backlog");
+    for s in recorder.samples().filter(|s| s.step <= 12) {
+        println!(
+            "  {:>4}  {:>9}  {:>8}  {:>10}  {:>9}  {:>7}",
+            s.step, s.in_flight, s.arrivals, s.deliveries, s.max_queue_len, s.backlog
+        );
+    }
+    println!(
+        "  ... boundary packets per shard: {:?}, faults applied: {}\n",
+        recorder.boundary_packets(),
+        recorder.fault_count()
+    );
+
+    // 2. Phase profiler: where the wall-clock went.
+    print!("{}", sink.b.a.report());
+
+    // 3. Serve event log: the JSONL schema `lnpram serve --trace` writes.
+    let log = &sink.b.b;
+    println!(
+        "\nserve event log ({} events), first 6 lines:",
+        log.events().len()
+    );
+    for line in log.to_jsonl().lines().take(6) {
+        println!("  {line}");
+    }
+}

@@ -33,7 +33,7 @@ use lnpram::routing::{
     ServeConfig, ServeError, ServeSession,
 };
 use lnpram::shard::MAX_SHARDS;
-use lnpram::simnet::SimConfig;
+use lnpram::simnet::{ServeEventLog, SimConfig};
 use lnpram::topology::graph::audit;
 use lnpram::topology::leveled::{audit_unique_paths, RadixButterfly, UnrolledShuffle};
 use lnpram::topology::{DWayShuffle, Mesh, Network, StarGraph};
@@ -207,6 +207,14 @@ COMMANDS
              --policy queue|reject  behavior at capacity          [queue]
              --slo <L>        latency SLO in steps (for the
                               attainment column)                  [64]
+             --trace <path>   write the run's serve event log as JSONL
+                              (admit / defer / reject / tenant_join /
+                              tenant_leave / fault / complete)
+
+  stats    Summarize a serve event log written by serve --trace:
+           per-event counts, admitted packets, completion latency
+           distribution.
+             --trace <path>   the JSONL log to summarize   (required)
 
   emulate  Run a PRAM program through an emulator and verify against the
            reference machine.
@@ -507,7 +515,20 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         packets_per_request: packets,
         seed,
     };
-    let report = serve.run_open_loop(&workload)?;
+    let report = if let Some(trace_path) = flags.get("trace") {
+        // The traced path is the same trace `run_open_loop` materializes
+        // internally, so the report (and every latency in the log's
+        // `complete` events) is bit-identical to the untraced run.
+        let trace = workload.trace(serve.num_sources());
+        let mut log = ServeEventLog::new();
+        let report = serve.run_trace_traced(&trace, &mut log)?;
+        std::fs::write(trace_path, log.to_jsonl())
+            .map_err(|e| CliError::Run(format!("write {trace_path}: {e}")))?;
+        println!("wrote {} serve events to {trace_path}", log.events().len());
+        report
+    } else {
+        serve.run_open_loop(&workload)?
+    };
     let engine = if serve.is_sharded() {
         format!("sharded×{shards}")
     } else {
@@ -554,6 +575,105 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "serve stopped at the {}-step budget with packets still in flight",
             report.steps
         )));
+    }
+    Ok(())
+}
+
+/// Extract `"key"`'s value from one flat JSONL object line: the value
+/// runs to the next `,` or `}`, quotes stripped. Sufficient for the
+/// serve event schema, where every value is a number or a fixed
+/// identifier (never containing `,` or `}`).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let path = flags.get("trace").ok_or(CliError::MissingFlag("trace"))?;
+    let body =
+        std::fs::read_to_string(path).map_err(|e| CliError::Run(format!("read {path}: {e}")))?;
+    const EVENTS: [&str; 7] = [
+        "admit",
+        "defer",
+        "reject",
+        "tenant_join",
+        "tenant_leave",
+        "fault",
+        "complete",
+    ];
+    let mut counts = [0u64; 7];
+    let mut packets = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut rejects: Vec<(String, u64)> = Vec::new();
+    let mut last_step = 0u64;
+    for (lineno, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |what: &str| CliError::Run(format!("{path}:{}: {what}: {line}", lineno + 1));
+        let event = json_field(line, "event").ok_or_else(|| bad("missing event field"))?;
+        let idx = EVENTS
+            .iter()
+            .position(|&e| e == event)
+            .ok_or_else(|| bad("unknown event"))?;
+        counts[idx] += 1;
+        let step: u64 = json_field(line, "step")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing step field"))?;
+        last_step = last_step.max(step);
+        match event {
+            "admit" => {
+                packets += json_field(line, "packets")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| bad("missing packets field"))?;
+            }
+            "reject" => {
+                let reason = json_field(line, "reason")
+                    .ok_or_else(|| bad("missing reason field"))?
+                    .to_string();
+                match rejects.iter_mut().find(|(r, _)| *r == reason) {
+                    Some((_, c)) => *c += 1,
+                    None => rejects.push((reason, 1)),
+                }
+            }
+            "complete" => {
+                latencies.push(
+                    json_field(line, "latency")
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing latency field"))?,
+                );
+            }
+            _ => {}
+        }
+    }
+    println!(
+        "{path}: {} events over steps 0..={last_step}",
+        counts.iter().sum::<u64>()
+    );
+    for (name, count) in EVENTS.iter().zip(counts) {
+        if count > 0 {
+            println!("  {name:<13} {count}");
+        }
+    }
+    for (reason, count) in &rejects {
+        println!("  reject[{reason}] {count}");
+    }
+    println!("admitted packets: {packets}");
+    if !latencies.is_empty() {
+        latencies.sort_unstable();
+        let q = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize];
+        let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+        println!(
+            "completion latency (steps): p50 {} p99 {} max {} mean {:.1} over {} requests",
+            q(0.50),
+            q(0.99),
+            latencies[latencies.len() - 1],
+            mean,
+            latencies.len()
+        );
     }
     Ok(())
 }
@@ -724,12 +844,13 @@ fn main() -> ExitCode {
             print!("{HELP}");
             Ok(())
         }
-        "audit" | "route" | "serve" | "emulate" => match parse_flags(rest) {
+        "audit" | "route" | "serve" | "stats" | "emulate" => match parse_flags(rest) {
             Err(e) => Err(e),
             Ok(flags) => match cmd.as_str() {
                 "audit" => cmd_audit(&flags),
                 "route" => cmd_route(&flags),
                 "serve" => cmd_serve(&flags),
+                "stats" => cmd_stats(&flags),
                 _ => cmd_emulate(&flags),
             },
         },

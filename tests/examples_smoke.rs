@@ -20,6 +20,7 @@ const EXAMPLES: &[&str] = &[
     "routing_showdown",
     "sharded_butterfly",
     "star_pram_programs",
+    "trace_serve",
 ];
 
 /// Directory holding the compiled example binaries: the test executable
