@@ -1,0 +1,127 @@
+//! `lnpram-lint` — run the workspace invariant checker from the
+//! command line.
+//!
+//! ```text
+//! lnpram-lint [--root DIR] [--config FILE] [PATH ...]
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 any error-severity
+//! diagnostic, 2 usage / config / I/O failure.
+
+#![forbid(unsafe_code)]
+
+use lnpram_analysis::{lint_workspace, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+lnpram-lint: workspace invariant checker (determinism, unsafe budget, panic surface)
+
+USAGE:
+    lnpram-lint [OPTIONS] [PATH ...]
+
+OPTIONS:
+    --root DIR       workspace root (default: current directory)
+    --config FILE    lint config (default: <root>/lint.toml, else built-in policy)
+    --list-files     print the files that would be analyzed, then exit
+    -q, --quiet      suppress the summary line
+    -h, --help       show this help
+
+PATH arguments restrict the run to files under the given
+workspace-relative prefixes (e.g. `crates/simnet`).
+
+Suppress a finding inline, with a mandatory reason:
+    // lnpram-lint: allow(panic-surface, reason = \"length checked above\")
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut quiet = false;
+    let mut list_files = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage_error("--config requires a file"),
+            },
+            "--list-files" => list_files = true,
+            "-q" | "--quiet" => quiet = true,
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag '{other}'"));
+            }
+            path => only.push(path.trim_end_matches('/').to_string()),
+        }
+    }
+
+    let cfg = match config_path {
+        Some(p) => match std::fs::read_to_string(&p) {
+            Ok(text) => match Config::parse(&text) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("lnpram-lint: {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("lnpram-lint: {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => match Config::load(&root) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("lnpram-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = match lint_workspace(&root, &cfg, &only) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lnpram-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if list_files {
+        for f in &report.files {
+            println!("{f}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if !quiet {
+        println!(
+            "lnpram-lint: {} file(s), {} error(s), {} warning(s)",
+            report.files.len(),
+            report.errors(),
+            report.warnings()
+        );
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("lnpram-lint: {msg}\n\n{HELP}");
+    ExitCode::from(2)
+}

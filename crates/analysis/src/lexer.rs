@@ -1,0 +1,513 @@
+//! A hand-rolled, literal-aware Rust lexer.
+//!
+//! The lint rules match on *token* streams, never on raw text, so a
+//! `HashMap` inside a string literal, a doc comment, or a nested block
+//! comment can never false-positive. The lexer is deliberately lossy —
+//! it does not distinguish keyword from identifier, keeps only the
+//! punctuation characters the rules need to see, and records literals
+//! as opaque tokens — but it is *exact* about where literals and
+//! comments begin and end:
+//!
+//! * line comments (`//`, `///`, `//!`),
+//! * nested block comments (`/* /* */ */`),
+//! * cooked strings with escapes (`"a \" b"`),
+//! * raw strings with any guard depth (`r"…"`, `r##"…"##`),
+//! * byte strings and raw byte strings (`b"…"`, `br#"…"#`),
+//! * char and byte-char literals (`'a'`, `'\n'`, `b'x'`),
+//! * lifetimes vs. char literals (`&'a T` vs `'a'`),
+//! * raw identifiers (`r#type`).
+//!
+//! The offline constraint (no `syn`/`proc-macro2`) is why this exists;
+//! the unit suite below pins every tricky case so the rules layer can
+//! trust the stream.
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// What a token is — exactly as much as the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `unwrap`, …).
+    Ident(String),
+    /// One punctuation character (`.`, `!`, `[`, `{`, `:`, …).
+    Punct(char),
+    /// String / char / byte-string literal; `empty` is true for `""`,
+    /// `r""`, `b""` (rules use it to reject `.expect("")`).
+    Str { empty: bool },
+    /// Numeric literal (value irrelevant to every rule).
+    Num,
+    /// Lifetime (`'a`, `'static`) — kept distinct so `'a'` char
+    /// literals cannot be confused with borrows.
+    Lifetime,
+}
+
+/// A comment, kept separate from the token stream (suppression
+/// directives live here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+    /// True if a token precedes the comment on its line (a trailing
+    /// comment annotates its own line; a standalone one annotates the
+    /// next token line).
+    pub trailing: bool,
+}
+
+/// The output of [`lex`]: tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Line of the first token strictly after `line` (for standalone
+    /// suppression comments, the line they annotate).
+    pub fn next_token_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// literals or comments simply end at end-of-file (the lint runs on
+/// code that rustc already accepted, so recovery precision does not
+/// matter).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut line: u32 = 1;
+    let mut last_token_line: u32 = 0;
+    let mut i = 0usize;
+
+    // Count newlines in chars[from..to] into `line`.
+    let bump_lines = |chars: &[char], from: usize, to: usize, line: &mut u32| {
+        *line += chars[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: chars[start..j].iter().collect(),
+                    trailing: last_token_line == line,
+                });
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comment.
+                let start_line = line;
+                let text_start = i + 2;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if chars[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let text_end = j.saturating_sub(2).max(text_start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: chars[text_start..text_end].iter().collect(),
+                    trailing: last_token_line == start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (j, empty) = cooked_string_end(&chars, i);
+                bump_lines(&chars, i, j, &mut line);
+                // Token carries the *start* line; bump after recording.
+                let tok_line = line - chars[i..j].iter().filter(|&&c| c == '\n').count() as u32;
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind: TokKind::Str { empty },
+                });
+                last_token_line = line;
+                i = j;
+            }
+            '\'' => {
+                let (j, kind) = char_or_lifetime(&chars, i);
+                out.tokens.push(Token { line, kind });
+                last_token_line = line;
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                // Check string-ish prefixes first: r"", r#"", b"", br"",
+                // b'', and raw identifiers r#ident.
+                if let Some((j, empty)) = string_prefix(&chars, i) {
+                    let start_line = line;
+                    bump_lines(&chars, i, j, &mut line);
+                    out.tokens.push(Token {
+                        line: start_line,
+                        kind: TokKind::Str { empty },
+                    });
+                    last_token_line = line;
+                    i = j;
+                    continue;
+                }
+                if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                    let (j, _) = char_or_lifetime(&chars, i + 1);
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Str { empty: false },
+                    });
+                    last_token_line = line;
+                    i = j;
+                    continue;
+                }
+                if c == 'r' && chars.get(i + 1) == Some(&'#') {
+                    if let Some(&c2) = chars.get(i + 2) {
+                        if is_ident_start(c2) {
+                            // Raw identifier r#type → ident "type".
+                            let mut j = i + 2;
+                            while j < chars.len() && is_ident_continue(chars[j]) {
+                                j += 1;
+                            }
+                            out.tokens.push(Token {
+                                line,
+                                kind: TokKind::Ident(chars[i + 2..j].iter().collect()),
+                            });
+                            last_token_line = line;
+                            i = j;
+                            continue;
+                        }
+                    }
+                }
+                let mut j = i;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Ident(chars[i..j].iter().collect()),
+                });
+                last_token_line = line;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if is_ident_continue(d) {
+                        j += 1;
+                    } else if d == '.'
+                        && chars.get(j + 1).is_some_and(|&e| e.is_ascii_digit())
+                        && !chars[i..j].contains(&'.')
+                    {
+                        // `1.5` but not the range `0..n`.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Num,
+                });
+                last_token_line = line;
+                i = j;
+            }
+            p => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Punct(p),
+                });
+                last_token_line = line;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// End index (exclusive) of the cooked string starting at `chars[i] == '"'`,
+/// plus whether it is empty.
+fn cooked_string_end(chars: &[char], i: usize) -> (usize, bool) {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return (j + 1, j == i + 1),
+            _ => j += 1,
+        }
+    }
+    (chars.len(), false)
+}
+
+/// If `chars[i..]` starts a (raw/byte) string literal — `r"`, `r#"`,
+/// `b"`, `br"`, `br#"` … — return its end index and emptiness.
+fn string_prefix(chars: &[char], i: usize) -> Option<(usize, bool)> {
+    let mut j = i;
+    let c = chars[j];
+    let mut raw = false;
+    if c == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'r') {
+            raw = true;
+            j += 1;
+        }
+    } else if c == 'r' {
+        raw = true;
+        j += 1;
+    } else {
+        return None;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) != Some(&'"') {
+            return None; // r#ident or plain ident starting with r/br
+        }
+        let body_start = j + 1;
+        let mut k = body_start;
+        'scan: while k < chars.len() {
+            if chars[k] == '"' {
+                let mut h = 0usize;
+                while h < hashes {
+                    if chars.get(k + 1 + h) != Some(&'#') {
+                        k += 1;
+                        continue 'scan;
+                    }
+                    h += 1;
+                }
+                return Some((k + 1 + hashes, k == body_start));
+            }
+            k += 1;
+        }
+        Some((chars.len(), false))
+    } else {
+        // b"..."
+        if chars.get(j) != Some(&'"') {
+            return None;
+        }
+        let (end, empty) = cooked_string_end(chars, j);
+        Some((end, empty))
+    }
+}
+
+/// Disambiguate `'` at `chars[i]`: char literal or lifetime. Returns
+/// the end index and the token kind.
+fn char_or_lifetime(chars: &[char], i: usize) -> (usize, TokKind) {
+    let lit = TokKind::Str { empty: false };
+    match chars.get(i + 1) {
+        None => (i + 1, TokKind::Punct('\'')),
+        Some('\\') => {
+            // Escaped char literal: scan to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => return (j + 1, lit),
+                    _ => j += 1,
+                }
+            }
+            (chars.len(), lit)
+        }
+        Some(&c) if is_ident_start(c) => {
+            // Ident run: 'a' is a char literal iff a quote follows it.
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'\'') {
+                (j + 1, lit)
+            } else {
+                (j, TokKind::Lifetime)
+            }
+        }
+        Some(_) => {
+            // Single non-ident char: '(' , '0' … — a char literal if
+            // closed immediately.
+            if chars.get(i + 2) == Some(&'\'') {
+                (i + 3, lit)
+            } else {
+                (i + 1, TokKind::Punct('\''))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_outside_literals_only() {
+        let src = r##"let x = "HashMap"; let y = HashSet::new();"##;
+        assert_eq!(idents(src), vec!["let", "x", "let", "y", "HashSet", "new"]);
+    }
+
+    #[test]
+    fn line_and_block_comments_are_not_tokens() {
+        let src = "// unsafe HashMap\n/* unwrap() */ let a = 1;";
+        assert_eq!(idents(src), vec!["let", "a"]);
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!(lx.comments[0].text, " unsafe HashMap");
+        assert!(!lx.comments[0].trailing);
+        assert_eq!(lx.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ fn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r####"let s = r#"contains "quotes" and unsafe"#; done"####;
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn raw_string_empty_detection() {
+        let toks = lex(r###"let a = r""; let b = r#"x"#;"###).tokens;
+        let strs: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Str { empty } => Some(empty),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec![true, false]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = r#"let a = b"unsafe"; let c = b'x'; let d = br#f;"#;
+        // br#f is not a raw byte string — it lexes as ident `br`, punct
+        // `#`, ident `f`.
+        assert_eq!(
+            idents(src),
+            vec!["let", "a", "let", "c", "let", "d", "br", "f"]
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lx = lex(src);
+        let lifetimes = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars_ = lx
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Str { .. }))
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars_, 1);
+    }
+
+    #[test]
+    fn escaped_and_punct_char_literals() {
+        let src = r"let a = '\n'; let b = '\''; let c = '('; let d = '\u{1F600}';";
+        assert_eq!(
+            idents(src),
+            vec!["let", "a", "let", "b", "let", "c", "let", "d"]
+        );
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let src = r#"let s = "a \" unsafe \" b"; next"#;
+        assert_eq!(idents(src), vec!["let", "s", "next"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let src = "let s = \"line\nbreak\";\nunsafe_marker";
+        let lx = lex(src);
+        let last = lx.tokens.last().cloned();
+        assert_eq!(
+            last,
+            Some(Token {
+                line: 3,
+                kind: TokKind::Ident("unsafe_marker".into())
+            })
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..n { let f = 1.5e3; }";
+        assert_eq!(idents(src), vec!["for", "i", "in", "n", "let", "f"]);
+        // `0..n` keeps its two dot puncts.
+        let dots = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn trailing_comment_flag() {
+        let lx = lex("let a = 1; // trailing\n// standalone\nlet b = 2;");
+        assert!(lx.comments[0].trailing);
+        assert!(!lx.comments[1].trailing);
+        assert_eq!(lx.next_token_line(2), Some(3));
+    }
+
+    #[test]
+    fn unsafe_in_doc_comment_is_invisible() {
+        let src = "/// This is unsafe to misuse.\nfn safe() {}";
+        assert_eq!(idents(src), vec!["fn", "safe"]);
+    }
+}

@@ -1,0 +1,190 @@
+//! `lnpram-lint`: a workspace invariant checker for the lnpram tree.
+//!
+//! The headline contracts of this reproduction — serial vs sharded
+//! bit-identity, per-tenant batch identity, fixed-trace delivery
+//! schedules, chaos bit-identity, trace neutrality — all rest on
+//! source-level invariants no compiler checks: engine code must not
+//! iterate hash containers, must not read wall clocks or ambient
+//! randomness, and the entire `unsafe` surface must stay pinned to the
+//! WorkerPool. This crate enforces those invariants mechanically, at
+//! the token level (a hand-rolled string/char/comment-aware lexer; the
+//! build environment has no crates.io access, so no `syn`).
+//!
+//! Layers:
+//! * [`lexer`] — Rust tokens + comments, literal-aware;
+//! * [`config`] — `lint.toml` rule scoping and severities;
+//! * [`rules`] — the rule matchers and suppression handling;
+//! * [`lint_workspace`] — deterministic file walk + aggregation.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError, Severity};
+pub use rules::{lint_source, Diagnostic};
+
+use std::path::{Path, PathBuf};
+
+/// Everything one run produced.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files actually analyzed (workspace-relative, sorted).
+    pub files: Vec<String>,
+}
+
+impl LintReport {
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Does the run fail (any error-severity diagnostic)?
+    pub fn failed(&self) -> bool {
+        self.errors() > 0
+    }
+}
+
+/// An I/O-level failure (unreadable file, bad root).
+#[derive(Debug)]
+pub struct LintError {
+    pub path: PathBuf,
+    pub message: String,
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lint the workspace rooted at `root`. When `only` is non-empty, the
+/// walk is restricted to files whose workspace-relative path starts
+/// with one of the given prefixes (still subject to the config's
+/// exclude list).
+pub fn lint_workspace(root: &Path, cfg: &Config, only: &[String]) -> Result<LintReport, LintError> {
+    let mut files = Vec::new();
+    for inc in &cfg.include {
+        let dir = root.join(inc);
+        if dir.exists() {
+            collect_rs_files(root, &dir, cfg, &mut files)?;
+        }
+    }
+    // Deterministic order: the diagnostics stream must be stable across
+    // runs and machines, same as every other output in this tree.
+    files.sort();
+    files.dedup();
+
+    let mut report = LintReport::default();
+    for rel in files {
+        if !only.is_empty()
+            && !only
+                .iter()
+                .any(|p| config::path_has_prefix(&rel, p.trim_end_matches('/')))
+        {
+            continue;
+        }
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs).map_err(|e| LintError {
+            path: abs.clone(),
+            message: e.to_string(),
+        })?;
+        report
+            .diagnostics
+            .extend(rules::lint_source(&rel, &src, cfg));
+        report.files.push(rel);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collect `.rs` files under `dir`, as workspace-relative
+/// `/`-separated strings.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError {
+            path: dir.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let path = entry.path();
+        let Some(rel) = relative_slash(root, &path) else {
+            continue;
+        };
+        if cfg.exclude.iter().any(|p| config::path_has_prefix(&rel, p)) {
+            continue;
+        }
+        let ty = entry.file_type().map_err(|e| LintError {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        if ty.is_dir() {
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if ty.is_file() && rel.ends_with(".rs") {
+            // Fixture files are deliberately-broken inputs for the
+            // self-tests; never lint them as first-party sources.
+            if rel.contains("/fixtures/") {
+                continue;
+            }
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated; `None` for non-UTF-8.
+fn relative_slash(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let s = rel.to_str()?;
+    Some(s.replace(std::path::MAIN_SEPARATOR, "/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut r = LintReport::default();
+        r.diagnostics.push(Diagnostic {
+            rule: "determinism",
+            severity: Severity::Error,
+            file: "a.rs".into(),
+            line: 1,
+            message: "x".into(),
+        });
+        r.diagnostics.push(Diagnostic {
+            rule: "unused-suppression",
+            severity: Severity::Warn,
+            file: "a.rs".into(),
+            line: 2,
+            message: "y".into(),
+        });
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.failed());
+    }
+}

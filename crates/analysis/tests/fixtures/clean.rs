@@ -1,0 +1,40 @@
+// Fixture: negative case for every rule at once. Decoys that a naive
+// text scanner would flag live only inside literals, comments, and
+// test code — a token-level, literal-aware pass must report nothing.
+use std::collections::BTreeMap;
+
+/// Mentions HashMap, Instant::now, thread_rng and unsafe — in a doc
+/// comment, which is not code.
+pub fn table() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+pub fn describe() -> &'static str {
+    // The strings below are data, not code.
+    let _raw = r#"HashSet::new() and .unwrap() and unsafe { }"#;
+    let _byte = b"thread_rng SystemTime";
+    let _ch = 'u';
+    "HashMap<Instant, SystemTime>"
+}
+
+pub fn checked(v: &[u32]) -> u32 {
+    *v.first().expect("v is non-empty: caller guarantees one element")
+}
+
+pub fn invariant(x: u32) -> u32 {
+    match x {
+        0 => unreachable!("x is validated nonzero at the API boundary"),
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        assert!(m.get(&0).is_none());
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: no-ambient-clock rule, positive case. Wall clocks outside
+// the trace sink / bench crate must be flagged.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

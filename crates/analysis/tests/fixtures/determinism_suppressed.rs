@@ -1,0 +1,9 @@
+// Fixture: determinism rule, suppressed case. The allow carries a
+// reason, so the finding is dropped and the file is clean.
+use std::collections::BTreeMap;
+
+pub fn scratch() {
+    // lnpram-lint: allow(determinism, reason = "drained into a sorted Vec before any iteration")
+    let _ids: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let _table: BTreeMap<u32, u32> = BTreeMap::new();
+}

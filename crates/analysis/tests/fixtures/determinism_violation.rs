@@ -1,0 +1,10 @@
+// Fixture: determinism rule, positive case. HashMap/HashSet in engine
+// code must be flagged (nondeterministic iteration order would break
+// the serial-vs-sharded bit-identity contract).
+use std::collections::{HashMap, HashSet};
+
+pub fn route_table() -> HashMap<u32, u32> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(1);
+    HashMap::new()
+}

@@ -1,0 +1,18 @@
+// Fixture: panic-surface rule, positive cases. Bare unwrap, empty
+// expect, message-less panic!, and stub macros in library code must
+// all be flagged.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().expect("")
+}
+
+pub fn boom() {
+    panic!();
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,6 @@
+// Fixture: no-ambient-rng rule, positive case. Ambient OS randomness
+// must be flagged — every run must be replayable from its seed.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,5 @@
+// Fixture: slice-index rule (severity Off in the default policy; the
+// self-test enables it explicitly). Direct indexing can panic.
+pub fn pick(v: &[u32], i: usize) -> u32 {
+    v[i]
+}

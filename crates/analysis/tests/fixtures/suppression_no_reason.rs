@@ -1,0 +1,5 @@
+// Fixture: a suppression without a reason is itself an error AND
+// suppresses nothing — the underlying finding must still be reported.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap() // lnpram-lint: allow(panic-surface)
+}

@@ -1,0 +1,5 @@
+// Fixture: unsafe-budget rule, positive case. An `unsafe` token in any
+// file other than the pinned budget file must be flagged.
+pub fn peek(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,11 @@
+// Seeded mini-workspace: one violation per rule. `lnpram-lint --root`
+// pointed here must exit nonzero and report every rule below.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn step(queues: &mut HashMap<u32, Vec<u32>>) -> usize {
+    let _t = Instant::now();
+    let _r = rand::thread_rng();
+    let head = queues.get(&0).unwrap();
+    unsafe { std::hint::unreachable_unchecked() }
+}

@@ -1,0 +1,7 @@
+// Seeded mini-workspace: a clean engine file. `lnpram-lint --root`
+// pointed here must exit 0.
+use std::collections::BTreeMap;
+
+pub fn step(queues: &mut BTreeMap<u32, Vec<u32>>) -> usize {
+    queues.values().map(Vec::len).sum()
+}

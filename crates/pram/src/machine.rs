@@ -148,9 +148,17 @@ pub fn resolve_write(
             v0
         }
         WritePolicy::Arbitrary | WritePolicy::Priority => {
-            writers.iter().min_by_key(|&&(proc, _)| proc).unwrap().1
+            writers
+                .iter()
+                .min_by_key(|&&(proc, _)| proc)
+                .expect("writers non-empty: resolve is only called with at least one writer")
+                .1
         }
-        WritePolicy::Max => writers.iter().map(|&(_, v)| v).max().unwrap(),
+        WritePolicy::Max => writers
+            .iter()
+            .map(|&(_, v)| v)
+            .max()
+            .expect("writers non-empty: resolve is only called with at least one writer"),
         WritePolicy::Sum => writers
             .iter()
             .map(|&(_, v)| v)

@@ -40,7 +40,11 @@ impl ReductionMax {
 
     /// The expected answer.
     pub fn expected(&self) -> u64 {
-        *self.values.iter().max().unwrap()
+        *self
+            .values
+            .iter()
+            .max()
+            .expect("values non-empty: the constructor generates one per processor")
     }
 
     /// Check the final memory image.

@@ -123,8 +123,8 @@ pub fn ranade_route(levels: usize, dests: &[u32], addrs: &[u64]) -> RanadeReport
                                                 // The memory module at each final-column row also combines: requests
                                                 // for the same (module, address) arriving from its two in-edges are
                                                 // served once (Ranade's modules read sorted streams).
-    let mut module_seen: Vec<std::collections::HashSet<Key>> =
-        (0..n).map(|_| std::collections::HashSet::new()).collect();
+    let mut module_seen: Vec<std::collections::BTreeSet<Key>> =
+        (0..n).map(|_| std::collections::BTreeSet::new()).collect();
     let mut steps = 0usize;
 
     // Side of the in-edge at (level+1): straight edges arrive on side 0,
@@ -218,7 +218,10 @@ pub fn ranade_route(levels: usize, dests: &[u32], addrs: &[u64]) -> RanadeReport
                 if ended_out[level][row] {
                     continue;
                 }
-                let (h0, h1) = (*b0.front().unwrap(), *b1.front().unwrap());
+                let (h0, h1) = (
+                    *b0.front().expect("b0 non-empty: checked above"),
+                    *b1.front().expect("b1 non-empty: checked above"),
+                );
                 let item = match (h0, h1) {
                     (Item::End, Item::End) => {
                         b0.pop_front();
@@ -238,9 +241,9 @@ pub fn ranade_route(levels: usize, dests: &[u32], addrs: &[u64]) -> RanadeReport
                     _ => {
                         // Pop the smaller-keyed head.
                         if h0.key() <= h1.key() {
-                            b0.pop_front().unwrap()
+                            b0.pop_front().expect("b0 non-empty: h0 is its head")
                         } else {
-                            b1.pop_front().unwrap()
+                            b1.pop_front().expect("b1 non-empty: h1 is its head")
                         }
                     }
                 };

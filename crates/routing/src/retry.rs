@@ -180,7 +180,7 @@ where
         let result = attempt(&outstanding, policy.attempt_budget, attempts);
         attempts += 1;
         debug_assert!(result.steps <= policy.attempt_budget);
-        let delivered: std::collections::HashSet<u32> = result.delivered.iter().copied().collect();
+        let delivered: std::collections::BTreeSet<u32> = result.delivered.iter().copied().collect();
         outstanding.retain(|id| !delivered.contains(id));
         if outstanding.is_empty() {
             total_steps += u64::from(result.steps);

@@ -54,7 +54,9 @@ use crate::partition::{Partitioner, ShardPlan};
 use lnpram_simnet::fault::{FaultError, FaultPlan, FaultSchedule};
 use lnpram_simnet::trace::{NoopSink, Phase, StepSample, TraceSink};
 use lnpram_simnet::worker::WorkerPool;
-use lnpram_simnet::{Engine, Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig};
+use lnpram_simnet::{
+    Engine, InvariantViolation, Metrics, Outbox, Packet, Protocol, RunOutcome, SimConfig,
+};
 use lnpram_topology::Network;
 use std::sync::Mutex;
 
@@ -881,6 +883,127 @@ impl ShardedEngine {
         for s in 0..self.k {
             self.shard_mut(s).engine.step_finish();
         }
+    }
+
+    /// Verify the coordinator-level invariants, plus every shard
+    /// engine's own [`Engine::check_invariants`]. Intended at global
+    /// step boundaries (after [`ShardedEngine::step_finish`]); the
+    /// shard property tests call it directly, and
+    /// `LNPRAM_CHECK_INVARIANTS=1` covers the per-shard half
+    /// automatically on every step.
+    ///
+    /// Checked, beyond the per-shard engine state:
+    /// * packet conservation across the partition: the coordinator's
+    ///   `in_flight` == the sum of every shard engine's `in_flight`
+    ///   (a mailbox-exchange bug shows up here as a leak or a dupe);
+    /// * link-table accounting: each shard's local → global link table
+    ///   is strictly increasing, the tables together cover every global
+    ///   link exactly once, and the mirrored ghost-head table agrees
+    ///   with the global CSR (`shard_link_head[s][l] ==
+    ///   link_head[shard_link_global[s][l]]`);
+    /// * for contiguous (`ordered`) plans, shard link ranges are
+    ///   disjoint and ascending, which is what licenses the
+    ///   concatenation-only mailbox merge;
+    /// * node accounting: every global node is owned by exactly one
+    ///   shard, at a local id within that shard's engine.
+    pub fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        let fail = |what: String| Err(InvariantViolation { what });
+
+        let mut shard_in_flight = 0usize;
+        for s in 0..self.k {
+            let eng = &self.shard_mut(s).engine;
+            shard_in_flight += eng.in_flight();
+            if let Err(v) = eng.check_invariants() {
+                return fail(format!("shard {s}: {v}"));
+            }
+        }
+        if shard_in_flight != self.in_flight {
+            return fail(format!(
+                "cross-shard packet conservation: coordinator in_flight {} != {} summed over \
+                 shard engines",
+                self.in_flight, shard_in_flight
+            ));
+        }
+
+        let mut owner_of_link = vec![NIL; self.num_links];
+        for s in 0..self.k {
+            let globals = &self.shard_link_global[s];
+            let heads = &self.shard_link_head[s];
+            if globals.len() != heads.len() {
+                return fail(format!(
+                    "shard {s}: link table length {} != head table length {}",
+                    globals.len(),
+                    heads.len()
+                ));
+            }
+            let mut prev: Option<u32> = None;
+            for (local, &global) in globals.iter().enumerate() {
+                if global as usize >= self.num_links {
+                    return fail(format!(
+                        "shard {s} local link {local} maps to out-of-range global link {global}"
+                    ));
+                }
+                if prev.is_some_and(|p| p >= global) {
+                    return fail(format!(
+                        "shard {s} link table not strictly increasing at local link {local}"
+                    ));
+                }
+                prev = Some(global);
+                if owner_of_link[global as usize] != NIL {
+                    return fail(format!(
+                        "global link {global} claimed by shard {s} and shard {}",
+                        owner_of_link[global as usize]
+                    ));
+                }
+                owner_of_link[global as usize] = s as u32;
+                if heads[local] != self.link_head[global as usize] {
+                    return fail(format!(
+                        "shard {s} ghost-head table disagrees with the global CSR at local \
+                         link {local}: {} != {}",
+                        heads[local], self.link_head[global as usize]
+                    ));
+                }
+            }
+        }
+        if let Some(orphan) = owner_of_link.iter().position(|&o| o == NIL) {
+            return fail(format!("global link {orphan} is owned by no shard"));
+        }
+        if self.ordered {
+            let mut prev_last: Option<u32> = None;
+            for s in 0..self.k {
+                let globals = &self.shard_link_global[s];
+                let (Some(&first), Some(&last)) = (globals.first(), globals.last()) else {
+                    continue;
+                };
+                if prev_last.is_some_and(|p| p >= first) {
+                    return fail(format!(
+                        "ordered plan but shard {s} link range is not after its predecessor's"
+                    ));
+                }
+                prev_last = Some(last);
+            }
+        }
+
+        let mut owned = vec![0usize; self.k];
+        for (node, &packed) in self.node_owner.iter().enumerate() {
+            let s = (packed >> COORD_BITS) as usize;
+            let local = (packed & COORD_MASK) as usize;
+            if s >= self.k {
+                return fail(format!("node {node} is owned by nonexistent shard {s}"));
+            }
+            owned[s] = owned[s].max(local + 1);
+        }
+        for (s, &hi) in owned.iter().enumerate() {
+            let shard_nodes = self.shard_mut(s).engine.num_nodes();
+            if hi > shard_nodes {
+                return fail(format!(
+                    "shard {s} owner table points at local node {} but its engine (ghosts \
+                     included) has only {shard_nodes} nodes",
+                    hi - 1
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Finalise and move the accumulated metrics out, assembling the

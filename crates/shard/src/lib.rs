@@ -820,6 +820,45 @@ mod tests {
                         fingerprint(b.completed, &b.metrics)
                     );
                     prop_assert_eq!(reused.link_loads(), fresh.link_loads());
+                    prop_assert_eq!(reused.check_invariants(), Ok(()));
+                    prop_assert_eq!(fresh.check_invariants(), Ok(()));
+                }
+            }
+
+            /// The coordinator-level invariants (cross-shard packet
+            /// conservation, link-table/ghost-head accounting) and each
+            /// shard engine's own state invariants hold at *every*
+            /// global step boundary — the dynamic complement of
+            /// `lnpram-lint`, at the layer where a mailbox-exchange bug
+            /// would first appear.
+            #[test]
+            fn prop_sharded_invariants_hold_at_every_step(
+                seed: u64,
+                rows in 2usize..6,
+                cols in 2usize..6,
+                k in 2usize..6,
+            ) {
+                let mesh = Mesh::new(rows, cols);
+                let n = mesh.num_nodes();
+                let mut eng = ShardedEngine::new(&mesh, cfg_sharded(k), &RowBlock::new(cols));
+                let mut state = seed;
+                for src in 0..n {
+                    let dest = (splitmix64(&mut state) as usize) % n;
+                    eng.inject(src, Packet::new(src as u32, src as u32, dest as u32));
+                }
+                let mut proto = GreedyMesh { mesh };
+                let mut out = Outbox::default();
+                eng.process_pending(&mut proto, 0, &mut out);
+                eng.step_finish();
+                prop_assert_eq!(eng.check_invariants(), Ok(()));
+                let mut step = 0u32;
+                while eng.in_flight() > 0 {
+                    step += 1;
+                    prop_assert!(step <= 10_000, "driver ran away");
+                    eng.step_transmit();
+                    eng.process_arrivals(&mut proto, step, &mut out);
+                    eng.step_finish();
+                    prop_assert_eq!(eng.check_invariants(), Ok(()));
                 }
             }
         }

@@ -52,7 +52,7 @@ use crate::queue::{Discipline, LinkQueue, PacketPool, Selection, NIL};
 use crate::trace::{NoopSink, Phase, StepSample, TraceSink};
 use crate::worker::WorkerPool;
 use lnpram_topology::Network;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -115,6 +115,33 @@ pub struct RunOutcome {
     /// `true` if all queues drained; `false` if `max_steps` was hit first
     /// (the emulation layer treats this as a routing-timeout → rehash).
     pub completed: bool,
+}
+
+/// A broken internal-state invariant found by
+/// [`Engine::check_invariants`] — which invariant, and the observed
+/// state that contradicts it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant broke and the observed contradicting state.
+    pub what: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.what)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Should every step boundary re-verify the engine invariants?
+/// Controlled by `LNPRAM_CHECK_INVARIANTS=1` (any build profile, read
+/// once per process), so the chaos-smoke CI job can run release
+/// benches with state checking on while the default hot path pays one
+/// cached boolean load.
+pub(crate) fn invariant_checks_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("LNPRAM_CHECK_INVARIANTS").is_some_and(|v| v == "1"))
 }
 
 /// The synchronous simulator for one network.
@@ -613,6 +640,112 @@ impl Engine {
     /// phase's enqueues (mirrors what `run` does after each step).
     pub fn step_finish(&mut self) {
         self.restore_active_order(self.sorted_len);
+        if invariant_checks_enabled() {
+            if let Err(v) = self.check_invariants() {
+                panic!("engine invariant violated at step boundary: {v}");
+            }
+        }
+    }
+
+    /// Verify the engine's internal-state invariants. Intended at step
+    /// boundaries (after [`Engine::step_finish`] / between
+    /// [`Engine::run`] steps); the property tests call it directly, and
+    /// `LNPRAM_CHECK_INVARIANTS=1` makes every step boundary check it
+    /// automatically (any build profile — the chaos-smoke CI job runs
+    /// the degraded-serve bench this way once).
+    ///
+    /// Checked:
+    /// * every link queue's chain is acyclic, shares no slot with any
+    ///   other chain or the free list, and agrees with its `len`/`tail`
+    ///   counters;
+    /// * the pool free list is acyclic and in range;
+    /// * slot conservation: free slots + queued packets == arena
+    ///   capacity (no leaked or double-owned slots);
+    /// * packet conservation: `in_flight` == total queued packets;
+    /// * the active-link list is strictly ascending, agrees with the
+    ///   `in_active` bitmap, and covers exactly the non-empty queues
+    ///   (modulo blocked links, which may stay listed while empty);
+    /// * untouched links (never enqueued since reset) have empty queues.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |what: String| Err(InvariantViolation { what });
+
+        // Chain walks share one seen-bitmap, so a slot reachable from
+        // two places (two queues, or a queue and the free list) is
+        // reported no matter which walk gets there second.
+        let mut seen = vec![false; self.pool.capacity()];
+        let mut total_queued = 0usize;
+        for (id, q) in self.queues.iter().enumerate() {
+            match q.check_chain(&self.pool, &mut seen) {
+                Ok(n) => total_queued += n,
+                Err(e) => return fail(format!("link {id}: {e}")),
+            }
+        }
+        let free = match self.pool.walk_free(&mut seen) {
+            Ok(n) => n,
+            Err(e) => return fail(format!("packet pool: {e}")),
+        };
+        if free + total_queued != self.pool.capacity() {
+            return fail(format!(
+                "slot conservation: {free} free + {total_queued} queued != arena capacity {}",
+                self.pool.capacity()
+            ));
+        }
+        if self.in_flight != total_queued {
+            return fail(format!(
+                "packet conservation: in_flight counter {} != {total_queued} queued packets",
+                self.in_flight
+            ));
+        }
+
+        // Active-list shape: strictly ascending link ids, bitmap
+        // agreement, and exactly the non-empty queues (a blocked link
+        // may legitimately linger while empty).
+        let mut prev: Option<u32> = None;
+        for &id in &self.active {
+            let idx = id as usize;
+            if idx >= self.queues.len() {
+                return fail(format!("active list holds out-of-range link {id}"));
+            }
+            if prev.is_some_and(|p| p >= id) {
+                return fail(format!(
+                    "active list not strictly ascending at link {id} (prev {})",
+                    prev.unwrap_or(0)
+                ));
+            }
+            prev = Some(id);
+            if !self.in_active[idx] {
+                return fail(format!(
+                    "active list holds link {id} but in_active[{id}] is false"
+                ));
+            }
+            if self.queues[idx].is_empty() && !self.blocked[idx] {
+                return fail(format!("active list holds link {id} whose queue is empty"));
+            }
+        }
+        let listed = self.active.len();
+        let flagged = self.in_active.iter().filter(|&&b| b).count();
+        if listed != flagged {
+            return fail(format!(
+                "in_active flags {flagged} links but the active list holds {listed}"
+            ));
+        }
+        for (id, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() {
+                if !self.in_active[id] {
+                    return fail(format!(
+                        "link {id} has {} queued packet(s) but is not active-listed",
+                        q.len()
+                    ));
+                }
+                if !self.ever_active[id] {
+                    return fail(format!(
+                        "link {id} has queued packets but was never marked touched \
+                         (reset would leak them)"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Largest length any link queue has reached since construction or
@@ -1270,6 +1403,63 @@ mod tests {
         }
     }
 
+    /// `check_invariants` must actually detect corruption, not just
+    /// bless healthy engines: break each bookkeeping layer by hand and
+    /// confirm the violation is reported.
+    #[test]
+    fn check_invariants_detects_seeded_corruption() {
+        let mesh = Mesh::square(3);
+        let build = || {
+            let mut eng = Engine::new(&mesh, SimConfig::default());
+            for i in 0..4 {
+                eng.inject(i, Packet::new(i as u32, i as u32, 8));
+            }
+            let mut proto = GreedyMesh { mesh };
+            let mut out = Outbox::default();
+            eng.process_pending(&mut proto, 0, &mut out);
+            eng.step_finish();
+            assert_eq!(eng.check_invariants(), Ok(()));
+            eng
+        };
+
+        // Packet-conservation drift.
+        let mut eng = build();
+        eng.in_flight += 1;
+        let err = eng
+            .check_invariants()
+            .expect_err("in_flight drift must be caught");
+        assert!(err.what.contains("packet conservation"), "{err}");
+
+        // Queue length counter out of sync with its chain.
+        let mut eng = build();
+        let link = eng.active[0] as usize;
+        eng.queues[link].push(&mut eng.pool, Packet::new(99, 0, 8));
+        // (push bumped len and allocated a slot, but in_flight was not
+        // told — and we also corrupt the counter directly)
+        eng.in_flight += 1;
+        eng.queues[link].reset();
+        let err = eng
+            .check_invariants()
+            .expect_err("leaked chain must be caught");
+        assert!(
+            err.what.contains("slot conservation") || err.what.contains("len counter"),
+            "{err}"
+        );
+
+        // Active list referencing an empty, unblocked queue.
+        let mut eng = build();
+        let link = eng.active[0] as usize;
+        let n = eng.queues[link].len();
+        for _ in 0..n {
+            eng.queues[link].pop(&mut eng.pool, Discipline::Fifo);
+        }
+        eng.in_flight -= n;
+        let err = eng
+            .check_invariants()
+            .expect_err("stale active entry must be caught");
+        assert!(err.what.contains("active"), "{err}");
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -1315,6 +1505,47 @@ mod tests {
                 prop_assert_eq!(out.metrics.delivered as u32, injected);
                 prop_assert!(out.metrics.routing_time >= max_dist);
                 prop_assert_eq!(eng.in_flight(), 0);
+                // State-layer complement of the outcome checks above.
+                prop_assert_eq!(eng.check_invariants(), Ok(()));
+            }
+
+            /// The internal-state invariants (pool/chain consistency,
+            /// packet conservation, active-list shape) hold at *every*
+            /// step boundary of a coordinator-driven run, not just at
+            /// the end — the dynamic complement of `lnpram-lint`.
+            #[test]
+            fn prop_invariants_hold_at_every_step(
+                rows in 2usize..6,
+                cols in 2usize..6,
+                seed: u64,
+                load in 1usize..3,
+            ) {
+                let mesh = Mesh::new(rows, cols);
+                let n = mesh.num_nodes();
+                let mut eng = Engine::new(&mesh, SimConfig::default());
+                let mut state = seed;
+                let mut id = 0u32;
+                for src in 0..n {
+                    for _ in 0..load {
+                        let dest = (lnpram_math::rng::splitmix64(&mut state) as usize) % n;
+                        eng.inject(src, Packet::new(id, src as u32, dest as u32));
+                        id += 1;
+                    }
+                }
+                let mut proto = GreedyMesh { mesh };
+                let mut out = Outbox::default();
+                eng.process_pending(&mut proto, 0, &mut out);
+                eng.step_finish();
+                prop_assert_eq!(eng.check_invariants(), Ok(()));
+                let mut step = 0u32;
+                while eng.in_flight() > 0 {
+                    step += 1;
+                    prop_assert!(step <= eng.cfg.max_steps, "driver ran away");
+                    eng.step_transmit();
+                    eng.process_arrivals(&mut proto, step, &mut out);
+                    eng.step_finish();
+                    prop_assert_eq!(eng.check_invariants(), Ok(()));
+                }
             }
 
             /// Engine determinism: identical injections give identical
@@ -1369,6 +1600,7 @@ mod tests {
                     prop_assert_eq!(a.metrics.max_queue, b.metrics.max_queue);
                     prop_assert_eq!(a.metrics.queued_packet_steps, b.metrics.queued_packet_steps);
                     prop_assert_eq!(reused.link_loads(), fresh.link_loads());
+                    prop_assert_eq!(reused.check_invariants(), Ok(()));
                 }
             }
         }

@@ -36,7 +36,7 @@ pub mod trace;
 pub mod worker;
 
 pub use demux::{TagDemux, TagMetrics};
-pub use engine::{Engine, RunOutcome, SimConfig};
+pub use engine::{Engine, InvariantViolation, RunOutcome, SimConfig};
 pub use fault::{Fault, FaultError, FaultEvent, FaultPlan, FaultSchedule};
 pub use metrics::Metrics;
 pub use packet::Packet;

@@ -116,6 +116,32 @@ impl PacketPool {
     fn next(&self, idx: u32) -> u32 {
         self.slots[idx as usize].next
     }
+
+    /// Walk the free list, marking each slot in `seen` (sized to
+    /// [`capacity`](Self::capacity)). Errors on an out-of-range index or
+    /// a revisited slot (a free-list cycle, or a slot shared with a
+    /// queue chain walked earlier into the same bitmap). Returns the
+    /// free-slot count.
+    pub(crate) fn walk_free(&self, seen: &mut [bool]) -> Result<usize, String> {
+        let mut count = 0usize;
+        let mut cur = self.free_head;
+        while cur != NIL {
+            let i = cur as usize;
+            if i >= self.slots.len() {
+                return Err(format!(
+                    "free list points at slot {i} beyond capacity {}",
+                    self.slots.len()
+                ));
+            }
+            if seen[i] {
+                return Err(format!("slot {i} reached twice via the free list"));
+            }
+            seen[i] = true;
+            count += 1;
+            cur = self.slots[i].next;
+        }
+        Ok(count)
+    }
 }
 
 /// A pending extraction chosen by [`LinkQueue::select`]: the slot to
@@ -293,6 +319,62 @@ impl LinkQueue {
     /// separately — this is the per-link half of `Engine::reset`).
     pub fn reset(&mut self) {
         *self = LinkQueue::new();
+    }
+
+    /// Walk this queue's chain, marking each slot in `seen` (the same
+    /// bitmap passed to every queue of the pool plus
+    /// [`PacketPool::walk_free`], so cycles *and* cross-chain slot
+    /// sharing both surface as a revisit). Verifies the walked length
+    /// matches `len` and the last slot matches `tail`. Returns the
+    /// chain length.
+    pub(crate) fn check_chain(
+        &self,
+        pool: &PacketPool,
+        seen: &mut [bool],
+    ) -> Result<usize, String> {
+        let mut count = 0usize;
+        let mut cur = self.head;
+        let mut last = NIL;
+        while cur != NIL {
+            let i = cur as usize;
+            if i >= pool.capacity() {
+                return Err(format!(
+                    "queue chain points at slot {i} beyond capacity {}",
+                    pool.capacity()
+                ));
+            }
+            if seen[i] {
+                return Err(format!(
+                    "slot {i} reached twice (chain cycle or slot shared across chains)"
+                ));
+            }
+            seen[i] = true;
+            count += 1;
+            last = cur;
+            cur = pool.next(cur);
+        }
+        if count != self.len as usize {
+            return Err(format!(
+                "queue len counter {} disagrees with walked chain length {count}",
+                self.len
+            ));
+        }
+        if last != self.tail {
+            return Err(format!(
+                "queue tail {} does not terminate the chain (walk ended at {})",
+                index_or_nil(self.tail),
+                index_or_nil(last)
+            ));
+        }
+        Ok(count)
+    }
+}
+
+fn index_or_nil(idx: u32) -> String {
+    if idx == NIL {
+        "NIL".to_string()
+    } else {
+        idx.to_string()
     }
 }
 

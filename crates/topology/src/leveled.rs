@@ -60,10 +60,12 @@ pub fn audit_unique_paths<L: Leveled + ?Sized>(lv: &L) -> Result<(), String> {
     for src in 0..w {
         for dest in 0..w {
             let path = lv.unique_path(src, dest);
-            if *path.last().unwrap() != dest {
+            let end = *path
+                .last()
+                .expect("unique_path always contains at least the source node");
+            if end != dest {
                 return Err(format!(
-                    "digit_toward path from {src} aimed at {dest} ends at {}",
-                    path.last().unwrap()
+                    "digit_toward path from {src} aimed at {dest} ends at {end}"
                 ));
             }
         }

@@ -14,6 +14,8 @@
 //! out of range), unknown names and simulation failures are reported
 //! distinctly instead of panicking or silently clamping.
 
+#![forbid(unsafe_code)]
+
 use lnpram::core::{
     EmulatorConfig, LeveledPramEmulator, MeshPramEmulator, ReplicatedPramEmulator, StarPramEmulator,
 };
@@ -223,6 +225,15 @@ COMMANDS
              --n / --k        host size (star n, mesh side, butterfly levels)
              --copies <R>     replicas for --host replicated      [3]
              --seed <s>                                            [0]
+
+  lint     Run the workspace invariant checker (determinism, ambient
+           clock/rng, unsafe budget, panic surface) over first-party
+           sources; nonzero exit on any error-severity finding.
+             --root <dir>     workspace root                      [.]
+             --path <prefix>  restrict to one workspace-relative
+                              path prefix (e.g. crates/simnet)
+           Policy lives in lint.toml at the root; suppress a finding
+           inline with lnpram-lint: allow(<rule>, reason = \"...\").
 
   help     This message.
 ";
@@ -678,6 +689,37 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `lnpram lint`: run the workspace invariant checker in-process (the
+/// same engine as the standalone `lnpram-lint` binary).
+fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let root = std::path::PathBuf::from(flags.get("root").map(String::as_str).unwrap_or("."));
+    let cfg = lnpram::analysis::Config::load(&root)
+        .map_err(|e| CliError::Run(format!("lint config: {e}")))?;
+    let only: Vec<String> = flags
+        .get("path")
+        .map(|p| vec![p.trim_end_matches('/').to_string()])
+        .unwrap_or_default();
+    let report = lnpram::analysis::lint_workspace(&root, &cfg, &only)
+        .map_err(|e| CliError::Run(format!("lint: {e}")))?;
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "lint: {} file(s), {} error(s), {} warning(s)",
+        report.files.len(),
+        report.errors(),
+        report.warnings()
+    );
+    if report.failed() {
+        Err(CliError::Run(format!(
+            "{} invariant violation(s) — see diagnostics above",
+            report.errors()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
 fn run_and_verify<P, F>(
     make: F,
     mode: AccessMode,
@@ -844,13 +886,14 @@ fn main() -> ExitCode {
             print!("{HELP}");
             Ok(())
         }
-        "audit" | "route" | "serve" | "stats" | "emulate" => match parse_flags(rest) {
+        "audit" | "route" | "serve" | "stats" | "emulate" | "lint" => match parse_flags(rest) {
             Err(e) => Err(e),
             Ok(flags) => match cmd.as_str() {
                 "audit" => cmd_audit(&flags),
                 "route" => cmd_route(&flags),
                 "serve" => cmd_serve(&flags),
                 "stats" => cmd_stats(&flags),
+                "lint" => cmd_lint(&flags),
                 _ => cmd_emulate(&flags),
             },
         },

@@ -32,6 +32,9 @@
 //! * [`core`] — the emulators: [`core::LeveledPramEmulator`],
 //!   [`core::StarPramEmulator`], [`core::MeshPramEmulator`], and the
 //!   deterministic [`core::ReplicatedPramEmulator`] baseline.
+//! * [`analysis`] — `lnpram-lint`, the token-level workspace invariant
+//!   checker (determinism, ambient clock/rng, unsafe budget, panic
+//!   surface) backing the `lnpram lint` subcommand.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use lnpram_analysis as analysis;
 pub use lnpram_core as core;
 pub use lnpram_hash as hash;
 pub use lnpram_math as math;
