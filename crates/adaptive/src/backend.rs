@@ -1,0 +1,361 @@
+//! The eighth `Router` backend: adaptive congestion-priced source
+//! routing behind the generic [`RoutingSession`] machinery, plus the
+//! [`AdaptiveRoutingSession`] wrapper that reroutes around planned
+//! faults instead of running the Lemma 2.1 retry schedule.
+
+use crate::arena::{PathArena, PathProtocol};
+use crate::graph::LinkGraph;
+use crate::price::{route_pairs, AdaptiveConfig, IterationRecord};
+use lnpram_math::rng::SeedSeq;
+use lnpram_routing::fault::FaultReport;
+use lnpram_routing::retry::RetryPolicy;
+use lnpram_routing::router::{
+    batch_engine, drive, drive_traced, is_relation, pattern_dests, pattern_relation, BatchReport,
+    PatternRef, RouteBackend, RouteRequest, Router, RoutingSession, RunExtras, RunReport,
+};
+use lnpram_routing::serve::{ServeDriver, ServeRun};
+use lnpram_shard::AnyEngine;
+use lnpram_simnet::fault::{Fault, FaultError, FaultPlan};
+use lnpram_simnet::trace::{ServeEvent, TraceSink};
+use lnpram_simnet::{Discipline, Packet, RunOutcome, SimConfig, TagMetrics};
+use lnpram_topology::Network;
+
+/// The adaptive backend: prices link-paths per request (deterministic
+/// Dijkstra + rip-up-and-reroute, see [`crate::price`]), stores them in
+/// the [`PathArena`], and drives the source-routed [`PathProtocol`]
+/// through the shared engine loop. Plugs into
+/// [`RoutingSession`](lnpram_routing::RoutingSession) for the full
+/// `Router` API; works on any strongly-connected flat topology (node id
+/// == source == destination coordinate).
+pub struct AdaptiveBackend {
+    graph: LinkGraph,
+    cfg: AdaptiveConfig,
+    arena: PathArena,
+    /// Links the pricer must route around (set by the fault-avoidance
+    /// wrapper for the duration of a faulted run; empty otherwise).
+    avoid: Vec<bool>,
+    /// Arena is stale from the previous run and must be cleared at the
+    /// next injection (runs set this; injections consume it).
+    fresh: bool,
+    /// Aggregates over the injections since the last clear (batched
+    /// runs inject once per tenant; extras reports the worst).
+    iterations: u32,
+    max_load: u32,
+    /// Convergence series of the most recent pricing run, replayed to
+    /// the sink by `run_traced`.
+    history: Vec<IterationRecord>,
+}
+
+impl AdaptiveBackend {
+    /// Backend over a CSR snapshot of `net`.
+    pub fn new<N: Network + ?Sized>(net: &N, cfg: AdaptiveConfig) -> Self {
+        let graph = LinkGraph::from_network(net);
+        let avoid = vec![false; graph.link_count()];
+        AdaptiveBackend {
+            graph,
+            cfg,
+            arena: PathArena::new(),
+            avoid,
+            fresh: false,
+            iterations: 0,
+            max_load: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The priced link graph.
+    pub fn graph(&self) -> &LinkGraph {
+        &self.graph
+    }
+
+    /// Route around `links` (global link ids) until
+    /// [`clear_avoided`](AdaptiveBackend::clear_avoided): the pricer
+    /// treats them as absent, falling back to the full graph only for
+    /// otherwise-severed pairs.
+    pub fn set_avoided(&mut self, links: &[usize]) {
+        self.avoid.fill(false);
+        for &l in links {
+            if l < self.avoid.len() {
+                self.avoid[l] = true;
+            }
+        }
+    }
+
+    /// Stop routing around faults.
+    pub fn clear_avoided(&mut self) {
+        self.avoid.fill(false);
+    }
+
+    /// Links a fault plan makes unusable at any point: failed links and
+    /// every link incident to a failed node. Conservative on purpose —
+    /// recovery events are ignored, so a path never gambles on transit
+    /// timing; degrades are *not* avoided (slow links still deliver).
+    pub fn avoided_by_plan(&self, plan: &FaultPlan) -> Vec<usize> {
+        let mut bad_node = vec![false; self.graph.num_nodes()];
+        let mut links = Vec::new();
+        for ev in plan.events() {
+            match ev.fault {
+                Fault::LinkFail { link } => links.push(link),
+                Fault::NodeFail { node } => bad_node[node] = true,
+                _ => {}
+            }
+        }
+        for link in 0..self.graph.link_count() as u32 {
+            if bad_node[self.graph.tail(link) as usize]
+                || bad_node[self.graph.target(link) as usize]
+            {
+                links.push(link as usize);
+            }
+        }
+        links.sort_unstable();
+        links.dedup();
+        links
+    }
+}
+
+impl RouteBackend for AdaptiveBackend {
+    fn sources(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn stride(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn name(&self) -> String {
+        format!("adaptive({})", self.graph.base_name())
+    }
+
+    fn extras(&self) -> RunExtras {
+        RunExtras::Adaptive {
+            iterations: self.iterations,
+            max_load: self.max_load,
+        }
+    }
+
+    fn build_engine(&self, copies: usize, cfg: &SimConfig) -> AnyEngine {
+        batch_engine(&self.graph, copies, cfg, AnyEngine::new)
+    }
+
+    fn inject(
+        &mut self,
+        eng: &mut AnyEngine,
+        copy: usize,
+        pattern: PatternRef<'_>,
+        seq: SeedSeq,
+        tag: u64,
+    ) -> usize {
+        if self.fresh {
+            self.arena.clear();
+            self.iterations = 0;
+            self.max_load = 0;
+            self.history.clear();
+            self.fresh = false;
+        }
+        let n = self.graph.num_nodes();
+        let offset = copy * n;
+        // (src, dest) pairs in injection-id order: ids are `src` for
+        // single-packet-per-source patterns and sequential for
+        // relations, matching `inject_per_source`'s numbering so the
+        // fault-recovery drain maps ids back to identity.
+        let relation_ids = is_relation(pattern);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        if relation_ids {
+            let relation = pattern_relation(pattern, n, seq);
+            for (src, dests) in relation.iter().enumerate() {
+                for &dest in dests {
+                    pairs.push((src as u32, dest as u32));
+                }
+            }
+        } else {
+            let (dests, _direct) = pattern_dests(pattern, n, seq);
+            for (src, &dest) in dests.iter().enumerate() {
+                pairs.push((src as u32, dest as u32));
+            }
+        }
+        let routed = route_pairs(&self.graph, &pairs, &self.avoid, &self.cfg);
+        for (i, (path, &(src, dest))) in routed.paths.iter().zip(&pairs).enumerate() {
+            let span = self.arena.push(path);
+            let id = if relation_ids { i as u32 } else { src };
+            let pkt = Packet::new(id, src, dest)
+                .with_via(span)
+                .with_via2(0)
+                .with_tag(tag);
+            eng.inject(offset + src as usize, pkt);
+        }
+        self.iterations = self.iterations.max(routed.stats.iterations);
+        self.max_load = self.max_load.max(routed.stats.max_load);
+        self.history = routed.stats.history;
+        pairs.len()
+    }
+
+    fn run(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        let stride = self.graph.num_nodes();
+        let out = drive(
+            eng,
+            PathProtocol::new(&self.arena, &self.graph),
+            stride,
+            demux,
+        );
+        self.fresh = true;
+        out
+    }
+
+    fn run_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        _copies: usize,
+        demux: usize,
+        sink: &mut dyn TraceSink,
+    ) -> (RunOutcome, Vec<TagMetrics>) {
+        if sink.enabled() {
+            for rec in &self.history {
+                sink.on_serve_event(&ServeEvent::RouteIteration {
+                    iter: rec.iter,
+                    max_load: rec.max_load,
+                    rerouted: rec.rerouted,
+                });
+            }
+        }
+        let stride = self.graph.num_nodes();
+        let out = drive_traced(
+            eng,
+            PathProtocol::new(&self.arena, &self.graph),
+            stride,
+            demux,
+            sink,
+        );
+        self.fresh = true;
+        out
+    }
+
+    fn serve(&mut self, eng: &mut AnyEngine, driver: &mut ServeDriver) -> Option<ServeRun> {
+        let stride = self.graph.num_nodes();
+        let run = driver.drive(eng, PathProtocol::new(&self.arena, &self.graph), stride);
+        self.fresh = true;
+        Some(run)
+    }
+
+    fn serve_traced(
+        &mut self,
+        eng: &mut AnyEngine,
+        driver: &mut ServeDriver,
+        sink: &mut dyn TraceSink,
+    ) -> Option<ServeRun> {
+        let stride = self.graph.num_nodes();
+        let run = driver.drive_traced(
+            eng,
+            PathProtocol::new(&self.arena, &self.graph),
+            stride,
+            sink,
+        );
+        self.fresh = true;
+        Some(run)
+    }
+}
+
+/// The adaptive routing session — the eighth `Router` backend. A thin
+/// wrapper over [`RoutingSession<AdaptiveBackend>`] that overrides
+/// [`Router::route_with_faults`]: instead of the Lemma 2.1 re-randomize
+/// retry (which oblivious backends need because their paths are drawn,
+/// not chosen), it prices paths *around* the plan's failed links and
+/// nodes up front, so every survivable packet is delivered in the first
+/// attempt and only dead-destination packets are reported lost.
+pub struct AdaptiveRoutingSession {
+    inner: RoutingSession<AdaptiveBackend>,
+}
+
+impl AdaptiveRoutingSession {
+    /// Session over `net` with default pricing knobs.
+    pub fn new<N: Network + ?Sized>(net: &N, cfg: SimConfig) -> Self {
+        Self::with_config(net, AdaptiveConfig::default(), cfg)
+    }
+
+    /// Session over `net` with explicit pricing knobs. The queue
+    /// discipline is pinned to FIFO: source-routed paths encode all
+    /// policy at pricing time, so queue priorities have nothing to add.
+    pub fn with_config<N: Network + ?Sized>(
+        net: &N,
+        route_cfg: AdaptiveConfig,
+        cfg: SimConfig,
+    ) -> Self {
+        Self::from_backend(AdaptiveBackend::new(net, route_cfg), cfg)
+    }
+
+    /// Session over an already-built backend (the CLI shares backend
+    /// construction between the route and serve paths).
+    pub fn from_backend(backend: AdaptiveBackend, mut cfg: SimConfig) -> Self {
+        cfg.discipline = Discipline::Fifo;
+        AdaptiveRoutingSession {
+            inner: RoutingSession::with_backend(backend, cfg),
+        }
+    }
+
+    /// The adaptive backend (pricing stats, link graph).
+    pub fn backend(&self) -> &AdaptiveBackend {
+        self.inner.backend()
+    }
+
+    /// Is the session on the partitioned (sharded) engine path?
+    pub fn is_sharded(&self) -> bool {
+        self.inner.is_sharded()
+    }
+
+    /// Nodes of the single-copy engine.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    /// Links of the single-copy engine.
+    pub fn num_links(&self) -> usize {
+        self.inner.num_links()
+    }
+}
+
+impl Router for AdaptiveRoutingSession {
+    fn route(&mut self, req: &RouteRequest) -> RunReport {
+        self.inner.route(req)
+    }
+
+    fn route_traced(&mut self, req: &RouteRequest, sink: &mut dyn TraceSink) -> RunReport {
+        self.inner.route_traced(req, sink)
+    }
+
+    fn route_batch(&mut self, reqs: &[RouteRequest]) -> BatchReport {
+        self.inner.route_batch(reqs)
+    }
+
+    fn route_with_faults(
+        &mut self,
+        req: &RouteRequest,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> Result<FaultReport, FaultError> {
+        let avoided = self.inner.backend().avoided_by_plan(plan);
+        self.inner.backend_mut().set_avoided(&avoided);
+        let out = self.inner.route_with_faults(req, plan, policy);
+        self.inner.backend_mut().clear_avoided();
+        out
+    }
+
+    fn set_max_steps(&mut self, max_steps: u32) {
+        self.inner.set_max_steps(max_steps);
+    }
+
+    fn step_budget(&self) -> u32 {
+        self.inner.step_budget()
+    }
+
+    fn num_sources(&self) -> usize {
+        self.inner.num_sources()
+    }
+
+    fn topology(&self) -> String {
+        self.inner.topology()
+    }
+}

@@ -1,0 +1,130 @@
+//! An owned CSR snapshot of any [`Network`]'s link graph.
+//!
+//! The adaptive router prices *links*, so it needs the whole graph in a
+//! flat, index-addressed form: global link ids are `offset(v) + port` in
+//! the same CSR order the engine uses for
+//! [`Metrics::link_loads`](lnpram_simnet::Metrics), which makes the
+//! router's predicted per-link loads directly comparable to the loads
+//! the simulation observes. The snapshot also implements [`Network`]
+//! itself, so the engine a session builds steps *exactly* the graph the
+//! paths were priced on.
+
+use lnpram_topology::Network;
+
+/// A materialized, link-indexed view of a port-addressed network.
+///
+/// Link `l` is the directed edge `(tail(l), port_of(l))`; links of node
+/// `v` are the contiguous range `first_link(v) .. first_link(v + 1)` in
+/// port order — identical to the engine's global link-id scheme.
+#[derive(Debug, Clone)]
+pub struct LinkGraph {
+    base_name: String,
+    /// CSR prefix sums: node `v`'s out-links are `offsets[v]..offsets[v+1]`.
+    offsets: Vec<u32>,
+    /// Head node per link, CSR order.
+    targets: Vec<u32>,
+    /// Tail node per link (denormalized for O(1) path reconstruction).
+    tails: Vec<u32>,
+}
+
+impl LinkGraph {
+    /// Snapshot `net` into CSR form. Node and port numbering — and
+    /// therefore global link ids — are preserved verbatim.
+    pub fn from_network<N: Network + ?Sized>(net: &N) -> Self {
+        let n = net.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut tails = Vec::new();
+        offsets.push(0u32);
+        for v in 0..n {
+            let deg = net.out_degree(v);
+            for p in 0..deg {
+                targets.push(net.neighbor(v, p) as u32);
+                tails.push(v as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        LinkGraph {
+            base_name: net.name(),
+            offsets,
+            targets,
+            tails,
+        }
+    }
+
+    /// The snapshotted topology's own name (e.g. `mesh(16x16)`).
+    pub fn base_name(&self) -> &str {
+        &self.base_name
+    }
+
+    /// Total directed links.
+    pub fn link_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// First global link id of `node` (= the CSR offset).
+    pub fn first_link(&self, node: usize) -> u32 {
+        self.offsets[node]
+    }
+
+    /// Head node of link `link`.
+    pub fn target(&self, link: u32) -> u32 {
+        self.targets[link as usize]
+    }
+
+    /// Tail node of link `link`.
+    pub fn tail(&self, link: u32) -> u32 {
+        self.tails[link as usize]
+    }
+
+    /// The port on `tail(link)` that link `link` occupies.
+    pub fn port_of(&self, link: u32) -> usize {
+        (link - self.offsets[self.tail(link) as usize]) as usize
+    }
+}
+
+impl Network for LinkGraph {
+    fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn out_degree(&self, node: usize) -> usize {
+        (self.offsets[node + 1] - self.offsets[node]) as usize
+    }
+
+    fn neighbor(&self, node: usize, port: usize) -> usize {
+        self.targets[self.offsets[node] as usize + port] as usize
+    }
+
+    fn name(&self) -> String {
+        self.base_name.clone()
+    }
+
+    fn num_links(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnpram_topology::Mesh;
+
+    #[test]
+    fn snapshot_matches_base() {
+        let mesh = Mesh::new(4, 4);
+        let g = LinkGraph::from_network(&mesh);
+        assert_eq!(g.num_nodes(), mesh.num_nodes());
+        assert_eq!(g.num_links(), mesh.num_links());
+        for v in 0..mesh.num_nodes() {
+            assert_eq!(g.out_degree(v), mesh.out_degree(v));
+            for p in 0..mesh.out_degree(v) {
+                assert_eq!(g.neighbor(v, p), mesh.neighbor(v, p));
+                let link = g.first_link(v) + p as u32;
+                assert_eq!(g.tail(link) as usize, v);
+                assert_eq!(g.port_of(link), p);
+                assert_eq!(g.target(link) as usize, mesh.neighbor(v, p));
+            }
+        }
+    }
+}

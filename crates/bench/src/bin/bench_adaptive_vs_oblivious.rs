@@ -1,0 +1,228 @@
+//! Adaptive vs oblivious head-to-head on adversarial mesh workloads.
+//!
+//! The paper's position (§2.2.1) is that *oblivious randomized* routing
+//! makes worst-case patterns behave like average ones. The adaptive
+//! backend takes the opposite bet: pay a host-side pricing pass
+//! (deterministic Dijkstra + rip-up-and-reroute) to pick congestion-
+//! aware source routes, then follow them with zero in-network
+//! randomness. This bench pits the two on the classic adversaries —
+//! transpose, bit-reversal, a 90% hot-spot and the full broadcast —
+//! on the 16×16 mesh, reporting the *observed* per-link load
+//! (`record_link_loads`), routing time and max queue for each.
+//!
+//! Every trial runs serial AND sharded (`K = LNPRAM_SHARDS`, default 4)
+//! and asserts delivery metrics and the full per-link load vector
+//! bit-identical — the adaptive backend rides the same determinism
+//! contract as the oblivious ones.
+//!
+//! Results land as machine-readable JSON (default `BENCH_8.json`,
+//! override with `LNPRAM_BENCH_OUT`). CI's `bench-smoke` job runs this
+//! with `LNPRAM_TRIALS=2`; run locally with the defaults for stable
+//! numbers. Numbers are recorded as measured: where the oblivious
+//! router wins a column, the table says so.
+
+use lnpram_adaptive::AdaptiveRoutingSession;
+use lnpram_bench::{fmt, json, trial_count, Table};
+use lnpram_math::rng::SeedSeq;
+use lnpram_routing::mesh::{default_slice_rows, MeshAlgorithm, MeshRoutingSession};
+use lnpram_routing::workloads;
+use lnpram_routing::{RouteRequest, Router, RunReport};
+use lnpram_simnet::SimConfig;
+use lnpram_topology::Mesh;
+use std::time::Instant;
+
+const SIDE: usize = 16;
+const PATTERNS: [&str; 4] = ["transpose", "bit-reversal", "hot-spot", "broadcast"];
+const BACKENDS: [&str; 2] = ["oblivious", "adaptive"];
+
+fn sim(shards: usize) -> SimConfig {
+    SimConfig {
+        shards,
+        record_link_loads: true,
+        ..SimConfig::default()
+    }
+}
+
+fn router(backend: &str, shards: usize) -> Box<dyn Router> {
+    match backend {
+        "adaptive" => Box::new(AdaptiveRoutingSession::new(
+            &Mesh::square(SIDE),
+            sim(shards),
+        )),
+        _ => Box::new(MeshRoutingSession::new(
+            SIDE,
+            MeshAlgorithm::ThreeStage {
+                slice_rows: default_slice_rows(SIDE),
+            },
+            sim(shards),
+        )),
+    }
+}
+
+/// The trial's destination map. The hot node sits mid-mesh so both
+/// backends fight the same interior in-degree bottleneck.
+fn dests(pattern: &str, n: usize, seed: u64) -> Vec<usize> {
+    let hot = Mesh::square(SIDE).node_at(SIDE / 2, SIDE / 2);
+    match pattern {
+        "transpose" => workloads::transpose(n),
+        "bit-reversal" => workloads::bit_reversal(n),
+        "hot-spot" => workloads::hot_spot(n, &[hot], 0.9, &mut SeedSeq::new(seed).rng()),
+        _ => workloads::broadcast(n, hot),
+    }
+}
+
+fn max_link_load(rep: &RunReport) -> u64 {
+    rep.metrics.link_loads.iter().copied().max().unwrap_or(0) as u64
+}
+
+fn assert_same_run(a: &RunReport, b: &RunReport, ctx: &str) {
+    assert_eq!(a.completed, b.completed, "{ctx}: completed");
+    assert_eq!(a.metrics.delivered, b.metrics.delivered, "{ctx}: delivered");
+    assert_eq!(
+        a.metrics.routing_time, b.metrics.routing_time,
+        "{ctx}: routing time"
+    );
+    assert_eq!(a.metrics.max_queue, b.metrics.max_queue, "{ctx}: max queue");
+    assert_eq!(
+        a.metrics.link_loads, b.metrics.link_loads,
+        "{ctx}: per-link loads"
+    );
+}
+
+#[derive(Default)]
+struct Agg {
+    time: f64,
+    load: f64,
+    queue: f64,
+    norm: f64,
+    serial_ms: f64,
+    sharded_ms: f64,
+    runs: u64,
+}
+
+impl Agg {
+    fn per_run(&self, x: f64) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        x / self.runs as f64
+    }
+}
+
+fn main() {
+    let trials = trial_count(5);
+    let shards: usize = std::env::var("LNPRAM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k >= 2)
+        .unwrap_or(4);
+    let n = SIDE * SIDE;
+    println!(
+        "adaptive vs oblivious on mesh({SIDE}x{SIDE}): {n} nodes, {trials} trials, \
+         serial vs K={shards}"
+    );
+
+    // stats[pattern][backend]
+    let mut stats: Vec<Vec<Agg>> = PATTERNS
+        .iter()
+        .map(|_| BACKENDS.iter().map(|_| Agg::default()).collect())
+        .collect();
+    for (pi, pattern) in PATTERNS.iter().enumerate() {
+        for (bi, backend) in BACKENDS.iter().enumerate() {
+            let mut serial = router(backend, 0);
+            let mut sharded = router(backend, shards);
+            for trial in 0..trials {
+                let seed = 0xADA9 + trial;
+                let req = RouteRequest::dests(dests(pattern, n, seed), seed);
+                let t0 = Instant::now();
+                let rep = serial.route(&req);
+                let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+                assert!(rep.completed, "{pattern}/{backend} trial {trial}");
+                let t1 = Instant::now();
+                let srep = sharded.route(&req);
+                let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
+                assert_same_run(
+                    &rep,
+                    &srep,
+                    &format!("{pattern}/{backend} trial {trial} serial vs K={shards}"),
+                );
+                let agg = &mut stats[pi][bi];
+                agg.time += f64::from(rep.metrics.routing_time);
+                agg.load += max_link_load(&rep) as f64;
+                agg.queue += rep.metrics.max_queue as f64;
+                agg.norm += rep.norm() as f64;
+                agg.serial_ms += serial_ms;
+                agg.sharded_ms += sharded_ms;
+                agg.runs += 1;
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        format!("Adaptive vs oblivious routing (mesh {SIDE}x{SIDE}, observed link loads)"),
+        &[
+            "pattern",
+            "backend",
+            "time",
+            "max link load",
+            "max queue",
+            "serial ms",
+            &format!("K={shards} ms"),
+        ],
+    );
+    for (pi, pattern) in PATTERNS.iter().enumerate() {
+        for (bi, backend) in BACKENDS.iter().enumerate() {
+            let s = &stats[pi][bi];
+            table.row(&[
+                (*pattern).into(),
+                (*backend).into(),
+                fmt::f(s.per_run(s.time), 1),
+                fmt::f(s.per_run(s.load), 1),
+                fmt::f(s.per_run(s.queue), 1),
+                fmt::f(s.per_run(s.serial_ms), 2),
+                fmt::f(s.per_run(s.sharded_ms), 2),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "observed max link load is the congestion lower bound on routing\n\
+         time; 'oblivious' is the paper's randomized three-stage mesh\n\
+         algorithm (random intermediates), 'adaptive' the congestion-priced\n\
+         source router (no in-network randomness). Numbers as measured."
+    );
+
+    let path = std::env::var("LNPRAM_BENCH_OUT").unwrap_or_else(|_| "BENCH_8.json".to_string());
+    write_json(&path, trials, shards, &stats).expect("write bench json");
+    println!("wrote {path}");
+}
+
+fn write_json(path: &str, trials: u64, shards: usize, stats: &[Vec<Agg>]) -> std::io::Result<()> {
+    let mut rows: Vec<String> = Vec::new();
+    for (pi, pattern) in PATTERNS.iter().enumerate() {
+        for (bi, backend) in BACKENDS.iter().enumerate() {
+            let s = &stats[pi][bi];
+            rows.push(
+                json::Obj::new()
+                    .str_field("pattern", pattern)
+                    .str_field("backend", backend)
+                    .fixed_field("routing_time", s.per_run(s.time), 2)
+                    .fixed_field("max_link_load", s.per_run(s.load), 2)
+                    .fixed_field("max_queue", s.per_run(s.queue), 2)
+                    .fixed_field("norm", s.per_run(s.norm), 2)
+                    .fixed_field("serial_ms", s.per_run(s.serial_ms), 3)
+                    .fixed_field("sharded_ms", s.per_run(s.sharded_ms), 3)
+                    .field("runs", s.runs)
+                    .render(),
+            );
+        }
+    }
+    let doc = json::Obj::new()
+        .str_field("bench", "adaptive_vs_oblivious")
+        .str_field("topology", &format!("mesh({SIDE}x{SIDE})"))
+        .field("trials", trials)
+        .field("shards", shards)
+        .field("rows", json::array_lines(&rows, 4))
+        .render_lines(2);
+    std::fs::write(path, doc + "\n")
+}

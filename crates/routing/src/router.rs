@@ -229,6 +229,15 @@ pub enum RunExtras {
         /// The exact stage count `k(k+1)/2` every run takes.
         stages: u32,
     },
+    /// Congestion-priced adaptive source routing with
+    /// rip-up-and-reroute (`lnpram-adaptive`).
+    Adaptive {
+        /// Pricing iterations the rip-up loop executed.
+        iterations: u32,
+        /// Final max link load of the priced path set — the congestion
+        /// lower bound on the routing time.
+        max_load: u32,
+    },
 }
 
 impl RunExtras {
@@ -244,6 +253,10 @@ impl RunExtras {
             RunExtras::Ccc { diameter, .. } => diameter,
             RunExtras::Shuffle { digits } => digits,
             RunExtras::Bitonic { stages, .. } => stages as usize,
+            // Adaptive paths have no diameter-style parameter; the
+            // priced max link load is the congestion lower bound on
+            // the routing time, so time/norm ≈ congestion stretch.
+            RunExtras::Adaptive { max_load, .. } => (max_load as usize).max(1),
         }
     }
 }
@@ -648,6 +661,13 @@ impl<B: RouteBackend> RoutingSession<B> {
     /// mesh algorithm live here).
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Mutable backend access — session-level wrappers configure the
+    /// backend between runs (the adaptive session points the pricer
+    /// around a fault plan's failed links before delegating).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// Is the session on the partitioned (sharded) engine path?

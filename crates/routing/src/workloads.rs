@@ -96,6 +96,33 @@ pub fn broadcast(n: usize, root: usize) -> Vec<usize> {
     vec![root; n]
 }
 
+/// The transpose permutation on **any** node count that is a perfect
+/// square (this used to exist only mesh-specific as
+/// [`mesh_transpose`]): node id `r·s + c` maps to `c·s + r` where
+/// `s = √n`. On the mesh this is the classic matrix transpose; on other
+/// flat topologies (hypercube, star in factorial-radix id order) it is
+/// the same id-space shear and remains a worst case for routers that
+/// serialize on the id digits.
+pub fn transpose(n: usize) -> Vec<usize> {
+    let s = (n as f64).sqrt().round() as usize;
+    assert_eq!(s * s, n, "transpose needs a perfect-square node count");
+    (0..n).map(|v| (v % s) * s + v / s).collect()
+}
+
+/// The bit-reversal permutation on **any** power-of-two node count
+/// (the generic form of [`mesh_bit_reversal`]): node id `v` maps to
+/// the id with its `log₂ n` bits reversed. On the hypercube this is a
+/// dimension reversal; on meshes it defeats dimension-ordered routing —
+/// the standard adversarial pattern for oblivious deterministic
+/// routers.
+pub fn bit_reversal(n: usize) -> Vec<usize> {
+    assert!(n.is_power_of_two(), "bit reversal needs power-of-two size");
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|v| (v.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
+        .collect()
+}
+
 /// A locality-bounded permutation on a mesh: destinations are a permutation
 /// in which every packet travels Manhattan distance ≤ `d` (Theorem 3.3's
 /// premise). Built by tiling the mesh into `⌈d/2⌉ × ⌈d/2⌉` blocks and
@@ -152,12 +179,7 @@ pub fn mesh_transpose(mesh: &Mesh) -> Vec<usize> {
 /// `log₂ n²` bits reversed. Another standard worst case for oblivious
 /// deterministic routers.
 pub fn mesh_bit_reversal(mesh: &Mesh) -> Vec<usize> {
-    let n = mesh.num_nodes();
-    assert!(n.is_power_of_two(), "bit reversal needs power-of-two size");
-    let bits = n.trailing_zeros();
-    (0..n)
-        .map(|v| (v.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
-        .collect()
+    bit_reversal(mesh.num_nodes())
 }
 
 /// The tornado permutation on an n×n mesh: every packet moves just under
@@ -315,6 +337,57 @@ mod tests {
         assert!(!is_permutation(&[2, 0])); // out of range for n=2
         assert!(is_permutation(&[1, 0]));
         assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    fn generic_transpose_shape() {
+        let t = transpose(64);
+        assert!(is_permutation(&t));
+        // Involution with exactly √n fixed points (the diagonal).
+        for (v, &img) in t.iter().enumerate() {
+            assert_eq!(t[img], v);
+        }
+        assert_eq!(t.iter().enumerate().filter(|&(v, &d)| v == d).count(), 8);
+        // Agrees with the mesh-specific generator on the square mesh.
+        assert_eq!(t, mesh_transpose(&Mesh::square(8)));
+        // Row r's off-diagonal traffic all crosses the diagonal: every
+        // source in row 0 (ids 1..8) targets column 0 (ids ≡ 0 mod 8) —
+        // the column-convoy load shape that makes transpose adversarial.
+        for (c, &d) in t.iter().enumerate().take(8).skip(1) {
+            assert_eq!(d, c * 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-square")]
+    fn generic_transpose_rejects_non_square() {
+        let _ = transpose(48);
+    }
+
+    #[test]
+    fn generic_bit_reversal_shape() {
+        let b = bit_reversal(64);
+        assert!(is_permutation(&b));
+        // Involution: reversing twice is the identity.
+        for (v, &img) in b.iter().enumerate() {
+            assert_eq!(b[img], v);
+        }
+        assert_eq!(b[1], 32); // 000001 → 100000
+        assert_eq!(b[3], 48); // 000011 → 110000
+                              // Same code path as the mesh wrapper.
+        assert_eq!(b, mesh_bit_reversal(&Mesh::square(8)));
+        // Low-id sources scatter to high ids: on a row-major mesh every
+        // source in row 0 except the two palindromes crosses at least
+        // half the rows — the anti-local load shape.
+        let mesh = Mesh::square(8);
+        let far = (1..8).filter(|&v| mesh.manhattan(v, b[v]) >= 4).count();
+        assert!(far >= 5, "only {far} of row 0 travel far");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn generic_bit_reversal_rejects_non_power() {
+        let _ = bit_reversal(48);
     }
 
     #[test]

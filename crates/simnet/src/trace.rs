@@ -167,6 +167,18 @@ pub enum ServeEvent {
         /// Admission-to-delivery latency in steps.
         latency: u32,
     },
+    /// One rip-up iteration of an adaptive pricing run (emitted by
+    /// `route_traced` before stepping begins — pricing happens at
+    /// injection time, so the step is always 0). The per-`iter`
+    /// `max_load` series is the router's convergence curve.
+    RouteIteration {
+        /// Pricing iteration index (0 = initial pass).
+        iter: u32,
+        /// Max link load after the iteration.
+        max_load: u32,
+        /// Paths (re-)routed in the iteration.
+        rerouted: u32,
+    },
 }
 
 impl ServeEvent {
@@ -197,6 +209,7 @@ impl ServeEvent {
             ServeEvent::TenantLeave { .. } => "tenant_leave",
             ServeEvent::Fault { .. } => "fault",
             ServeEvent::Complete { .. } => "complete",
+            ServeEvent::RouteIteration { .. } => "route_iteration",
         }
     }
 
@@ -210,6 +223,8 @@ impl ServeEvent {
             | ServeEvent::TenantLeave { step, .. }
             | ServeEvent::Fault { step, .. }
             | ServeEvent::Complete { step, .. } => step,
+            // Pricing precedes stepping, so the whole series is step 0.
+            ServeEvent::RouteIteration { .. } => 0,
         }
     }
 
@@ -262,6 +277,14 @@ impl ServeEvent {
             } => format!(
                 "{{\"event\": \"complete\", \"step\": {step}, \"slot\": {slot}, \
                  \"tenant\": {tenant}, \"latency\": {latency}}}"
+            ),
+            ServeEvent::RouteIteration {
+                iter,
+                max_load,
+                rerouted,
+            } => format!(
+                "{{\"event\": \"route_iteration\", \"step\": 0, \"iter\": {iter}, \
+                 \"max_load\": {max_load}, \"rerouted\": {rerouted}}}"
             ),
         }
     }
@@ -498,6 +521,10 @@ pub struct FlightRecorder {
     /// Cumulative boundary packets per shard (index = shard id).
     boundary: Vec<u64>,
     faults: u64,
+    /// Adaptive pricing convergence: per-iteration max link load, in
+    /// iteration order (empty unless the run emitted
+    /// [`ServeEvent::RouteIteration`]).
+    route_max_load: Vec<u32>,
 }
 
 impl FlightRecorder {
@@ -511,6 +538,7 @@ impl FlightRecorder {
             dropped: 0,
             boundary: Vec::new(),
             faults: 0,
+            route_max_load: Vec::new(),
         }
     }
 
@@ -535,12 +563,19 @@ impl FlightRecorder {
         self.dropped
     }
 
+    /// The adaptive router's convergence curve — max link load per
+    /// pricing iteration (empty for oblivious runs).
+    pub fn route_max_loads(&self) -> &[u32] {
+        &self.route_max_load
+    }
+
     /// Reset the recording (stride/capacity kept) for reuse across runs.
     pub fn clear(&mut self) {
         self.samples.clear();
         self.dropped = 0;
         self.boundary.clear();
         self.faults = 0;
+        self.route_max_load.clear();
     }
 
     /// Export the recording as one JSON object: sampling parameters,
@@ -552,11 +587,12 @@ impl FlightRecorder {
             vals.join(", ")
         };
         let boundary: Vec<String> = self.boundary.iter().map(|b| b.to_string()).collect();
+        let route: Vec<String> = self.route_max_load.iter().map(|l| l.to_string()).collect();
         format!(
             "{{\n  \"stride\": {},\n  \"capacity\": {},\n  \"dropped\": {},\n  \
              \"steps\": [{}],\n  \"in_flight\": [{}],\n  \"arrivals\": [{}],\n  \
              \"deliveries\": [{}],\n  \"max_queue_len\": [{}],\n  \"backlog\": [{}],\n  \
-             \"boundary_packets\": [{}],\n  \"faults\": {}\n}}\n",
+             \"boundary_packets\": [{}],\n  \"route_max_load\": [{}],\n  \"faults\": {}\n}}\n",
             self.stride,
             self.capacity,
             self.dropped,
@@ -567,6 +603,7 @@ impl FlightRecorder {
             col(&|s| s.max_queue_len as u64),
             col(&|s| s.backlog as u64),
             boundary.join(", "),
+            route.join(", "),
             self.faults
         )
     }
@@ -593,6 +630,12 @@ impl TraceSink for FlightRecorder {
 
     fn on_fault(&mut self, _step: u32, _link: usize, _blocked: bool) {
         self.faults += 1;
+    }
+
+    fn on_serve_event(&mut self, event: &ServeEvent) {
+        if let ServeEvent::RouteIteration { max_load, .. } = *event {
+            self.route_max_load.push(max_load);
+        }
     }
 }
 

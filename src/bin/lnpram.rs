@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+use lnpram::adaptive::{AdaptiveBackend, AdaptiveConfig, AdaptiveRoutingSession};
 use lnpram::core::{
     EmulatorConfig, LeveledPramEmulator, MeshPramEmulator, ReplicatedPramEmulator, StarPramEmulator,
 };
@@ -31,14 +32,15 @@ use lnpram::routing::mesh::{
 use lnpram::routing::shuffle::{ShuffleBackend, ShuffleRoutingSession};
 use lnpram::routing::star::{StarBackend, StarRoutingSession};
 use lnpram::routing::{
-    LeveledRoutingSession, OpenLoopWorkload, OverloadPolicy, RouteRequest, Router, Serve,
-    ServeConfig, ServeError, ServeSession,
+    LeveledRoutingSession, OpenLoopWorkload, OverloadPolicy, RouteRequest, Router, RunExtras,
+    Serve, ServeConfig, ServeError, ServeSession,
 };
 use lnpram::shard::MAX_SHARDS;
 use lnpram::simnet::{ServeEventLog, SimConfig};
 use lnpram::topology::graph::audit;
+use lnpram::topology::hypercube::Hypercube;
 use lnpram::topology::leveled::{audit_unique_paths, RadixButterfly, UnrolledShuffle};
-use lnpram::topology::{DWayShuffle, Mesh, Network, StarGraph};
+use lnpram::topology::{CubeConnectedCycles, DWayShuffle, Mesh, Network, StarGraph};
 use std::collections::HashMap;
 use std::fmt;
 use std::process::ExitCode;
@@ -183,11 +185,17 @@ COMMANDS
              --topology butterfly|star|mesh|cube|ccc|shuffle   (required)
              --n, --d, --k    as for audit (cube: --k dimensions)
              --algorithm three-stage|const-queue|greedy|valiant  (mesh) [three-stage]
+             --backend oblivious|adaptive   routing backend      [oblivious]
+                              (adaptive: congestion-priced source
+                              routing; flat topologies only)
              --seed <s>       base seed                           [0]
              --trials <t>     number of seeds                     [5]
              --shards <K>     partitioned lockstep engine, 2..=15 [0]
              --tenants <T>    co-route T tenants per trial in ONE
                               engine run (route_batch), T ≥ 1     [1]
+             --trace <path>   write the run's event log as JSONL
+                              (adaptive: per-iteration route_iteration
+                              pricing records; single-tenant only)
 
   serve    Always-on routing service: one long-lived engine, requests
            admitted mid-run from an open-loop arrival process; tenants
@@ -195,6 +203,7 @@ COMMANDS
            the isolated copies of route --tenants.
              --topology butterfly|star|mesh|cube|ccc|shuffle   (required)
              --n, --d, --k    as for route
+             --backend oblivious|adaptive   routing backend      [oblivious]
              --tenants <T>    tenants, round-robin over requests  [2]
              --requests <R>   total requests in the trace         [32]
              --interval <I>   steps between arrivals (0 = burst)  [4]
@@ -213,9 +222,10 @@ COMMANDS
                               (admit / defer / reject / tenant_join /
                               tenant_leave / fault / complete)
 
-  stats    Summarize a serve event log written by serve --trace:
-           per-event counts, admitted packets, completion latency
-           distribution.
+  stats    Summarize an event log written by serve --trace or
+           route --trace: per-event counts, admitted packets,
+           completion latency distribution, and (for adaptive route
+           traces) the per-iteration max-link-load convergence series.
              --trace <path>   the JSONL log to summarize   (required)
 
   emulate  Run a PRAM program through an emulator and verify against the
@@ -331,6 +341,62 @@ fn mesh_algorithm(flags: &HashMap<String, String>, n: usize) -> Result<MeshAlgor
     }
 }
 
+/// Build the congestion-priced backend `--backend adaptive` selects:
+/// a CSR snapshot of the named flat topology. Leveled topologies
+/// (butterfly) deliver at their last column — node id ≠ coordinate —
+/// so they are refused with a typed error instead of misrouting.
+fn adaptive_backend(
+    topo: &str,
+    flags: &HashMap<String, String>,
+) -> Result<AdaptiveBackend, CliError> {
+    let n = get_usize(flags, "n", 4)?;
+    let route_cfg = AdaptiveConfig::default();
+    Ok(match topo {
+        "star" => AdaptiveBackend::new(&StarGraph::new(n), route_cfg),
+        "shuffle" => {
+            let d = get_usize(flags, "d", n)?;
+            AdaptiveBackend::new(&DWayShuffle::new(d, n), route_cfg)
+        }
+        "cube" => {
+            let k = get_usize(flags, "k", 8)?;
+            AdaptiveBackend::new(&Hypercube::new(k), route_cfg)
+        }
+        "ccc" => AdaptiveBackend::new(&CubeConnectedCycles::new(n.max(3)), route_cfg),
+        "mesh" => AdaptiveBackend::new(&Mesh::square(n), route_cfg),
+        "butterfly" => {
+            return Err(CliError::InvalidFlag {
+                flag: "backend".into(),
+                value: "adaptive".into(),
+                reason: "adaptive prices flat topologies (node id == coordinate); \
+                         butterfly delivers at its last column — use the oblivious backend"
+                    .into(),
+            })
+        }
+        other => {
+            return Err(CliError::Unknown {
+                what: "topology",
+                got: other.into(),
+            })
+        }
+    })
+}
+
+/// The `--backend` flag: the paper's oblivious routers (default) or the
+/// adaptive congestion-priced router.
+fn backend_flag(flags: &HashMap<String, String>) -> Result<&str, CliError> {
+    match flags
+        .get("backend")
+        .map(String::as_str)
+        .unwrap_or("oblivious")
+    {
+        b @ ("oblivious" | "adaptive") => Ok(b),
+        other => Err(CliError::Unknown {
+            what: "backend",
+            got: other.into(),
+        }),
+    }
+}
+
 /// Build the session the unified `route` command dispatches to — every
 /// topology behind one `dyn Router`.
 fn make_router(
@@ -338,6 +404,12 @@ fn make_router(
     flags: &HashMap<String, String>,
     cfg: SimConfig,
 ) -> Result<Box<dyn Router>, CliError> {
+    if backend_flag(flags)? == "adaptive" {
+        return Ok(Box::new(AdaptiveRoutingSession::from_backend(
+            adaptive_backend(topo, flags)?,
+            cfg,
+        )));
+    }
     let n = get_usize(flags, "n", 4)?;
     Ok(match topo {
         "star" => Box::new(StarRoutingSession::new(n, cfg)),
@@ -376,6 +448,13 @@ fn make_serve(
     sim: SimConfig,
     cfg: ServeConfig,
 ) -> Result<Box<dyn Serve>, CliError> {
+    if backend_flag(flags)? == "adaptive" {
+        return Ok(Box::new(ServeSession::new(
+            adaptive_backend(topo, flags)?,
+            &sim,
+            cfg,
+        )));
+    }
     let n = get_usize(flags, "n", 4)?;
     Ok(match topo {
         "star" => Box::new(ServeSession::new(
@@ -438,6 +517,16 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let mut times = Vec::new();
     let mut queues = Vec::new();
     let mut norm = 1usize;
+    let mut adaptive_stats: Option<(u32, u32)> = None;
+    let trace_path = flags.get("trace");
+    if trace_path.is_some() && tenants > 1 {
+        return Err(CliError::InvalidFlag {
+            flag: "trace".into(),
+            value: "(path)".into(),
+            reason: "route tracing is single-tenant; drop --tenants or --trace".into(),
+        });
+    }
+    let mut log = ServeEventLog::new();
     if tenants > 1 {
         // Multi-tenant co-routing: each trial is ONE engine run carrying
         // `tenants` independent permutations (packet tag = tenant slot);
@@ -455,17 +544,41 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), CliError> {
             }
             queues.push(batch.metrics.max_queue as f64);
             norm = batch.extras.norm().max(1);
+            if let RunExtras::Adaptive {
+                iterations,
+                max_load,
+            } = batch.extras
+            {
+                adaptive_stats = Some((iterations, max_load));
+            }
         }
     } else {
         for t in 0..trials {
-            let rep = router.route_permutation(seed + t);
+            let req = RouteRequest::permutation(seed + t);
+            let rep = if trace_path.is_some() {
+                router.route_traced(&req, &mut log)
+            } else {
+                router.route(&req)
+            };
             if !rep.completed {
                 return Err(CliError::Run("routing did not complete".into()));
             }
             times.push(f64::from(rep.metrics.routing_time));
             queues.push(rep.metrics.max_queue as f64);
             norm = rep.norm().max(1);
+            if let RunExtras::Adaptive {
+                iterations,
+                max_load,
+            } = rep.extras
+            {
+                adaptive_stats = Some((iterations, max_load));
+            }
         }
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(path, log.to_jsonl())
+            .map_err(|e| CliError::Run(format!("write {path}: {e}")))?;
+        println!("wrote {} route events to {path}", log.events().len());
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let max = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max);
@@ -483,6 +596,12 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), CliError> {
         mean(&times) / norm as f64,
         mean(&queues),
     );
+    if let Some((iterations, max_load)) = adaptive_stats {
+        println!(
+            "adaptive pricing (last trial): {iterations} iteration(s), \
+             final max link load {max_load} (= norm)"
+        );
+    }
     Ok(())
 }
 
@@ -606,7 +725,7 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let path = flags.get("trace").ok_or(CliError::MissingFlag("trace"))?;
     let body =
         std::fs::read_to_string(path).map_err(|e| CliError::Run(format!("read {path}: {e}")))?;
-    const EVENTS: [&str; 7] = [
+    const EVENTS: [&str; 8] = [
         "admit",
         "defer",
         "reject",
@@ -614,11 +733,15 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
         "tenant_leave",
         "fault",
         "complete",
+        "route_iteration",
     ];
-    let mut counts = [0u64; 7];
+    let mut counts = [0u64; 8];
     let mut packets = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     let mut rejects: Vec<(String, u64)> = Vec::new();
+    // Per-iteration max-load series of adaptive route traces, in file
+    // order; `iter == 0` marks the start of each pricing run.
+    let mut route_iters: Vec<(u64, u64)> = Vec::new();
     let mut last_step = 0u64;
     for (lineno, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
@@ -657,6 +780,15 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
                         .ok_or_else(|| bad("missing latency field"))?,
                 );
             }
+            "route_iteration" => {
+                let iter: u64 = json_field(line, "iter")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("missing iter field"))?;
+                let load: u64 = json_field(line, "max_load")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("missing max_load field"))?;
+                route_iters.push((iter, load));
+            }
             _ => {}
         }
     }
@@ -685,6 +817,40 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
             mean,
             latencies.len()
         );
+    }
+    if !route_iters.is_empty() {
+        // Each pricing run restarts at iter 0; summarize every run's
+        // initial → final max link load so convergence is visible even
+        // for multi-trial traces.
+        let mut runs: Vec<&[(u64, u64)]> = Vec::new();
+        let mut start = 0usize;
+        for i in 1..route_iters.len() {
+            if route_iters[i].0 == 0 {
+                runs.push(&route_iters[start..i]);
+                start = i;
+            }
+        }
+        runs.push(&route_iters[start..]);
+        // The pricer keeps the *best* iteration's path set (the series
+        // may end on a patience-expired regression), so each run's
+        // converged load is its series minimum.
+        let worst_converged = runs
+            .iter()
+            .map(|r| r.iter().map(|&(_, l)| l).min().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        println!(
+            "adaptive pricing: {} run(s), worst converged max link load {worst_converged}",
+            runs.len()
+        );
+        for (i, run) in runs.iter().enumerate() {
+            let series: Vec<String> = run.iter().map(|&(_, l)| l.to_string()).collect();
+            println!(
+                "  run {i}: {} iteration(s), max load {}",
+                run.len(),
+                series.join(" -> ")
+            );
+        }
     }
     Ok(())
 }

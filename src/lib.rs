@@ -35,6 +35,11 @@
 //! * [`analysis`] — `lnpram-lint`, the token-level workspace invariant
 //!   checker (determinism, ambient clock/rng, unsafe budget, panic
 //!   surface) backing the `lnpram lint` subcommand.
+//! * [`adaptive`] — the non-oblivious counterpoint: congestion-priced
+//!   source routing with deterministic Dijkstra and
+//!   rip-up-and-reroute ([`adaptive::AdaptiveRoutingSession`], the
+//!   eighth `Router` backend), for adaptive-vs-oblivious comparisons
+//!   on adversarial workloads.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use lnpram_adaptive as adaptive;
 pub use lnpram_analysis as analysis;
 pub use lnpram_core as core;
 pub use lnpram_hash as hash;
